@@ -1,0 +1,285 @@
+package siteselect_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"siteselect"
+	"siteselect/internal/cache"
+	"siteselect/internal/experiment"
+	"siteselect/internal/forward"
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/rng"
+	"siteselect/internal/sched"
+	"siteselect/internal/sim"
+	"siteselect/internal/txn"
+)
+
+// benchOpts keeps the table/figure benchmarks affordable: a quarter of
+// the full virtual run. Shapes survive scaling; run cmd/rtbench with
+// -scale 1 for the full-length numbers recorded in EXPERIMENTS.md.
+var benchOpts = experiment.Options{Scale: 0.25, Seed: 1}
+
+// BenchmarkFigure3 regenerates Figure 3: % of transactions completed
+// within their deadlines vs client count at 1% updates, for the
+// centralized, client-server and load-sharing systems.
+func BenchmarkFigure3(b *testing.B) {
+	benchFigure(b, "Figure 3", 0.01)
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (5% updates).
+func BenchmarkFigure4(b *testing.B) {
+	benchFigure(b, "Figure 4", 0.05)
+}
+
+// BenchmarkFigure5 regenerates Figure 5 (20% updates).
+func BenchmarkFigure5(b *testing.B) {
+	benchFigure(b, "Figure 5", 0.20)
+}
+
+func benchFigure(b *testing.B, id string, update float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		f, err := experiment.RunFigure(id, update, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			f.Render(&sb)
+			b.Log("\n" + sb.String())
+			last := f.Points[len(f.Points)-1]
+			b.ReportMetric(last.LS-last.CS, "LS-CS-gap-pp")
+			b.ReportMetric(last.CE, "CE-at-max-clients-%")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (average cache hit rates).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.RunTable2(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			t.Render(&sb)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (average object response times by
+// lock mode, 1% updates).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.RunTable3(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			t.Render(&sb)
+			b.Log("\n" + sb.String())
+			last := t.Rows[len(t.Rows)-1]
+			b.ReportMetric(last.CSExclusive.Seconds(), "CS-EL-100c-s")
+			b.ReportMetric(last.LSExclusive.Seconds(), "LS-EL-100c-s")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4 (message counts at 100 clients,
+// 1% updates).
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiment.RunTable4(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			t.Render(&sb)
+			b.Log("\n" + sb.String())
+			b.ReportMetric(float64(t.LSForwarded), "forward-hops")
+		}
+	}
+}
+
+// BenchmarkLockProtocolMessages evaluates the Figure 1/2 closed forms.
+func BenchmarkLockProtocolMessages(b *testing.B) {
+	ns := []int{1, 2, 5, 10, 20}
+	for i := 0; i < b.N; i++ {
+		counts := experiment.RunProtocolCounts(ns)
+		if counts[2].Grouped != 11 {
+			b.Fatalf("grouped(5) = %d", counts[2].Grouped)
+		}
+	}
+}
+
+// BenchmarkAblationHeuristics regenerates the design-choice ablation
+// called out in DESIGN.md (H1/H2/decomposition/forward lists).
+func BenchmarkAblationHeuristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := experiment.RunHeuristicAblation(60, 0.20, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			a.Render(&sb)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkSingleRunLS measures one load-sharing run end to end (the
+// dominant cost of every experiment above).
+func BenchmarkSingleRunLS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := siteselect.DefaultConfig(20, 0.05).Scale(0.25)
+		res, err := siteselect.Run(siteselect.LoadSharing, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.M.Submitted == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+// --- microbenchmarks of the substrates ---
+
+// BenchmarkSimKernel measures raw event throughput of the DES kernel.
+func BenchmarkSimKernel(b *testing.B) {
+	env := sim.NewEnv()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			env.Schedule(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	env.Schedule(0, tick)
+	env.RunAll()
+}
+
+// BenchmarkSimProcessSwitch measures coroutine context switches.
+func BenchmarkSimProcessSwitch(b *testing.B) {
+	env := sim.NewEnv()
+	env.Go("switcher", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	env.RunAll()
+}
+
+// BenchmarkLockTable measures uncontended lock/release pairs.
+func BenchmarkLockTable(b *testing.B) {
+	t := lockmgr.NewTable()
+	for i := 0; i < b.N; i++ {
+		obj := lockmgr.ObjectID(i % 512)
+		t.Lock(&lockmgr.Request{Obj: obj, Owner: 1, Mode: lockmgr.ModeExclusive, Deadline: time.Duration(i)})
+		t.Release(obj, 1)
+	}
+}
+
+// BenchmarkLockTableContended measures conflict handling with queued
+// waiters and deadline ordering.
+func BenchmarkLockTableContended(b *testing.B) {
+	t := lockmgr.NewTable()
+	for i := 0; i < b.N; i++ {
+		t.Lock(&lockmgr.Request{Obj: 1, Owner: 1, Mode: lockmgr.ModeExclusive, Deadline: time.Duration(i)})
+		t.Lock(&lockmgr.Request{Obj: 1, Owner: 2, Mode: lockmgr.ModeShared, Deadline: time.Duration(i + 1)})
+		t.Lock(&lockmgr.Request{Obj: 1, Owner: 3, Mode: lockmgr.ModeShared, Deadline: time.Duration(i + 2)})
+		t.Release(1, 1)
+		t.Release(1, 2)
+		t.Release(1, 3)
+	}
+}
+
+// BenchmarkClientCache measures the two-tier LRU under a skewed access
+// stream.
+func BenchmarkClientCache(b *testing.B) {
+	c := cache.New(500, 500)
+	stream := rng.NewStream(1)
+	z := rng.NewZipf(stream, 0.9, 4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj := lockmgr.ObjectID(z.Rank())
+		if e, _, _ := c.Lookup(obj); e == nil {
+			c.Insert(obj, lockmgr.ModeShared, false, 0)
+		}
+	}
+}
+
+// BenchmarkEDFQueue measures push/pop of the deadline queue.
+func BenchmarkEDFQueue(b *testing.B) {
+	q := sched.NewEDFQueue()
+	for i := 0; i < b.N; i++ {
+		q.Push(&txn.Transaction{ID: txn.ID(i), Deadline: time.Duration(i % 997)})
+		if q.Len() > 64 {
+			q.Pop()
+		}
+	}
+}
+
+// BenchmarkForwardListInsert measures deadline-ordered list insertion.
+func BenchmarkForwardListInsert(b *testing.B) {
+	for i := 0; i < b.N; i += 16 {
+		l := forward.NewList(1)
+		for j := 0; j < 16; j++ {
+			l.Insert(forward.Entry{Client: 1, Deadline: time.Duration((i + j) % 101)})
+		}
+	}
+}
+
+// BenchmarkLocalizedRW measures workload generation.
+func BenchmarkLocalizedRW(b *testing.B) {
+	g := rng.NewLocalizedRW(rng.NewStream(1), rng.LocalizedRWConfig{
+		DBSize: 10000, ClientIndex: 3, NumClients: 100,
+		RegionSize: 500, LocalFraction: 0.75, ZipfTheta: 0.9,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+// BenchmarkCCComparison regenerates the future-work concurrency-control
+// study: strict 2PL vs backward-validation OCC on the centralized
+// system.
+func BenchmarkCCComparison(b *testing.B) {
+	opts := experiment.Options{Scale: 0.25, Seed: 1, Clients: []int{20, 60, 100}}
+	for i := 0; i < b.N; i++ {
+		cc, err := experiment.RunCCComparison(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			cc.Render(&sb)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkPatternSweep regenerates the access-pattern robustness sweep.
+func BenchmarkPatternSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ps, err := experiment.RunPatternSweep(40, 0.05, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			ps.Render(&sb)
+			b.Log("\n" + sb.String())
+		}
+	}
+}

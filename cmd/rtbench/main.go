@@ -1,0 +1,288 @@
+// Command rtbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rtbench -exp <id> [-scale 0.25] [-seed 1] [-clients 20,40,60,80,100]
+//	        [-csv] [-reps N] [-svg dir]
+//
+// Experiment ids: fig3 fig4 fig5 (the paper's figures), table2 table3
+// table4, protocol (Figures 1–2), patterns, occ, speculation, outage,
+// sensitivity, policies, ablate-heuristics, ablate-window,
+// ablate-downgrade, ablate-writethrough, ablate-logging, or all.
+//
+// -scale shrinks the virtual run length (1 = the full 30-minute runs);
+// the shapes survive scaling but small counters get noisier.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"siteselect/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rtbench:", err)
+		os.Exit(1)
+	}
+}
+
+// params carries the parsed command line into runExperiments, keeping
+// the experiment dispatch testable without flag globals.
+type params struct {
+	exp     string
+	csv     bool
+	reps    int
+	svgDir  string
+	ablateN int
+	ablateU float64
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (fig3, fig4, fig5, table2, table3, table4, protocol, patterns, occ, speculation, outage, sensitivity, policies, ablate-heuristics, ablate-window, ablate-downgrade, ablate-writethrough, ablate-logging, all)")
+		scale   = flag.Float64("scale", 1.0, "run-length scale factor in (0,1]")
+		seed    = flag.Int64("seed", 1, "random seed")
+		clients = flag.String("clients", "", "comma-separated client sweep for figures (default 20,40,60,80,100)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text (figures and tables)")
+		reps    = flag.Int("reps", 1, "replications over consecutive seeds (figures only)")
+		svgDir  = flag.String("svg", "", "directory to also write figures as SVG charts")
+		ablateN = flag.Int("ablate-clients", 60, "client count for ablations")
+		ablateU = flag.Float64("ablate-updates", 0.20, "update fraction for ablations")
+	)
+	flag.Parse()
+
+	opts := experiment.Options{Scale: *scale, Seed: *seed}
+	if *clients != "" {
+		for _, part := range strings.Split(*clients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad -clients entry %q", part)
+			}
+			opts.Clients = append(opts.Clients, n)
+		}
+	}
+	return runExperiments(params{
+		exp: *exp, csv: *csv, reps: *reps, svgDir: *svgDir,
+		ablateN: *ablateN, ablateU: *ablateU,
+	}, opts, os.Stdout)
+}
+
+func runExperiments(p params, opts experiment.Options, out io.Writer) error {
+	runFigure := func(id string, update float64) error {
+		if p.reps > 1 {
+			rf, err := experiment.RunReplicatedFigure(id, update, opts, p.reps)
+			if err != nil {
+				return err
+			}
+			if p.csv {
+				rf.CSV(out)
+			} else {
+				rf.Render(out)
+			}
+			fmt.Fprintln(out)
+			return nil
+		}
+		f, err := experiment.RunFigure(id, update, opts)
+		if err != nil {
+			return err
+		}
+		if p.csv {
+			f.CSV(out)
+		} else {
+			f.Render(out)
+		}
+		if p.svgDir != "" {
+			name := strings.ToLower(strings.ReplaceAll(strings.Fields(id)[0]+strings.Fields(id)[1], " ", ""))
+			path := filepath.Join(p.svgDir, name+".svg")
+			fh, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := f.Chart().SVG(fh); err != nil {
+				fh.Close()
+				return err
+			}
+			if err := fh.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", path)
+		}
+		fmt.Fprintln(out)
+		return nil
+	}
+
+	all := p.exp == "all"
+	ran := false
+	if all || p.exp == "fig3" {
+		ran = true
+		if err := runFigure("Figure 3", 0.01); err != nil {
+			return err
+		}
+	}
+	if all || p.exp == "fig4" {
+		ran = true
+		if err := runFigure("Figure 4", 0.05); err != nil {
+			return err
+		}
+	}
+	if all || p.exp == "fig5" {
+		ran = true
+		if err := runFigure("Figure 5", 0.20); err != nil {
+			return err
+		}
+	}
+	if all || p.exp == "table2" {
+		ran = true
+		t, err := experiment.RunTable2(opts)
+		if err != nil {
+			return err
+		}
+		if p.csv {
+			t.CSV(out)
+		} else {
+			t.Render(out)
+		}
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "table3" {
+		ran = true
+		t, err := experiment.RunTable3(opts)
+		if err != nil {
+			return err
+		}
+		if p.csv {
+			t.CSV(out)
+		} else {
+			t.Render(out)
+		}
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "table4" {
+		ran = true
+		t, err := experiment.RunTable4(opts)
+		if err != nil {
+			return err
+		}
+		if p.csv {
+			t.CSV(out)
+		} else {
+			t.Render(out)
+		}
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "protocol" {
+		ran = true
+		experiment.RenderProtocolCounts(out, experiment.RunProtocolCounts([]int{1, 2, 5, 10, 20}))
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "patterns" {
+		ran = true
+		ps, err := experiment.RunPatternSweep(p.ablateN, p.ablateU, opts)
+		if err != nil {
+			return err
+		}
+		ps.Render(out)
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "occ" {
+		ran = true
+		cc, err := experiment.RunCCComparison(opts)
+		if err != nil {
+			return err
+		}
+		cc.Render(out)
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "speculation" {
+		ran = true
+		ss, err := experiment.RunSpeculationStudy(opts)
+		if err != nil {
+			return err
+		}
+		ss.Render(out)
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "outage" {
+		ran = true
+		os, err := experiment.RunOutageStudy(p.ablateN, p.ablateU, opts)
+		if err != nil {
+			return err
+		}
+		os.Render(out)
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "policies" {
+		ran = true
+		ps, err := experiment.RunPolicyStudy(p.ablateN, p.ablateU, opts)
+		if err != nil {
+			return err
+		}
+		ps.Render(out)
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "sensitivity" {
+		ran = true
+		sv, err := experiment.RunSensitivity(opts)
+		if err != nil {
+			return err
+		}
+		sv.Render(out)
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "ablate-heuristics" {
+		ran = true
+		a, err := experiment.RunHeuristicAblation(p.ablateN, p.ablateU, opts)
+		if err != nil {
+			return err
+		}
+		a.Render(out)
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "ablate-window" {
+		ran = true
+		a, err := experiment.RunWindowAblation(p.ablateN, p.ablateU, opts)
+		if err != nil {
+			return err
+		}
+		a.Render(out)
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "ablate-downgrade" {
+		ran = true
+		a, err := experiment.RunDowngradeAblation(p.ablateN, p.ablateU, opts)
+		if err != nil {
+			return err
+		}
+		a.Render(out)
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "ablate-writethrough" {
+		ran = true
+		a, err := experiment.RunWriteThroughAblation(p.ablateN, p.ablateU, opts)
+		if err != nil {
+			return err
+		}
+		a.Render(out)
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "ablate-logging" {
+		ran = true
+		a, err := experiment.RunLoggingAblation(p.ablateN, p.ablateU, opts)
+		if err != nil {
+			return err
+		}
+		a.Render(out)
+		fmt.Fprintln(out)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", p.exp)
+	}
+	return nil
+}

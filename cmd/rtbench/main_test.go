@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"siteselect/internal/experiment"
+)
+
+// tiny keeps CLI tests fast.
+var tiny = experiment.Options{Scale: 0.05, Seed: 1, Clients: []int{4}}
+
+func TestRunExperimentsFigureText(t *testing.T) {
+	var sb strings.Builder
+	err := runExperiments(params{exp: "fig3", reps: 1, ablateN: 4, ablateU: 0.2}, tiny, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure 3") || !strings.Contains(sb.String(), "LS-CS-RTDBS") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunExperimentsFigureCSVAndSVG(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := runExperiments(params{exp: "fig4", csv: true, reps: 1, svgDir: dir, ablateN: 4, ablateU: 0.2}, tiny, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "clients,ce,cs,ls") {
+		t.Fatalf("csv output:\n%s", sb.String())
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "figure4.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "<svg") {
+		t.Fatal("svg file malformed")
+	}
+}
+
+func TestRunExperimentsReplicated(t *testing.T) {
+	var sb strings.Builder
+	err := runExperiments(params{exp: "fig5", reps: 2, ablateN: 4, ablateU: 0.2}, tiny, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "±") {
+		t.Fatalf("replicated output missing CI:\n%s", sb.String())
+	}
+}
+
+func TestRunExperimentsProtocol(t *testing.T) {
+	var sb strings.Builder
+	if err := runExperiments(params{exp: "protocol", reps: 1, ablateN: 4, ablateU: 0.2}, tiny, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2n+1") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunExperimentsAblations(t *testing.T) {
+	for _, exp := range []string{
+		"ablate-heuristics", "ablate-window", "ablate-downgrade",
+		"ablate-writethrough", "ablate-logging", "outage", "policies",
+	} {
+		var sb strings.Builder
+		if err := runExperiments(params{exp: exp, reps: 1, ablateN: 4, ablateU: 0.2}, tiny, &sb); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if sb.Len() == 0 {
+			t.Fatalf("%s produced no output", exp)
+		}
+	}
+}
+
+func TestRunExperimentsUnknownID(t *testing.T) {
+	var sb strings.Builder
+	if err := runExperiments(params{exp: "nope", reps: 1}, tiny, &sb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,210 @@
+// Command rtdbsim runs a single simulated system configuration and
+// prints the full metric dump: success rates, cache behaviour, object
+// response times, message counters, and load-sharing activity.
+//
+// Usage:
+//
+//	rtdbsim -system ce|cs|ls [-clients 20] [-updates 0.05]
+//	        [-duration 30m] [-warmup 10m] [-seed 1]
+//	        [-window 500ms] [-executors 4] [-no-h1] [-no-h2]
+//	        [-no-decomposition] [-no-forward-lists] [-no-downgrade]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"siteselect"
+	"siteselect/internal/netsim"
+	"siteselect/internal/rtdbs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rtdbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		system    = flag.String("system", "ls", "system to run: ce, ce-occ, cs or ls")
+		clients   = flag.Int("clients", 20, "number of client sites")
+		updates   = flag.Float64("updates", 0.05, "fraction of accesses that update")
+		duration  = flag.Duration("duration", 30*time.Minute, "virtual generation time")
+		warmup    = flag.Duration("warmup", 10*time.Minute, "virtual warmup excluded from statistics")
+		seed      = flag.Int64("seed", 1, "random seed")
+		window    = flag.Duration("window", 500*time.Millisecond, "forward-list collection window (ls)")
+		executors = flag.Int("executors", 4, "concurrent executor slots per client")
+		noH1      = flag.Bool("no-h1", false, "disable heuristic H1")
+		noH2      = flag.Bool("no-h2", false, "disable heuristic H2 / shipping")
+		noDec     = flag.Bool("no-decomposition", false, "disable transaction decomposition")
+		noFwd     = flag.Bool("no-forward-lists", false, "disable forward lists")
+		noDown    = flag.Bool("no-downgrade", false, "disable EL->SL callback downgrades")
+		traceN    = flag.Int("trace", 0, "print the last N LAN messages at the end of the run")
+	)
+	flag.Parse()
+
+	var kind siteselect.SystemKind
+	var cfg siteselect.Config
+	switch *system {
+	case "ce":
+		kind = siteselect.Centralized
+		cfg = siteselect.DefaultCentralizedConfig(*clients, *updates)
+	case "ce-occ":
+		kind = siteselect.CentralizedOptimistic
+		cfg = siteselect.DefaultCentralizedConfig(*clients, *updates)
+	case "cs":
+		kind = siteselect.ClientServer
+		cfg = siteselect.DefaultConfig(*clients, *updates)
+	case "ls":
+		kind = siteselect.LoadSharing
+		cfg = siteselect.DefaultConfig(*clients, *updates)
+	default:
+		return fmt.Errorf("unknown -system %q (want ce, ce-occ, cs or ls)", *system)
+	}
+	cfg.Duration = *duration
+	cfg.Warmup = *warmup
+	cfg.Seed = *seed
+	cfg.CollectionWindow = *window
+	cfg.ClientExecutors = *executors
+	cfg.UseH1 = !*noH1
+	cfg.UseH2 = !*noH2
+	cfg.UseDecomposition = !*noDec
+	cfg.UseForwardLists = !*noFwd
+	cfg.UseDowngrade = !*noDown
+
+	if *traceN > 0 {
+		return runTraced(kind, cfg, *traceN)
+	}
+	res, err := siteselect.Run(kind, cfg)
+	if err != nil {
+		return err
+	}
+	dump(kind, res)
+	return nil
+}
+
+// runTraced builds the system directly so a message trace can be
+// installed before the run, then prints the tail of the trace ring.
+func runTraced(kind siteselect.SystemKind, cfg siteselect.Config, n int) error {
+	ring := make([]netsim.Message, 0, n)
+	trace := func(m netsim.Message) {
+		if len(ring) == n {
+			copy(ring, ring[1:])
+			ring = ring[:n-1]
+		}
+		ring = append(ring, m)
+	}
+
+	var res *siteselect.Result
+	var err error
+	switch kind {
+	case siteselect.Centralized:
+		ce, berr := rtdbs.NewCentralized(cfg)
+		if berr != nil {
+			return berr
+		}
+		ce.Net().SetTrace(trace)
+		res, err = ce.Run()
+	case siteselect.CentralizedOptimistic:
+		ce, berr := rtdbs.NewCentralizedOCC(cfg)
+		if berr != nil {
+			return berr
+		}
+		ce.Net().SetTrace(trace)
+		res, err = ce.Run()
+	case siteselect.ClientServer:
+		cs, berr := rtdbs.NewClientServer(cfg)
+		if berr != nil {
+			return berr
+		}
+		cs.Net().SetTrace(trace)
+		res, err = cs.Run()
+	default:
+		ls, berr := rtdbs.NewLoadSharing(cfg)
+		if berr != nil {
+			return berr
+		}
+		ls.Net().SetTrace(trace)
+		res, err = ls.Run()
+	}
+	if err != nil {
+		return err
+	}
+	dump(kind, res)
+	fmt.Printf("\nLast %d LAN messages:\n", len(ring))
+	for _, m := range ring {
+		fmt.Printf("  %-12v %-14v %3d -> %-3d %5dB\n",
+			m.SentAt.Round(time.Millisecond), m.Kind, m.From, m.To, m.Size)
+	}
+	return nil
+}
+
+func dump(kind siteselect.SystemKind, r *siteselect.Result) {
+	fmt.Printf("%s — %d clients, %.0f%% updates, %v virtual time (seed %d)\n\n",
+		kind, r.Config.NumClients, r.Config.UpdateFraction*100, r.Elapsed, r.Config.Seed)
+
+	fmt.Println("Transactions")
+	fmt.Printf("  submitted            %10d\n", r.M.Submitted)
+	fmt.Printf("  committed            %10d (%.2f%%)\n", r.M.Committed, r.SuccessRate())
+	fmt.Printf("  missed               %10d\n", r.M.Missed)
+	fmt.Printf("  aborted (deadlock)   %10d\n", r.M.Aborted)
+	fmt.Printf("  mean response        %10v\n", r.M.TxnResponse.Mean().Round(time.Millisecond))
+	fmt.Printf("  response p50/p95/p99 %10v / %v / %v\n",
+		r.M.TxnHisto.P50(), r.M.TxnHisto.P95(), r.M.TxnHisto.P99())
+
+	if r.M.CacheAccesses > 0 {
+		fmt.Println("\nClient caching")
+		fmt.Printf("  accesses             %10d\n", r.M.CacheAccesses)
+		fmt.Printf("  hit rate             %9.2f%%\n", r.CacheHitRate())
+		fmt.Printf("  SL response          %10v (n=%d)\n",
+			r.M.SharedResponse.Mean().Round(time.Millisecond), r.M.SharedResponse.Count)
+		fmt.Printf("  EL response          %10v (n=%d)\n",
+			r.M.ExclusiveResponse.Mean().Round(time.Millisecond), r.M.ExclusiveResponse.Count)
+		fmt.Printf("  EL p50/p95/p99       %10v / %v / %v\n",
+			r.M.ExclusiveHisto.P50(), r.M.ExclusiveHisto.P95(), r.M.ExclusiveHisto.P99())
+		fmt.Printf("  refetches            %10d\n", r.M.Refetches)
+		fmt.Printf("  recalls deferred     %10d\n", r.M.RecallsDeferred)
+	}
+
+	if spread := r.ExecSpread(); spread > 0 {
+		fmt.Printf("  exec spread (CV)     %10.3f\n", spread)
+	}
+
+	if r.M.ShippedTxns+r.M.DecomposedTxns+r.MigrationsStarted > 0 {
+		fmt.Println("\nLoad sharing")
+		ss, sc := r.M.ShippedOutcomes()
+		fmt.Printf("  transactions shipped %10d (%d committed)\n", ss, sc)
+		fmt.Printf("  decomposed           %10d (%d subtasks)\n", r.M.DecomposedTxns, r.M.SubtasksRun)
+		fmt.Printf("  H1 rejections        %10d\n", r.M.H1Rejections)
+		fmt.Printf("  migrations started   %10d\n", r.MigrationsStarted)
+		fmt.Printf("  forward hops (c2c)   %10d\n", r.ForwardHops)
+	}
+
+	fmt.Println("\nServer")
+	fmt.Printf("  buffer hit rate      %9.2f%%\n", 100*r.ServerBufferHitRate)
+	fmt.Printf("  disk reads/writes    %6d / %d\n", r.ServerDiskReads, r.ServerDiskWrites)
+	fmt.Printf("  recalls sent         %10d\n", r.RecallsSent)
+	fmt.Printf("  grants shipped       %10d\n", r.GrantsShipped)
+	fmt.Printf("  denies (late/dlock)  %6d / %d\n", r.DeniesExpired, r.DeniesDeadlock)
+
+	fmt.Println("\nNetwork")
+	fmt.Printf("  total messages       %10d (%d bytes, %.2f%% bus utilization)\n",
+		r.TotalMessages, r.TotalBytes, 100*r.NetUtilization)
+	kinds := make([]netsim.Kind, 0, len(r.Messages))
+	for k := range r.Messages {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		s := r.Messages[k]
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-20s %10d\n", k, s.Count)
+	}
+}

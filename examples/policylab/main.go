@@ -1,0 +1,88 @@
+// Policy lab: a tour of the design-space knobs beyond the paper's
+// evaluated configuration. One workload point (40 clients, 10% updates)
+// is re-run under each variation so their effects are directly
+// comparable:
+//
+//   - optimistic concurrency control in place of 2PL (centralized)
+//   - speculative processing on the load-sharing system
+//   - FCFS scheduling instead of Earliest-Deadline-First
+//   - a switched interconnect instead of the shared 10 Mbps bus
+//   - client-based write-ahead logging (recovery cost)
+//   - a mid-run client outage, with and without that log
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"siteselect"
+)
+
+const (
+	clients = 40
+	updates = 0.10
+)
+
+func base() siteselect.Config {
+	cfg := siteselect.DefaultConfig(clients, updates)
+	cfg.Duration = 15 * time.Minute
+	cfg.Warmup = 4 * time.Minute
+	return cfg
+}
+
+func must(res *siteselect.Result, err error) *siteselect.Result {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "policylab:", err)
+		os.Exit(1)
+	}
+	return res
+}
+
+func main() {
+	fmt.Printf("policy lab: %d clients, %.0f%% updates\n\n", clients, updates*100)
+	fmt.Printf("%-38s %10s\n", "variant", "success")
+
+	row := func(name string, kind siteselect.SystemKind, mod func(*siteselect.Config)) {
+		cfg := base()
+		if kind == siteselect.Centralized || kind == siteselect.CentralizedOptimistic {
+			cfg = siteselect.DefaultCentralizedConfig(clients, updates)
+			cfg.Duration = 15 * time.Minute
+			cfg.Warmup = 4 * time.Minute
+		}
+		if mod != nil {
+			mod(&cfg)
+		}
+		res := must(siteselect.Run(kind, cfg))
+		fmt.Printf("%-38s %9.1f%%\n", name, res.SuccessRate())
+	}
+
+	row("CE-RTDBS (2PL, as in the paper)", siteselect.Centralized, nil)
+	row("CE-RTDBS with optimistic CC", siteselect.CentralizedOptimistic, nil)
+	row("LS-CS-RTDBS (as in the paper)", siteselect.LoadSharing, nil)
+	row("LS + speculative processing", siteselect.LoadSharing, func(c *siteselect.Config) {
+		c.UseSpeculation = true
+	})
+	row("LS with FCFS scheduling", siteselect.LoadSharing, func(c *siteselect.Config) {
+		c.Scheduling = siteselect.SchedFCFS
+	})
+	row("LS on a switched network", siteselect.LoadSharing, func(c *siteselect.Config) {
+		c.Topology = siteselect.TopologySwitched
+	})
+	row("LS with client WAL (group commit)", siteselect.LoadSharing, func(c *siteselect.Config) {
+		c.UseLogging = true
+	})
+	row("LS, 1-min client outage, no log", siteselect.LoadSharing, func(c *siteselect.Config) {
+		c.OutageClient = 1
+		c.OutageAt = 8 * time.Minute
+		c.OutageDuration = time.Minute
+	})
+	row("LS, same outage, with WAL", siteselect.LoadSharing, func(c *siteselect.Config) {
+		c.UseLogging = true
+		c.OutageClient = 1
+		c.OutageAt = 8 * time.Minute
+		c.OutageDuration = time.Minute
+	})
+
+	fmt.Println("\nSee EXPERIMENTS.md for the full studies behind each knob.")
+}

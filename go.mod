@@ -1,0 +1,3 @@
+module siteselect
+
+go 1.22

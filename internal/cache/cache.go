@@ -1,0 +1,273 @@
+// Package cache implements the client-side object cache of the paper's
+// object-shipping architecture: a two-tier (main memory + local disk)
+// LRU store holding database objects together with the locks cached on
+// them for inter-transaction reuse.
+//
+// The cache tracks which tier served a lookup so the client can charge
+// local-disk latency for disk-tier hits, and reports demotions and
+// evictions so the client can return dirty objects (and release cached
+// locks) to the server.
+package cache
+
+import (
+	"container/list"
+
+	"siteselect/internal/lockmgr"
+)
+
+// Entry is one cached object.
+type Entry struct {
+	Obj lockmgr.ObjectID
+	// Mode is the cached lock mode (SL or EL).
+	Mode lockmgr.Mode
+	// Dirty marks locally updated objects not yet returned to the
+	// server.
+	Dirty bool
+	// Version is the logical version of the cached copy, used by the
+	// consistency audits.
+	Version int64
+
+	pins int
+	tier Tier
+	elem *list.Element
+}
+
+// Pinned reports whether the entry is in use by a running transaction.
+func (e *Entry) Pinned() bool { return e.pins > 0 }
+
+// Pins returns the current pin count.
+func (e *Entry) Pins() int { return e.pins }
+
+// Tier returns which tier currently holds the entry.
+func (e *Entry) Tier() Tier { return e.tier }
+
+// Tier identifies a cache level.
+type Tier int
+
+// Cache tiers.
+const (
+	// TierNone means not cached.
+	TierNone Tier = iota
+	// TierMemory is the client's in-memory cache.
+	TierMemory
+	// TierDisk is the client's on-disk cache.
+	TierDisk
+)
+
+// Cache is a two-tier LRU object cache.
+type Cache struct {
+	memCap, diskCap int
+	entries         map[lockmgr.ObjectID]*Entry
+	memLRU          *list.List // of *Entry; front = most recent; unpinned only
+	diskLRU         *list.List
+	memCount        int // includes pinned entries
+	diskCount       int
+
+	// MemoryHits, DiskHits and Misses count Lookup outcomes.
+	MemoryHits int64
+	DiskHits   int64
+	Misses     int64
+}
+
+// New returns a cache with the given per-tier capacities (in objects).
+func New(memCap, diskCap int) *Cache {
+	if memCap <= 0 {
+		panic("cache: memory capacity must be positive")
+	}
+	if diskCap < 0 {
+		diskCap = 0
+	}
+	return &Cache{
+		memCap:  memCap,
+		diskCap: diskCap,
+		entries: make(map[lockmgr.ObjectID]*Entry),
+		memLRU:  list.New(),
+		diskLRU: list.New(),
+	}
+}
+
+// Len returns the number of cached objects across tiers.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Contains reports whether obj is cached in any tier.
+func (c *Cache) Contains(obj lockmgr.ObjectID) bool {
+	_, ok := c.entries[obj]
+	return ok
+}
+
+// Peek returns the entry without touching LRU state or hit counters.
+func (c *Cache) Peek(obj lockmgr.ObjectID) *Entry { return c.entries[obj] }
+
+// Lookup finds obj, promotes disk-tier hits to memory, updates recency
+// and hit counters, and returns the entry with the tier that served it
+// (TierNone on miss). Promotion may demote the memory LRU victim to disk
+// and, transitively, evict the disk LRU victim; such fallout is returned
+// so the caller can notify the server.
+func (c *Cache) Lookup(obj lockmgr.ObjectID) (*Entry, Tier, []*Entry) {
+	e, ok := c.entries[obj]
+	if !ok {
+		c.Misses++
+		return nil, TierNone, nil
+	}
+	served := e.tier
+	var evicted []*Entry
+	switch e.tier {
+	case TierMemory:
+		c.MemoryHits++
+		c.touch(e)
+	case TierDisk:
+		c.DiskHits++
+		evicted = c.promote(e)
+	}
+	return e, served, evicted
+}
+
+// Insert caches obj in the memory tier, replacing any existing entry's
+// mode/dirty/version in place. It returns the entries pushed out of the
+// cache entirely (disk-tier evictions), whose locks the caller must
+// return to the server.
+func (c *Cache) Insert(obj lockmgr.ObjectID, mode lockmgr.Mode, dirty bool, version int64) []*Entry {
+	if e, ok := c.entries[obj]; ok {
+		e.Mode = mode
+		e.Dirty = e.Dirty || dirty
+		e.Version = version
+		if e.tier == TierDisk {
+			return c.promote(e)
+		}
+		c.touch(e)
+		return nil
+	}
+	e := &Entry{Obj: obj, Mode: mode, Dirty: dirty, Version: version, tier: TierMemory}
+	c.entries[obj] = e
+	c.memCount++
+	e.elem = c.memLRU.PushFront(e)
+	return c.shrink()
+}
+
+// Pin marks the entry in use, excluding it from eviction.
+func (c *Cache) Pin(e *Entry) {
+	e.pins++
+	if e.elem != nil {
+		c.lruOf(e.tier).Remove(e.elem)
+		e.elem = nil
+	}
+}
+
+// Unpin releases one pin; at zero the entry becomes evictable again.
+func (c *Cache) Unpin(e *Entry) {
+	if e.pins <= 0 {
+		panic("cache: Unpin of unpinned entry")
+	}
+	e.pins--
+	if e.pins == 0 {
+		e.elem = c.lruOf(e.tier).PushFront(e)
+	}
+}
+
+// Remove drops obj from the cache (server callback or voluntary
+// release). Removing a pinned entry panics: callbacks must wait for
+// local transactions to finish first.
+func (c *Cache) Remove(obj lockmgr.ObjectID) *Entry {
+	e, ok := c.entries[obj]
+	if !ok {
+		return nil
+	}
+	if e.pins > 0 {
+		panic("cache: Remove of pinned entry")
+	}
+	c.drop(e)
+	return e
+}
+
+// Entries returns all cached entries in unspecified order. Callers that
+// need determinism must sort.
+func (c *Cache) Entries() []*Entry {
+	out := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	return out
+}
+
+func (c *Cache) lruOf(t Tier) *list.List {
+	if t == TierDisk {
+		return c.diskLRU
+	}
+	return c.memLRU
+}
+
+func (c *Cache) touch(e *Entry) {
+	if e.elem != nil {
+		l := c.lruOf(e.tier)
+		l.MoveToFront(e.elem)
+	}
+}
+
+// promote moves a disk-tier entry to memory, shrinking tiers as needed.
+func (c *Cache) promote(e *Entry) []*Entry {
+	if e.elem != nil {
+		c.diskLRU.Remove(e.elem)
+		e.elem = nil
+	}
+	c.diskCount--
+	e.tier = TierMemory
+	c.memCount++
+	if e.pins == 0 {
+		e.elem = c.memLRU.PushFront(e)
+	}
+	return c.shrink()
+}
+
+// shrink restores tier capacity invariants: memory overflow demotes the
+// memory LRU victim to disk; disk overflow evicts the disk LRU victim.
+// Pinned entries are never moved. Returns fully evicted entries.
+func (c *Cache) shrink() []*Entry {
+	var evicted []*Entry
+	for c.memCount > c.memCap {
+		back := c.memLRU.Back()
+		if back == nil || back == c.memLRU.Front() {
+			// Everything else is pinned: evicting the sole unpinned
+			// entry (the one just inserted/touched) would thrash, so
+			// allow transient overflow until pins drop.
+			break
+		}
+		v := back.Value.(*Entry)
+		c.memLRU.Remove(back)
+		c.memCount--
+		if c.diskCap == 0 {
+			delete(c.entries, v.Obj)
+			v.elem = nil
+			v.tier = TierNone
+			evicted = append(evicted, v)
+			continue
+		}
+		v.tier = TierDisk
+		c.diskCount++
+		v.elem = c.diskLRU.PushFront(v)
+	}
+	for c.diskCount > c.diskCap {
+		back := c.diskLRU.Back()
+		if back == nil {
+			break
+		}
+		v := back.Value.(*Entry)
+		c.drop(v)
+		evicted = append(evicted, v)
+	}
+	return evicted
+}
+
+func (c *Cache) drop(e *Entry) {
+	if e.elem != nil {
+		c.lruOf(e.tier).Remove(e.elem)
+		e.elem = nil
+	}
+	switch e.tier {
+	case TierMemory:
+		c.memCount--
+	case TierDisk:
+		c.diskCount--
+	}
+	delete(c.entries, e.Obj)
+	e.tier = TierNone
+}

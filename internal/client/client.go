@@ -1,0 +1,296 @@
+// Package client implements a client site of the client-server
+// configurations: the workload generator, the EDF-scheduled local
+// executor, the two-tier object/lock cache with callback handling, and —
+// in load-sharing mode — the Section 4 protocol: H1 admission, tentative
+// all-or-nothing object probes, H2 site selection with transaction
+// shipping, transaction decomposition, and forward-list migration hops.
+//
+// Messages in the simulation are passed by reference: a shipped
+// transaction is the same *txn.Transaction at origin and target, and the
+// executing site is the single writer of its status.
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"siteselect/internal/cache"
+	"siteselect/internal/config"
+	"siteselect/internal/forward"
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/metrics"
+	"siteselect/internal/netsim"
+	"siteselect/internal/proto"
+	"siteselect/internal/sched"
+	"siteselect/internal/sim"
+	"siteselect/internal/txn"
+	"siteselect/internal/wal"
+)
+
+// Client is one client site.
+type Client struct {
+	env *sim.Env
+	cfg config.Config
+	id  netsim.SiteID
+	net *netsim.Network
+	m   *metrics.Collector
+
+	// inbox receives server and peer messages; serverIn is this
+	// client's connection queue at the server; peers holds the other
+	// clients' inboxes for forward-list hops and transaction shipping.
+	inbox    *sim.Mailbox[netsim.Message]
+	serverIn *sim.Mailbox[netsim.Message]
+	peers    map[netsim.SiteID]*sim.Mailbox[netsim.Message]
+
+	objects    *cache.Cache
+	localDisk  *sim.Resource
+	slots      *sim.Resource
+	localLocks *lockmgr.BlockingTable
+	log        *wal.Log
+
+	atl *sched.ATL
+	gen *txn.Generator
+
+	loadShare bool
+
+	// pending tracks transactions waiting for object replies; waiters
+	// indexes them by object for grant routing.
+	pending map[txn.ID]*pendingTxn
+	waiters map[lockmgr.ObjectID][]*pendingTxn
+	// deferred holds recalls that arrived while the object was pinned.
+	deferred map[lockmgr.ObjectID]proto.Recall
+	// epochs counts this client's releases per object. Every return
+	// carries the current epoch and every grant the server sends echoes
+	// the epoch it last saw; a mismatch identifies a grant that crossed
+	// a release on the wire and must be dropped.
+	epochs map[lockmgr.ObjectID]int64
+	// migrations maps objects to their remaining forward lists; every
+	// migrating object is pinned until forwarded, and forwarded as soon
+	// as only the migration pin remains.
+	migrations map[lockmgr.ObjectID]*forward.List
+	// shipWaits collects results of shipped transactions and subtasks.
+	shipWaits map[shipKey]*shipWait
+
+	// outageEnd is set while the client is partitioned (fault
+	// injection): the dispatcher holds all message processing until it
+	// passes.
+	outageEnd time.Duration
+
+	// Tracked accumulates every transaction generated at this client,
+	// for end-of-run finalization.
+	Tracked []*txn.Transaction
+
+	// ShippedOut and ShippedIn count whole transactions moved by load
+	// sharing; ForwardHops counts forward-list client-to-client sends.
+	ShippedOut  int64
+	ShippedIn   int64
+	ForwardHops int64
+	// LostUpdates counts committed-but-unreturned updates wiped by an
+	// outage with no recovery log configured.
+	LostUpdates int64
+}
+
+type shipKey struct {
+	id  txn.ID
+	sub int
+}
+
+type shipWait struct {
+	sig       *sim.Signal
+	done      bool
+	committed bool
+}
+
+type pendingTxn struct {
+	t    *txn.Transaction
+	want map[lockmgr.ObjectID]lockmgr.Mode
+	sent map[lockmgr.ObjectID]time.Duration
+
+	sig         *sim.Signal
+	gotConflict bool
+	conflicts   []proto.ObjConflict
+	loads       []proto.LoadReport
+	dataCounts  []proto.SiteCount
+	denied      proto.DenyReason
+	loadReply   *proto.LoadReply
+	wantLoad    bool
+}
+
+// New returns a client site. inbox is this client's message queue;
+// serverIn is its connection queue at the server. Peers must be set via
+// SetPeers before Start when forward lists or shipping are enabled.
+func New(env *sim.Env, cfg config.Config, id netsim.SiteID, net *netsim.Network,
+	m *metrics.Collector, inbox, serverIn *sim.Mailbox[netsim.Message],
+	gen *txn.Generator, loadShare bool) *Client {
+	c := &Client{
+		env:        env,
+		cfg:        cfg,
+		id:         id,
+		net:        net,
+		m:          m,
+		inbox:      inbox,
+		serverIn:   serverIn,
+		peers:      make(map[netsim.SiteID]*sim.Mailbox[netsim.Message]),
+		objects:    cache.New(cfg.ClientMemory, cfg.ClientDisk),
+		localDisk:  sim.NewResource(env, 1),
+		slots:      sim.NewResource(env, cfg.ClientExecutors),
+		atl:        &sched.ATL{Default: cfg.MeanLength},
+		gen:        gen,
+		loadShare:  loadShare,
+		pending:    make(map[txn.ID]*pendingTxn),
+		waiters:    make(map[lockmgr.ObjectID][]*pendingTxn),
+		deferred:   make(map[lockmgr.ObjectID]proto.Recall),
+		epochs:     make(map[lockmgr.ObjectID]int64),
+		migrations: make(map[lockmgr.ObjectID]*forward.List),
+		shipWaits:  make(map[shipKey]*shipWait),
+	}
+	if cfg.ClientExecutors > 1 {
+		c.localLocks = lockmgr.NewBlockingTable(env)
+	}
+	if cfg.UseLogging {
+		c.log = wal.New(env, c.localDisk, cfg.DiskWrite)
+	}
+	return c
+}
+
+// ID returns the client's site id.
+func (c *Client) ID() netsim.SiteID { return c.id }
+
+// Cache exposes the object cache for metrics and audits.
+func (c *Client) Cache() *cache.Cache { return c.objects }
+
+// HasDeferredRecall reports whether a recall for obj is waiting for a
+// local transaction to finish (a transitional state audits must allow).
+func (c *Client) HasDeferredRecall(obj lockmgr.ObjectID) bool {
+	_, ok := c.deferred[obj]
+	return ok
+}
+
+// Log exposes the client's write-ahead log (nil unless UseLogging).
+func (c *Client) Log() *wal.Log { return c.log }
+
+// ATL exposes the observed average transaction length.
+func (c *Client) ATL() *sched.ATL { return c.atl }
+
+// SetPeers installs the other clients' inboxes.
+func (c *Client) SetPeers(peers map[netsim.SiteID]*sim.Mailbox[netsim.Message]) {
+	for id, mb := range peers {
+		if id != c.id {
+			c.peers[id] = mb
+		}
+	}
+}
+
+// Start spawns the client's generator and dispatcher processes, and
+// schedules the configured outage, if this client is its target.
+func (c *Client) Start() {
+	c.env.Go(fmt.Sprintf("client-%d-gen", c.id), c.generate)
+	c.env.Go(fmt.Sprintf("client-%d-dispatch", c.id), c.dispatch)
+	if netsim.SiteID(c.cfg.OutageClient) == c.id && c.cfg.OutageDuration > 0 {
+		c.env.At(c.cfg.OutageAt, c.beginOutage)
+	}
+}
+
+// beginOutage partitions the client and wipes its volatile state: the
+// dispatcher stops draining messages until the outage ends, clean cache
+// copies are lost (their locks release lazily via NotCached answers),
+// and dirty copies survive only if the client-based recovery log holds
+// them.
+func (c *Client) beginOutage() {
+	c.outageEnd = c.env.Now() + c.cfg.OutageDuration
+	for _, e := range c.objects.Entries() {
+		if e.Pinned() {
+			continue // in a running transaction's memory image
+		}
+		if e.Dirty && c.log == nil {
+			c.LostUpdates++
+		}
+		if e.Dirty && c.log != nil {
+			continue // recovered from the WAL on restart
+		}
+		// Dropping a copy without telling the server is the lazy-release
+		// path the protocol already supports: a later recall gets a
+		// NotCached answer, and in-flight grants redeliver current data.
+		c.objects.Remove(e.Obj)
+	}
+}
+
+// Down reports whether the client is currently partitioned.
+func (c *Client) Down() bool { return c.env.Now() < c.outageEnd }
+
+// generate produces the transaction stream until the configured horizon.
+func (c *Client) generate(p *sim.Proc) {
+	for {
+		next := c.gen.NextArrival()
+		if next > c.cfg.Duration {
+			return
+		}
+		p.SleepUntil(next)
+		if p.Now() < c.outageEnd {
+			p.SleepUntil(c.outageEnd) // no submissions while down
+		}
+		t := c.gen.Next()
+		c.Tracked = append(c.Tracked, t)
+		c.env.Go(fmt.Sprintf("txn-%d", t.ID), func(tp *sim.Proc) { c.submit(tp, t) })
+	}
+}
+
+// dispatch routes incoming messages. During an injected outage the
+// messages queue in the inbox and drain only after the client restarts.
+func (c *Client) dispatch(p *sim.Proc) {
+	for {
+		msg := c.inbox.Get(p)
+		if p.Now() < c.outageEnd {
+			p.SleepUntil(c.outageEnd)
+		}
+		switch pl := msg.Payload.(type) {
+		case proto.ObjGrant:
+			c.onGrant(pl)
+		case proto.ConflictReply:
+			c.onConflictReply(pl)
+		case proto.DenyReply:
+			c.onDeny(pl)
+		case proto.Recall:
+			c.onRecall(pl)
+		case proto.LoadReply:
+			c.onLoadReply(pl)
+		case proto.TxnShip:
+			c.onTxnShip(pl)
+		case proto.TxnResult:
+			c.onTxnResult(pl)
+		default:
+			panic(fmt.Sprintf("client: unexpected payload %T", msg.Payload))
+		}
+	}
+}
+
+// loadReport summarizes this client's load for piggybacking: the number
+// of transactions waiting for an executor slot and the observed ATL.
+func (c *Client) loadReport() proto.LoadReport {
+	return proto.LoadReport{
+		Client:   c.id,
+		QueueLen: c.slots.QueueLen(),
+		ATL:      c.atl.Mean(),
+		Valid:    true,
+	}
+}
+
+// measuring reports whether the warmup period is over and statistics
+// should be recorded.
+func (c *Client) measuring() bool { return c.env.Now() >= c.cfg.Warmup }
+
+func (c *Client) toServer(kind netsim.Kind, size int, payload any) {
+	c.net.Send(netsim.Message{
+		Kind: kind, From: c.id, To: netsim.ServerSite, Size: size, Payload: payload,
+	}, c.serverIn)
+}
+
+func (c *Client) toPeer(to netsim.SiteID, kind netsim.Kind, size int, payload any) {
+	mb, ok := c.peers[to]
+	if !ok {
+		panic(fmt.Sprintf("client %d: no peer route to %d", c.id, to))
+	}
+	c.net.Send(netsim.Message{
+		Kind: kind, From: c.id, To: to, Size: size, Payload: payload,
+	}, mb)
+}

@@ -1,0 +1,654 @@
+package client
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"siteselect/internal/cache"
+	"siteselect/internal/config"
+	"siteselect/internal/loadshare"
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/netsim"
+	"siteselect/internal/proto"
+	"siteselect/internal/sim"
+	"siteselect/internal/txn"
+)
+
+// submit is the entry point of the load-sharing algorithm for a
+// transaction initiated at this client (Section 4 pseudocode).
+func (c *Client) submit(p *sim.Proc, t *txn.Transaction) {
+	if c.loadShare && c.cfg.UseDecomposition && t.Decomposable {
+		if c.tryDecompose(p, t) {
+			return
+		}
+	}
+	if c.loadShare && c.cfg.UseH1 {
+		// H1 with a concurrent executor pool: n waiting transactions
+		// drain k at a time, so the expected start delay is n·ATL/k.
+		n := c.slots.QueueLen()
+		atl := c.atl.Mean() / time.Duration(c.cfg.ClientExecutors)
+		if !loadshare.H1Feasible(p.Now(), n, atl, t.Deadline) {
+			c.m.H1Rejections++
+			if c.shipViaQuery(p, t) {
+				return
+			}
+		}
+	}
+	c.execute(p, t, nil, true)
+}
+
+// shipViaQuery handles the H1-infeasible branch: ask the server where
+// the transaction's objects live and how loaded the candidates are, pick
+// the most suitable site (H2), and ship. Returns false when the origin
+// remains the best choice (the transaction then queues locally anyway).
+func (c *Client) shipViaQuery(p *sim.Proc, t *txn.Transaction) bool {
+	reply := c.loadQuery(p, t)
+	if reply == nil {
+		return false
+	}
+	d := loadshare.ChooseSite(loadshare.Params{
+		Origin:         c.id,
+		Now:            p.Now(),
+		Deadline:       t.Deadline,
+		Locations:      reply.Locations,
+		Loads:          loadsBySite(reply.Loads),
+		OriginQueueLen: c.slots.QueueLen(),
+		OriginATL:      c.atl.Mean(),
+		Executors:      c.cfg.ClientExecutors,
+	})
+	if !d.Ship {
+		return false
+	}
+	c.shipTxn(t, d.Target)
+	return true
+}
+
+// loadQuery asks the server for object locations and candidate loads,
+// blocking until the reply or the transaction's deadline.
+func (c *Client) loadQuery(p *sim.Proc, t *txn.Transaction) *proto.LoadReply {
+	pt := c.ensurePending(t)
+	pt.wantLoad = true
+	pt.loadReply = nil
+	c.toServer(netsim.KindLoadQuery, netsim.ControlBytes, proto.LoadQuery{
+		Client:   c.id,
+		Txn:      t.ID,
+		Objs:     t.Objects(),
+		Modes:    t.Modes(),
+		Deadline: t.Deadline,
+		Load:     c.loadReport(),
+	})
+	ok := p.WaitForTimeout(pt.sig, t.Deadline, func() bool { return pt.loadReply != nil })
+	pt.wantLoad = false
+	if !ok {
+		return nil
+	}
+	return pt.loadReply
+}
+
+func loadsBySite(loads []proto.LoadReport) map[netsim.SiteID]proto.LoadReport {
+	m := make(map[netsim.SiteID]proto.LoadReport, len(loads))
+	for _, l := range loads {
+		m[l.Client] = l
+	}
+	return m
+}
+
+// shipTxn sends a whole transaction to target for execution. It does
+// not block: the target becomes the single writer of the transaction's
+// status, and the TxnResult message back to the origin is informational
+// ("the results of executing the transaction are communicated to the
+// originating client").
+func (c *Client) shipTxn(t *txn.Transaction, target netsim.SiteID) {
+	c.ShippedOut++
+	c.m.ShippedTxns++
+	t.Shipped = true
+	c.toPeer(target, netsim.KindTxnShip, netsim.TxnShipBytes, proto.TxnShip{
+		T: t, ReplyTo: c.id, Load: c.loadReport(),
+	})
+}
+
+// tryDecompose implements Section 3.2: query the objects' locations,
+// group the accesses by caching site, and run the groups as independent
+// subtasks at those sites. All subtasks must meet the parent deadline
+// for the transaction to succeed. Returns false when the transaction is
+// not profitably decomposable (fewer than two groups or no location
+// data), in which case the caller falls through to the normal path.
+func (c *Client) tryDecompose(p *sim.Proc, t *txn.Transaction) bool {
+	reply := c.loadQuery(p, t)
+	if reply == nil || len(reply.Locations) == 0 {
+		return false
+	}
+	partOf, siteOf := loadshare.GroupByLocation(c.id, t.Objects(), reply.Locations)
+	subs := t.Decompose(partOf, c.cfg.MaxSubtasks)
+	if subs == nil {
+		return false
+	}
+	// Only worth the fan-out risk (every subtask must meet the parent
+	// deadline) when each remote materialization covers enough data.
+	for _, sub := range subs {
+		if siteOf[sub.Key] != c.id && len(sub.Ops) < 2 {
+			return false
+		}
+	}
+	c.m.DecomposedTxns++
+	results := make([]*shipWait, len(subs))
+	for i, sub := range subs {
+		c.m.SubtasksRun++
+		w := &shipWait{sig: sim.NewSignal(c.env)}
+		results[i] = w
+		target := siteOf[sub.Key]
+		if target == c.id || c.peers[target] == nil {
+			// Local subtask (materialization at the origin).
+			sub := sub
+			c.env.Go(fmt.Sprintf("sub-%d-%d", t.ID, sub.Index), func(sp *sim.Proc) {
+				committed := c.execute(sp, t, sub, false)
+				w.done = true
+				w.committed = committed
+				w.sig.Broadcast()
+			})
+			continue
+		}
+		c.shipWaits[shipKey{id: t.ID, sub: sub.Index}] = w
+		c.toPeer(target, netsim.KindTxnShip, netsim.TxnShipBytes, proto.TxnShip{
+			T: t, Sub: sub, ReplyTo: c.id, Load: c.loadReport(),
+		})
+	}
+	// Answer synthesis: every subtask must finish in time for the
+	// parent to succeed (the Section 3.2 failure rule).
+	grace := t.Deadline + c.cfg.MeanSlack
+	for _, w := range results {
+		p.WaitForTimeout(w.sig, grace, func() bool { return w.done })
+	}
+	for _, sub := range subs {
+		delete(c.shipWaits, shipKey{id: t.ID, sub: sub.Index})
+	}
+	committed := p.Now() <= t.Deadline
+	for _, w := range results {
+		if !w.done || !w.committed {
+			committed = false
+		}
+	}
+	c.finishParent(t, committed)
+	return true
+}
+
+func (c *Client) finishParent(t *txn.Transaction, committed bool) {
+	if committed {
+		t.Status = txn.StatusCommitted
+	} else {
+		t.Status = txn.StatusMissed
+	}
+	t.Finished = c.env.Now()
+	t.ExecSite = c.id
+}
+
+// execute runs a transaction (or subtask) at this site: queue for an
+// executor slot in deadline order, gather the objects, run, and commit.
+// origin is true when this site is also the transaction's origin (the
+// tentative/ship decisions of the load-sharing path only apply there).
+// It reports whether the work committed by the deadline.
+func (c *Client) execute(p *sim.Proc, t *txn.Transaction, sub *txn.Subtask, origin bool) bool {
+	ops := t.Ops
+	length := t.Length
+	if sub != nil {
+		ops = sub.Ops
+		length = sub.Length
+	}
+	now := p.Now()
+	slack := t.Deadline - now
+	if slack <= 0 || !p.AcquireTimeout(c.slots, c.priorityOf(t), slack) {
+		return c.finish(p, t, sub, false)
+	}
+	defer c.slots.Release()
+	// Whatever way this attempt ends, forward any migrations this
+	// transaction came to own and answer recalls deferred on its pins.
+	defer c.afterRelease(ops, t.ID)
+	if p.Now() > t.Deadline {
+		return c.finish(p, t, sub, false)
+	}
+	t.Status = txn.StatusRunning
+	start := p.Now()
+
+	owner := lockmgr.OwnerID(t.ID)
+	if c.localLocks != nil {
+		if !c.lockLocal(p, t, ops, owner) {
+			c.localLocks.ReleaseAll(owner)
+			return c.finish(p, t, sub, false)
+		}
+		defer c.localLocks.ReleaseAll(owner)
+	}
+
+	// Speculative processing (future-work extension): compute against
+	// the locally present copies while the missing objects and upgrades
+	// are in flight, and keep the overlapped share of the work if those
+	// copies' versions validate once everything is pinned.
+	specVersions, specFraction := c.speculationCandidates(ops)
+	specStart := p.Now()
+
+	entries, ok := c.materialize(p, t, ops, origin)
+	if !ok {
+		return c.finish(p, t, sub, false)
+	}
+	if t.Shipped && origin {
+		// The tentative round decided to ship this transaction away;
+		// the target executes it and owns its status.
+		return false
+	}
+	if p.Now() > t.Deadline {
+		// Late already: abandon rather than burn the executor slot.
+		for _, e := range entries {
+			c.objects.Unpin(e)
+		}
+		return c.finish(p, t, sub, false)
+	}
+
+	if specVersions != nil {
+		c.m.SpeculativeRuns++
+		if c.speculationValid(specVersions) {
+			c.m.SpeculationHits++
+			// Only the share of the computation whose data was present
+			// could run during the fetch.
+			credit := time.Duration(float64(p.Now()-specStart) * specFraction)
+			if credit > length {
+				credit = length
+			}
+			length -= credit
+		}
+	}
+	p.Sleep(length)
+
+	// Commit: apply updates to the cached copies, logging each write,
+	// then force the log tail (group commit) and release pins.
+	var lastLSN int64
+	for _, op := range ops {
+		e := c.objects.Peek(op.Obj)
+		if e == nil {
+			panic(fmt.Sprintf("client %d: committed object %d not cached", c.id, op.Obj))
+		}
+		if op.Write {
+			e.Version++
+			e.Dirty = true
+			if c.log != nil {
+				lastLSN = c.log.Append(int64(t.ID), op.Obj, e.Version)
+			}
+			if c.cfg.WriteThrough && c.migrations[op.Obj] == nil {
+				// Write-through ablation: push the update to the server
+				// now (keeping the exclusive lock) instead of holding a
+				// dirty copy until a callback.
+				e.Dirty = false
+				c.toServer(netsim.KindObjectReturn, netsim.ObjectBytes, proto.ObjReturn{
+					Client: c.id, Obj: op.Obj, HasData: true, Version: e.Version,
+					UpdateOnly: true, Epoch: c.epochs[op.Obj], Load: c.loadReport(),
+				})
+			}
+		}
+	}
+	if c.log != nil && lastLSN > 0 {
+		c.log.ForceTo(p, int64(t.ID), lastLSN)
+	}
+	for _, e := range entries {
+		c.objects.Unpin(e)
+	}
+	c.atl.Observe(p.Now() - start)
+	committed := p.Now() <= t.Deadline
+	return c.finish(p, t, sub, committed)
+}
+
+// speculationCandidates decides what part of a transaction can start
+// computing before its locks arrive: any access whose data is already in
+// the cache (even in a weaker lock mode) can be processed speculatively
+// while the misses and upgrades are in flight. It returns the versions
+// the speculative computation is based on and the fraction of the
+// access set they cover. A nil map means speculation does not apply —
+// disabled, nothing missing (no wait to overlap), or nothing present
+// (no data to compute against).
+func (c *Client) speculationCandidates(ops []txn.Op) (map[lockmgr.ObjectID]int64, float64) {
+	if !c.loadShare || !c.cfg.UseSpeculation {
+		return nil, 0
+	}
+	present := make(map[lockmgr.ObjectID]int64, len(ops))
+	missing := 0
+	for _, op := range ops {
+		e := c.objects.Peek(op.Obj)
+		switch {
+		case e == nil:
+			missing++
+		case modeSufficient(e.Mode, op.Mode()):
+			present[op.Obj] = e.Version
+		default:
+			missing++ // upgrade in flight, but the data is at hand
+			present[op.Obj] = e.Version
+		}
+	}
+	if missing == 0 || len(present) == 0 {
+		return nil, 0
+	}
+	return present, float64(len(present)) / float64(len(ops))
+}
+
+// speculationValid checks, after materialization, that every version the
+// speculative computation was based on is still the current one.
+func (c *Client) speculationValid(spec map[lockmgr.ObjectID]int64) bool {
+	for obj, v := range spec {
+		e := c.objects.Peek(obj)
+		if e == nil || e.Version != v {
+			return false
+		}
+	}
+	return true
+}
+
+// priorityOf maps a transaction to its executor-queue priority: its
+// deadline under the paper's ED policy, its arrival time under the FCFS
+// baseline.
+func (c *Client) priorityOf(t *txn.Transaction) float64 {
+	if c.cfg.Scheduling == config.SchedFCFS {
+		return t.Arrival.Seconds()
+	}
+	return t.Deadline.Seconds()
+}
+
+// lockLocal serializes concurrent local transactions over the same
+// objects (only active when ClientExecutors > 1).
+func (c *Client) lockLocal(p *sim.Proc, t *txn.Transaction, ops []txn.Op, owner lockmgr.OwnerID) bool {
+	sorted := append([]txn.Op(nil), ops...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Obj < sorted[j].Obj })
+	for _, op := range sorted {
+		err := c.localLocks.LockWait(p, &lockmgr.Request{
+			Obj: op.Obj, Owner: owner, Mode: op.Mode(), Deadline: t.Deadline,
+		})
+		if err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// materialize brings every object of the access set into the cache with
+// a sufficient lock and pins it. Presence can be lost to callbacks while
+// fetching, so it loops: (1) ensure presence, fetching misses from the
+// server; (2) pin atomically; on any loss, refetch — until the deadline.
+func (c *Client) materialize(p *sim.Proc, t *txn.Transaction, ops []txn.Op, origin bool) ([]*cache.Entry, bool) {
+	for attempt := 0; ; attempt++ {
+		var missing []txn.Op
+		for _, op := range ops {
+			e := c.objects.Peek(op.Obj)
+			sufficient := e != nil && modeSufficient(e.Mode, op.Mode())
+			if attempt == 0 && c.measuring() {
+				c.m.RecordCacheAccess(sufficient)
+			}
+			if !sufficient {
+				missing = append(missing, op)
+				continue
+			}
+			_, tier, evicted := c.objects.Lookup(op.Obj)
+			c.returnEvicted(evicted)
+			if tier == cache.TierDisk {
+				c.chargeLocalDisk(p)
+			}
+		}
+		if len(missing) == 0 {
+			if entries, ok := c.pinAll(ops); ok {
+				return entries, true
+			}
+			// Lost something between presence check and pinning (a
+			// blocking disk-tier charge let a recall in). Refetch.
+			c.m.Refetches++
+			continue
+		}
+		if attempt > 0 {
+			c.m.Refetches++
+		}
+		if p.Now() > t.Deadline {
+			return nil, false
+		}
+		if !c.fetch(p, t, missing, attempt, origin) {
+			return nil, false
+		}
+		if t.Shipped && origin {
+			return nil, true // shipped away mid-gather; caller checks t.Shipped
+		}
+	}
+}
+
+// pinAll pins the whole access set atomically (no blocking between
+// checks). It fails if any object lost presence or mode.
+func (c *Client) pinAll(ops []txn.Op) ([]*cache.Entry, bool) {
+	entries := make([]*cache.Entry, 0, len(ops))
+	for _, op := range ops {
+		e := c.objects.Peek(op.Obj)
+		if e == nil || !modeSufficient(e.Mode, op.Mode()) {
+			for _, pinned := range entries {
+				c.objects.Unpin(pinned)
+			}
+			return nil, false
+		}
+		c.objects.Pin(e)
+		entries = append(entries, e)
+	}
+	return entries, true
+}
+
+func modeSufficient(have, need lockmgr.Mode) bool {
+	return have == lockmgr.ModeExclusive || need == lockmgr.ModeShared && have == lockmgr.ModeShared
+}
+
+// fetch requests the missing objects from the server and waits for them.
+// At the origin of a load-sharing client's first round it sends one
+// tentative probe for the whole set; a conflict reply then triggers the
+// H2 ship-or-stay decision. Otherwise objects are fetched one at a time
+// (the paper's sequential request/response loop — a client keeps at most
+// one firm request outstanding). Returns false when the transaction can
+// no longer proceed here (deadline, denial) — or when it was shipped
+// away (t.Shipped distinguishes that case).
+func (c *Client) fetch(p *sim.Proc, t *txn.Transaction, missing []txn.Op, attempt int, origin bool) bool {
+	pt := c.ensurePending(t)
+	defer c.releasePending(pt)
+
+	if !(c.loadShare && c.cfg.UseH2 && origin && attempt == 0) {
+		return c.fetchSequential(p, t, pt, missing)
+	}
+
+	// Tentative probe: one message covering every missing object.
+	objs := make([]lockmgr.ObjectID, len(missing))
+	modes := make([]lockmgr.Mode, len(missing))
+	now := p.Now()
+	for i, op := range missing {
+		objs[i] = op.Obj
+		modes[i] = op.Mode()
+		pt.want[op.Obj] = op.Mode()
+		pt.sent[op.Obj] = now
+		c.waiters[op.Obj] = append(c.waiters[op.Obj], pt)
+	}
+	c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ProbeRequest{
+		Client:   c.id,
+		Txn:      t.ID,
+		Objs:     objs,
+		Modes:    modes,
+		Deadline: t.Deadline,
+		Load:     c.loadReport(),
+	})
+	settled := func() bool {
+		return len(pt.want) == 0 || pt.denied != 0 || pt.gotConflict
+	}
+	if !p.WaitForTimeout(pt.sig, t.Deadline, settled) {
+		return false
+	}
+	if pt.denied != 0 {
+		if pt.denied == proto.DenyDeadlock {
+			t.Status = txn.StatusAborted
+			t.Finished = p.Now()
+		}
+		return false
+	}
+	if !pt.gotConflict {
+		return true // everything granted
+	}
+	// Tentative round hit conflicts: decide where this transaction
+	// should run (H2), then either ship it or commit to local
+	// processing.
+	pt.gotConflict = false
+	conflicts := pt.conflicts
+	loads := pt.loads
+	dataCounts := make(map[netsim.SiteID]int, len(pt.dataCounts))
+	for _, dc := range pt.dataCounts {
+		dataCounts[dc.Site] = dc.Count
+	}
+	d := loadshare.ChooseSite(loadshare.Params{
+		Origin:             c.id,
+		Now:                p.Now(),
+		Deadline:           t.Deadline,
+		Conflicts:          conflicts,
+		Loads:              loadsBySite(loads),
+		OriginQueueLen:     c.slots.QueueLen(),
+		OriginATL:          c.atl.Mean(),
+		Executors:          c.cfg.ClientExecutors,
+		DataCounts:         dataCounts,
+		RequireImprovement: true,
+		// Ship only to a site caching more of this transaction's data
+		// than the origin currently does — otherwise the move trades
+		// one blocked object for several lost cache hits.
+		MinShipData: len(t.Ops) - len(missing) + 1,
+	})
+	if d.Ship {
+		c.shipTxn(t, d.Target)
+		return true // t.Shipped signals the caller
+	}
+	// Stay local: one commit message asks for everything outstanding.
+	// The tentative round granted nothing, so pt.want and the waiter
+	// index still hold every missing object — no re-registration. The
+	// response clock restarts here: the probe was site-selection
+	// control traffic, and this is the firm object request Table 3
+	// measures.
+	now = p.Now()
+	for _, op := range missing {
+		pt.sent[op.Obj] = now
+	}
+	c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.CommitRequest{
+		Client:   c.id,
+		Txn:      t.ID,
+		Deadline: t.Deadline,
+		Objs:     objs,
+		Modes:    modes,
+		Load:     c.loadReport(),
+	})
+	granted := func() bool { return len(pt.want) == 0 || pt.denied != 0 }
+	if !p.WaitForTimeout(pt.sig, t.Deadline, granted) {
+		return false
+	}
+	if pt.denied != 0 {
+		if pt.denied == proto.DenyDeadlock {
+			t.Status = txn.StatusAborted
+			t.Finished = p.Now()
+		}
+		return false
+	}
+	return true
+}
+
+// fetchSequential fetches the missing objects one at a time: send a firm
+// request, wait for the object (or a denial or the deadline), move on.
+func (c *Client) fetchSequential(p *sim.Proc, t *txn.Transaction, pt *pendingTxn, missing []txn.Op) bool {
+	for _, op := range missing {
+		if p.Now() > t.Deadline {
+			return false
+		}
+		obj := op.Obj
+		pt.want[obj] = op.Mode()
+		pt.sent[obj] = p.Now()
+		c.waiters[obj] = append(c.waiters[obj], pt)
+		c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ObjRequest{
+			Client:   c.id,
+			Txn:      t.ID,
+			Obj:      obj,
+			Mode:     op.Mode(),
+			Deadline: t.Deadline,
+			Load:     c.loadReport(),
+		})
+		arrived := func() bool {
+			_, waiting := pt.want[obj]
+			return !waiting || pt.denied != 0
+		}
+		if !p.WaitForTimeout(pt.sig, t.Deadline, arrived) {
+			return false
+		}
+		if pt.denied != 0 {
+			if pt.denied == proto.DenyDeadlock {
+				t.Status = txn.StatusAborted
+				t.Finished = p.Now()
+			}
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Client) ensurePending(t *txn.Transaction) *pendingTxn {
+	pt, ok := c.pending[t.ID]
+	if !ok {
+		pt = &pendingTxn{
+			t:    t,
+			want: make(map[lockmgr.ObjectID]lockmgr.Mode),
+			sent: make(map[lockmgr.ObjectID]time.Duration),
+			sig:  sim.NewSignal(c.env),
+		}
+		c.pending[t.ID] = pt
+	}
+	return pt
+}
+
+// releasePending unregisters the transaction's outstanding waits.
+func (c *Client) releasePending(pt *pendingTxn) {
+	for obj := range pt.want {
+		c.dropWaiter(obj, pt)
+		delete(pt.want, obj)
+	}
+	if !pt.wantLoad {
+		delete(c.pending, pt.t.ID)
+	}
+}
+
+func (c *Client) dropWaiter(obj lockmgr.ObjectID, pt *pendingTxn) {
+	ws := c.waiters[obj]
+	for i, w := range ws {
+		if w == pt {
+			c.waiters[obj] = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(c.waiters[obj]) == 0 {
+		delete(c.waiters, obj)
+	}
+}
+
+// finish records a terminal state for work executed here. For subtasks
+// and shipped-in transactions it also reports the result to the origin.
+func (c *Client) finish(p *sim.Proc, t *txn.Transaction, sub *txn.Subtask, committed bool) bool {
+	now := p.Now()
+	if sub == nil {
+		if committed {
+			t.Status = txn.StatusCommitted
+		} else if t.Status != txn.StatusAborted {
+			t.Status = txn.StatusMissed
+		}
+		t.Finished = now
+		t.ExecSite = c.id
+		if t.Origin != c.id {
+			c.toPeer(t.Origin, netsim.KindTxnResult, netsim.ResultBytes, proto.TxnResult{
+				Txn: t.ID, SubIndex: -1, Committed: committed, ExecSite: c.id,
+			})
+		}
+	} else if t.Origin != c.id {
+		c.toPeer(t.Origin, netsim.KindTxnResult, netsim.ResultBytes, proto.TxnResult{
+			Txn: t.ID, SubIndex: sub.Index, IsSub: true, Committed: committed, ExecSite: c.id,
+		})
+	}
+	return committed
+}
+
+func (c *Client) chargeLocalDisk(p *sim.Proc) {
+	p.Acquire(c.localDisk, 0)
+	p.Sleep(c.cfg.DiskRead)
+	c.localDisk.Release()
+}

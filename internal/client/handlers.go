@@ -1,0 +1,388 @@
+package client
+
+import (
+	"fmt"
+
+	"siteselect/internal/cache"
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/netsim"
+	"siteselect/internal/proto"
+	"siteselect/internal/sim"
+	"siteselect/internal/txn"
+)
+
+// onGrant handles an arriving object, whether shipped by the server or
+// forwarded by a peer along a forward list.
+func (c *Client) onGrant(g proto.ObjGrant) {
+	if g.Epoch != c.epochs[g.Obj] {
+		// The grant was sent before the server processed one of our
+		// releases: the registration it delivers no longer exists and
+		// the copy must not be cached or served.
+		if g.Fwd != nil && g.Fwd.ReadRun {
+			c.hopReadRun(g) // keep the run moving for the others
+		}
+		return
+	}
+	evicted := c.objects.Insert(g.Obj, g.Mode, false, g.Version)
+	c.returnEvicted(evicted)
+	if g.Fwd != nil && !g.Fwd.ReadRun {
+		// Migration hop: hold the object pinned until this site's turn
+		// is over, then pass it on.
+		c.migrations[g.Obj] = g.Fwd
+		c.objects.Pin(c.objects.Peek(g.Obj))
+	}
+
+	now := c.env.Now()
+	var satisfied []txn.ID
+	ws := append([]*pendingTxn(nil), c.waiters[g.Obj]...)
+	for _, pt := range ws {
+		need, wants := pt.want[g.Obj]
+		if !wants || !modeSufficient(g.Mode, need) {
+			continue
+		}
+		delete(pt.want, g.Obj)
+		c.dropWaiter(g.Obj, pt)
+		if sent, ok := pt.sent[g.Obj]; ok && c.measuring() {
+			c.m.RecordResponse(need, now-sent)
+		}
+		satisfied = append(satisfied, pt.t.ID)
+		pt.sig.Broadcast()
+	}
+	if g.Fwd == nil {
+		// A recall deferred against this in-flight grant can be
+		// answered as soon as no local transaction is using the copy:
+		// immediately if the grant satisfied nobody (its transaction is
+		// dead), otherwise when that transaction's pins drop
+		// (afterRelease).
+		if r, ok := c.deferred[g.Obj]; ok && len(satisfied) == 0 {
+			if e := c.objects.Peek(g.Obj); e != nil && !e.Pinned() {
+				delete(c.deferred, g.Obj)
+				c.answerRecall(e, r)
+			}
+		}
+		return
+	}
+	if g.Fwd.ReadRun {
+		// Parallel read run: this site keeps its copy and the object
+		// hops onward immediately — downstream readers don't wait for
+		// our transaction.
+		c.hopReadRun(g)
+		return
+	}
+	// A migration hop is claimed by whatever local transaction it
+	// satisfies; the hop continues when that transaction's pins drop
+	// (afterRelease). With no claimant (the destined transaction is
+	// dead), keep the migration moving now.
+	if len(satisfied) == 0 {
+		c.forwardMigration(g.Obj)
+	}
+}
+
+// hopReadRun forwards a parallel-read object to the next live entry of
+// its run; every run member already holds a registered SL and read-only
+// data stays current, so only the final acknowledgement travels back.
+func (c *Client) hopReadRun(g proto.ObjGrant) {
+	for {
+		next, ok, _ := g.Fwd.PopLive(c.env.Now())
+		if !ok {
+			// Last member: acknowledge the run so the server can let
+			// writers at the object again (the forward list's final
+			// return — the +1 of the 2n+1 message count).
+			c.toServer(netsim.KindObjectReturn, netsim.ControlBytes, proto.ObjReturn{
+				Client: c.id, Obj: g.Obj, RunComplete: true,
+				Epoch: c.epochs[g.Obj], Load: c.loadReport(),
+			})
+			return
+		}
+		if next.Client == c.id {
+			// Consecutive entries for this same site: its waiters were
+			// already satisfied by the arriving copy.
+			continue
+		}
+		c.ForwardHops++
+		c.toPeer(next.Client, netsim.KindClientForward, netsim.ObjectBytes, proto.ObjGrant{
+			Obj: g.Obj, Mode: next.Mode, Version: g.Version, Txn: next.Txn,
+			Epoch: next.Epoch, Fwd: g.Fwd,
+		})
+		return
+	}
+}
+
+func (c *Client) onConflictReply(r proto.ConflictReply) {
+	pt, ok := c.pending[r.Txn]
+	if !ok {
+		return
+	}
+	pt.gotConflict = true
+	pt.conflicts = r.Conflicts
+	pt.loads = r.Loads
+	pt.dataCounts = r.DataCounts
+	pt.sig.Broadcast()
+}
+
+func (c *Client) onDeny(d proto.DenyReply) {
+	pt, ok := c.pending[d.Txn]
+	if !ok {
+		return
+	}
+	pt.denied = d.Reason
+	pt.sig.Broadcast()
+}
+
+func (c *Client) onLoadReply(r proto.LoadReply) {
+	pt, ok := c.pending[r.Txn]
+	if !ok || !pt.wantLoad {
+		return
+	}
+	reply := r
+	pt.loadReply = &reply
+	pt.sig.Broadcast()
+}
+
+// onRecall answers a server callback. Recalls for objects pinned by a
+// running transaction are deferred until it finishes (the paper's
+// clients finish local work before giving up a lock). A recall whose
+// HolderMode does not match the cached state refers to a grant still on
+// the wire — answering it now would renounce the lock that grant
+// carries, losing an update — so it is deferred until the transaction
+// waiting for that grant finishes. Everything else is answered
+// immediately.
+func (c *Client) onRecall(r proto.Recall) {
+	e := c.objects.Peek(r.Obj)
+	wanted := len(c.waiters[r.Obj]) > 0
+	if e == nil {
+		if wanted && r.HolderMode != 0 {
+			// The server believes we hold a lock we have not seen yet:
+			// its grant is in flight. Defer until our transaction is
+			// done with it.
+			c.m.RecallsDeferred++
+			c.deferred[r.Obj] = r
+			return
+		}
+		// Silently evicted earlier: release the lock. Bumping the epoch
+		// revokes any stray grant already on the wire.
+		c.epochs[r.Obj]++
+		c.toServer(netsim.KindObjectReturn, netsim.ControlBytes, proto.ObjReturn{
+			Client: c.id, Obj: r.Obj, NotCached: true, Epoch: c.epochs[r.Obj],
+			Load: c.loadReport(),
+		})
+		return
+	}
+	if e.Pinned() || (r.HolderMode != 0 && r.HolderMode != e.Mode) {
+		c.m.RecallsDeferred++
+		c.deferred[r.Obj] = r
+		return
+	}
+	c.answerRecall(e, r)
+}
+
+func (c *Client) answerRecall(e *cache.Entry, r proto.Recall) {
+	if r.DowngradeToShared && e.Mode == lockmgr.ModeExclusive && c.cfg.UseDowngrade {
+		hadData := e.Dirty
+		e.Mode = lockmgr.ModeShared
+		e.Dirty = false
+		size := netsim.ControlBytes
+		if hadData {
+			size = netsim.ObjectBytes
+		}
+		c.toServer(netsim.KindObjectReturn, size, proto.ObjReturn{
+			Client: c.id, Obj: e.Obj, HasData: hadData, Version: e.Version,
+			Downgraded: true, Epoch: c.epochs[e.Obj], Load: c.loadReport(),
+		})
+		return
+	}
+	c.objects.Remove(e.Obj)
+	// Any grant already on the wire refers to the registration this
+	// answer renounces; the epoch bump revokes it.
+	c.epochs[e.Obj]++
+	size := netsim.ControlBytes
+	if e.Dirty {
+		size = netsim.ObjectBytes
+	}
+	c.toServer(netsim.KindObjectReturn, size, proto.ObjReturn{
+		Client: c.id, Obj: e.Obj, HasData: e.Dirty, Version: e.Version,
+		Epoch: c.epochs[e.Obj], Load: c.loadReport(),
+	})
+}
+
+// onTxnShip executes a transaction or subtask shipped to this site.
+func (c *Client) onTxnShip(s proto.TxnShip) {
+	c.ShippedIn++
+	t := s.T
+	sub := s.Sub
+	name := fmt.Sprintf("shipped-%d", t.ID)
+	if sub != nil {
+		name = fmt.Sprintf("shipped-%d-%d", t.ID, sub.Index)
+	}
+	c.env.Go(name, func(p *sim.Proc) {
+		if sub != nil {
+			committed := c.execute(p, t, sub, false)
+			_ = committed // result already reported by finish
+			return
+		}
+		t.ExecSite = c.id
+		c.execute(p, t, nil, false)
+	})
+}
+
+func (c *Client) onTxnResult(r proto.TxnResult) {
+	key := shipKey{id: r.Txn, sub: -1}
+	if r.IsSub {
+		key.sub = r.SubIndex
+	}
+	w, ok := c.shipWaits[key]
+	if !ok {
+		return
+	}
+	w.done = true
+	w.committed = r.Committed
+	w.sig.Broadcast()
+}
+
+// returnEvicted handles cache fallout: dirty or exclusively locked
+// evictions must go back to the server; clean shared copies are dropped
+// silently (the lock release is lazy — a later recall gets a NotCached
+// answer).
+func (c *Client) returnEvicted(evicted []*cache.Entry) {
+	for _, e := range evicted {
+		if mig := c.migrations[e.Obj]; mig != nil {
+			panic(fmt.Sprintf("client %d: migrating object %d evicted", c.id, e.Obj))
+		}
+		_, hadRecall := c.deferred[e.Obj]
+		delete(c.deferred, e.Obj)
+		if !hadRecall && !e.Dirty && e.Mode == lockmgr.ModeShared {
+			continue // lazy release: a later recall gets NotCached
+		}
+		size := netsim.ControlBytes
+		if e.Dirty {
+			size = netsim.ObjectBytes
+		}
+		c.epochs[e.Obj]++ // this return releases the registration
+		c.toServer(netsim.KindObjectReturn, size, proto.ObjReturn{
+			Client: c.id, Obj: e.Obj, HasData: e.Dirty, Version: e.Version,
+			Epoch: c.epochs[e.Obj], Load: c.loadReport(),
+		})
+	}
+}
+
+// afterRelease runs when a transaction's pins drop: forward any
+// migrating objects whose turn is over, and answer recalls deferred
+// while the objects were pinned.
+func (c *Client) afterRelease(ops []txn.Op, id txn.ID) {
+	for _, op := range ops {
+		if c.migrations[op.Obj] != nil {
+			e := c.objects.Peek(op.Obj)
+			if e != nil && e.Pins() == 1 {
+				// Only the migration pin remains: this site's turn is
+				// over, pass the object on.
+				c.forwardMigration(op.Obj)
+			}
+			continue
+		}
+		if r, ok := c.deferred[op.Obj]; ok {
+			e := c.objects.Peek(op.Obj)
+			switch {
+			case e == nil:
+				// The grant the recall referred to never materialized
+				// (or the copy is gone): release the lock outright.
+				delete(c.deferred, op.Obj)
+				c.epochs[op.Obj]++
+				c.toServer(netsim.KindObjectReturn, netsim.ControlBytes, proto.ObjReturn{
+					Client: c.id, Obj: op.Obj, NotCached: true, Epoch: c.epochs[op.Obj],
+					Load: c.loadReport(),
+				})
+			case !e.Pinned():
+				delete(c.deferred, op.Obj)
+				c.answerRecall(e, r)
+			}
+		}
+	}
+}
+
+// forwardMigration advances a migrating object: hand it to the next
+// live forward-list entry. Consecutive entries for this same client are
+// served in place (the object never leaves); otherwise the object hops
+// to the next client, or returns to the server after the last entry.
+func (c *Client) forwardMigration(obj lockmgr.ObjectID) {
+	l := c.migrations[obj]
+	if l == nil {
+		return
+	}
+	e := c.objects.Peek(obj)
+	if e == nil {
+		panic(fmt.Sprintf("client %d: migrating object %d not cached", c.id, obj))
+	}
+	now := c.env.Now()
+	for {
+		next, ok, _ := l.PopLive(now)
+		if ok && next.Client == c.id {
+			// Our own next turn: the migration holds the object
+			// exclusively at the global level, so the local mode can be
+			// raised to whatever this entry needs.
+			if next.Mode == lockmgr.ModeExclusive {
+				e.Mode = lockmgr.ModeExclusive
+			}
+			satisfied := false
+			ws := append([]*pendingTxn(nil), c.waiters[obj]...)
+			for _, pt := range ws {
+				need, wants := pt.want[obj]
+				if !wants || !modeSufficient(e.Mode, need) {
+					continue
+				}
+				delete(pt.want, obj)
+				c.dropWaiter(obj, pt)
+				if sent, okSent := pt.sent[obj]; okSent && c.measuring() {
+					c.m.RecordResponse(need, now-sent)
+				}
+				satisfied = true
+				pt.sig.Broadcast()
+			}
+			if satisfied {
+				return // that transaction's afterRelease resumes the hop
+			}
+			continue // entry's transaction is gone; try the next one
+		}
+
+		delete(c.migrations, obj)
+		_, hadRecall := c.deferred[obj]
+		delete(c.deferred, obj)
+		c.objects.Unpin(e)
+		version := e.Version
+
+		// Keep a clean shared copy when nothing downstream writes (the
+		// downgrade idea extended to migration chains); a pending recall
+		// or a downstream EL forbids retention.
+		retain := c.cfg.UseDowngrade && !hadRecall &&
+			(!ok || next.Mode == lockmgr.ModeShared && !l.HasExclusive())
+		if retain {
+			e.Mode = lockmgr.ModeShared
+			e.Dirty = false
+			l.Retained = append(l.Retained, c.id)
+		} else {
+			c.objects.Remove(obj)
+		}
+		if ok {
+			c.ForwardHops++
+			c.toPeer(next.Client, netsim.KindClientForward, netsim.ObjectBytes, proto.ObjGrant{
+				Obj: obj, Mode: next.Mode, Version: version, Txn: next.Txn,
+				Epoch: next.Epoch, Fwd: l,
+			})
+		} else {
+			c.toServer(netsim.KindObjectReturn, netsim.ObjectBytes, proto.ObjReturn{
+				Client: c.id, Obj: obj, HasData: true, Version: version,
+				Migration: true, RetainedSL: l.Retained,
+				Epoch: c.epochs[obj], Load: c.loadReport(),
+			})
+		}
+		if hadRecall {
+			// The recall that arrived mid-migration is answered with a
+			// release: the object has moved on.
+			c.epochs[obj]++
+			c.toServer(netsim.KindObjectReturn, netsim.ControlBytes, proto.ObjReturn{
+				Client: c.id, Obj: obj, NotCached: true, Epoch: c.epochs[obj],
+				Load: c.loadReport(),
+			})
+		}
+		return
+	}
+}

@@ -1,0 +1,269 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"siteselect/internal/config"
+	"siteselect/internal/forward"
+)
+
+// AblationRow compares the LS-CS-RTDBS with one design choice changed.
+type AblationRow struct {
+	Name        string
+	SuccessRate float64
+	CacheHit    float64
+	Shipped     int64
+	Decomposed  int64
+	Migrations  int64
+	ELResponse  time.Duration
+}
+
+// Ablation holds a family of LS variants at a fixed workload point.
+type Ablation struct {
+	Title   string
+	Clients int
+	Update  float64
+	Rows    []AblationRow
+}
+
+// Render writes the ablation as an aligned text table.
+func (a *Ablation) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s (%d clients, %g%% updates)\n", a.Title, a.Clients, a.Update*100)
+	fmt.Fprintf(w, "%-22s %9s %9s %8s %8s %8s %10s\n",
+		"Variant", "Success", "CacheHit", "Shipped", "Decomp", "Migr", "EL resp")
+	for _, r := range a.Rows {
+		fmt.Fprintf(w, "%-22s %8.1f%% %8.1f%% %8d %8d %8d %10s\n",
+			r.Name, r.SuccessRate, r.CacheHit, r.Shipped, r.Decomposed, r.Migrations,
+			r.ELResponse.Round(time.Millisecond))
+	}
+}
+
+func (a *Ablation) addRun(name string, cfg config.Config) error {
+	res, err := RunLS(cfg)
+	if err != nil {
+		return fmt.Errorf("ablation %q: %w", name, err)
+	}
+	a.Rows = append(a.Rows, AblationRow{
+		Name:        name,
+		SuccessRate: res.SuccessRate(),
+		CacheHit:    res.CacheHitRate(),
+		Shipped:     res.M.ShippedTxns,
+		Decomposed:  res.M.DecomposedTxns,
+		Migrations:  res.MigrationsStarted,
+		ELResponse:  res.M.ExclusiveResponse.Mean(),
+	})
+	return nil
+}
+
+// RunHeuristicAblation isolates the contribution of each load-sharing
+// technique: all off (equals basic CS), each alone, and all on.
+func RunHeuristicAblation(clients int, update float64, opts Options) (*Ablation, error) {
+	opts = opts.normalize()
+	a := &Ablation{Title: "Load-sharing technique ablation", Clients: clients, Update: update}
+	off := func(cfg *config.Config) {
+		cfg.UseH1 = false
+		cfg.UseH2 = false
+		cfg.UseDecomposition = false
+		cfg.UseForwardLists = false
+	}
+	variants := []struct {
+		name string
+		mod  func(*config.Config)
+	}{
+		{"all-off (=CS)", func(c *config.Config) { off(c) }},
+		{"H1 only", func(c *config.Config) { off(c); c.UseH1 = true }},
+		{"H2 only", func(c *config.Config) { off(c); c.UseH2 = true }},
+		{"decomposition only", func(c *config.Config) { off(c); c.UseDecomposition = true }},
+		{"forward lists only", func(c *config.Config) { off(c); c.UseForwardLists = true }},
+		{"all-on (=LS)", func(*config.Config) {}},
+	}
+	for _, v := range variants {
+		cfg := opts.csConfig(clients, update)
+		v.mod(&cfg)
+		if err := a.addRun(v.name, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// RunWindowAblation sweeps the forward-list collection window.
+func RunWindowAblation(clients int, update float64, opts Options) (*Ablation, error) {
+	opts = opts.normalize()
+	a := &Ablation{Title: "Collection window ablation", Clients: clients, Update: update}
+	for _, w := range []time.Duration{0, 100 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second} {
+		cfg := opts.csConfig(clients, update)
+		cfg.CollectionWindow = w
+		if err := a.addRun(fmt.Sprintf("window=%v", w), cfg); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// RunDowngradeAblation compares the modified callback scheme (EL→SL
+// downgrade) against plain full-release callbacks.
+func RunDowngradeAblation(clients int, update float64, opts Options) (*Ablation, error) {
+	opts = opts.normalize()
+	a := &Ablation{Title: "Callback downgrade ablation", Clients: clients, Update: update}
+	for _, on := range []bool{true, false} {
+		cfg := opts.csConfig(clients, update)
+		cfg.UseDowngrade = on
+		name := "downgrade on"
+		if !on {
+			name = "downgrade off"
+		}
+		if err := a.addRun(name, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// PatternRow compares the three systems under one access pattern.
+type PatternRow struct {
+	Pattern config.AccessPattern
+	CE      float64
+	CS      float64
+	LS      float64
+	CSHit   float64
+	LSHit   float64
+}
+
+// PatternSweep is the access-pattern robustness experiment: the paper
+// evaluates only Localized-RW; this sweep shows how the architectural
+// ordering fares when locality is removed (Uniform) or concentrated on
+// a shared hot set (HotCold).
+type PatternSweep struct {
+	Clients int
+	Update  float64
+	Rows    []PatternRow
+}
+
+// RunPatternSweep runs all three systems under each access pattern.
+func RunPatternSweep(clients int, update float64, opts Options) (*PatternSweep, error) {
+	opts = opts.normalize()
+	sweep := &PatternSweep{Clients: clients, Update: update}
+	for _, pat := range []config.AccessPattern{
+		config.PatternLocalizedRW, config.PatternUniform, config.PatternHotCold,
+	} {
+		ceCfg := opts.ceConfig(clients, update)
+		ceCfg.Pattern = pat
+		ce, err := RunCE(ceCfg)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %v: CE: %w", pat, err)
+		}
+		csCfg := opts.csConfig(clients, update)
+		csCfg.Pattern = pat
+		cs, err := RunCS(csCfg)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %v: CS: %w", pat, err)
+		}
+		ls, err := RunLS(csCfg)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %v: LS: %w", pat, err)
+		}
+		sweep.Rows = append(sweep.Rows, PatternRow{
+			Pattern: pat,
+			CE:      ce.SuccessRate(),
+			CS:      cs.SuccessRate(),
+			LS:      ls.SuccessRate(),
+			CSHit:   cs.CacheHitRate(),
+			LSHit:   ls.CacheHitRate(),
+		})
+	}
+	return sweep, nil
+}
+
+// Render writes the pattern sweep as an aligned text table.
+func (s *PatternSweep) Render(w io.Writer) {
+	fmt.Fprintf(w, "Access-pattern robustness (%d clients, %g%% updates)\n", s.Clients, s.Update*100)
+	fmt.Fprintf(w, "%-14s %9s %9s %9s %9s %9s\n", "Pattern", "CE", "CS", "LS", "CS hit", "LS hit")
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%-14s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+			r.Pattern, r.CE, r.CS, r.LS, r.CSHit, r.LSHit)
+	}
+}
+
+// ProtocolCounts reproduces the Figure 1 / Figure 2 message-count
+// comparison for n requests on one object.
+type ProtocolCounts struct {
+	N        int
+	TwoPL    int
+	Callback int
+	Grouped  int
+}
+
+// RunProtocolCounts evaluates the closed forms behind Figures 1 and 2.
+func RunProtocolCounts(ns []int) []ProtocolCounts {
+	out := make([]ProtocolCounts, 0, len(ns))
+	for _, n := range ns {
+		out = append(out, ProtocolCounts{
+			N:        n,
+			TwoPL:    forward.Messages2PL(n),
+			Callback: forward.MessagesCallback(n),
+			Grouped:  forward.MessagesGrouped(n),
+		})
+	}
+	return out
+}
+
+// RenderProtocolCounts writes the Figure 1/2 comparison.
+func RenderProtocolCounts(w io.Writer, counts []ProtocolCounts) {
+	fmt.Fprintln(w, "Figures 1–2 — Messages to serve n lock requests on one object")
+	fmt.Fprintf(w, "%-8s %10s %14s %14s\n", "n", "2PL (3n)", "Callback (4n)", "Grouped (2n+1)")
+	for _, c := range counts {
+		fmt.Fprintf(w, "%-8d %10d %14d %14d\n", c.N, c.TwoPL, c.Callback, c.Grouped)
+	}
+	fmt.Fprintln(w, "\nWorked example (one object moving Client A -> Client B):")
+	fmt.Fprintln(w, "Figure 1 (callback locking):")
+	for _, line := range forward.FigureScenarioCallback() {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+	fmt.Fprintln(w, "Figure 2 (lock grouping):")
+	for _, line := range forward.FigureScenarioGrouped() {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+}
+
+// RunWriteThroughAblation quantifies the paper's implicit write-back
+// choice: clients retaining dirty copies until a callback versus pushing
+// every committed update to the server immediately.
+func RunWriteThroughAblation(clients int, update float64, opts Options) (*Ablation, error) {
+	opts = opts.normalize()
+	a := &Ablation{Title: "Write-back vs write-through ablation", Clients: clients, Update: update}
+	for _, through := range []bool{false, true} {
+		cfg := opts.csConfig(clients, update)
+		cfg.WriteThrough = through
+		name := "write-back (paper)"
+		if through {
+			name = "write-through"
+		}
+		if err := a.addRun(name, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// RunLoggingAblation charges client-based write-ahead logging (the
+// recovery scheme of the framework the paper builds on) against the
+// cost-free baseline the paper evaluates.
+func RunLoggingAblation(clients int, update float64, opts Options) (*Ablation, error) {
+	opts = opts.normalize()
+	a := &Ablation{Title: "Client-based logging ablation", Clients: clients, Update: update}
+	for _, logging := range []bool{false, true} {
+		cfg := opts.csConfig(clients, update)
+		cfg.UseLogging = logging
+		name := "no logging (paper)"
+		if logging {
+			name = "client WAL + group commit"
+		}
+		if err := a.addRun(name, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}

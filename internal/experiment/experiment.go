@@ -1,0 +1,372 @@
+// Package experiment defines one runner per table and figure of the
+// paper's evaluation (Section 5), plus the ablations of the design
+// choices, and renders the results in the same rows and series the paper
+// reports.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"siteselect/internal/config"
+	"siteselect/internal/netsim"
+	"siteselect/internal/plot"
+	"siteselect/internal/rtdbs"
+)
+
+// DefaultClients is the client-count sweep of Figures 3–5.
+var DefaultClients = []int{20, 40, 60, 80, 100}
+
+// Options tune a run of an experiment.
+type Options struct {
+	// Scale shrinks run length (1 = the full 30-minute virtual runs).
+	Scale float64
+	// Seed drives all random streams.
+	Seed int64
+	// Clients overrides the client sweep for figures.
+	Clients []int
+}
+
+func (o Options) normalize() Options {
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Clients) == 0 {
+		o.Clients = DefaultClients
+	}
+	return o
+}
+
+func (o Options) csConfig(n int, update float64) config.Config {
+	cfg := config.Default(n, update).Scale(o.Scale)
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+func (o Options) ceConfig(n int, update float64) config.Config {
+	cfg := config.DefaultCentralized(n, update).Scale(o.Scale)
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+// RunCE runs the centralized system.
+func RunCE(cfg config.Config) (*rtdbs.Result, error) {
+	ce, err := rtdbs.NewCentralized(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ce.Run()
+}
+
+// RunCS runs the basic client-server system.
+func RunCS(cfg config.Config) (*rtdbs.Result, error) {
+	cs, err := rtdbs.NewClientServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cs.Run()
+}
+
+// RunLS runs the load-sharing client-server system.
+func RunLS(cfg config.Config) (*rtdbs.Result, error) {
+	ls, err := rtdbs.NewLoadSharing(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ls.Run()
+}
+
+// FigurePoint is one x-position of a Figure 3/4/5 plot.
+type FigurePoint struct {
+	Clients int
+	CE      float64
+	CS      float64
+	LS      float64
+}
+
+// Figure is a reproduction of one of Figures 3–5: percentage of
+// transactions completed within their deadlines vs number of clients.
+type Figure struct {
+	ID             string
+	Title          string
+	UpdateFraction float64
+	Points         []FigurePoint
+}
+
+// RunFigure reproduces Figure 3 (update=0.01), Figure 4 (0.05) or
+// Figure 5 (0.20).
+func RunFigure(id string, update float64, opts Options) (*Figure, error) {
+	opts = opts.normalize()
+	f := &Figure{
+		ID:             id,
+		Title:          fmt.Sprintf("Percentage of Transactions Completed Within Their Deadlines (%g%% updates)", update*100),
+		UpdateFraction: update,
+	}
+	for _, n := range opts.Clients {
+		ce, err := RunCE(opts.ceConfig(n, update))
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: CE with %d clients: %w", id, n, err)
+		}
+		cs, err := RunCS(opts.csConfig(n, update))
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: CS with %d clients: %w", id, n, err)
+		}
+		ls, err := RunLS(opts.csConfig(n, update))
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: LS with %d clients: %w", id, n, err)
+		}
+		f.Points = append(f.Points, FigurePoint{
+			Clients: n,
+			CE:      ce.SuccessRate(),
+			CS:      cs.SuccessRate(),
+			LS:      ls.SuccessRate(),
+		})
+	}
+	return f, nil
+}
+
+// Render writes the figure as an aligned text table.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "%-10s %12s %12s %12s\n", "Clients", "CE-RTDBS", "CS-RTDBS", "LS-CS-RTDBS")
+	for _, p := range f.Points {
+		fmt.Fprintf(w, "%-10d %11.1f%% %11.1f%% %11.1f%%\n", p.Clients, p.CE, p.CS, p.LS)
+	}
+}
+
+// CSV writes the figure as comma-separated values.
+func (f *Figure) CSV(w io.Writer) {
+	fmt.Fprintln(w, "clients,ce,cs,ls")
+	for _, p := range f.Points {
+		fmt.Fprintf(w, "%d,%.2f,%.2f,%.2f\n", p.Clients, p.CE, p.CS, p.LS)
+	}
+}
+
+// Table2Row holds the cache hit rates for one client count across the
+// three update mixes (paper Table 2).
+type Table2Row struct {
+	Clients int
+	CS      [3]float64 // 1%, 5%, 20%
+	LS      [3]float64
+}
+
+// Table2 reproduces "Average Cache Hit Rates in the CS-RTDBS and
+// LS-CS-RTDBS".
+type Table2 struct {
+	Rows []Table2Row
+}
+
+// Table2Updates are the update mixes of Table 2's columns.
+var Table2Updates = [3]float64{0.01, 0.05, 0.20}
+
+// Table2Clients are the client counts of Table 2's rows.
+var Table2Clients = []int{20, 60, 100}
+
+// RunTable2 reproduces Table 2.
+func RunTable2(opts Options) (*Table2, error) {
+	opts = opts.normalize()
+	t := &Table2{}
+	for _, n := range Table2Clients {
+		row := Table2Row{Clients: n}
+		for i, upd := range Table2Updates {
+			cs, err := RunCS(opts.csConfig(n, upd))
+			if err != nil {
+				return nil, fmt.Errorf("table2: CS %d clients %g%%: %w", n, upd*100, err)
+			}
+			ls, err := RunLS(opts.csConfig(n, upd))
+			if err != nil {
+				return nil, fmt.Errorf("table2: LS %d clients %g%%: %w", n, upd*100, err)
+			}
+			row.CS[i] = cs.CacheHitRate()
+			row.LS[i] = ls.CacheHitRate()
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Render writes Table 2 as an aligned text table.
+func (t *Table2) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 2 — Average Cache Hit Rates in the CS-RTDBS and LS-CS-RTDBS")
+	fmt.Fprintf(w, "%-10s | %8s %8s %8s | %8s %8s %8s\n",
+		"Clients", "CS 1%", "CS 5%", "CS 20%", "LS 1%", "LS 5%", "LS 20%")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-10d | %7.2f%% %7.2f%% %7.2f%% | %7.2f%% %7.2f%% %7.2f%%\n",
+			r.Clients, r.CS[0], r.CS[1], r.CS[2], r.LS[0], r.LS[1], r.LS[2])
+	}
+}
+
+// Table3Row holds mean object response times (seconds) by lock mode for
+// one client count (paper Table 3; 1% updates).
+type Table3Row struct {
+	N                     int
+	CSShared, CSExclusive time.Duration
+	LSShared, LSExclusive time.Duration
+}
+
+// Table3 reproduces "Average Object Response Times for 1% updates".
+type Table3 struct {
+	Rows []Table3Row
+}
+
+// RunTable3 reproduces Table 3.
+func RunTable3(opts Options) (*Table3, error) {
+	opts = opts.normalize()
+	t := &Table3{}
+	for _, n := range Table2Clients {
+		cs, err := RunCS(opts.csConfig(n, 0.01))
+		if err != nil {
+			return nil, fmt.Errorf("table3: CS %d clients: %w", n, err)
+		}
+		ls, err := RunLS(opts.csConfig(n, 0.01))
+		if err != nil {
+			return nil, fmt.Errorf("table3: LS %d clients: %w", n, err)
+		}
+		t.Rows = append(t.Rows, Table3Row{
+			N:           n,
+			CSShared:    cs.M.SharedResponse.Mean(),
+			CSExclusive: cs.M.ExclusiveResponse.Mean(),
+			LSShared:    ls.M.SharedResponse.Mean(),
+			LSExclusive: ls.M.ExclusiveResponse.Mean(),
+		})
+	}
+	return t, nil
+}
+
+// Render writes Table 3 as an aligned text table (values in seconds).
+func (t *Table3) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 3 — Average Object Response Times (in seconds) for 1% updates")
+	fmt.Fprintf(w, "%-10s | %10s %10s | %10s %10s\n",
+		"Clients", "CS SL", "CS EL", "LS SL", "LS EL")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-10d | %10.3f %10.3f | %10.3f %10.3f\n",
+			r.N, r.CSShared.Seconds(), r.CSExclusive.Seconds(),
+			r.LSShared.Seconds(), r.LSExclusive.Seconds())
+	}
+}
+
+// Table4 reproduces "Number of Messages Passed in the CS-RTDBSs (100
+// Clients, 1% updates)".
+type Table4 struct {
+	CSRequests, LSRequests int64
+	CSShipped, LSShipped   int64
+	LSForwarded            int64
+	CSRecalls, LSRecalls   int64
+	CSReturns, LSReturns   int64
+	CSMessages, LSMessages int64
+	CSElapsed, LSElapsed   time.Duration
+}
+
+// RunTable4 reproduces Table 4 at 100 clients and 1% updates.
+func RunTable4(opts Options) (*Table4, error) {
+	opts = opts.normalize()
+	cs, err := RunCS(opts.csConfig(100, 0.01))
+	if err != nil {
+		return nil, fmt.Errorf("table4: CS: %w", err)
+	}
+	ls, err := RunLS(opts.csConfig(100, 0.01))
+	if err != nil {
+		return nil, fmt.Errorf("table4: LS: %w", err)
+	}
+	req := func(r *rtdbs.Result) int64 {
+		return r.Messages[netsim.KindObjectRequest].Count
+	}
+	t := &Table4{
+		CSRequests:  req(cs),
+		LSRequests:  req(ls),
+		CSShipped:   cs.Messages[netsim.KindObjectShip].Count,
+		LSShipped:   ls.Messages[netsim.KindObjectShip].Count,
+		LSForwarded: ls.Messages[netsim.KindClientForward].Count,
+		CSRecalls:   cs.Messages[netsim.KindRecall].Count,
+		LSRecalls:   ls.Messages[netsim.KindRecall].Count,
+		CSReturns:   cs.Messages[netsim.KindObjectReturn].Count,
+		LSReturns:   ls.Messages[netsim.KindObjectReturn].Count,
+		CSMessages:  cs.TotalMessages,
+		LSMessages:  ls.TotalMessages,
+		CSElapsed:   cs.Elapsed,
+		LSElapsed:   ls.Elapsed,
+	}
+	return t, nil
+}
+
+// Render writes Table 4 as an aligned text table.
+func (t *Table4) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 4 — Number of Messages Passed in the CS-RTDBSs (100 Clients, 1% updates)")
+	fmt.Fprintf(w, "%-55s %12s %12s\n", "", "CS-RTDBS", "LS-CS-RTDBS")
+	rows := []struct {
+		label  string
+		cs, ls int64
+		csOnly bool
+	}{
+		{"Object Request Messages (client to server)", t.CSRequests, t.LSRequests, false},
+		{"Objects Sent (server to client)", t.CSShipped, t.LSShipped, false},
+		{"Object Requests Satisfied Using Forward Lists (c2c)", 0, t.LSForwarded, true},
+		{"Objects Recall Messages (server to client)", t.CSRecalls, t.LSRecalls, false},
+		{"Objects Returned (client to server)", t.CSReturns, t.LSReturns, false},
+		{"All Messages", t.CSMessages, t.LSMessages, false},
+	}
+	for _, r := range rows {
+		if r.csOnly {
+			fmt.Fprintf(w, "%-55s %12s %12d\n", r.label, "-", r.ls)
+			continue
+		}
+		fmt.Fprintf(w, "%-55s %12d %12d\n", r.label, r.cs, r.ls)
+	}
+}
+
+// Chart converts the figure to a plottable line chart (success % on a
+// 0–100 axis against client count).
+func (f *Figure) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  f.ID + " — " + f.Title,
+		XLabel: "Number of clients",
+		YLabel: "Transactions completed within deadline (%)",
+		YMin:   0,
+		YMax:   100,
+	}
+	ce := plot.Series{Name: "CE-RTDBS"}
+	cs := plot.Series{Name: "CS-RTDBS"}
+	ls := plot.Series{Name: "LS-CS-RTDBS"}
+	for _, p := range f.Points {
+		c.X = append(c.X, float64(p.Clients))
+		ce.Y = append(ce.Y, p.CE)
+		cs.Y = append(cs.Y, p.CS)
+		ls.Y = append(ls.Y, p.LS)
+	}
+	c.Series = []plot.Series{ce, cs, ls}
+	return c
+}
+
+// CSV writes Table 2 as comma-separated values.
+func (t *Table2) CSV(w io.Writer) {
+	fmt.Fprintln(w, "clients,cs_1,cs_5,cs_20,ls_1,ls_5,ls_20")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+			r.Clients, r.CS[0], r.CS[1], r.CS[2], r.LS[0], r.LS[1], r.LS[2])
+	}
+}
+
+// CSV writes Table 3 as comma-separated values (seconds).
+func (t *Table3) CSV(w io.Writer) {
+	fmt.Fprintln(w, "clients,cs_sl,cs_el,ls_sl,ls_el")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%d,%.4f,%.4f,%.4f,%.4f\n",
+			r.N, r.CSShared.Seconds(), r.CSExclusive.Seconds(),
+			r.LSShared.Seconds(), r.LSExclusive.Seconds())
+	}
+}
+
+// CSV writes Table 4 as comma-separated values.
+func (t *Table4) CSV(w io.Writer) {
+	fmt.Fprintln(w, "row,cs,ls")
+	fmt.Fprintf(w, "object_requests,%d,%d\n", t.CSRequests, t.LSRequests)
+	fmt.Fprintf(w, "objects_sent,%d,%d\n", t.CSShipped, t.LSShipped)
+	fmt.Fprintf(w, "forward_list_hops,0,%d\n", t.LSForwarded)
+	fmt.Fprintf(w, "recalls,%d,%d\n", t.CSRecalls, t.LSRecalls)
+	fmt.Fprintf(w, "returns,%d,%d\n", t.CSReturns, t.LSReturns)
+	fmt.Fprintf(w, "all_messages,%d,%d\n", t.CSMessages, t.LSMessages)
+}

@@ -1,0 +1,302 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyOpts keeps experiment tests fast: short runs, two small client
+// counts.
+var tinyOpts = Options{Scale: 0.05, Seed: 1, Clients: []int{4, 8}}
+
+func TestRunFigureShape(t *testing.T) {
+	f, err := RunFigure("Figure T", 0.05, tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 2 {
+		t.Fatalf("points = %d", len(f.Points))
+	}
+	for _, p := range f.Points {
+		for _, v := range []float64{p.CE, p.CS, p.LS} {
+			if v < 0 || v > 100 {
+				t.Fatalf("rate out of range: %+v", p)
+			}
+		}
+	}
+	var sb strings.Builder
+	f.Render(&sb)
+	if !strings.Contains(sb.String(), "Figure T") || !strings.Contains(sb.String(), "LS-CS-RTDBS") {
+		t.Fatalf("render output:\n%s", sb.String())
+	}
+	sb.Reset()
+	f.CSV(&sb)
+	if !strings.HasPrefix(sb.String(), "clients,ce,cs,ls\n") {
+		t.Fatalf("csv output:\n%s", sb.String())
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 3 {
+		t.Fatalf("csv lines = %d", got)
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize()
+	if o.Scale != 1 || o.Seed != 1 || len(o.Clients) != len(DefaultClients) {
+		t.Fatalf("normalized = %+v", o)
+	}
+	o = Options{Scale: 5}.normalize()
+	if o.Scale != 1 {
+		t.Fatalf("out-of-range scale kept: %v", o.Scale)
+	}
+}
+
+func TestProtocolCounts(t *testing.T) {
+	counts := RunProtocolCounts([]int{1, 2, 10})
+	want := []ProtocolCounts{
+		{N: 1, TwoPL: 3, Callback: 4, Grouped: 3},
+		{N: 2, TwoPL: 6, Callback: 8, Grouped: 5},
+		{N: 10, TwoPL: 30, Callback: 40, Grouped: 21},
+	}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("counts[%d] = %+v, want %+v", i, c, want[i])
+		}
+	}
+	var sb strings.Builder
+	RenderProtocolCounts(&sb, counts)
+	if !strings.Contains(sb.String(), "Figure 1") || !strings.Contains(sb.String(), "7 messages") {
+		// The worked example lists 7 numbered messages; just check the
+		// section headers rendered.
+		if !strings.Contains(sb.String(), "callback locking") {
+			t.Fatalf("render output:\n%s", sb.String())
+		}
+	}
+}
+
+func TestHeuristicAblationRuns(t *testing.T) {
+	a, err := RunHeuristicAblation(6, 0.20, Options{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 6 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	if a.Rows[0].Name != "all-off (=CS)" || a.Rows[5].Name != "all-on (=LS)" {
+		t.Fatalf("row names: %q ... %q", a.Rows[0].Name, a.Rows[5].Name)
+	}
+	var sb strings.Builder
+	a.Render(&sb)
+	if !strings.Contains(sb.String(), "H2 only") {
+		t.Fatalf("render output:\n%s", sb.String())
+	}
+}
+
+func TestWindowAblationRuns(t *testing.T) {
+	a, err := RunWindowAblation(6, 0.20, Options{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 4 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+}
+
+func TestDowngradeAblationRuns(t *testing.T) {
+	a, err := RunDowngradeAblation(6, 0.20, Options{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 2 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+}
+
+func TestTable4Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 4 runs 100 clients")
+	}
+	tbl, err := RunTable4(Options{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.CSRequests == 0 || tbl.LSRequests == 0 {
+		t.Fatalf("request counts = %d/%d", tbl.CSRequests, tbl.LSRequests)
+	}
+	var sb strings.Builder
+	tbl.Render(&sb)
+	if !strings.Contains(sb.String(), "Forward Lists") {
+		t.Fatalf("render output:\n%s", sb.String())
+	}
+}
+
+func TestTables2And3Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tables sweep to 100 clients")
+	}
+	opts := Options{Scale: 0.05, Seed: 1}
+	t2, err := RunTable2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Rows) != 3 {
+		t.Fatalf("table2 rows = %d", len(t2.Rows))
+	}
+	t3, err := RunTable3(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Rows) != 3 {
+		t.Fatalf("table3 rows = %d", len(t3.Rows))
+	}
+	for _, r := range t3.Rows {
+		if r.CSShared <= 0 || r.CSShared > 10*time.Second {
+			t.Fatalf("suspicious SL response %v", r.CSShared)
+		}
+	}
+	var sb strings.Builder
+	t2.Render(&sb)
+	t3.Render(&sb)
+	if !strings.Contains(sb.String(), "Cache Hit Rates") || !strings.Contains(sb.String(), "Response Times") {
+		t.Fatalf("render output:\n%s", sb.String())
+	}
+}
+
+func TestPatternSweepRuns(t *testing.T) {
+	ps, err := RunPatternSweep(6, 0.10, Options{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Rows) != 3 {
+		t.Fatalf("rows = %d", len(ps.Rows))
+	}
+	var sb strings.Builder
+	ps.Render(&sb)
+	for _, want := range []string{"localized-rw", "uniform", "hot-cold"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestCCComparisonRuns(t *testing.T) {
+	cc, err := RunCCComparison(Options{Scale: 0.05, Seed: 1, Clients: []int{6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cc.Rows) != 2 { // one client count x two update mixes
+		t.Fatalf("rows = %d", len(cc.Rows))
+	}
+	var sb strings.Builder
+	cc.Render(&sb)
+	if !strings.Contains(sb.String(), "2PL") || !strings.Contains(sb.String(), "OCC") {
+		t.Fatalf("render output:\n%s", sb.String())
+	}
+}
+
+func TestSpeculationStudyRuns(t *testing.T) {
+	ss, err := RunSpeculationStudy(Options{Scale: 0.05, Seed: 1, Clients: []int{6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Rows) != 2 {
+		t.Fatalf("rows = %d", len(ss.Rows))
+	}
+	var sb strings.Builder
+	ss.Render(&sb)
+	if !strings.Contains(sb.String(), "LS+spec") {
+		t.Fatalf("render output:\n%s", sb.String())
+	}
+}
+
+func TestReplicatedFigure(t *testing.T) {
+	rf, err := RunReplicatedFigure("Figure R", 0.05, Options{Scale: 0.05, Seed: 1, Clients: []int{4}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Reps != 3 || len(rf.Points) != 1 {
+		t.Fatalf("shape = %d reps, %d points", rf.Reps, len(rf.Points))
+	}
+	if rf.Points[0].LS.N() != 3 {
+		t.Fatalf("samples = %d", rf.Points[0].LS.N())
+	}
+	var sb strings.Builder
+	rf.Render(&sb)
+	if !strings.Contains(sb.String(), "±") {
+		t.Fatalf("render output:\n%s", sb.String())
+	}
+	sb.Reset()
+	rf.CSV(&sb)
+	if !strings.HasPrefix(sb.String(), "clients,ce_mean") {
+		t.Fatalf("csv output:\n%s", sb.String())
+	}
+}
+
+func TestTableCSVHeaders(t *testing.T) {
+	var sb strings.Builder
+	(&Table2{Rows: []Table2Row{{Clients: 20}}}).CSV(&sb)
+	if !strings.HasPrefix(sb.String(), "clients,cs_1") {
+		t.Fatalf("table2 csv: %s", sb.String())
+	}
+	sb.Reset()
+	(&Table3{Rows: []Table3Row{{N: 20}}}).CSV(&sb)
+	if !strings.HasPrefix(sb.String(), "clients,cs_sl") {
+		t.Fatalf("table3 csv: %s", sb.String())
+	}
+	sb.Reset()
+	(&Table4{}).CSV(&sb)
+	if !strings.Contains(sb.String(), "forward_list_hops") {
+		t.Fatalf("table4 csv: %s", sb.String())
+	}
+}
+
+func TestOutageStudyRuns(t *testing.T) {
+	os, err := RunOutageStudy(6, 0.20, Options{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(os.Rows) != 3 {
+		t.Fatalf("rows = %d", len(os.Rows))
+	}
+	if os.Rows[2].Forces == 0 {
+		t.Fatal("WAL variant recorded no forces")
+	}
+	var sb strings.Builder
+	os.Render(&sb)
+	if !strings.Contains(sb.String(), "client WAL") {
+		t.Fatalf("render:\n%s", sb.String())
+	}
+}
+
+func TestSensitivityRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps 40-80 clients")
+	}
+	sv, err := RunSensitivity(Options{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sv.Rows) != 4 {
+		t.Fatalf("rows = %d", len(sv.Rows))
+	}
+	var sb strings.Builder
+	sv.Render(&sb)
+	if !strings.Contains(sb.String(), "crossover") {
+		t.Fatalf("render:\n%s", sb.String())
+	}
+}
+
+func TestPolicyStudyRuns(t *testing.T) {
+	ps, err := RunPolicyStudy(6, 0.20, Options{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Rows) != 4 {
+		t.Fatalf("rows = %d", len(ps.Rows))
+	}
+	var sb strings.Builder
+	ps.Render(&sb)
+	if !strings.Contains(sb.String(), "FCFS") {
+		t.Fatalf("render:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,212 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"siteselect/internal/config"
+	"siteselect/internal/rtdbs"
+)
+
+// OutageRow is one fault-injection measurement.
+type OutageRow struct {
+	Name        string
+	SuccessRate float64
+	LostUpdates int64
+	Forces      int64
+}
+
+// OutageStudy injects a client outage (partition plus volatile-state
+// loss) mid-run and measures the durability difference client-based
+// logging makes, alongside the cluster-wide real-time cost.
+type OutageStudy struct {
+	Clients int
+	Update  float64
+	Rows    []OutageRow
+}
+
+// RunOutageStudy runs baseline / outage-without-log / outage-with-log.
+func RunOutageStudy(clients int, update float64, opts Options) (*OutageStudy, error) {
+	opts = opts.normalize()
+	study := &OutageStudy{Clients: clients, Update: update}
+	variants := []struct {
+		name    string
+		outage  bool
+		logging bool
+	}{
+		{"no fault", false, false},
+		{"outage, no log", true, false},
+		{"outage, client WAL", true, true},
+	}
+	for _, v := range variants {
+		cfg := opts.csConfig(clients, update)
+		cfg.UseLogging = v.logging
+		if v.outage {
+			cfg.OutageClient = 1
+			cfg.OutageAt = cfg.Warmup + (cfg.Duration-cfg.Warmup)/2
+			cfg.OutageDuration = time.Minute
+		}
+		ls, err := rtdbs.NewLoadSharing(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("outage %q: %w", v.name, err)
+		}
+		res, err := ls.Run()
+		if err != nil {
+			return nil, fmt.Errorf("outage %q: %w", v.name, err)
+		}
+		row := OutageRow{Name: v.name, SuccessRate: res.SuccessRate()}
+		for _, cl := range ls.Clients() {
+			row.LostUpdates += cl.LostUpdates
+			if l := cl.Log(); l != nil {
+				row.Forces += l.Forces
+			}
+		}
+		study.Rows = append(study.Rows, row)
+	}
+	return study, nil
+}
+
+// Render writes the study as an aligned text table.
+func (s *OutageStudy) Render(w io.Writer) {
+	fmt.Fprintf(w, "Client outage fault injection (%d clients, %g%% updates, 1-minute outage)\n",
+		s.Clients, s.Update*100)
+	fmt.Fprintf(w, "%-22s %9s %12s %12s\n", "Variant", "Success", "Lost updates", "Log forces")
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%-22s %8.1f%% %12d %12d\n", r.Name, r.SuccessRate, r.LostUpdates, r.Forces)
+	}
+}
+
+// SensitivityRow measures the CE-vs-LS ordering at one value of the
+// calibration knob.
+type SensitivityRow struct {
+	OpCPU     time.Duration
+	CE40      float64
+	CE60      float64
+	CE80      float64
+	LS60      float64
+	Crossover string
+}
+
+// Sensitivity sweeps ServerOpCPU — the single calibrated cost — and
+// reports how the centralized system's collapse point moves, making the
+// calibration choice (and deviation D1 in EXPERIMENTS.md) explicit.
+type Sensitivity struct {
+	Rows []SensitivityRow
+}
+
+// RunSensitivity sweeps the server per-operation CPU cost.
+func RunSensitivity(opts Options) (*Sensitivity, error) {
+	opts = opts.normalize()
+	out := &Sensitivity{}
+	for _, op := range []time.Duration{
+		8 * time.Millisecond, 12 * time.Millisecond,
+		16 * time.Millisecond, 20 * time.Millisecond,
+	} {
+		row := SensitivityRow{OpCPU: op}
+		ce := map[int]float64{}
+		for _, n := range []int{40, 60, 80} {
+			cfg := opts.ceConfig(n, 0.01)
+			cfg.ServerOpCPU = op
+			res, err := RunCE(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("sensitivity CE %v/%d: %w", op, n, err)
+			}
+			ce[n] = res.SuccessRate()
+		}
+		row.CE40, row.CE60, row.CE80 = ce[40], ce[60], ce[80]
+		lsCfg := opts.csConfig(60, 0.01)
+		lsCfg.ServerOpCPU = op
+		ls, err := RunLS(lsCfg)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity LS %v: %w", op, err)
+		}
+		row.LS60 = ls.SuccessRate()
+		switch {
+		case ce[40] < row.LS60:
+			row.Crossover = "<=40 clients"
+		case ce[60] < row.LS60:
+			row.Crossover = "40-60 clients"
+		case ce[80] < row.LS60:
+			row.Crossover = "60-80 clients"
+		default:
+			row.Crossover = ">80 clients"
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render writes the sensitivity sweep as an aligned text table.
+func (s *Sensitivity) Render(w io.Writer) {
+	fmt.Fprintln(w, "Calibration sensitivity: CE collapse position vs ServerOpCPU (1% updates)")
+	fmt.Fprintf(w, "%-10s %9s %9s %9s %9s %16s\n",
+		"OpCPU", "CE@40", "CE@60", "CE@80", "LS@60", "CE<LS crossover")
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%-10v %8.1f%% %8.1f%% %8.1f%% %8.1f%% %16s\n",
+			r.OpCPU, r.CE40, r.CE60, r.CE80, r.LS60, r.Crossover)
+	}
+}
+
+// PolicyRow compares a scheduling/deadline/topology variant.
+type PolicyRow struct {
+	Name string
+	CE   float64
+	CS   float64
+	LS   float64
+}
+
+// PolicyStudy exercises the design-space knobs the paper fixes: EDF vs
+// FCFS executor scheduling, length-dependent vs independent deadlines,
+// and shared-bus vs switched interconnect.
+type PolicyStudy struct {
+	Clients int
+	Update  float64
+	Rows    []PolicyRow
+}
+
+// RunPolicyStudy runs the three systems under each policy variant.
+func RunPolicyStudy(clients int, update float64, opts Options) (*PolicyStudy, error) {
+	opts = opts.normalize()
+	study := &PolicyStudy{Clients: clients, Update: update}
+	variants := []struct {
+		name string
+		mod  func(*config.Config)
+	}{
+		{"baseline (EDF, bus)", func(*config.Config) {}},
+		{"FCFS scheduling", func(c *config.Config) { c.Scheduling = config.SchedFCFS }},
+		{"independent deadlines", func(c *config.Config) { c.Deadlines = config.DeadlineIndependent }},
+		{"switched network", func(c *config.Config) { c.Topology = config.TopologySwitched }},
+	}
+	for _, v := range variants {
+		ceCfg := opts.ceConfig(clients, update)
+		v.mod(&ceCfg)
+		ce, err := RunCE(ceCfg)
+		if err != nil {
+			return nil, fmt.Errorf("policy %q CE: %w", v.name, err)
+		}
+		csCfg := opts.csConfig(clients, update)
+		v.mod(&csCfg)
+		cs, err := RunCS(csCfg)
+		if err != nil {
+			return nil, fmt.Errorf("policy %q CS: %w", v.name, err)
+		}
+		ls, err := RunLS(csCfg)
+		if err != nil {
+			return nil, fmt.Errorf("policy %q LS: %w", v.name, err)
+		}
+		study.Rows = append(study.Rows, PolicyRow{
+			Name: v.name, CE: ce.SuccessRate(), CS: cs.SuccessRate(), LS: ls.SuccessRate(),
+		})
+	}
+	return study, nil
+}
+
+// Render writes the policy study as an aligned text table.
+func (s *PolicyStudy) Render(w io.Writer) {
+	fmt.Fprintf(w, "Policy study (%d clients, %g%% updates)\n", s.Clients, s.Update*100)
+	fmt.Fprintf(w, "%-24s %9s %9s %9s\n", "Variant", "CE", "CS", "LS")
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%-24s %8.1f%% %8.1f%% %8.1f%%\n", r.Name, r.CE, r.CS, r.LS)
+	}
+}

@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"siteselect/internal/rtdbs"
+)
+
+// CCRow compares pessimistic (2PL) and optimistic (OCC) concurrency
+// control on the centralized system at one operating point.
+type CCRow struct {
+	Clients      int
+	Update       float64
+	PL           float64 // 2PL success %
+	OCC          float64 // OCC success %
+	Restarts     int64
+	ConflictRate float64 // validation conflicts / validations
+}
+
+// CCComparison is the concurrency-control study the paper defers to
+// future work: strict 2PL versus backward-validation OCC on the
+// centralized real-time database.
+type CCComparison struct {
+	Rows []CCRow
+}
+
+// RunCCComparison sweeps client counts at two update mixes.
+func RunCCComparison(opts Options) (*CCComparison, error) {
+	opts = opts.normalize()
+	out := &CCComparison{}
+	for _, update := range []float64{0.01, 0.20} {
+		for _, n := range opts.Clients {
+			plCfg := opts.ceConfig(n, update)
+			pl, err := RunCE(plCfg)
+			if err != nil {
+				return nil, fmt.Errorf("cc: 2PL %d clients: %w", n, err)
+			}
+			occCfg := opts.ceConfig(n, update)
+			oc, err := rtdbs.NewCentralizedOCC(occCfg)
+			if err != nil {
+				return nil, fmt.Errorf("cc: OCC %d clients: %w", n, err)
+			}
+			res, err := oc.Run()
+			if err != nil {
+				return nil, fmt.Errorf("cc: OCC %d clients: %w", n, err)
+			}
+			row := CCRow{
+				Clients:  n,
+				Update:   update,
+				PL:       pl.SuccessRate(),
+				OCC:      res.SuccessRate(),
+				Restarts: oc.Restarts,
+			}
+			if v := oc.Validator(); v.Validations > 0 {
+				row.ConflictRate = float64(v.Conflicts) / float64(v.Validations)
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Render writes the comparison as an aligned text table.
+func (c *CCComparison) Render(w io.Writer) {
+	fmt.Fprintln(w, "Concurrency-control study (centralized system): strict 2PL vs backward-validation OCC")
+	fmt.Fprintf(w, "%-8s %-9s %10s %10s %10s %12s\n",
+		"Clients", "Updates", "2PL", "OCC", "Restarts", "Conflict rate")
+	for _, r := range c.Rows {
+		fmt.Fprintf(w, "%-8d %-9s %9.1f%% %9.1f%% %10d %11.2f%%\n",
+			r.Clients, fmt.Sprintf("%g%%", r.Update*100), r.PL, r.OCC, r.Restarts, 100*r.ConflictRate)
+	}
+}

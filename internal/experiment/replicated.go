@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"siteselect/internal/stats"
+)
+
+// ReplicatedPoint aggregates one figure x-position over several seeds.
+type ReplicatedPoint struct {
+	Clients int
+	CE      stats.Sample
+	CS      stats.Sample
+	LS      stats.Sample
+}
+
+// ReplicatedFigure is a Figure 3/4/5 reproduction averaged over seeds,
+// with ~95% confidence half-widths.
+type ReplicatedFigure struct {
+	ID             string
+	UpdateFraction float64
+	Reps           int
+	Points         []ReplicatedPoint
+}
+
+// RunReplicatedFigure runs the figure reps times with consecutive seeds
+// starting at opts.Seed and aggregates per point.
+func RunReplicatedFigure(id string, update float64, opts Options, reps int) (*ReplicatedFigure, error) {
+	opts = opts.normalize()
+	if reps < 1 {
+		reps = 1
+	}
+	rf := &ReplicatedFigure{ID: id, UpdateFraction: update, Reps: reps}
+	rf.Points = make([]ReplicatedPoint, len(opts.Clients))
+	for i, n := range opts.Clients {
+		rf.Points[i].Clients = n
+	}
+	for rep := 0; rep < reps; rep++ {
+		o := opts
+		o.Seed = opts.Seed + int64(rep)
+		f, err := RunFigure(id, update, o)
+		if err != nil {
+			return nil, fmt.Errorf("replica %d: %w", rep, err)
+		}
+		for i, p := range f.Points {
+			rf.Points[i].CE.Add(p.CE)
+			rf.Points[i].CS.Add(p.CS)
+			rf.Points[i].LS.Add(p.LS)
+		}
+	}
+	return rf, nil
+}
+
+// Render writes the replicated figure with mean ± 95% CI columns.
+func (rf *ReplicatedFigure) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — success %% over %d seeds (mean ± 95%% CI)\n", rf.ID, rf.Reps)
+	fmt.Fprintf(w, "%-10s %18s %18s %18s\n", "Clients", "CE-RTDBS", "CS-RTDBS", "LS-CS-RTDBS")
+	cell := func(s stats.Sample) string {
+		return fmt.Sprintf("%6.1f ± %4.1f", s.Mean(), s.CI95())
+	}
+	for _, p := range rf.Points {
+		fmt.Fprintf(w, "%-10d %18s %18s %18s\n", p.Clients, cell(p.CE), cell(p.CS), cell(p.LS))
+	}
+}
+
+// CSV writes the replicated figure with mean and CI columns.
+func (rf *ReplicatedFigure) CSV(w io.Writer) {
+	fmt.Fprintln(w, "clients,ce_mean,ce_ci,cs_mean,cs_ci,ls_mean,ls_ci")
+	for _, p := range rf.Points {
+		fmt.Fprintf(w, "%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+			p.Clients, p.CE.Mean(), p.CE.CI95(), p.CS.Mean(), p.CS.CI95(),
+			p.LS.Mean(), p.LS.CI95())
+	}
+}

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+)
+
+// SpecRow compares the load-sharing system with and without speculative
+// processing at one operating point.
+type SpecRow struct {
+	Clients  int
+	Update   float64
+	LS       float64
+	LSSpec   float64
+	Runs     int64
+	Hits     int64
+	HitRatio float64
+}
+
+// SpeculationStudy is the second future-work extension: overlap a
+// transaction's computation with its in-flight lock upgrades and keep
+// the work when the versions validate.
+type SpeculationStudy struct {
+	Rows []SpecRow
+}
+
+// RunSpeculationStudy sweeps client counts at a write-heavy mix (the
+// regime where upgrades — and therefore speculation opportunities —
+// exist).
+func RunSpeculationStudy(opts Options) (*SpeculationStudy, error) {
+	opts = opts.normalize()
+	out := &SpeculationStudy{}
+	for _, update := range []float64{0.05, 0.20} {
+		for _, n := range opts.Clients {
+			base, err := RunLS(opts.csConfig(n, update))
+			if err != nil {
+				return nil, fmt.Errorf("speculation: base %d clients: %w", n, err)
+			}
+			cfg := opts.csConfig(n, update)
+			cfg.UseSpeculation = true
+			spec, err := RunLS(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("speculation: spec %d clients: %w", n, err)
+			}
+			row := SpecRow{
+				Clients: n,
+				Update:  update,
+				LS:      base.SuccessRate(),
+				LSSpec:  spec.SuccessRate(),
+				Runs:    spec.M.SpeculativeRuns,
+				Hits:    spec.M.SpeculationHits,
+			}
+			if row.Runs > 0 {
+				row.HitRatio = float64(row.Hits) / float64(row.Runs)
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Render writes the study as an aligned text table.
+func (s *SpeculationStudy) Render(w io.Writer) {
+	fmt.Fprintln(w, "Speculative processing study (LS-CS-RTDBS, upgrades overlapped with computation)")
+	fmt.Fprintf(w, "%-8s %-9s %10s %12s %10s %10s %10s\n",
+		"Clients", "Updates", "LS", "LS+spec", "Spec runs", "Validated", "Hit ratio")
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%-8d %-9s %9.1f%% %11.1f%% %10d %10d %9.1f%%\n",
+			r.Clients, fmt.Sprintf("%g%%", r.Update*100), r.LS, r.LSSpec, r.Runs, r.Hits, 100*r.HitRatio)
+	}
+}

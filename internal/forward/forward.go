@@ -1,0 +1,223 @@
+// Package forward implements the grouped-lock object migration of
+// Section 3.4: the server collects the lock requests that arrive for an
+// object during a collection window into a deadline-ordered forward
+// list, grants the lock to the first entry, and the object then hops
+// client-to-client down the list — combining each lock release with the
+// next grant. For n grouped requests the protocol needs 2n+1 messages
+// where per-request callback locking needs 3n to 4n.
+//
+// Entries whose transactions have already missed their deadlines are
+// skipped at each hop, and a run of consecutive shared-mode entries is
+// annotated as a parallel-read group.
+package forward
+
+import (
+	"sort"
+	"time"
+
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/netsim"
+	"siteselect/internal/sim"
+	"siteselect/internal/txn"
+)
+
+// Entry is one pending request in a forward list.
+type Entry struct {
+	Client   netsim.SiteID
+	Mode     lockmgr.Mode
+	Deadline time.Duration
+	Txn      txn.ID
+	// Epoch is stamped by the server at dispatch: the client's release
+	// epoch its registration was made under. The hop delivering this
+	// entry carries it so the recipient can detect staleness.
+	Epoch int64
+}
+
+// List is a deadline-ordered forward list for one object.
+type List struct {
+	Obj     lockmgr.ObjectID
+	Entries []Entry
+	// ReadRun marks a parallel read-only list (the Section 3.4
+	// annotation): every entry already holds a registered SL, the
+	// object hops down the run immediately without waiting for commits,
+	// each recipient keeps its copy, and nothing returns to the server.
+	ReadRun bool
+	// Retained accumulates clients that kept a clean shared copy as the
+	// object passed through an exclusive migration (only legal while no
+	// exclusive entry remains downstream); the server registers these
+	// SLs when the object returns.
+	Retained []netsim.SiteID
+	seq      []int64
+	nextSeq  int64
+}
+
+// HasExclusive reports whether any remaining entry needs an EL.
+func (l *List) HasExclusive() bool {
+	for _, e := range l.Entries {
+		if e.Mode == lockmgr.ModeExclusive {
+			return true
+		}
+	}
+	return false
+}
+
+// NewList returns an empty list for obj.
+func NewList(obj lockmgr.ObjectID) *List { return &List{Obj: obj} }
+
+// Len returns the number of pending entries.
+func (l *List) Len() int { return len(l.Entries) }
+
+// Insert adds e keeping deadline order (ties FIFO).
+func (l *List) Insert(e Entry) {
+	l.nextSeq++
+	seq := l.nextSeq
+	i := sort.Search(len(l.Entries), func(i int) bool {
+		if l.Entries[i].Deadline != e.Deadline {
+			return l.Entries[i].Deadline > e.Deadline
+		}
+		return l.seq[i] > seq
+	})
+	l.Entries = append(l.Entries, Entry{})
+	l.seq = append(l.seq, 0)
+	copy(l.Entries[i+1:], l.Entries[i:])
+	copy(l.seq[i+1:], l.seq[i:])
+	l.Entries[i] = e
+	l.seq[i] = seq
+}
+
+// PopLive removes and returns the first entry whose deadline has not
+// passed at now, together with the dead entries skipped over (the paper's
+// "deadline information ... is used to ignore transactions that have
+// missed their deadlines"). ok is false when no live entry remains.
+func (l *List) PopLive(now time.Duration) (e Entry, ok bool, skipped []Entry) {
+	for len(l.Entries) > 0 {
+		head := l.Entries[0]
+		l.Entries = l.Entries[1:]
+		l.seq = l.seq[1:]
+		if head.Deadline < now {
+			skipped = append(skipped, head)
+			continue
+		}
+		return head, true, skipped
+	}
+	return Entry{}, false, skipped
+}
+
+// Last returns the final live entry — the client the server reports as
+// the object's (future) location when answering location queries.
+func (l *List) Last(now time.Duration) (Entry, bool) {
+	for i := len(l.Entries) - 1; i >= 0; i-- {
+		if l.Entries[i].Deadline >= now {
+			return l.Entries[i], true
+		}
+	}
+	return Entry{}, false
+}
+
+// ParallelReadRun returns how many leading entries form a shared-mode
+// (read-only) run that may access the object in parallel.
+func (l *List) ParallelReadRun() int {
+	n := 0
+	for _, e := range l.Entries {
+		if e.Mode != lockmgr.ModeShared {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// PopRun removes and returns the leading run of live entries that share
+// the first live entry's mode, skipping dead entries anywhere in the
+// run. A shared run may be served in parallel (the paper's parallel
+// read-only annotation); an exclusive run forms a migration pipeline.
+func (l *List) PopRun(now time.Duration) (run []Entry, skipped []Entry) {
+	var mode lockmgr.Mode
+	for len(l.Entries) > 0 {
+		head := l.Entries[0]
+		if head.Deadline < now {
+			skipped = append(skipped, head)
+			l.Entries = l.Entries[1:]
+			l.seq = l.seq[1:]
+			continue
+		}
+		if mode == 0 {
+			mode = head.Mode
+		}
+		if head.Mode != mode {
+			break
+		}
+		run = append(run, head)
+		l.Entries = l.Entries[1:]
+		l.seq = l.seq[1:]
+	}
+	return run, skipped
+}
+
+// Clone returns a deep copy (the server ships a copy with the object).
+func (l *List) Clone() *List {
+	c := &List{Obj: l.Obj, ReadRun: l.ReadRun, nextSeq: l.nextSeq}
+	c.Entries = append([]Entry(nil), l.Entries...)
+	c.Retained = append([]netsim.SiteID(nil), l.Retained...)
+	c.seq = append([]int64(nil), l.seq...)
+	return c
+}
+
+// Collector batches requests per object over a collection window. The
+// first Add for an object opens its window; when the window elapses the
+// list is sealed and handed to onSeal. With a zero window the list seals
+// immediately (grouping effectively off).
+type Collector struct {
+	env    *sim.Env
+	window time.Duration
+	onSeal func(*List)
+	open   map[lockmgr.ObjectID]*List
+
+	// Sealed counts lists handed to onSeal; Grouped counts entries that
+	// shared a list with at least one other entry.
+	Sealed  int64
+	Grouped int64
+}
+
+// NewCollector returns a collector sealing lists with onSeal after
+// window.
+func NewCollector(env *sim.Env, window time.Duration, onSeal func(*List)) *Collector {
+	return &Collector{
+		env:    env,
+		window: window,
+		onSeal: onSeal,
+		open:   make(map[lockmgr.ObjectID]*List),
+	}
+}
+
+// Pending returns the open (not yet sealed) list for obj, or nil.
+func (c *Collector) Pending(obj lockmgr.ObjectID) *List { return c.open[obj] }
+
+// SealNow closes obj's window early (the object became available before
+// the window elapsed; waiting longer would only add latency). The
+// original window timer becomes a no-op.
+func (c *Collector) SealNow(obj lockmgr.ObjectID) { c.seal(obj) }
+
+// Add queues e for obj, opening a collection window on first use.
+func (c *Collector) Add(obj lockmgr.ObjectID, e Entry) {
+	l, ok := c.open[obj]
+	if !ok {
+		l = NewList(obj)
+		c.open[obj] = l
+		c.env.Schedule(c.window, func() { c.seal(obj) })
+	}
+	l.Insert(e)
+}
+
+func (c *Collector) seal(obj lockmgr.ObjectID) {
+	l, ok := c.open[obj]
+	if !ok {
+		return
+	}
+	delete(c.open, obj)
+	c.Sealed++
+	if l.Len() > 1 {
+		c.Grouped += int64(l.Len())
+	}
+	c.onSeal(l)
+}

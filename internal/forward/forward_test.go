@@ -1,0 +1,261 @@
+package forward
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/netsim"
+	"siteselect/internal/sim"
+)
+
+func netsimSiteID(i int) netsim.SiteID { return netsim.SiteID(i) }
+
+func TestInsertDeadlineOrder(t *testing.T) {
+	l := NewList(1)
+	l.Insert(Entry{Client: 1, Deadline: 30 * time.Second})
+	l.Insert(Entry{Client: 2, Deadline: 10 * time.Second})
+	l.Insert(Entry{Client: 3, Deadline: 20 * time.Second})
+	want := []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second}
+	for i, e := range l.Entries {
+		if e.Deadline != want[i] {
+			t.Fatalf("order = %v", l.Entries)
+		}
+	}
+}
+
+func TestInsertTieFIFO(t *testing.T) {
+	l := NewList(1)
+	for i := 1; i <= 4; i++ {
+		l.Insert(Entry{Client: netsimSiteID(i), Deadline: time.Second})
+	}
+	for i, e := range l.Entries {
+		if int(e.Client) != i+1 {
+			t.Fatalf("tie order = %v", l.Entries)
+		}
+	}
+}
+
+func TestPopLiveSkipsDead(t *testing.T) {
+	l := NewList(1)
+	l.Insert(Entry{Client: 1, Deadline: 5 * time.Second})
+	l.Insert(Entry{Client: 2, Deadline: 15 * time.Second})
+	l.Insert(Entry{Client: 3, Deadline: 25 * time.Second})
+	e, ok, skipped := l.PopLive(10 * time.Second)
+	if !ok || e.Client != 2 {
+		t.Fatalf("PopLive = %+v ok=%v", e, ok)
+	}
+	if len(skipped) != 1 || skipped[0].Client != 1 {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	_, ok, skipped = l.PopLive(100 * time.Second)
+	if ok || len(skipped) != 1 {
+		t.Fatalf("all-dead pop: ok=%v skipped=%v", ok, skipped)
+	}
+}
+
+func TestLastLiveEntry(t *testing.T) {
+	l := NewList(1)
+	l.Insert(Entry{Client: 1, Deadline: 10 * time.Second})
+	l.Insert(Entry{Client: 2, Deadline: 20 * time.Second})
+	l.Insert(Entry{Client: 3, Deadline: 30 * time.Second})
+	e, ok := l.Last(0)
+	if !ok || e.Client != 3 {
+		t.Fatalf("Last = %+v", e)
+	}
+	// At t=25s only client 3's entry is live.
+	e, ok = l.Last(25 * time.Second)
+	if !ok || e.Client != 3 {
+		t.Fatalf("Last(25s) = %+v", e)
+	}
+	if _, ok := l.Last(100 * time.Second); ok {
+		t.Fatal("all-dead Last should be !ok")
+	}
+}
+
+func TestParallelReadRun(t *testing.T) {
+	l := NewList(1)
+	l.Insert(Entry{Client: 1, Mode: lockmgr.ModeShared, Deadline: 1 * time.Second})
+	l.Insert(Entry{Client: 2, Mode: lockmgr.ModeShared, Deadline: 2 * time.Second})
+	l.Insert(Entry{Client: 3, Mode: lockmgr.ModeExclusive, Deadline: 3 * time.Second})
+	l.Insert(Entry{Client: 4, Mode: lockmgr.ModeShared, Deadline: 4 * time.Second})
+	if run := l.ParallelReadRun(); run != 2 {
+		t.Fatalf("parallel run = %d, want 2", run)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	l := NewList(1)
+	l.Insert(Entry{Client: 1, Deadline: time.Second})
+	c := l.Clone()
+	c.Insert(Entry{Client: 2, Deadline: 2 * time.Second})
+	if l.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("clone not independent: %d vs %d", l.Len(), c.Len())
+	}
+}
+
+func TestCollectorWindow(t *testing.T) {
+	env := sim.NewEnv()
+	var sealed []*List
+	c := NewCollector(env, time.Second, func(l *List) { sealed = append(sealed, l) })
+	env.Schedule(0, func() { c.Add(1, Entry{Client: 1, Deadline: 10 * time.Second}) })
+	env.Schedule(500*time.Millisecond, func() { c.Add(1, Entry{Client: 2, Deadline: 5 * time.Second}) })
+	// After the window: arrives too late for the first list.
+	env.Schedule(1500*time.Millisecond, func() { c.Add(1, Entry{Client: 3, Deadline: 7 * time.Second}) })
+	env.Run(5 * time.Second)
+	if len(sealed) != 2 {
+		t.Fatalf("sealed lists = %d, want 2", len(sealed))
+	}
+	if sealed[0].Len() != 2 || sealed[0].Entries[0].Client != 2 {
+		t.Fatalf("first list = %+v", sealed[0].Entries)
+	}
+	if sealed[1].Len() != 1 || sealed[1].Entries[0].Client != 3 {
+		t.Fatalf("second list = %+v", sealed[1].Entries)
+	}
+	if c.Sealed != 2 || c.Grouped != 2 {
+		t.Fatalf("Sealed=%d Grouped=%d", c.Sealed, c.Grouped)
+	}
+}
+
+func TestCollectorZeroWindowSealsImmediately(t *testing.T) {
+	env := sim.NewEnv()
+	var sealed []*List
+	c := NewCollector(env, 0, func(l *List) { sealed = append(sealed, l) })
+	env.Schedule(0, func() { c.Add(1, Entry{Client: 1, Deadline: time.Second}) })
+	env.Schedule(0, func() { c.Add(1, Entry{Client: 2, Deadline: time.Second}) })
+	env.Run(time.Second)
+	// Both Adds happen at t=0 before the seal event (scheduled after),
+	// so they still share one list; a zero window just means no extra
+	// waiting.
+	if len(sealed) != 1 || sealed[0].Len() != 2 {
+		t.Fatalf("sealed = %d lists", len(sealed))
+	}
+}
+
+func TestMessageCountFormulas(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		if Messages2PL(n) != 3*n {
+			t.Fatalf("2PL(%d) = %d", n, Messages2PL(n))
+		}
+		if MessagesCallback(n) != 4*n {
+			t.Fatalf("callback(%d) = %d", n, MessagesCallback(n))
+		}
+		if MessagesGrouped(n) != 2*n+1 {
+			t.Fatalf("grouped(%d) = %d", n, MessagesGrouped(n))
+		}
+		if n >= 1 && MessagesGrouped(n) >= MessagesCallback(n) && n > 1 {
+			t.Fatalf("grouping should win for n=%d", n)
+		}
+	}
+}
+
+func TestFigureScenarios(t *testing.T) {
+	if got := len(FigureScenarioCallback()); got != 7 {
+		t.Fatalf("Figure 1 scenario = %d messages, want 7", got)
+	}
+	if got := len(FigureScenarioGrouped()); got != 5 {
+		t.Fatalf("Figure 2 scenario = %d messages, want 5", got)
+	}
+}
+
+// Property: PopLive drains the list in nondecreasing deadline order
+// among live entries, regardless of insertion order.
+func TestPopLiveOrderProperty(t *testing.T) {
+	f := func(deadlinesMs []uint16, nowMs uint16) bool {
+		l := NewList(1)
+		for i, d := range deadlinesMs {
+			l.Insert(Entry{Client: netsimSiteID(i), Deadline: time.Duration(d) * time.Millisecond})
+		}
+		now := time.Duration(nowMs) * time.Millisecond
+		last := time.Duration(-1)
+		for {
+			e, ok, skipped := l.PopLive(now)
+			for _, s := range skipped {
+				if s.Deadline >= now {
+					return false
+				}
+			}
+			if !ok {
+				return true
+			}
+			if e.Deadline < now || e.Deadline < last {
+				return false
+			}
+			last = e.Deadline
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneCopiesReadRunAndRetained(t *testing.T) {
+	l := NewList(1)
+	l.ReadRun = true
+	l.Retained = []netsim.SiteID{3, 4}
+	l.Insert(Entry{Client: 1, Deadline: time.Second, Epoch: 7})
+	c := l.Clone()
+	if !c.ReadRun {
+		t.Fatal("ReadRun not cloned")
+	}
+	if len(c.Retained) != 2 || c.Retained[0] != 3 {
+		t.Fatalf("Retained = %v", c.Retained)
+	}
+	if c.Entries[0].Epoch != 7 {
+		t.Fatalf("entry epoch = %d", c.Entries[0].Epoch)
+	}
+	c.Retained = append(c.Retained, 9)
+	if len(l.Retained) != 2 {
+		t.Fatal("clone shares Retained backing array state")
+	}
+}
+
+func TestHasExclusive(t *testing.T) {
+	l := NewList(1)
+	l.Insert(Entry{Client: 1, Mode: lockmgr.ModeShared, Deadline: time.Second})
+	if l.HasExclusive() {
+		t.Fatal("all-shared list reported exclusive")
+	}
+	l.Insert(Entry{Client: 2, Mode: lockmgr.ModeExclusive, Deadline: 2 * time.Second})
+	if !l.HasExclusive() {
+		t.Fatal("exclusive entry not detected")
+	}
+}
+
+func TestPopRunStopsAtModeBoundary(t *testing.T) {
+	l := NewList(1)
+	l.Insert(Entry{Client: 1, Mode: lockmgr.ModeShared, Deadline: 1 * time.Second})
+	l.Insert(Entry{Client: 2, Mode: lockmgr.ModeShared, Deadline: 2 * time.Second})
+	l.Insert(Entry{Client: 3, Mode: lockmgr.ModeExclusive, Deadline: 3 * time.Second})
+	l.Insert(Entry{Client: 4, Mode: lockmgr.ModeShared, Deadline: 4 * time.Second})
+	run, skipped := l.PopRun(0)
+	if len(run) != 2 || len(skipped) != 0 {
+		t.Fatalf("run=%d skipped=%d", len(run), len(skipped))
+	}
+	run, _ = l.PopRun(0)
+	if len(run) != 1 || run[0].Mode != lockmgr.ModeExclusive {
+		t.Fatalf("second run = %+v", run)
+	}
+	run, _ = l.PopRun(0)
+	if len(run) != 1 || run[0].Client != 4 {
+		t.Fatalf("third run = %+v", run)
+	}
+}
+
+func TestPopRunSkipsDeadInsideRun(t *testing.T) {
+	l := NewList(1)
+	l.Insert(Entry{Client: 1, Mode: lockmgr.ModeShared, Deadline: 1 * time.Second})  // dead at now=5s
+	l.Insert(Entry{Client: 2, Mode: lockmgr.ModeShared, Deadline: 10 * time.Second}) // live
+	l.Insert(Entry{Client: 3, Mode: lockmgr.ModeShared, Deadline: 2 * time.Second})  // dead
+	run, skipped := l.PopRun(5 * time.Second)
+	if len(run) != 1 || run[0].Client != 2 {
+		t.Fatalf("run = %+v", run)
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped = %+v", skipped)
+	}
+}

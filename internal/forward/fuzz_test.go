@@ -1,0 +1,85 @@
+package forward
+
+import (
+	"testing"
+	"time"
+
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/netsim"
+)
+
+// FuzzForwardList checks the list invariants under arbitrary insert and
+// pop interleavings: PopLive yields nondecreasing deadlines among live
+// entries, PopRun yields a single-mode run, and no entry is ever lost
+// (every insert is eventually popped or skipped).
+func FuzzForwardList(f *testing.F) {
+	f.Add([]byte{0x10, 0x22, 0x35, 0xf0}, uint8(3))
+	f.Add([]byte{0x01, 0x81, 0x41, 0xc1}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, nowByte uint8) {
+		l := NewList(1)
+		inserted := 0
+		for _, b := range data {
+			e := Entry{
+				Client:   netsim.SiteID(b&0x0f) + 1,
+				Deadline: time.Duration(b>>4) * time.Millisecond,
+				Mode:     lockmgr.ModeShared,
+			}
+			if b&0x01 != 0 {
+				e.Mode = lockmgr.ModeExclusive
+			}
+			l.Insert(e)
+			inserted++
+		}
+		now := time.Duration(nowByte%16) * time.Millisecond
+		accounted := 0
+		last := time.Duration(-1)
+		for {
+			e, ok, skipped := l.PopLive(now)
+			accounted += len(skipped)
+			for _, s := range skipped {
+				if s.Deadline >= now {
+					t.Fatalf("live entry %+v skipped", s)
+				}
+			}
+			if !ok {
+				break
+			}
+			accounted++
+			if e.Deadline < now {
+				t.Fatalf("dead entry %+v popped", e)
+			}
+			if e.Deadline < last {
+				t.Fatalf("deadline order broken: %v after %v", e.Deadline, last)
+			}
+			last = e.Deadline
+		}
+		if accounted != inserted {
+			t.Fatalf("entries lost: inserted %d, accounted %d", inserted, accounted)
+		}
+
+		// PopRun mode purity on a fresh copy.
+		l2 := NewList(2)
+		for _, b := range data {
+			mode := lockmgr.ModeShared
+			if b&0x01 != 0 {
+				mode = lockmgr.ModeExclusive
+			}
+			l2.Insert(Entry{
+				Client:   netsim.SiteID(b&0x0f) + 1,
+				Deadline: time.Duration(b>>4) * time.Millisecond,
+				Mode:     mode,
+			})
+		}
+		for {
+			run, _ := l2.PopRun(now)
+			if len(run) == 0 {
+				break
+			}
+			for _, e := range run {
+				if e.Mode != run[0].Mode {
+					t.Fatalf("mixed-mode run: %v", run)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,240 @@
+// Package loadshare implements the decision logic of the paper's
+// Section 4 load-sharing algorithm:
+//
+//   - H1 — can transaction T still make its deadline at this site, given
+//     the queue ahead of it and the site's observed average transaction
+//     length (ATL)?
+//   - H2 — which site would have to wait for the fewest conflicting
+//     locks to run T, breaking ties by estimated queueing delay?
+//   - decomposition grouping — partition a decomposable transaction's
+//     accesses by the sites currently caching them.
+//
+// The functions here are pure: the client actor supplies the state
+// (conflict locations from the server, piggybacked load reports) and
+// acts on the returned decision, so the heuristics are directly unit
+// testable and reusable across configurations.
+package loadshare
+
+import (
+	"sort"
+	"time"
+
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/netsim"
+	"siteselect/internal/proto"
+	"siteselect/internal/sched"
+)
+
+// H1Feasible evaluates heuristic H1 at a site: with queueLen
+// transactions ahead and observed mean length atl, a transaction with
+// the given absolute deadline has a reasonable chance of completing iff
+// now + queueLen·atl ≤ deadline.
+func H1Feasible(now time.Duration, queueLen int, atl, deadline time.Duration) bool {
+	return sched.FeasibleH1(now, queueLen, atl, deadline)
+}
+
+// ConflictsAt returns how many of the conflicted objects would still
+// require waiting for another site's locks if the transaction executed
+// at site: an object stops conflicting only when site is its sole
+// conflicting holder (its locks become local).
+func ConflictsAt(site netsim.SiteID, conflicts []proto.ObjConflict) int {
+	n := 0
+	for _, c := range conflicts {
+		resolved := len(c.Holders) == 1 && c.Holders[0] == site
+		if !resolved {
+			n++
+		}
+	}
+	return n
+}
+
+// Decision is the outcome of a site-selection evaluation.
+type Decision struct {
+	// Target is the chosen execution site.
+	Target netsim.SiteID
+	// Ship is true when Target differs from the origin.
+	Ship bool
+	// Conflicts is the H2 conflict count at Target.
+	Conflicts int
+}
+
+// Params carries the inputs to site selection.
+type Params struct {
+	Origin netsim.SiteID
+	// Now and Deadline bound the feasibility checks.
+	Now      time.Duration
+	Deadline time.Duration
+	// Conflicts lists the objects the server reported as conflicted,
+	// with their conflicting holders (the H1-passed branch: a tentative
+	// probe came back with conflict locations).
+	Conflicts []proto.ObjConflict
+	// Locations lists where the transaction's objects are cached in any
+	// mode (the H1-failed branch: a location query came back). A site
+	// holding many of the objects can serve them locally.
+	Locations []proto.ObjConflict
+	// Loads holds the known load reports (piggybacked at the server) of
+	// candidate sites; missing entries are treated as unloaded.
+	Loads map[netsim.SiteID]proto.LoadReport
+	// OriginQueueLen and OriginATL describe the origin directly (the
+	// client knows its own state more freshly than the server does).
+	// Queue lengths count waiting transactions only; Executors divides
+	// the estimated wait across a site's concurrent executor slots.
+	OriginQueueLen int
+	OriginATL      time.Duration
+	Executors      int
+	// DataCounts, when provided, overrides the location-derived data
+	// availability per site (e.g. the server's whole-access-set counts
+	// in a ConflictReply).
+	DataCounts map[netsim.SiteID]int
+	// RequireImprovement makes the origin win unless some site has
+	// strictly fewer conflicts (the H1-passed branch of the pseudocode:
+	// "IF another client is in a better position (H2) THEN ship").
+	RequireImprovement bool
+	// MinShipData additionally refuses to ship unless the target caches
+	// at least this many of the transaction's objects — Section 3.1's
+	// "significant percentage of a transaction's required data is
+	// already cached at another site" condition. Zero disables the
+	// check.
+	MinShipData int
+}
+
+// ChooseSite evaluates H2 over the candidate sites (every reported
+// holder, plus the origin) and returns the best execution site for the
+// transaction.
+//
+// Ranking: fewest remaining lock conflicts first (H2 proper), then most
+// of the transaction's data cached locally, then smallest estimated
+// queueing delay (queue length × ATL / executors, per the load table),
+// then lowest site id for determinism. Candidates whose queue fails H1
+// feasibility are discarded (a site that cannot meet the deadline is
+// never "in a better position").
+func ChooseSite(p Params) Decision {
+	execs := p.Executors
+	if execs < 1 {
+		execs = 1
+	}
+	dataAt := make(map[netsim.SiteID]int)
+	for _, loc := range p.Locations {
+		for _, h := range loc.Holders {
+			dataAt[h]++
+		}
+	}
+	for site, n := range p.DataCounts {
+		if n > dataAt[site] {
+			dataAt[site] = n
+		}
+	}
+	type cand struct {
+		site      netsim.SiteID
+		conflicts int
+		data      int
+		wait      time.Duration
+	}
+	seen := map[netsim.SiteID]bool{p.Origin: true}
+	cands := []cand{{
+		site:      p.Origin,
+		conflicts: ConflictsAt(p.Origin, p.Conflicts),
+		data:      dataAt[p.Origin],
+		wait:      time.Duration(p.OriginQueueLen) * p.OriginATL / time.Duration(execs),
+	}}
+	var holders []netsim.SiteID
+	for _, c := range p.Conflicts {
+		holders = append(holders, c.Holders...)
+	}
+	for _, c := range p.Locations {
+		holders = append(holders, c.Holders...)
+	}
+	sort.Slice(holders, func(i, j int) bool { return holders[i] < holders[j] })
+	for _, h := range holders {
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		load, known := p.Loads[h]
+		wait := time.Duration(0)
+		if known && load.Valid {
+			atl := load.ATL
+			if atl <= 0 {
+				atl = p.OriginATL
+			}
+			wait = time.Duration(load.QueueLen) * atl / time.Duration(execs)
+			// A shipped transaction joins the back of the candidate's
+			// queue: H1 with one extra waiter.
+			if p.Now+wait+atl > p.Deadline {
+				continue
+			}
+		}
+		cands = append(cands, cand{
+			site:      h,
+			conflicts: ConflictsAt(h, p.Conflicts),
+			data:      dataAt[h],
+			wait:      wait,
+		})
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		switch {
+		case c.conflicts != best.conflicts:
+			if c.conflicts < best.conflicts {
+				best = c
+			}
+		case c.data != best.data:
+			if c.data > best.data {
+				best = c
+			}
+		case c.wait != best.wait:
+			if c.wait < best.wait {
+				best = c
+			}
+		case c.site < best.site:
+			best = c
+		}
+	}
+	if best.site != p.Origin {
+		origin := cands[0]
+		if p.RequireImprovement && best.conflicts >= origin.conflicts {
+			best = origin
+		} else if p.MinShipData > 0 && best.data < p.MinShipData {
+			best = origin
+		}
+	}
+	return Decision{Target: best.site, Ship: best.site != p.Origin, Conflicts: best.conflicts}
+}
+
+// GroupByLocation builds the decomposition partition of Section 3.2:
+// each access is grouped by the site that solely caches its object
+// (reported in locations), with unlocated accesses grouped at the
+// origin. The returned function maps an op index to a group key usable
+// with txn.Transaction.Decompose, and the site map translates group keys
+// back to execution sites.
+func GroupByLocation(origin netsim.SiteID, objs []lockmgr.ObjectID, locations []proto.ObjConflict) (partOf func(int) int, siteOf map[int]netsim.SiteID) {
+	where := make(map[lockmgr.ObjectID]netsim.SiteID, len(locations))
+	for _, loc := range locations {
+		if len(loc.Holders) == 1 {
+			where[loc.Obj] = loc.Holders[0]
+		}
+	}
+	siteOf = make(map[int]netsim.SiteID)
+	keyOf := map[netsim.SiteID]int{}
+	nextKey := 0
+	keyFor := func(s netsim.SiteID) int {
+		k, ok := keyOf[s]
+		if !ok {
+			k = nextKey
+			nextKey++
+			keyOf[s] = k
+			siteOf[k] = s
+		}
+		return k
+	}
+	groups := make([]int, len(objs))
+	for i, obj := range objs {
+		site, ok := where[obj]
+		if !ok {
+			site = origin
+		}
+		groups[i] = keyFor(site)
+	}
+	partOf = func(i int) int { return groups[i] }
+	return partOf, siteOf
+}

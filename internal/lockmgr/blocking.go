@@ -1,0 +1,93 @@
+package lockmgr
+
+import (
+	"errors"
+
+	"siteselect/internal/sim"
+)
+
+// Blocking-table errors.
+var (
+	// ErrDeadlock is returned when a request is refused by wait-for
+	// cycle detection.
+	ErrDeadlock = errors.New("lockmgr: deadlock refused")
+	// ErrDeadline is returned when a request's deadline passed while it
+	// waited.
+	ErrDeadline = errors.New("lockmgr: deadline passed while waiting")
+)
+
+// BlockingTable adapts a Table for process-style callers: LockWait blocks
+// the simulation process until the lock is granted, the request's
+// deadline passes, or the request is refused as a deadlock. All lock
+// mutations must go through the wrapper so that waiters are woken.
+type BlockingTable struct {
+	env     *sim.Env
+	table   *Table
+	wakeups map[*Request]*sim.Signal
+}
+
+// NewBlockingTable returns a wrapper around a fresh Table.
+func NewBlockingTable(env *sim.Env) *BlockingTable {
+	return &BlockingTable{
+		env:     env,
+		table:   NewTable(),
+		wakeups: make(map[*Request]*sim.Signal),
+	}
+}
+
+// Table exposes the underlying table for inspection (Audit, holder
+// queries). Mutations must use the wrapper methods.
+func (bt *BlockingTable) Table() *Table { return bt.table }
+
+// LockWait acquires req, blocking until granted. It fails with
+// ErrDeadlock when refused by cycle detection and with ErrDeadline when
+// req.Deadline arrives first (the request is then canceled, matching the
+// policy that transactions past their deadline are not served).
+func (bt *BlockingTable) LockWait(p *sim.Proc, req *Request) error {
+	outcome, _ := bt.table.Lock(req)
+	switch outcome {
+	case Granted:
+		return nil
+	case Deadlock:
+		return ErrDeadlock
+	}
+	sig := sim.NewSignal(bt.env)
+	bt.wakeups[req] = sig
+	for !req.GrantedNow() {
+		remain := req.Deadline - p.Now()
+		if remain <= 0 || !p.WaitTimeout(sig, remain) {
+			if req.GrantedNow() { // granted in the same instant as the timeout
+				break
+			}
+			delete(bt.wakeups, req)
+			bt.fire(bt.table.Cancel(req))
+			return ErrDeadline
+		}
+	}
+	delete(bt.wakeups, req)
+	return nil
+}
+
+// Release drops owner's lock on obj and wakes newly granted waiters.
+func (bt *BlockingTable) Release(obj ObjectID, owner OwnerID) {
+	bt.fire(bt.table.Release(obj, owner))
+}
+
+// ReleaseAll drops all of owner's locks and wakes newly granted waiters.
+func (bt *BlockingTable) ReleaseAll(owner OwnerID) {
+	bt.fire(bt.table.ReleaseAll(owner))
+}
+
+// Downgrade weakens owner's EL on obj to SL and wakes newly granted
+// waiters.
+func (bt *BlockingTable) Downgrade(obj ObjectID, owner OwnerID) {
+	bt.fire(bt.table.Downgrade(obj, owner))
+}
+
+func (bt *BlockingTable) fire(grants []*Request) {
+	for _, g := range grants {
+		if sig, ok := bt.wakeups[g]; ok {
+			sig.Broadcast()
+		}
+	}
+}

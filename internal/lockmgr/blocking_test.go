@@ -1,0 +1,150 @@
+package lockmgr
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"siteselect/internal/sim"
+)
+
+func TestLockWaitImmediateGrant(t *testing.T) {
+	env := sim.NewEnv()
+	bt := NewBlockingTable(env)
+	var err error
+	env.Go("t", func(p *sim.Proc) {
+		err = bt.LockWait(p, req(1, 1, ModeExclusive, time.Hour))
+	})
+	env.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Now() != 0 {
+		t.Fatal("uncontended lock took time")
+	}
+}
+
+func TestLockWaitBlocksUntilRelease(t *testing.T) {
+	env := sim.NewEnv()
+	bt := NewBlockingTable(env)
+	var gotAt time.Duration
+	env.Go("holder", func(p *sim.Proc) {
+		if err := bt.LockWait(p, req(1, 1, ModeExclusive, time.Hour)); err != nil {
+			t.Errorf("holder: %v", err)
+		}
+		p.Sleep(5 * time.Second)
+		bt.Release(1, 1)
+	})
+	env.Go("waiter", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		if err := bt.LockWait(p, req(1, 2, ModeExclusive, time.Hour)); err != nil {
+			t.Errorf("waiter: %v", err)
+		}
+		gotAt = p.Now()
+	})
+	env.RunAll()
+	if gotAt != 5*time.Second {
+		t.Fatalf("waiter granted at %v, want 5s", gotAt)
+	}
+}
+
+func TestLockWaitDeadlineExpires(t *testing.T) {
+	env := sim.NewEnv()
+	bt := NewBlockingTable(env)
+	var err error
+	env.Go("holder", func(p *sim.Proc) {
+		_ = bt.LockWait(p, req(1, 1, ModeExclusive, time.Hour))
+		p.Sleep(time.Hour)
+		bt.ReleaseAll(1)
+	})
+	env.Go("waiter", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		err = bt.LockWait(p, req(1, 2, ModeExclusive, 3*time.Second))
+	})
+	env.Run(10 * time.Second)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if bt.Table().QueueLen(1) != 0 {
+		t.Fatal("expired waiter left in queue")
+	}
+	env.Close()
+}
+
+func TestLockWaitDeadlockRefused(t *testing.T) {
+	env := sim.NewEnv()
+	bt := NewBlockingTable(env)
+	var errB error
+	env.Go("a", func(p *sim.Proc) {
+		_ = bt.LockWait(p, req(1, 1, ModeExclusive, time.Hour))
+		p.Sleep(time.Second)
+		_ = bt.LockWait(p, req(2, 1, ModeExclusive, time.Hour))
+	})
+	env.Go("b", func(p *sim.Proc) {
+		_ = bt.LockWait(p, req(2, 2, ModeExclusive, time.Hour))
+		p.Sleep(2 * time.Second) // let a queue on obj 2 first
+		errB = bt.LockWait(p, req(1, 2, ModeExclusive, time.Hour))
+	})
+	env.Run(5 * time.Second)
+	if !errors.Is(errB, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", errB)
+	}
+	env.Close()
+}
+
+func TestDowngradeWakesSharedWaiter(t *testing.T) {
+	env := sim.NewEnv()
+	bt := NewBlockingTable(env)
+	var gotAt time.Duration
+	env.Go("holder", func(p *sim.Proc) {
+		_ = bt.LockWait(p, req(1, 1, ModeExclusive, time.Hour))
+		p.Sleep(2 * time.Second)
+		bt.Downgrade(1, 1)
+	})
+	env.Go("reader", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		if err := bt.LockWait(p, req(1, 2, ModeShared, time.Hour)); err != nil {
+			t.Errorf("reader: %v", err)
+		}
+		gotAt = p.Now()
+	})
+	env.RunAll()
+	if gotAt != 2*time.Second {
+		t.Fatalf("reader granted at %v, want 2s (on downgrade)", gotAt)
+	}
+}
+
+func TestManyWaitersServedInDeadlineOrder(t *testing.T) {
+	env := sim.NewEnv()
+	bt := NewBlockingTable(env)
+	var order []OwnerID
+	env.Go("holder", func(p *sim.Proc) {
+		_ = bt.LockWait(p, req(1, 99, ModeExclusive, time.Hour))
+		p.Sleep(time.Second)
+		bt.Release(1, 99)
+	})
+	deadlines := []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second}
+	for i, dl := range deadlines {
+		owner := OwnerID(i + 1)
+		dl := dl
+		env.Go("w", func(p *sim.Proc) {
+			p.Sleep(time.Duration(i+1) * time.Millisecond)
+			if err := bt.LockWait(p, req(1, owner, ModeExclusive, dl)); err != nil {
+				t.Errorf("waiter %d: %v", owner, err)
+				return
+			}
+			order = append(order, owner)
+			bt.Release(1, owner)
+		})
+	}
+	env.RunAll()
+	want := []OwnerID{2, 3, 1}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("service order = %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,502 @@
+// Package lockmgr implements the paper's locking machinery: Shared (SL)
+// and Exclusive (EL) locks under a strict two-phase discipline, wait
+// queues ordered by transaction deadline, lock upgrades and the EL→SL
+// downgrade used by the modified callback scheme, and wait-for-graph
+// deadlock detection (a request that would close a cycle is refused, per
+// Section 5.1).
+//
+// The same Table type serves three roles in the reproduction: the
+// centralized server's transaction lock table, the client-server global
+// (per-client) lock table, and each client's local lock table.
+package lockmgr
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ObjectID identifies a database object (page).
+type ObjectID int
+
+// OwnerID identifies a lock owner: a transaction in the centralized
+// system, a client site in the global table.
+type OwnerID int64
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	// ModeShared (SL) permits concurrent readers.
+	ModeShared Mode = iota + 1
+	// ModeExclusive (EL) is required to update an object.
+	ModeExclusive
+)
+
+// String returns "SL" or "EL".
+func (m Mode) String() string {
+	switch m {
+	case ModeShared:
+		return "SL"
+	case ModeExclusive:
+		return "EL"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Compatible reports whether two modes may be held simultaneously by
+// different owners.
+func Compatible(a, b Mode) bool { return a == ModeShared && b == ModeShared }
+
+// Outcome is the result of a lock request.
+type Outcome int
+
+// Lock outcomes.
+const (
+	// Granted means the lock is held on return.
+	Granted Outcome = iota + 1
+	// Queued means the request waits; the conflicting holders were
+	// returned so the caller can issue callbacks or evaluate H2.
+	Queued
+	// Deadlock means enqueueing the request would have closed a cycle
+	// in the wait-for graph; the request was refused.
+	Deadlock
+)
+
+// Request is one lock request. Deadline orders the wait queue (earlier
+// deadlines are served first, matching the paper's deadline-prioritized
+// object request scheduling).
+type Request struct {
+	Obj      ObjectID
+	Owner    OwnerID
+	Mode     Mode
+	Deadline time.Duration
+
+	// Tag carries caller context (e.g. the waiting transaction) through
+	// to the grant notification.
+	Tag any
+
+	seq     int64
+	granted bool
+	waiting bool
+}
+
+// GrantedNow reports whether the request has been granted.
+func (r *Request) GrantedNow() bool { return r.granted }
+
+// Waiting reports whether the request is still queued.
+func (r *Request) Waiting() bool { return r.waiting }
+
+// Table is a lock table with deadline-ordered waiting and deadlock
+// refusal.
+type Table struct {
+	entries map[ObjectID]*entry
+	// waits holds wait-for edges: waits[a][b] > 0 means a waits for b.
+	waits map[OwnerID]map[OwnerID]int
+	seq   int64
+
+	// DeadlocksRefused counts requests refused by cycle detection.
+	DeadlocksRefused int64
+}
+
+type entry struct {
+	holders map[OwnerID]Mode
+	queue   []*Request
+}
+
+// NewTable returns an empty lock table.
+func NewTable() *Table {
+	return &Table{
+		entries: make(map[ObjectID]*entry),
+		waits:   make(map[OwnerID]map[OwnerID]int),
+	}
+}
+
+func (t *Table) entryFor(obj ObjectID) *entry {
+	e, ok := t.entries[obj]
+	if !ok {
+		e = &entry{holders: make(map[OwnerID]Mode)}
+		t.entries[obj] = e
+	}
+	return e
+}
+
+// conflicts returns the holders of e that conflict with owner acquiring
+// mode, sorted for determinism. A holder never conflicts with itself; an
+// owner holding SL and requesting EL conflicts with every other holder.
+func (e *entry) conflicts(owner OwnerID, mode Mode) []OwnerID {
+	var out []OwnerID
+	for h, hm := range e.holders {
+		if h == owner {
+			continue
+		}
+		if !Compatible(mode, hm) {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Lock requests obj in mode for owner. Re-entrant requests at the same or
+// weaker mode are granted immediately. On conflict the request is queued
+// in deadline order unless that would create a wait-for cycle, in which
+// case it is refused with Deadlock. The returned slice lists the
+// conflicting holders (for callbacks / H2) whenever the outcome is Queued.
+func (t *Table) Lock(req *Request) (Outcome, []OwnerID) {
+	if req.Mode != ModeShared && req.Mode != ModeExclusive {
+		panic(fmt.Sprintf("lockmgr: invalid mode %d", req.Mode))
+	}
+	e := t.entryFor(req.Obj)
+	if held, ok := e.holders[req.Owner]; ok && (held == req.Mode || held == ModeExclusive) {
+		req.granted = true
+		return Granted, nil
+	}
+	conf := e.conflicts(req.Owner, req.Mode)
+	_, isUpgrade := e.holders[req.Owner]
+	// Upgrades bypass the queue-behind rule: an SL holder upgrading to
+	// EL only needs the other holders gone, and making it queue behind
+	// an unrelated waiter would deadlock it against its own held lock.
+	if len(conf) == 0 && (isUpgrade || !t.mustQueueBehind(e, req)) {
+		e.holders[req.Owner] = req.Mode
+		req.granted = true
+		return Granted, nil
+	}
+	if len(conf) > 0 && t.wouldDeadlock(req.Owner, conf) {
+		t.DeadlocksRefused++
+		return Deadlock, conf
+	}
+	t.enqueue(e, req)
+	for _, h := range conf {
+		t.addEdge(req.Owner, h)
+	}
+	return Queued, conf
+}
+
+// mustQueueBehind reports whether req, though compatible with current
+// holders, must still wait because an earlier-deadline incompatible
+// request is already queued (prevents shared readers starving a queued
+// writer).
+func (t *Table) mustQueueBehind(e *entry, req *Request) bool {
+	for _, q := range e.queue {
+		if q.Owner == req.Owner {
+			continue
+		}
+		if !Compatible(req.Mode, q.Mode) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Table) enqueue(e *entry, req *Request) {
+	t.seq++
+	req.seq = t.seq
+	req.waiting = true
+	i := sort.Search(len(e.queue), func(i int) bool {
+		q := e.queue[i]
+		if q.Deadline != req.Deadline {
+			return q.Deadline > req.Deadline
+		}
+		return q.seq > req.seq
+	})
+	e.queue = append(e.queue, nil)
+	copy(e.queue[i+1:], e.queue[i:])
+	e.queue[i] = req
+}
+
+// Release drops owner's lock on obj and returns the requests that become
+// granted as a result, in service order.
+func (t *Table) Release(obj ObjectID, owner OwnerID) []*Request {
+	e, ok := t.entries[obj]
+	if !ok {
+		return nil
+	}
+	if _, held := e.holders[owner]; !held {
+		return nil
+	}
+	delete(e.holders, owner)
+	return t.admit(obj, e)
+}
+
+// Downgrade weakens owner's EL on obj to SL (the modified callback
+// scheme: the holder keeps reading while the requester proceeds in shared
+// mode) and returns newly granted requests.
+func (t *Table) Downgrade(obj ObjectID, owner OwnerID) []*Request {
+	e, ok := t.entries[obj]
+	if !ok {
+		return nil
+	}
+	if e.holders[owner] != ModeExclusive {
+		return nil
+	}
+	e.holders[owner] = ModeShared
+	return t.admit(obj, e)
+}
+
+// ReleaseAll drops every lock owner holds (strict 2PL commit/abort) and
+// returns all newly granted requests across objects, in ascending object
+// order.
+func (t *Table) ReleaseAll(owner OwnerID) []*Request {
+	objs := make([]ObjectID, 0, 8)
+	for obj, e := range t.entries {
+		if _, held := e.holders[owner]; held {
+			objs = append(objs, obj)
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	var grants []*Request
+	for _, obj := range objs {
+		grants = append(grants, t.Release(obj, owner)...)
+	}
+	return grants
+}
+
+// Cancel removes a queued request (typically because its transaction
+// missed its deadline) and returns any requests that become grantable
+// once the canceled one no longer blocks the queue head.
+func (t *Table) Cancel(req *Request) []*Request {
+	if !req.waiting {
+		return nil
+	}
+	e, ok := t.entries[req.Obj]
+	if !ok {
+		return nil
+	}
+	for i, q := range e.queue {
+		if q == req {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			break
+		}
+	}
+	req.waiting = false
+	t.dropEdgesFrom(req.Owner, req.Obj)
+	return t.admit(req.Obj, e)
+}
+
+// admit grants queued requests in deadline order while they remain
+// compatible with the holders, stopping at the first conflict so earlier
+// deadlines are never starved by later compatible ones.
+func (t *Table) admit(obj ObjectID, e *entry) []*Request {
+	var grants []*Request
+	for len(e.queue) > 0 {
+		req := e.queue[0]
+		if len(e.conflicts(req.Owner, req.Mode)) > 0 {
+			break
+		}
+		e.queue = e.queue[1:]
+		e.holders[req.Owner] = req.Mode
+		req.waiting = false
+		req.granted = true
+		t.dropEdgesFrom(req.Owner, obj)
+		grants = append(grants, req)
+	}
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(t.entries, obj)
+	}
+	return grants
+}
+
+// HolderMode returns the mode owner holds on obj (0 when not held).
+func (t *Table) HolderMode(obj ObjectID, owner OwnerID) Mode {
+	if e, ok := t.entries[obj]; ok {
+		return e.holders[owner]
+	}
+	return 0
+}
+
+// Holders returns obj's holders and modes (copy).
+func (t *Table) Holders(obj ObjectID) map[OwnerID]Mode {
+	out := make(map[OwnerID]Mode)
+	if e, ok := t.entries[obj]; ok {
+		for o, m := range e.holders {
+			out[o] = m
+		}
+	}
+	return out
+}
+
+// SortedHolders returns obj's holders sorted by owner id.
+func (t *Table) SortedHolders(obj ObjectID) []OwnerID {
+	e, ok := t.entries[obj]
+	if !ok {
+		return nil
+	}
+	out := make([]OwnerID, 0, len(e.holders))
+	for o := range e.holders {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NextWaiter returns the head of obj's wait queue (the earliest-deadline
+// pending request), or nil when nothing waits.
+func (t *Table) NextWaiter(obj ObjectID) *Request {
+	if e, ok := t.entries[obj]; ok && len(e.queue) > 0 {
+		return e.queue[0]
+	}
+	return nil
+}
+
+// FirstForeignWaiter returns the earliest queued request on obj not
+// owned by owner, or nil.
+func (t *Table) FirstForeignWaiter(obj ObjectID, owner OwnerID) *Request {
+	if e, ok := t.entries[obj]; ok {
+		for _, q := range e.queue {
+			if q.Owner != owner {
+				return q
+			}
+		}
+	}
+	return nil
+}
+
+// QueueLen returns the number of requests waiting on obj.
+func (t *Table) QueueLen(obj ObjectID) int {
+	if e, ok := t.entries[obj]; ok {
+		return len(e.queue)
+	}
+	return 0
+}
+
+// ConflictingHolders returns the holders that would conflict with owner
+// acquiring obj in mode right now.
+func (t *Table) ConflictingHolders(obj ObjectID, owner OwnerID, mode Mode) []OwnerID {
+	if e, ok := t.entries[obj]; ok {
+		return e.conflicts(owner, mode)
+	}
+	return nil
+}
+
+// ConflictCount returns how many of the (object, mode) pairs would
+// conflict for owner — the quantity heuristic H2 minimizes across sites.
+func (t *Table) ConflictCount(owner OwnerID, objs []ObjectID, modes []Mode) int {
+	n := 0
+	for i, obj := range objs {
+		if len(t.ConflictingHolders(obj, owner, modes[i])) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// wouldDeadlock reports whether adding edges owner→each holder closes a
+// cycle, i.e. whether owner is reachable from any holder.
+func (t *Table) wouldDeadlock(owner OwnerID, holders []OwnerID) bool {
+	seen := map[OwnerID]bool{}
+	var reach func(from OwnerID) bool
+	reach = func(from OwnerID) bool {
+		if from == owner {
+			return true
+		}
+		if seen[from] {
+			return false
+		}
+		seen[from] = true
+		next := make([]OwnerID, 0, len(t.waits[from]))
+		for to, n := range t.waits[from] {
+			if n > 0 {
+				next = append(next, to)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, to := range next {
+			if reach(to) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, h := range holders {
+		if reach(h) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Table) addEdge(from, to OwnerID) {
+	m, ok := t.waits[from]
+	if !ok {
+		m = make(map[OwnerID]int)
+		t.waits[from] = m
+	}
+	m[to]++
+}
+
+// dropEdgesFrom removes the wait edges the request for obj created. Edges
+// are reference-counted per (from, to); we recompute obj's contribution
+// conservatively by decrementing one count per conflicting holder
+// recorded at enqueue time. Because holder sets shift while queued, we
+// simply clear all of owner's edges when it no longer waits on anything.
+func (t *Table) dropEdgesFrom(owner OwnerID, obj ObjectID) {
+	stillWaiting := false
+	for _, e := range t.entries {
+		for _, q := range e.queue {
+			if q.Owner == owner {
+				stillWaiting = true
+				break
+			}
+		}
+		if stillWaiting {
+			break
+		}
+	}
+	if !stillWaiting {
+		delete(t.waits, owner)
+		return
+	}
+	// Recompute owner's outgoing edges from its remaining queued
+	// requests' current conflicts.
+	m := make(map[OwnerID]int)
+	for _, e := range t.entries {
+		for _, q := range e.queue {
+			if q.Owner != owner {
+				continue
+			}
+			for _, h := range e.conflicts(owner, q.Mode) {
+				m[h]++
+			}
+		}
+	}
+	if len(m) == 0 {
+		delete(t.waits, owner)
+	} else {
+		t.waits[owner] = m
+	}
+}
+
+// Audit verifies internal invariants: no conflicting holders coexist and
+// no granted request is still queued. It returns an error describing the
+// first violation found.
+func (t *Table) Audit() error {
+	objs := make([]ObjectID, 0, len(t.entries))
+	for obj := range t.entries {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	for _, obj := range objs {
+		e := t.entries[obj]
+		var sharers, exclusives int
+		for _, m := range e.holders {
+			switch m {
+			case ModeShared:
+				sharers++
+			case ModeExclusive:
+				exclusives++
+			}
+		}
+		if exclusives > 1 || (exclusives == 1 && sharers > 0) {
+			return fmt.Errorf("lockmgr: object %d held incompatibly (%d SL, %d EL)", obj, sharers, exclusives)
+		}
+		for _, q := range e.queue {
+			if q.granted {
+				return fmt.Errorf("lockmgr: object %d has granted request still queued", obj)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram is a log₂-bucketed latency histogram: bucket i holds
+// durations in [2^i, 2^(i+1)) microseconds. Quantiles are answered with
+// the upper bound of the containing bucket, i.e. within a factor of two
+// — ample for the order-of-magnitude latency comparisons the
+// experiments make.
+type Histogram struct {
+	buckets [40]int64
+	count   int64
+}
+
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(us)) - 1
+	if b >= len(Histogram{}.buckets) {
+		b = len(Histogram{}.buckets) - 1
+	}
+	return b
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[bucketOf(d)]++
+	h.count++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1), or
+// zero for an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= rank {
+			return time.Duration(int64(1)<<(i+1)) * time.Microsecond
+		}
+	}
+	return time.Duration(int64(1)<<len(h.buckets)) * time.Microsecond
+}
+
+// P50, P95 and P99 are convenience quantiles.
+func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
+
+// P95 returns the 95th percentile upper bound.
+func (h *Histogram) P95() time.Duration { return h.Quantile(0.95) }
+
+// P99 returns the 99th percentile upper bound.
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/txn"
+)
+
+func TestDurStats(t *testing.T) {
+	var d DurStats
+	if d.Mean() != 0 {
+		t.Fatal("empty mean should be zero")
+	}
+	d.Observe(2 * time.Second)
+	d.Observe(4 * time.Second)
+	if d.Mean() != 3*time.Second {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	if d.Max != 4*time.Second || d.Count != 2 {
+		t.Fatalf("max=%v count=%d", d.Max, d.Count)
+	}
+}
+
+func TestRecordOutcome(t *testing.T) {
+	c := &Collector{}
+	mk := func(status txn.Status, shipped bool) *txn.Transaction {
+		return &txn.Transaction{
+			Status: status, Shipped: shipped,
+			Arrival: time.Second, Finished: 3 * time.Second,
+		}
+	}
+	c.RecordOutcome(mk(txn.StatusCommitted, false))
+	c.RecordOutcome(mk(txn.StatusCommitted, true))
+	c.RecordOutcome(mk(txn.StatusMissed, true))
+	c.RecordOutcome(mk(txn.StatusAborted, false))
+	if c.Committed != 2 || c.Missed != 1 || c.Aborted != 1 {
+		t.Fatalf("outcomes = %d/%d/%d", c.Committed, c.Missed, c.Aborted)
+	}
+	ss, sc := c.ShippedOutcomes()
+	if ss != 2 || sc != 1 {
+		t.Fatalf("shipped outcomes = %d/%d", ss, sc)
+	}
+	if c.TxnResponse.Count != 2 || c.TxnResponse.Mean() != 2*time.Second {
+		t.Fatalf("txn response = %+v", c.TxnResponse)
+	}
+}
+
+func TestSuccessRate(t *testing.T) {
+	c := &Collector{}
+	if c.SuccessRate() != 0 {
+		t.Fatal("empty success rate should be zero")
+	}
+	c.Submitted = 4
+	c.Committed = 3
+	if got := c.SuccessRate(); got != 0.75 {
+		t.Fatalf("success = %v", got)
+	}
+}
+
+func TestResponseByMode(t *testing.T) {
+	c := &Collector{}
+	c.RecordResponse(lockmgr.ModeShared, 10*time.Millisecond)
+	c.RecordResponse(lockmgr.ModeExclusive, 100*time.Millisecond)
+	c.RecordResponse(lockmgr.ModeExclusive, 200*time.Millisecond)
+	if c.SharedResponse.Count != 1 || c.ExclusiveResponse.Count != 2 {
+		t.Fatalf("counts = %d/%d", c.SharedResponse.Count, c.ExclusiveResponse.Count)
+	}
+	if c.ExclusiveResponse.Mean() != 150*time.Millisecond {
+		t.Fatalf("EL mean = %v", c.ExclusiveResponse.Mean())
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	c := &Collector{}
+	if c.CacheHitRate() != 0 {
+		t.Fatal("empty hit rate should be zero")
+	}
+	c.RecordCacheAccess(true)
+	c.RecordCacheAccess(true)
+	c.RecordCacheAccess(false)
+	c.RecordCacheAccess(true)
+	if got := c.CacheHitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %v", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be zero")
+	}
+	// 90 fast samples (~1ms), 10 slow (~1s).
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Second)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if p50 := h.P50(); p50 > 4*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~1-2ms bound", p50)
+	}
+	if p99 := h.P99(); p99 < 500*time.Millisecond {
+		t.Fatalf("p99 = %v, want >= slow bucket", p99)
+	}
+	// Quantile bounds are monotone.
+	last := time.Duration(0)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < last {
+			t.Fatalf("quantile not monotone at %v", q)
+		}
+		last = v
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(0)               // below a microsecond
+	h.Observe(300 * time.Hour) // beyond the top bucket
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Quantile(1) == 0 {
+		t.Fatal("max quantile should be nonzero")
+	}
+}

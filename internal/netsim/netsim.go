@@ -1,0 +1,244 @@
+// Package netsim models the cluster interconnect: a shared-medium LAN
+// (the paper uses 10 Mbps Ethernet) carrying typed messages between
+// sites. Transmission time is serialized on the shared bus
+// (size/bandwidth) and every message additionally pays a propagation and
+// protocol-stack latency. Per-kind message and byte counters feed the
+// Table 4 reproduction.
+package netsim
+
+import (
+	"time"
+
+	"siteselect/internal/sim"
+)
+
+// SiteID identifies a site. The server is conventionally site 0 and
+// clients are 1..N.
+type SiteID int
+
+// ServerSite is the conventional SiteID of the database server.
+const ServerSite SiteID = 0
+
+// Kind classifies messages for accounting. The first five kinds are the
+// rows of the paper's Table 4.
+type Kind int
+
+// Message kinds.
+const (
+	// KindObjectRequest is a client-to-server object/lock request.
+	KindObjectRequest Kind = iota + 1
+	// KindObjectShip is a server-to-client object grant carrying data.
+	KindObjectShip
+	// KindRecall is a server-to-client lock callback.
+	KindRecall
+	// KindObjectReturn is a client-to-server object return (data or
+	// release notice) answering a recall or a voluntary eviction.
+	KindObjectReturn
+	// KindClientForward is a client-to-client object hop along a
+	// forward list.
+	KindClientForward
+	// KindLockReply is a server-to-client control reply that carries no
+	// object data (denials, conflict-location reports).
+	KindLockReply
+	// KindTxnShip carries a transaction (or subtask) to another site.
+	KindTxnShip
+	// KindTxnResult returns a shipped transaction's results to its
+	// origin.
+	KindTxnResult
+	// KindLoadQuery asks the server for object locations and client
+	// loads.
+	KindLoadQuery
+	// KindLoadReply answers a load query.
+	KindLoadReply
+	// KindTxnSubmit carries a whole transaction to the centralized
+	// server.
+	KindTxnSubmit
+	// KindUserResult carries a transaction's results back to the
+	// submitting terminal (centralized system).
+	KindUserResult
+
+	numKinds
+)
+
+var kindNames = map[Kind]string{
+	KindObjectRequest: "ObjectRequest",
+	KindObjectShip:    "ObjectShip",
+	KindRecall:        "Recall",
+	KindObjectReturn:  "ObjectReturn",
+	KindClientForward: "ClientForward",
+	KindLockReply:     "LockReply",
+	KindTxnShip:       "TxnShip",
+	KindTxnResult:     "TxnResult",
+	KindLoadQuery:     "LoadQuery",
+	KindLoadReply:     "LoadReply",
+	KindTxnSubmit:     "TxnSubmit",
+	KindUserResult:    "UserResult",
+}
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "Kind(?)"
+}
+
+// Typical message sizes in bytes. Objects are the paper's 2 KB pages;
+// control messages are small frames.
+const (
+	ObjectBytes  = 2048
+	ControlBytes = 128
+	TxnShipBytes = 1024
+	ResultBytes  = 512
+)
+
+// Message is a frame on the LAN.
+type Message struct {
+	Kind    Kind
+	From    SiteID
+	To      SiteID
+	Size    int
+	Payload any
+	// SentAt and DeliveredAt are stamped by the network.
+	SentAt      time.Duration
+	DeliveredAt time.Duration
+}
+
+// KindStats aggregates traffic for one message kind.
+type KindStats struct {
+	Count int64
+	Bytes int64
+}
+
+// Config sets the physical characteristics of the LAN.
+type Config struct {
+	// Latency is the fixed per-message cost (propagation plus protocol
+	// stack).
+	Latency time.Duration
+	// BandwidthBps is the shared-medium capacity in bits per second.
+	BandwidthBps float64
+	// Switched delivers every message at full bandwidth (a non-blocking
+	// switch) instead of serializing transmissions on one bus. Message
+	// timestamps remain globally ordered by send time either way.
+	Switched bool
+}
+
+// DefaultConfig matches the paper's testbed: 10 Mbps Ethernet with a
+// half-millisecond fixed cost.
+func DefaultConfig() Config {
+	return Config{Latency: 500 * time.Microsecond, BandwidthBps: 10e6}
+}
+
+// Network is the shared LAN.
+type Network struct {
+	env         *sim.Env
+	cfg         Config
+	busFreeAt   time.Duration
+	lastDeliver time.Duration
+	stats       [numKinds]KindStats
+	trace       func(Message)
+}
+
+// SetTrace installs a callback invoked for every message as it is sent
+// (with SentAt/DeliveredAt already stamped). The network is the single
+// chokepoint all protocol activity crosses, which makes this the
+// cheapest full-system trace. Pass nil to disable.
+func (n *Network) SetTrace(fn func(Message)) { n.trace = fn }
+
+// New returns a network on env.
+func New(env *sim.Env, cfg Config) *Network {
+	if cfg.BandwidthBps <= 0 {
+		cfg.BandwidthBps = 10e6
+	}
+	return &Network{env: env, cfg: cfg}
+}
+
+// TransmitTime returns the serialization delay of size bytes on the bus.
+func (n *Network) TransmitTime(size int) time.Duration {
+	bits := float64(size) * 8
+	return time.Duration(bits / n.cfg.BandwidthBps * float64(time.Second))
+}
+
+// Send queues msg for delivery into dest. The sender does not block: the
+// message occupies the shared bus for its transmission time (waiting
+// behind frames already queued) and arrives Latency later. Send stamps
+// SentAt/DeliveredAt on the delivered copy.
+func (n *Network) Send(msg Message, dest *sim.Mailbox[Message]) {
+	if msg.Size <= 0 {
+		msg.Size = ControlBytes
+	}
+	now := n.env.Now()
+	msg.SentAt = now
+
+	var deliver time.Duration
+	if n.cfg.Switched {
+		// Non-blocking switch: no queueing for the medium, just
+		// transmission time and latency. Delivery is clamped to stay
+		// in global send order (a nanosecond of skew), which parts of
+		// the protocol (grant/recall ordering) rely on.
+		deliver = now + n.TransmitTime(msg.Size) + n.cfg.Latency
+		if deliver <= n.lastDeliver {
+			deliver = n.lastDeliver + time.Nanosecond
+		}
+		n.lastDeliver = deliver
+	} else {
+		start := n.busFreeAt
+		if start < now {
+			start = now
+		}
+		done := start + n.TransmitTime(msg.Size)
+		n.busFreeAt = done
+		deliver = done + n.cfg.Latency
+	}
+	msg.DeliveredAt = deliver
+
+	if int(msg.Kind) > 0 && int(msg.Kind) < int(numKinds) {
+		n.stats[msg.Kind].Count++
+		n.stats[msg.Kind].Bytes += int64(msg.Size)
+	}
+	if n.trace != nil {
+		n.trace(msg)
+	}
+
+	n.env.At(deliver, func() { dest.Put(msg) })
+}
+
+// Stats returns the accumulated counters for kind.
+func (n *Network) Stats(kind Kind) KindStats {
+	if int(kind) <= 0 || int(kind) >= int(numKinds) {
+		return KindStats{}
+	}
+	return n.stats[kind]
+}
+
+// TotalMessages returns the count of all messages sent.
+func (n *Network) TotalMessages() int64 {
+	var t int64
+	for _, s := range n.stats {
+		t += s.Count
+	}
+	return t
+}
+
+// TotalBytes returns the bytes of all messages sent.
+func (n *Network) TotalBytes() int64 {
+	var t int64
+	for _, s := range n.stats {
+		t += s.Bytes
+	}
+	return t
+}
+
+// Utilization returns the fraction of elapsed time the bus has been
+// transmitting.
+func (n *Network) Utilization() float64 {
+	if n.env.Now() <= 0 {
+		return 0
+	}
+	var bits float64
+	for _, s := range n.stats {
+		bits += float64(s.Bytes) * 8
+	}
+	busy := bits / n.cfg.BandwidthBps
+	return busy / n.env.Now().Seconds()
+}

@@ -1,0 +1,269 @@
+package pagefile
+
+import (
+	"container/list"
+	"fmt"
+
+	"siteselect/internal/sim"
+)
+
+// Frame is a buffer-pool slot holding one page. Callers pin a frame with
+// BufferPool.Get, read or modify Data, and release it with Unpin.
+type Frame struct {
+	id      PageID
+	Data    []byte
+	pins    int
+	dirty   bool
+	loading bool
+	loaded  *sim.Signal
+	lruElem *list.Element
+}
+
+// ID returns the page held by the frame.
+func (f *Frame) ID() PageID { return f.id }
+
+// Dirty reports whether the frame has unwritten modifications.
+func (f *Frame) Dirty() bool { return f.dirty }
+
+// Pins returns the current pin count.
+func (f *Frame) Pins() int { return f.pins }
+
+// BufferPool caches pages of a Disk in a fixed number of frames with LRU
+// replacement. Dirty pages are written back when evicted or flushed.
+// All blocking methods take the calling process.
+type BufferPool struct {
+	env    *sim.Env
+	disk   *Disk
+	cap    int
+	frames map[PageID]*Frame
+	lru    *list.List // of PageID; front = most recent, only unpinned pages
+	free   *sim.Signal
+
+	// Hits and Misses count Get outcomes.
+	Hits   int64
+	Misses int64
+	// Evictions counts frames replaced; DirtyWrites counts write-backs.
+	Evictions   int64
+	DirtyWrites int64
+}
+
+// NewBufferPool returns a pool of capacity frames over disk.
+func NewBufferPool(env *sim.Env, disk *Disk, capacity int) *BufferPool {
+	if capacity <= 0 {
+		panic("pagefile: buffer pool capacity must be positive")
+	}
+	return &BufferPool{
+		env:    env,
+		disk:   disk,
+		cap:    capacity,
+		frames: make(map[PageID]*Frame, capacity),
+		lru:    list.New(),
+		free:   sim.NewSignal(env),
+	}
+}
+
+// Capacity returns the number of frames.
+func (bp *BufferPool) Capacity() int { return bp.cap }
+
+// Resident returns the number of pages currently buffered.
+func (bp *BufferPool) Resident() int { return len(bp.frames) }
+
+// Contains reports whether page id is resident (pinned or not), without
+// touching LRU state.
+func (bp *BufferPool) Contains(id PageID) bool {
+	f, ok := bp.frames[id]
+	return ok && !f.loading
+}
+
+// Get pins page id, reading it from disk on a miss, and returns its
+// frame. Concurrent getters of a loading page wait for the single read.
+// Get blocks when every frame is pinned until one is unpinned.
+func (bp *BufferPool) Get(p *sim.Proc, id PageID) (*Frame, error) {
+	if err := bp.disk.check(id); err != nil {
+		return nil, err
+	}
+	for {
+		if f, ok := bp.frames[id]; ok {
+			if f.loading {
+				p.Wait(f.loaded)
+				continue // frame may have been evicted or re-keyed; recheck
+			}
+			bp.Hits++
+			bp.pin(f)
+			return f, nil
+		}
+		f, err := bp.allocate(p, id)
+		if err != nil {
+			return nil, err
+		}
+		if f == nil {
+			continue // lost a race while blocked; retry lookup
+		}
+		bp.Misses++
+		if err := bp.disk.Read(p, id, f.Data); err != nil {
+			// Cannot happen after the range check, but unwind safely.
+			f.loading = false
+			delete(bp.frames, id)
+			f.loaded.Broadcast()
+			bp.free.Broadcast()
+			return nil, err
+		}
+		f.loading = false
+		f.loaded.Broadcast()
+		return f, nil
+	}
+}
+
+// allocate finds a frame for id, evicting the LRU unpinned page if the
+// pool is full (writing it back first when dirty). It returns a pinned,
+// loading frame, or nil if the caller must retry because it blocked and
+// the world changed.
+func (bp *BufferPool) allocate(p *sim.Proc, id PageID) (*Frame, error) {
+	if len(bp.frames) < bp.cap {
+		f := &Frame{
+			id:      id,
+			Data:    make([]byte, PageSize),
+			pins:    1,
+			loading: true,
+			loaded:  sim.NewSignal(bp.env),
+		}
+		bp.frames[id] = f
+		return f, nil
+	}
+	victim := bp.lru.Back()
+	if victim == nil {
+		// Every frame is pinned: wait for an Unpin, then retry from Get
+		// so the page-resident check runs again.
+		p.Wait(bp.free)
+		return nil, nil
+	}
+	vid := victim.Value.(PageID)
+	vf := bp.frames[vid]
+	bp.lru.Remove(victim)
+	vf.lruElem = nil
+	bp.Evictions++
+
+	// Re-key the victim frame to the new page, marking it loading so
+	// other getters of id wait rather than double-read. The write-back
+	// and read below block, so the maps must already reflect the claim.
+	delete(bp.frames, vid)
+	f := &Frame{
+		id:      id,
+		Data:    vf.Data,
+		pins:    1,
+		loading: true,
+		loaded:  sim.NewSignal(bp.env),
+	}
+	bp.frames[id] = f
+	if vf.dirty {
+		bp.DirtyWrites++
+		if err := bp.disk.Write(p, vid, vf.Data); err != nil {
+			return nil, fmt.Errorf("pagefile: evicting page %d: %w", vid, err)
+		}
+	}
+	return f, nil
+}
+
+// touch moves an unpinned frame to the most-recently-used position.
+func (bp *BufferPool) touch(f *Frame) {
+	if f.lruElem != nil {
+		bp.lru.MoveToFront(f.lruElem)
+	}
+}
+
+func (bp *BufferPool) pin(f *Frame) {
+	f.pins++
+	if f.lruElem != nil {
+		bp.lru.Remove(f.lruElem)
+		f.lruElem = nil
+	}
+}
+
+// Unpin releases one pin on frame f, marking it dirty when the caller
+// modified it. When the pin count reaches zero the frame becomes
+// evictable (most-recently-used position).
+func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
+	if f.pins <= 0 {
+		panic("pagefile: Unpin of unpinned frame")
+	}
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.lruElem = bp.lru.PushFront(f.id)
+		bp.free.Broadcast()
+	}
+}
+
+// Put installs data as the current contents of page id without reading
+// the old contents from disk (used when a client returns a modified
+// object: the server has the authoritative new copy in hand). The page
+// becomes resident and dirty; eviction writes it back. Put may block
+// evicting a dirty victim.
+func (bp *BufferPool) Put(p *sim.Proc, id PageID, data []byte) error {
+	if err := bp.disk.check(id); err != nil {
+		return err
+	}
+	for {
+		if f, ok := bp.frames[id]; ok {
+			if f.loading {
+				p.Wait(f.loaded)
+				continue
+			}
+			copy(f.Data, data)
+			f.dirty = true
+			bp.touch(f)
+			return nil
+		}
+		f, err := bp.allocate(p, id)
+		if err != nil {
+			return err
+		}
+		if f == nil {
+			continue
+		}
+		copy(f.Data, data)
+		f.dirty = true
+		f.loading = false
+		f.loaded.Broadcast()
+		bp.Unpin(f, true)
+		return nil
+	}
+}
+
+// FlushAll writes every dirty resident page back to disk. Pinned frames
+// are flushed too (their in-memory state remains valid).
+func (bp *BufferPool) FlushAll(p *sim.Proc) error {
+	// Deterministic order: walk ids ascending.
+	ids := make([]PageID, 0, len(bp.frames))
+	for id := range bp.frames {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		f := bp.frames[id]
+		if f.loading || !f.dirty {
+			continue
+		}
+		bp.DirtyWrites++
+		if err := bp.disk.Write(p, id, f.Data); err != nil {
+			return fmt.Errorf("pagefile: flushing page %d: %w", id, err)
+		}
+		f.dirty = false
+	}
+	return nil
+}
+
+// HitRate returns the fraction of Get calls served without disk I/O.
+func (bp *BufferPool) HitRate() float64 {
+	total := bp.Hits + bp.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(bp.Hits) / float64(total)
+}

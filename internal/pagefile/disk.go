@@ -1,0 +1,116 @@
+// Package pagefile reimplements the MiniRel Paged-File (PF) layer the
+// paper builds its databases on: a file of uniquely numbered fixed-size
+// pages accessed through a buffer pool with LRU replacement and dirty
+// write-back. The backing store is a simulated disk whose accesses are
+// serialized and charged a configurable latency, so buffer hits are free
+// and misses queue on the device — the asymmetry that throttles the
+// centralized server in the paper's experiments.
+package pagefile
+
+import (
+	"fmt"
+	"time"
+
+	"siteselect/internal/sim"
+)
+
+// PageSize is the paper's page/object size in bytes.
+const PageSize = 2048
+
+// PageID numbers pages within a file, starting at zero.
+type PageID int
+
+// DiskConfig sets the device's timing.
+type DiskConfig struct {
+	ReadTime  time.Duration
+	WriteTime time.Duration
+}
+
+// DefaultDiskConfig approximates a late-90s SCSI disk: ~12 ms per random
+// page access.
+func DefaultDiskConfig() DiskConfig {
+	return DiskConfig{ReadTime: 12 * time.Millisecond, WriteTime: 12 * time.Millisecond}
+}
+
+// Disk is a simulated block device holding numPages pages. Requests are
+// serialized (single actuator) in deadline-agnostic FIFO order.
+type Disk struct {
+	env   *sim.Env
+	cfg   DiskConfig
+	arm   *sim.Resource
+	pages [][]byte
+
+	// Reads and Writes count completed operations.
+	Reads  int64
+	Writes int64
+}
+
+// NewDisk returns a disk with numPages zero-filled pages.
+func NewDisk(env *sim.Env, numPages int, cfg DiskConfig) *Disk {
+	if numPages <= 0 {
+		panic("pagefile: disk needs at least one page")
+	}
+	return &Disk{
+		env:   env,
+		cfg:   cfg,
+		arm:   sim.NewResource(env, 1),
+		pages: make([][]byte, numPages),
+	}
+}
+
+// NumPages returns the capacity of the disk in pages.
+func (d *Disk) NumPages() int { return len(d.pages) }
+
+// Utilization returns the fraction of time the device has been busy.
+func (d *Disk) Utilization() float64 { return d.arm.Utilization() }
+
+// QueueLen returns the number of requests waiting for the device.
+func (d *Disk) QueueLen() int { return d.arm.QueueLen() }
+
+// Resource exposes the device arm so co-located work (e.g. a write-ahead
+// log sharing the spindle) contends with page I/O.
+func (d *Disk) Resource() *sim.Resource { return d.arm }
+
+func (d *Disk) check(id PageID) error {
+	if int(id) < 0 || int(id) >= len(d.pages) {
+		return fmt.Errorf("pagefile: page %d out of range [0,%d)", id, len(d.pages))
+	}
+	return nil
+}
+
+// Read copies page id into buf (which must be PageSize bytes), charging
+// the device time. Pages never written read as zeroes.
+func (d *Disk) Read(p *sim.Proc, id PageID, buf []byte) error {
+	if err := d.check(id); err != nil {
+		return err
+	}
+	p.Acquire(d.arm, 0)
+	p.Sleep(d.cfg.ReadTime)
+	d.arm.Release()
+	d.Reads++
+	if d.pages[id] == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+	} else {
+		copy(buf, d.pages[id])
+	}
+	return nil
+}
+
+// Write stores data (PageSize bytes) as page id, charging the device
+// time.
+func (d *Disk) Write(p *sim.Proc, id PageID, data []byte) error {
+	if err := d.check(id); err != nil {
+		return err
+	}
+	p.Acquire(d.arm, 0)
+	p.Sleep(d.cfg.WriteTime)
+	d.arm.Release()
+	d.Writes++
+	if d.pages[id] == nil {
+		d.pages[id] = make([]byte, PageSize)
+	}
+	copy(d.pages[id], data)
+	return nil
+}

@@ -1,0 +1,424 @@
+package pagefile
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"siteselect/internal/sim"
+)
+
+func run(t *testing.T, fn func(p *sim.Proc)) *sim.Env {
+	t.Helper()
+	env := sim.NewEnv()
+	done := false
+	env.Go("test", func(p *sim.Proc) {
+		fn(p)
+		done = true
+	})
+	env.RunAll()
+	if !done {
+		t.Fatal("test process did not finish (deadlock?)")
+	}
+	return env
+}
+
+func TestDiskReadWriteRoundTrip(t *testing.T) {
+	env := sim.NewEnv()
+	d := NewDisk(env, 10, DefaultDiskConfig())
+	ok := false
+	env.Go("t", func(p *sim.Proc) {
+		out := make([]byte, PageSize)
+		in := make([]byte, PageSize)
+		for i := range in {
+			in[i] = byte(i)
+		}
+		if err := d.Write(p, 3, in); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := d.Read(p, 3, out); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Errorf("byte %d = %d, want %d", i, out[i], in[i])
+				break
+			}
+		}
+		ok = true
+	})
+	env.RunAll()
+	if !ok {
+		t.Fatal("did not complete")
+	}
+	if d.Reads != 1 || d.Writes != 1 {
+		t.Fatalf("reads=%d writes=%d", d.Reads, d.Writes)
+	}
+	if env.Now() != 24*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 24ms", env.Now())
+	}
+}
+
+func TestDiskUnwrittenPageReadsZero(t *testing.T) {
+	run(t, func(p *sim.Proc) {
+		d := NewDisk(p.Env(), 4, DefaultDiskConfig())
+		buf := make([]byte, PageSize)
+		buf[0] = 0xFF
+		if err := d.Read(p, 0, buf); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		if buf[0] != 0 {
+			t.Error("unwritten page not zeroed")
+		}
+	})
+}
+
+func TestDiskOutOfRange(t *testing.T) {
+	run(t, func(p *sim.Proc) {
+		d := NewDisk(p.Env(), 4, DefaultDiskConfig())
+		buf := make([]byte, PageSize)
+		if err := d.Read(p, 4, buf); err == nil {
+			t.Error("read past end did not fail")
+		}
+		if err := d.Write(p, -1, buf); err == nil {
+			t.Error("negative write did not fail")
+		}
+	})
+}
+
+func TestDiskSerializesRequests(t *testing.T) {
+	env := sim.NewEnv()
+	d := NewDisk(env, 10, DiskConfig{ReadTime: 10 * time.Millisecond, WriteTime: 10 * time.Millisecond})
+	finished := 0
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Go("r", func(p *sim.Proc) {
+			buf := make([]byte, PageSize)
+			if err := d.Read(p, PageID(i), buf); err != nil {
+				t.Errorf("read: %v", err)
+			}
+			finished++
+		})
+	}
+	env.RunAll()
+	if finished != 3 {
+		t.Fatalf("finished = %d", finished)
+	}
+	if env.Now() != 30*time.Millisecond {
+		t.Fatalf("3 serialized reads took %v, want 30ms", env.Now())
+	}
+}
+
+func TestBufferHitIsFree(t *testing.T) {
+	env := sim.NewEnv()
+	d := NewDisk(env, 10, DiskConfig{ReadTime: 10 * time.Millisecond, WriteTime: 10 * time.Millisecond})
+	bp := NewBufferPool(env, d, 4)
+	env.Go("t", func(p *sim.Proc) {
+		f, err := bp.Get(p, 1)
+		if err != nil {
+			t.Errorf("get: %v", err)
+		}
+		bp.Unpin(f, false)
+		before := p.Now()
+		f, err = bp.Get(p, 1)
+		if err != nil {
+			t.Errorf("get: %v", err)
+		}
+		if p.Now() != before {
+			t.Error("buffer hit took time")
+		}
+		bp.Unpin(f, false)
+	})
+	env.RunAll()
+	if bp.Hits != 1 || bp.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", bp.Hits, bp.Misses)
+	}
+	if bp.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", bp.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	env := sim.NewEnv()
+	d := NewDisk(env, 10, DefaultDiskConfig())
+	bp := NewBufferPool(env, d, 2)
+	env.Go("t", func(p *sim.Proc) {
+		for _, id := range []PageID{0, 1} {
+			f, _ := bp.Get(p, id)
+			bp.Unpin(f, false)
+		}
+		// Touch 0 so 1 becomes LRU.
+		f, _ := bp.Get(p, 0)
+		bp.Unpin(f, false)
+		// Loading 2 must evict 1, not 0.
+		f, _ = bp.Get(p, 2)
+		bp.Unpin(f, false)
+		if !bp.Contains(0) || bp.Contains(1) || !bp.Contains(2) {
+			t.Errorf("residency after eviction: 0=%v 1=%v 2=%v",
+				bp.Contains(0), bp.Contains(1), bp.Contains(2))
+		}
+	})
+	env.RunAll()
+	if bp.Evictions != 1 {
+		t.Fatalf("evictions = %d", bp.Evictions)
+	}
+}
+
+func TestDirtyWriteBackOnEviction(t *testing.T) {
+	env := sim.NewEnv()
+	d := NewDisk(env, 10, DefaultDiskConfig())
+	bp := NewBufferPool(env, d, 1)
+	env.Go("t", func(p *sim.Proc) {
+		f, _ := bp.Get(p, 5)
+		f.Data[0] = 0xAB
+		bp.Unpin(f, true)
+		// Evict page 5 by loading another page.
+		f, _ = bp.Get(p, 6)
+		bp.Unpin(f, false)
+		// Re-read 5 from disk: modification must have survived.
+		f, _ = bp.Get(p, 5)
+		if f.Data[0] != 0xAB {
+			t.Error("dirty page lost on eviction")
+		}
+		bp.Unpin(f, false)
+	})
+	env.RunAll()
+	if bp.DirtyWrites != 1 {
+		t.Fatalf("dirty writes = %d", bp.DirtyWrites)
+	}
+	if d.Writes != 1 {
+		t.Fatalf("disk writes = %d", d.Writes)
+	}
+}
+
+func TestAllPinnedBlocksUntilUnpin(t *testing.T) {
+	env := sim.NewEnv()
+	d := NewDisk(env, 10, DefaultDiskConfig())
+	bp := NewBufferPool(env, d, 1)
+	var f0 *Frame
+	gotAt := time.Duration(-1)
+	env.Go("holder", func(p *sim.Proc) {
+		f0, _ = bp.Get(p, 0)
+		p.Sleep(time.Second)
+		bp.Unpin(f0, false)
+	})
+	env.Go("waiter", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		f, err := bp.Get(p, 1)
+		if err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		gotAt = p.Now()
+		bp.Unpin(f, false)
+	})
+	env.RunAll()
+	if gotAt < time.Second {
+		t.Fatalf("waiter got frame at %v, before holder unpinned", gotAt)
+	}
+}
+
+func TestConcurrentGetSingleRead(t *testing.T) {
+	env := sim.NewEnv()
+	d := NewDisk(env, 10, DefaultDiskConfig())
+	bp := NewBufferPool(env, d, 4)
+	done := 0
+	for i := 0; i < 5; i++ {
+		env.Go("g", func(p *sim.Proc) {
+			f, err := bp.Get(p, 7)
+			if err != nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+			bp.Unpin(f, false)
+			done++
+		})
+	}
+	env.RunAll()
+	if done != 5 {
+		t.Fatalf("done = %d", done)
+	}
+	if d.Reads != 1 {
+		t.Fatalf("disk reads = %d, want 1 (shared load)", d.Reads)
+	}
+	if bp.Misses != 1 || bp.Hits != 4 {
+		t.Fatalf("hits=%d misses=%d", bp.Hits, bp.Misses)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	env := sim.NewEnv()
+	d := NewDisk(env, 10, DefaultDiskConfig())
+	bp := NewBufferPool(env, d, 4)
+	env.Go("t", func(p *sim.Proc) {
+		for _, id := range []PageID{1, 2, 3} {
+			f, _ := bp.Get(p, id)
+			f.Data[0] = byte(id)
+			bp.Unpin(f, true)
+		}
+		if err := bp.FlushAll(p); err != nil {
+			t.Errorf("flush: %v", err)
+		}
+	})
+	env.RunAll()
+	if d.Writes != 3 {
+		t.Fatalf("disk writes = %d, want 3", d.Writes)
+	}
+}
+
+func TestFlushAllIdempotent(t *testing.T) {
+	env := sim.NewEnv()
+	d := NewDisk(env, 10, DefaultDiskConfig())
+	bp := NewBufferPool(env, d, 4)
+	env.Go("t", func(p *sim.Proc) {
+		f, _ := bp.Get(p, 1)
+		f.Data[0] = 1
+		bp.Unpin(f, true)
+		_ = bp.FlushAll(p)
+		_ = bp.FlushAll(p)
+	})
+	env.RunAll()
+	if d.Writes != 1 {
+		t.Fatalf("disk writes = %d, want 1", d.Writes)
+	}
+}
+
+func TestUnpinUnderflowPanics(t *testing.T) {
+	env := sim.NewEnv()
+	d := NewDisk(env, 4, DefaultDiskConfig())
+	bp := NewBufferPool(env, d, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Unpin did not panic")
+		}
+	}()
+	bp.Unpin(&Frame{}, false)
+}
+
+// Property: after any sequence of writes through the pool followed by a
+// flush, reading each page directly from disk returns the last value
+// written through the pool (write-back preserves data).
+func TestWriteBackConsistencyProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		env := sim.NewEnv()
+		d := NewDisk(env, 8, DiskConfig{ReadTime: time.Millisecond, WriteTime: time.Millisecond})
+		bp := NewBufferPool(env, d, 3)
+		want := map[PageID]byte{}
+		pass := true
+		env.Go("t", func(p *sim.Proc) {
+			for i, op := range ops {
+				id := PageID(op % 8)
+				fr, err := bp.Get(p, id)
+				if err != nil {
+					pass = false
+					return
+				}
+				v := byte(i + 1)
+				fr.Data[0] = v
+				want[id] = v
+				bp.Unpin(fr, true)
+			}
+			if err := bp.FlushAll(p); err != nil {
+				pass = false
+				return
+			}
+			buf := make([]byte, PageSize)
+			for id, v := range want {
+				if err := d.Read(p, id, buf); err != nil || buf[0] != v {
+					pass = false
+					return
+				}
+			}
+		})
+		env.RunAll()
+		return pass
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutInstallsWithoutRead(t *testing.T) {
+	env := sim.NewEnv()
+	d := NewDisk(env, 10, DefaultDiskConfig())
+	bp := NewBufferPool(env, d, 2)
+	env.Go("t", func(p *sim.Proc) {
+		data := make([]byte, PageSize)
+		data[0] = 0x42
+		if err := bp.Put(p, 3, data); err != nil {
+			t.Errorf("put: %v", err)
+		}
+		// No disk read happened; the page is resident and dirty.
+		if d.Reads != 0 {
+			t.Errorf("Put read from disk: %d reads", d.Reads)
+		}
+		f, err := bp.Get(p, 3)
+		if err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		if f.Data[0] != 0x42 {
+			t.Error("Put data lost")
+		}
+		if !f.Dirty() {
+			t.Error("Put page not dirty")
+		}
+		bp.Unpin(f, false)
+	})
+	env.RunAll()
+}
+
+func TestPutOverwritesResidentPage(t *testing.T) {
+	env := sim.NewEnv()
+	d := NewDisk(env, 10, DefaultDiskConfig())
+	bp := NewBufferPool(env, d, 2)
+	env.Go("t", func(p *sim.Proc) {
+		f, _ := bp.Get(p, 1)
+		f.Data[0] = 1
+		bp.Unpin(f, true)
+		data := make([]byte, PageSize)
+		data[0] = 9
+		if err := bp.Put(p, 1, data); err != nil {
+			t.Errorf("put: %v", err)
+		}
+		f, _ = bp.Get(p, 1)
+		if f.Data[0] != 9 {
+			t.Errorf("resident overwrite lost: %d", f.Data[0])
+		}
+		bp.Unpin(f, false)
+	})
+	env.RunAll()
+}
+
+func TestPutRejectsBadPage(t *testing.T) {
+	env := sim.NewEnv()
+	d := NewDisk(env, 4, DefaultDiskConfig())
+	bp := NewBufferPool(env, d, 2)
+	env.Go("t", func(p *sim.Proc) {
+		if err := bp.Put(p, 99, make([]byte, PageSize)); err == nil {
+			t.Error("out-of-range Put accepted")
+		}
+	})
+	env.RunAll()
+}
+
+func TestDiskResourceShared(t *testing.T) {
+	env := sim.NewEnv()
+	d := NewDisk(env, 4, DiskConfig{ReadTime: 10 * time.Millisecond, WriteTime: 10 * time.Millisecond})
+	var t2 time.Duration
+	env.Go("a", func(p *sim.Proc) {
+		buf := make([]byte, PageSize)
+		_ = d.Read(p, 0, buf)
+	})
+	env.Go("b", func(p *sim.Proc) {
+		// Co-located work on the same spindle waits behind the read.
+		p.Acquire(d.Resource(), 0)
+		p.Sleep(5 * time.Millisecond)
+		d.Resource().Release()
+		t2 = p.Now()
+	})
+	env.RunAll()
+	if t2 != 15*time.Millisecond {
+		t.Fatalf("shared-arm work finished at %v, want 15ms", t2)
+	}
+}

@@ -1,0 +1,168 @@
+// Package plot renders the experiment results as standalone SVG line
+// charts, so the reproduction produces actual figures comparable to the
+// paper's, with no dependencies outside the standard library.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one line on a chart.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Chart is a line chart over a shared x-axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	// YMin/YMax fix the y-range; when equal the range is derived from
+	// the data with a small margin.
+	YMin, YMax float64
+}
+
+// Geometry and palette of the rendered SVG.
+const (
+	width   = 640
+	height  = 420
+	marginL = 70
+	marginR = 160
+	marginT = 50
+	marginB = 60
+)
+
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// SVG writes the chart as a standalone SVG document.
+func (c *Chart) SVG(w io.Writer) error {
+	if len(c.X) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no data", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.X) {
+			return fmt.Errorf("plot: series %q has %d points, x-axis has %d", s.Name, len(s.Y), len(c.X))
+		}
+	}
+
+	xmin, xmax := minMax(c.X)
+	ymin, ymax := c.YMin, c.YMax
+	if ymin == ymax {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+		for _, s := range c.Series {
+			lo, hi := minMax(s.Y)
+			ymin = math.Min(ymin, lo)
+			ymax = math.Max(ymax, hi)
+		}
+		pad := (ymax - ymin) * 0.08
+		if pad == 0 {
+			pad = 1
+		}
+		ymin -= pad
+		ymax += pad
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	px := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return marginT + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf(
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`,
+		width, height, width, height))
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	sb.WriteString(fmt.Sprintf(
+		`<text x="%d" y="24" font-size="15" text-anchor="middle" font-weight="bold">%s</text>`,
+		(marginL+width-marginR)/2, escape(c.Title)))
+
+	// Axes.
+	sb.WriteString(fmt.Sprintf(
+		`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, marginT, marginL, height-marginB))
+	sb.WriteString(fmt.Sprintf(
+		`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		marginL, height-marginB, width-marginR, height-marginB))
+
+	// Y ticks and gridlines.
+	for i := 0; i <= 5; i++ {
+		v := ymin + (ymax-ymin)*float64(i)/5
+		y := py(v)
+		sb.WriteString(fmt.Sprintf(
+			`<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`,
+			marginL, y, width-marginR, y))
+		sb.WriteString(fmt.Sprintf(
+			`<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`,
+			marginL-8, y+4, trimFloat(v)))
+	}
+	// X ticks at the data points.
+	for _, x := range c.X {
+		sb.WriteString(fmt.Sprintf(
+			`<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`,
+			px(x), height-marginB+18, trimFloat(x)))
+	}
+	// Axis labels.
+	sb.WriteString(fmt.Sprintf(
+		`<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`,
+		(marginL+width-marginR)/2, height-16, escape(c.XLabel)))
+	sb.WriteString(fmt.Sprintf(
+		`<text x="18" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`,
+		(marginT+height-marginB)/2, (marginT+height-marginB)/2, escape(c.YLabel)))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i, y := range s.Y {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(c.X[i]), py(y)))
+		}
+		sb.WriteString(fmt.Sprintf(
+			`<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+			strings.Join(pts, " "), color))
+		for i, y := range s.Y {
+			sb.WriteString(fmt.Sprintf(
+				`<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`, px(c.X[i]), py(y), color))
+		}
+		// Legend entry.
+		ly := marginT + 18*si
+		sb.WriteString(fmt.Sprintf(
+			`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`,
+			width-marginR+12, ly, width-marginR+34, ly, color))
+		sb.WriteString(fmt.Sprintf(
+			`<text x="%d" y="%d" font-size="12">%s</text>`,
+			width-marginR+40, ly+4, escape(s.Name)))
+	}
+
+	sb.WriteString(`</svg>`)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	s = strings.TrimSuffix(s, ".0")
+	return s
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

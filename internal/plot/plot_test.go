@@ -1,0 +1,88 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Chart {
+	return &Chart{
+		Title:  "Figure T — test",
+		XLabel: "Clients",
+		YLabel: "Success %",
+		X:      []float64{20, 40, 60},
+		Series: []Series{
+			{Name: "CE", Y: []float64{90, 70, 10}},
+			{Name: "CS", Y: []float64{88, 85, 84}},
+		},
+		YMin: 0, YMax: 100,
+	}
+}
+
+func TestSVGWellFormedPieces(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().SVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "Figure T", "Clients", "Success %",
+		"CE", "CS", "polyline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in SVG output", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 6 {
+		t.Fatalf("markers = %d, want 6", got)
+	}
+}
+
+func TestSVGEscapesText(t *testing.T) {
+	c := sample()
+	c.Title = "a < b & c"
+	var sb strings.Builder
+	if err := c.SVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "a < b & c") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(sb.String(), "a &lt; b &amp; c") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestSVGRejectsEmptyAndMismatched(t *testing.T) {
+	var sb strings.Builder
+	empty := &Chart{Title: "empty"}
+	if err := empty.SVG(&sb); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	bad := sample()
+	bad.Series[0].Y = bad.Series[0].Y[:2]
+	if err := bad.SVG(&sb); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestSVGAutoRange(t *testing.T) {
+	c := sample()
+	c.YMin, c.YMax = 0, 0 // derive from data
+	var sb strings.Builder
+	if err := c.SVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// Constant series should not divide by zero either.
+	flat := &Chart{
+		Title: "flat", X: []float64{1, 2},
+		Series: []Series{{Name: "s", Y: []float64{5, 5}}},
+	}
+	sb.Reset()
+	if err := flat.SVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package proto defines the message payloads exchanged between the
+// database server and client sites in the client-server configurations:
+// object/lock requests and grants, recalls and returns, conflict-location
+// replies, load queries, and transaction shipping envelopes. Every
+// client-originated payload carries a piggybacked load report, which is
+// how the server maintains its load table without extra messages
+// (Section 4).
+package proto
+
+import (
+	"time"
+
+	"siteselect/internal/forward"
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/netsim"
+	"siteselect/internal/txn"
+)
+
+// LoadReport is a client's piggybacked load summary: its ready-queue
+// length and observed average transaction length (the inputs to H1).
+type LoadReport struct {
+	Client   netsim.SiteID
+	QueueLen int
+	ATL      time.Duration
+	Valid    bool
+}
+
+// EstimatedWait returns the H1-style queueing estimate n·ATL.
+func (l LoadReport) EstimatedWait() time.Duration {
+	return time.Duration(l.QueueLen) * l.ATL
+}
+
+// ObjRequest asks the server for one object/lock on behalf of a
+// transaction. Clients fetch missing objects one at a time (the paper's
+// sequential request/response loop whose round trip Table 3 measures),
+// so a client has at most one firm request outstanding.
+type ObjRequest struct {
+	Client   netsim.SiteID
+	Txn      txn.ID
+	Obj      lockmgr.ObjectID
+	Mode     lockmgr.Mode
+	Deadline time.Duration
+	Load     LoadReport
+}
+
+// ProbeRequest is the load-sharing client's tentative all-or-nothing
+// round (Section 4): one message asking whether every listed object is
+// grantable right now. The server either grants and ships them all, or
+// ships nothing and answers with a ConflictReply naming the conflicting
+// objects' locations.
+type ProbeRequest struct {
+	Client   netsim.SiteID
+	Txn      txn.ID
+	Objs     []lockmgr.ObjectID
+	Modes    []lockmgr.Mode
+	Deadline time.Duration
+	Load     LoadReport
+}
+
+// CommitRequest is the single follow-up message of the load-sharing
+// path: "the transaction will be processed locally — ship the objects
+// over as soon as possible". It converts an earlier tentative batch into
+// firm requests.
+type CommitRequest struct {
+	Client   netsim.SiteID
+	Txn      txn.ID
+	Deadline time.Duration
+	Objs     []lockmgr.ObjectID
+	Modes    []lockmgr.Mode
+	Load     LoadReport
+}
+
+// ObjGrant delivers an object and its lock to a client. It is the
+// payload of both KindObjectShip (server to client) and
+// KindClientForward (client to client along a forward list).
+type ObjGrant struct {
+	Obj     lockmgr.ObjectID
+	Mode    lockmgr.Mode
+	Version int64
+	Txn     txn.ID
+	// Epoch is the target's release epoch as last seen by the server.
+	// The client drops any grant whose epoch does not match its own —
+	// such a grant was sent before the server processed a release and
+	// refers to a registration that no longer exists.
+	Epoch int64
+	// Fwd is the remaining forward list the recipient must honour at
+	// commit (nil outside migrations).
+	Fwd *forward.List
+}
+
+// ObjConflict reports an object's conflicting holders (or, for an object
+// mid-migration, the last client on its forward list — the paper's
+// location-reporting rule).
+type ObjConflict struct {
+	Obj     lockmgr.ObjectID
+	Holders []netsim.SiteID
+}
+
+// SiteCount reports how many of a transaction's objects a site caches.
+type SiteCount struct {
+	Site  netsim.SiteID
+	Count int
+}
+
+// ConflictReply answers a tentative batch that could not be granted in
+// full: nothing was shipped; here is where the conflicting objects are.
+// DataCounts tells the client how much of the whole access set each
+// candidate holder caches — the "significant percentage of a
+// transaction's required data is already cached at another site"
+// condition of Section 3.1.
+type ConflictReply struct {
+	Txn        txn.ID
+	Conflicts  []ObjConflict
+	Loads      []LoadReport
+	DataCounts []SiteCount
+}
+
+// DenyReason explains a refused request.
+type DenyReason int
+
+// Deny reasons.
+const (
+	// DenyDeadlock means wait-for-graph cycle refusal.
+	DenyDeadlock DenyReason = iota + 1
+	// DenyExpired means the requesting transaction's deadline had
+	// already passed at the server.
+	DenyExpired
+)
+
+// DenyReply refuses one request.
+type DenyReply struct {
+	Txn    txn.ID
+	Obj    lockmgr.ObjectID
+	Reason DenyReason
+}
+
+// Recall is a server-to-client lock callback. When DowngradeToShared is
+// set the holder may keep the object with an SL instead of giving it up
+// entirely (the paper's modified callback scheme). HolderMode is the
+// mode the server's table records for the target at send time — a
+// client whose cached state does not match it knows the recall refers
+// to a grant still on the wire and must defer rather than answer for
+// the wrong lock.
+type Recall struct {
+	Obj               lockmgr.ObjectID
+	DowngradeToShared bool
+	HolderMode        lockmgr.Mode
+}
+
+// ObjReturn answers a recall (or voluntarily returns a dirty eviction).
+type ObjReturn struct {
+	Client netsim.SiteID
+	Obj    lockmgr.ObjectID
+	// HasData marks returns carrying a modified object.
+	HasData bool
+	Version int64
+	// Downgraded means the client kept an SL copy.
+	Downgraded bool
+	// NotCached means the client had silently dropped the clean object
+	// and only releases the lock.
+	NotCached bool
+	// UpdateOnly pushes committed data to the server without touching
+	// the lock (the write-through ablation); the client keeps its EL.
+	UpdateOnly bool
+	// Migration marks the final hop of an exclusive forward list.
+	Migration bool
+	// RunComplete marks the end of a parallel read run: every member
+	// received its copy, so the server may recall them normally again
+	// (the paper's "the object is returned to the server" — for a
+	// read-only run only the acknowledgement needs to travel).
+	RunComplete bool
+	// RetainedSL lists the chain clients that kept clean shared copies
+	// (legal because no exclusive entry followed them); the server
+	// registers these SLs so its lock table matches the caches.
+	RetainedSL []netsim.SiteID
+	// Epoch is the sender's release epoch for Obj after this return
+	// takes effect; the server stamps it into future grants so stale
+	// in-flight grants can be recognized.
+	Epoch int64
+	Load  LoadReport
+}
+
+// LoadQuery asks for the locations of a transaction's objects and the
+// loads of candidate sites (the H1-failed path of the load-sharing
+// algorithm).
+type LoadQuery struct {
+	Client   netsim.SiteID
+	Txn      txn.ID
+	Objs     []lockmgr.ObjectID
+	Modes    []lockmgr.Mode
+	Deadline time.Duration
+	Load     LoadReport
+}
+
+// LoadReply answers a LoadQuery.
+type LoadReply struct {
+	Txn       txn.ID
+	Locations []ObjConflict
+	Loads     []LoadReport
+}
+
+// TxnShip moves a transaction (or one subtask of a decomposed
+// transaction) to another client site for execution.
+type TxnShip struct {
+	T *txn.Transaction
+	// Sub is non-nil when shipping a subtask.
+	Sub *txn.Subtask
+	// ReplyTo receives the TxnResult.
+	ReplyTo netsim.SiteID
+	Load    LoadReport
+}
+
+// TxnResult reports a shipped transaction's (or subtask's) outcome to
+// its origin.
+type TxnResult struct {
+	Txn       txn.ID
+	SubIndex  int
+	IsSub     bool
+	Committed bool
+	ExecSite  netsim.SiteID
+}
+
+// TxnSubmit carries a whole transaction from a terminal to the
+// centralized server.
+type TxnSubmit struct {
+	T *txn.Transaction
+}
+
+// UserResult returns a centralized transaction's outcome to its
+// terminal.
+type UserResult struct {
+	Txn       txn.ID
+	Committed bool
+}

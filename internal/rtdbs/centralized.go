@@ -1,0 +1,308 @@
+package rtdbs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"siteselect/internal/config"
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/metrics"
+	"siteselect/internal/netsim"
+	"siteselect/internal/pagefile"
+	"siteselect/internal/proto"
+	"siteselect/internal/rng"
+	"siteselect/internal/sim"
+	"siteselect/internal/txn"
+	"siteselect/internal/wal"
+)
+
+// Centralized is the CE-RTDBS: the server performs all transaction
+// processing (as many as ServerThreads concurrently, each as a separate
+// "thread"), scheduled Earliest-Deadline-First with strict 2PL on a
+// central lock table; clients are terminals that submit transactions and
+// receive results over the LAN.
+type Centralized struct {
+	cfg config.Config
+
+	env   *sim.Env
+	net   *netsim.Network
+	m     *metrics.Collector
+	locks *lockmgr.BlockingTable
+	disk  *pagefile.Disk
+	pool  *pagefile.BufferPool
+	slots *sim.Resource
+	cpu   *sim.Resource
+
+	versions  []int64
+	log       *wal.Log
+	inbox     *sim.Mailbox[netsim.Message]
+	terminals []*terminal
+}
+
+type terminal struct {
+	id      netsim.SiteID
+	inbox   *sim.Mailbox[netsim.Message]
+	gen     *txn.Generator
+	tracked []*txn.Transaction
+}
+
+// NewCentralized builds the CE-RTDBS.
+func NewCentralized(cfg config.Config) (*Centralized, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	env := sim.NewEnv()
+	net := netsim.New(env, netsim.Config{
+		Latency:      cfg.NetLatency,
+		BandwidthBps: cfg.NetBandwidthBps,
+		Switched:     cfg.Topology == config.TopologySwitched,
+	})
+	disk := pagefile.NewDisk(env, cfg.DBSize, pagefile.DiskConfig{
+		ReadTime:  cfg.DiskRead,
+		WriteTime: cfg.DiskWrite,
+	})
+	ce := &Centralized{
+		cfg:      cfg,
+		env:      env,
+		net:      net,
+		m:        &metrics.Collector{},
+		locks:    lockmgr.NewBlockingTable(env),
+		disk:     disk,
+		pool:     pagefile.NewBufferPool(env, disk, cfg.ServerMemory),
+		slots:    sim.NewResource(env, cfg.ServerThreads),
+		cpu:      sim.NewResource(env, 1),
+		versions: make([]int64, cfg.DBSize),
+		inbox:    sim.NewMailbox[netsim.Message](env),
+	}
+	if cfg.UseLogging {
+		ce.log = wal.New(env, disk.Resource(), cfg.DiskWrite)
+	}
+	root := rng.NewStream(cfg.Seed)
+	var nextID txn.ID
+	newID := func() txn.ID { nextID++; return nextID }
+	for i := 1; i <= cfg.NumClients; i++ {
+		id := netsim.SiteID(i)
+		gen := newGenerator(root, cfg, i, newID)
+		ce.terminals = append(ce.terminals, &terminal{
+			id:    id,
+			inbox: sim.NewMailbox[netsim.Message](env),
+			gen:   gen,
+		})
+	}
+	return ce, nil
+}
+
+// Env exposes the simulation environment.
+func (ce *Centralized) Env() *sim.Env { return ce.env }
+
+// Net exposes the simulated LAN.
+func (ce *Centralized) Net() *netsim.Network { return ce.net }
+
+// Metrics exposes the live collector.
+func (ce *Centralized) Metrics() *metrics.Collector { return ce.m }
+
+// Start spawns the server dispatcher and the terminal processes.
+func (ce *Centralized) Start() {
+	ce.env.Go("ce-server", ce.serve)
+	for _, term := range ce.terminals {
+		term := term
+		ce.env.Go(fmt.Sprintf("terminal-%d", term.id), func(p *sim.Proc) {
+			ce.runTerminal(p, term)
+		})
+		ce.env.Go(fmt.Sprintf("terminal-%d-drain", term.id), func(p *sim.Proc) {
+			for {
+				term.inbox.Get(p) // results are displayed to the user
+			}
+		})
+	}
+}
+
+// runTerminal submits the terminal's transaction stream to the server.
+func (ce *Centralized) runTerminal(p *sim.Proc, term *terminal) {
+	for {
+		next := term.gen.NextArrival()
+		if next > ce.cfg.Duration {
+			return
+		}
+		p.SleepUntil(next)
+		t := term.gen.Next()
+		term.tracked = append(term.tracked, t)
+		ce.net.Send(netsim.Message{
+			Kind: netsim.KindTxnSubmit, From: term.id, To: netsim.ServerSite,
+			Size: netsim.TxnShipBytes, Payload: proto.TxnSubmit{T: t},
+		}, ce.inbox)
+	}
+}
+
+// serve dispatches arriving transactions, each executing as its own
+// process (the paper's thread-per-transaction server).
+func (ce *Centralized) serve(p *sim.Proc) {
+	for {
+		msg := ce.inbox.Get(p)
+		sub, ok := msg.Payload.(proto.TxnSubmit)
+		if !ok {
+			panic(fmt.Sprintf("rtdbs: centralized server got %T", msg.Payload))
+		}
+		if ce.cfg.ServerOpCPU > 0 {
+			p.Acquire(ce.cpu, 0)
+			p.Sleep(ce.cfg.ServerOpCPU)
+			ce.cpu.Release()
+		}
+		t := sub.T
+		ce.env.Go(fmt.Sprintf("ce-txn-%d", t.ID), func(tp *sim.Proc) {
+			ce.runTxn(tp, t)
+		})
+	}
+}
+
+// runTxn executes one transaction at the server: EDF admission to a
+// thread slot, strict 2PL lock acquisition in access order (wait-for
+// graph refusal aborts), page reads through the buffer pool, the
+// prescribed processing delay, updates, release, and the result message.
+func (ce *Centralized) runTxn(p *sim.Proc, t *txn.Transaction) {
+	finish := func(committed bool) {
+		if committed {
+			t.Status = txn.StatusCommitted
+		} else if t.Status != txn.StatusAborted {
+			t.Status = txn.StatusMissed
+		}
+		t.Finished = p.Now()
+		t.ExecSite = netsim.ServerSite
+		ce.net.Send(netsim.Message{
+			Kind: netsim.KindUserResult, From: netsim.ServerSite, To: t.Origin,
+			Size: netsim.ResultBytes,
+			Payload: proto.UserResult{
+				Txn: t.ID, Committed: committed,
+			},
+		}, ce.terminals[int(t.Origin)-1].inbox)
+	}
+
+	prio := t.Deadline.Seconds()
+	if ce.cfg.Scheduling == config.SchedFCFS {
+		prio = t.Arrival.Seconds()
+	}
+	slack := t.Deadline - p.Now()
+	if slack <= 0 || !p.AcquireTimeout(ce.slots, prio, slack) {
+		finish(false)
+		return
+	}
+	defer ce.slots.Release()
+	if p.Now() > t.Deadline {
+		finish(false)
+		return
+	}
+	t.Status = txn.StatusRunning
+
+	owner := lockmgr.OwnerID(t.ID)
+	defer ce.locks.ReleaseAll(owner)
+	for _, op := range t.Ops {
+		err := ce.locks.LockWait(p, &lockmgr.Request{
+			Obj: op.Obj, Owner: owner, Mode: op.Mode(), Deadline: t.Deadline,
+		})
+		if err != nil {
+			if errors.Is(err, lockmgr.ErrDeadlock) {
+				t.Status = txn.StatusAborted
+			}
+			finish(false)
+			return
+		}
+	}
+
+	// Materialize the pages (buffer hits are free; misses queue on the
+	// disk). Every object access additionally costs ServerOpCPU on the
+	// server's one CPU — in the centralized system all of every client's
+	// low-level database work lands here, which is what saturates the
+	// server as clients are added (Figures 3–5).
+	frames := make([]*pagefile.Frame, 0, len(t.Ops))
+	bail := func() {
+		for _, f := range frames {
+			ce.pool.Unpin(f, false)
+		}
+		finish(false)
+	}
+	for _, op := range t.Ops {
+		if p.Now() > t.Deadline {
+			// EDF discipline: a late transaction is abandoned rather
+			// than allowed to keep consuming the CPU and disk.
+			bail()
+			return
+		}
+		if ce.cfg.ServerOpCPU > 0 {
+			if !p.AcquireTimeout(ce.cpu, prio, t.Deadline-p.Now()) {
+				bail()
+				return
+			}
+			p.Sleep(ce.cfg.ServerOpCPU)
+			ce.cpu.Release()
+		}
+		f, err := ce.pool.Get(p, pagefile.PageID(op.Obj))
+		if err != nil {
+			panic(fmt.Sprintf("rtdbs: centralized read %d: %v", op.Obj, err))
+		}
+		frames = append(frames, f)
+	}
+	if p.Now() > t.Deadline {
+		bail()
+		return
+	}
+	p.Sleep(t.Length)
+	var lastLSN int64
+	for i, op := range t.Ops {
+		dirty := op.Write
+		if dirty {
+			ce.versions[op.Obj]++
+			binary.LittleEndian.PutUint64(frames[i].Data, uint64(ce.versions[op.Obj]))
+			if ce.log != nil {
+				lastLSN = ce.log.Append(int64(t.ID), op.Obj, ce.versions[op.Obj])
+			}
+		}
+		ce.pool.Unpin(frames[i], dirty)
+	}
+	if ce.log != nil && lastLSN > 0 {
+		ce.log.ForceTo(p, int64(t.ID), lastLSN)
+	}
+	finish(p.Now() <= t.Deadline)
+}
+
+// Run executes the full experiment.
+func (ce *Centralized) Run() (*Result, error) {
+	ce.Start()
+	ce.env.Run(ce.cfg.Duration + ce.cfg.Drain)
+	res := ce.collect()
+	err := ce.locks.Table().Audit()
+	ce.env.Close()
+	return res, err
+}
+
+func (ce *Centralized) collect() *Result {
+	now := ce.env.Now()
+	for _, term := range ce.terminals {
+		for _, t := range term.tracked {
+			if !t.Terminal() {
+				if t.Deadline >= now {
+					continue
+				}
+				t.Status = txn.StatusMissed
+				t.Finished = now
+			}
+			if t.Arrival < ce.cfg.Warmup {
+				continue
+			}
+			ce.m.Submitted++
+			ce.m.RecordOutcome(t)
+		}
+	}
+	return &Result{
+		Config:              ce.cfg,
+		M:                   ce.m,
+		Messages:            messageSnapshot(ce.net),
+		TotalMessages:       ce.net.TotalMessages(),
+		TotalBytes:          ce.net.TotalBytes(),
+		NetUtilization:      ce.net.Utilization(),
+		ServerBufferHitRate: ce.pool.HitRate(),
+		ServerDiskReads:     ce.disk.Reads,
+		ServerDiskWrites:    ce.disk.Writes,
+		Elapsed:             now,
+	}
+}

@@ -1,0 +1,210 @@
+package rtdbs
+
+import (
+	"fmt"
+
+	"siteselect/internal/client"
+	"siteselect/internal/config"
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/metrics"
+	"siteselect/internal/netsim"
+	"siteselect/internal/rng"
+	"siteselect/internal/server"
+	"siteselect/internal/sim"
+	"siteselect/internal/txn"
+)
+
+// Cluster is a client-server system: one server, N client sites, a
+// shared LAN. With loadShare false it is the basic CS-RTDBS
+// (object-shipping with callback locking); with loadShare true it is the
+// LS-CS-RTDBS running the Section 4 algorithm.
+type Cluster struct {
+	cfg       config.Config
+	loadShare bool
+
+	env     *sim.Env
+	net     *netsim.Network
+	m       *metrics.Collector
+	server  *server.Server
+	clients []*client.Client
+}
+
+// NewClientServer builds the basic CS-RTDBS. Load-sharing features are
+// forced off regardless of the config flags.
+func NewClientServer(cfg config.Config) (*Cluster, error) {
+	cfg.UseH1 = false
+	cfg.UseH2 = false
+	cfg.UseDecomposition = false
+	cfg.UseForwardLists = false
+	return newCluster(cfg, false)
+}
+
+// NewLoadSharing builds the LS-CS-RTDBS with the configured feature
+// toggles (all on for the paper's system; ablations switch them off
+// selectively).
+func NewLoadSharing(cfg config.Config) (*Cluster, error) {
+	return newCluster(cfg, true)
+}
+
+func newCluster(cfg config.Config, loadShare bool) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	env := sim.NewEnv()
+	net := netsim.New(env, netsim.Config{
+		Latency:      cfg.NetLatency,
+		BandwidthBps: cfg.NetBandwidthBps,
+		Switched:     cfg.Topology == config.TopologySwitched,
+	})
+	c := &Cluster{
+		cfg:       cfg,
+		loadShare: loadShare,
+		env:       env,
+		net:       net,
+		m:         &metrics.Collector{},
+		server:    server.New(env, cfg, net),
+	}
+	root := rng.NewStream(cfg.Seed)
+	var nextID txn.ID
+	newID := func() txn.ID { nextID++; return nextID }
+
+	inboxes := make(map[netsim.SiteID]*sim.Mailbox[netsim.Message], cfg.NumClients)
+	for i := 1; i <= cfg.NumClients; i++ {
+		id := netsim.SiteID(i)
+		inbox := sim.NewMailbox[netsim.Message](env)
+		serverIn := sim.NewMailbox[netsim.Message](env)
+		c.server.Attach(id, serverIn, inbox)
+		inboxes[id] = inbox
+
+		gen := newGenerator(root, cfg, i, newID)
+		c.clients = append(c.clients, client.New(
+			env, cfg, id, net, c.m, inbox, serverIn, gen, loadShare))
+	}
+	for _, cl := range c.clients {
+		cl.SetPeers(inboxes)
+	}
+	return c, nil
+}
+
+// Env exposes the simulation environment (tests drive it directly).
+func (c *Cluster) Env() *sim.Env { return c.env }
+
+// Server exposes the server actor.
+func (c *Cluster) Server() *server.Server { return c.server }
+
+// Net exposes the simulated LAN (e.g. to install a message trace before
+// Start).
+func (c *Cluster) Net() *netsim.Network { return c.net }
+
+// Clients exposes the client actors.
+func (c *Cluster) Clients() []*client.Client { return c.clients }
+
+// Metrics exposes the live metrics collector.
+func (c *Cluster) Metrics() *metrics.Collector { return c.m }
+
+// Start spawns all actors without running the clock (tests use this).
+func (c *Cluster) Start() {
+	c.server.Start()
+	for _, cl := range c.clients {
+		cl.Start()
+	}
+}
+
+// Run executes the full experiment: generate work for cfg.Duration, let
+// in-flight transactions drain, finalize outcomes, audit invariants, and
+// shut the simulation down.
+func (c *Cluster) Run() (*Result, error) {
+	c.Start()
+	c.env.Run(c.cfg.Duration + c.cfg.Drain)
+	res := c.collect()
+	err := c.Audit()
+	c.env.Close()
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func (c *Cluster) collect() *Result {
+	now := c.env.Now()
+	for _, cl := range c.clients {
+		for _, t := range cl.Tracked {
+			if !t.Terminal() {
+				if t.Deadline >= now {
+					continue // still legitimately in flight; exclude
+				}
+				t.Status = txn.StatusMissed
+				t.Finished = now
+			}
+			if t.Arrival < c.cfg.Warmup {
+				continue // cold-start transactions are excluded
+			}
+			c.m.Submitted++
+			c.m.RecordOutcome(t)
+		}
+	}
+	res := &Result{
+		Config:              c.cfg,
+		M:                   c.m,
+		Messages:            messageSnapshot(c.net),
+		TotalMessages:       c.net.TotalMessages(),
+		TotalBytes:          c.net.TotalBytes(),
+		NetUtilization:      c.net.Utilization(),
+		ServerBufferHitRate: c.server.Pool().HitRate(),
+		ServerDiskReads:     c.server.Disk().Reads,
+		ServerDiskWrites:    c.server.Disk().Writes,
+		RecallsSent:         c.server.RecallsSent,
+		GrantsShipped:       c.server.GrantsShipped,
+		MigrationsStarted:   c.server.MigrationsStarted,
+		DeniesExpired:       c.server.DeniesExpired,
+		DeniesDeadlock:      c.server.DeniesDeadlock,
+		Elapsed:             now,
+	}
+	res.ExecutedPerSite = make(map[netsim.SiteID]int64, len(c.clients))
+	for _, cl := range c.clients {
+		res.ForwardHops += cl.ForwardHops
+		for _, t := range cl.Tracked {
+			if t.Status == txn.StatusCommitted && t.Arrival >= c.cfg.Warmup {
+				res.ExecutedPerSite[t.ExecSite]++
+			}
+		}
+	}
+	return res
+}
+
+// Audit verifies cross-cutting invariants after a run: the global lock
+// table is consistent, no client cache holds a dirty object without an
+// exclusive lock, and every clean cached copy is current — its version
+// matches the server's (a stale clean copy would mean a reader could
+// observe a value some committed writer already replaced).
+func (c *Cluster) Audit() error {
+	if err := c.server.AuditLocks(); err != nil {
+		return err
+	}
+	for _, cl := range c.clients {
+		for _, e := range cl.Cache().Entries() {
+			if cl.HasDeferredRecall(e.Obj) {
+				continue // a pending callback makes any state transitional
+			}
+			if e.Dirty {
+				if e.Mode != lockmgr.ModeExclusive {
+					return fmt.Errorf("rtdbs: client %d caches dirty object %d with %v",
+						cl.ID(), e.Obj, e.Mode)
+				}
+				if e.Version <= c.server.Version(e.Obj) {
+					return fmt.Errorf("rtdbs: client %d's dirty object %d at version %d not ahead of server's %d",
+						cl.ID(), e.Obj, e.Version, c.server.Version(e.Obj))
+				}
+				continue
+			}
+			if e.Version > c.server.Version(e.Obj) && c.server.Migrating(e.Obj) {
+				continue // retained copy ahead of a still-travelling chain
+			}
+			if e.Version != c.server.Version(e.Obj) {
+				return fmt.Errorf("rtdbs: client %d caches stale clean object %d (version %d, server %d)",
+					cl.ID(), e.Obj, e.Version, c.server.Version(e.Obj))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Package rtdbs assembles the three systems the paper evaluates —
+// CE-RTDBS (centralized), CS-RTDBS (basic object-shipping
+// client-server), and LS-CS-RTDBS (client-server with the load-sharing
+// algorithm) — and runs them to completion, producing the metrics the
+// paper's tables and figures report.
+package rtdbs
+
+import (
+	"math"
+	"time"
+
+	"siteselect/internal/config"
+	"siteselect/internal/metrics"
+	"siteselect/internal/netsim"
+)
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	Config config.Config
+	// M holds transaction, cache and response-time statistics.
+	M *metrics.Collector
+
+	// Messages maps message kinds to their traffic counters (Table 4).
+	Messages map[netsim.Kind]netsim.KindStats
+	// TotalMessages and TotalBytes summarize all LAN traffic.
+	TotalMessages int64
+	TotalBytes    int64
+	// NetUtilization is the bus busy fraction.
+	NetUtilization float64
+
+	// ServerBufferHitRate is the server pool hit rate; ServerDiskReads
+	// and ServerDiskWrites count device operations.
+	ServerBufferHitRate float64
+	ServerDiskReads     int64
+	ServerDiskWrites    int64
+
+	// Server protocol counters.
+	RecallsSent       int64
+	GrantsShipped     int64
+	MigrationsStarted int64
+	ForwardHops       int64
+	DeniesExpired     int64
+	DeniesDeadlock    int64
+
+	// ExecutedPerSite counts committed transactions by executing site
+	// (client-server systems only); Spread is their coefficient of
+	// variation — load sharing should push it down.
+	ExecutedPerSite map[netsim.SiteID]int64
+
+	// Elapsed is the virtual time simulated.
+	Elapsed time.Duration
+}
+
+// ExecSpread returns the coefficient of variation (stddev/mean) of the
+// per-site executed-transaction counts; zero when unavailable.
+func (r *Result) ExecSpread() float64 {
+	if len(r.ExecutedPerSite) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, n := range r.ExecutedPerSite {
+		sum += float64(n)
+	}
+	mean := sum / float64(len(r.ExecutedPerSite))
+	if mean == 0 {
+		return 0
+	}
+	var sq float64
+	for _, n := range r.ExecutedPerSite {
+		d := float64(n) - mean
+		sq += d * d
+	}
+	return math.Sqrt(sq/float64(len(r.ExecutedPerSite))) / mean
+}
+
+// SuccessRate returns the percentage (0–100) of transactions that
+// completed within their deadlines.
+func (r *Result) SuccessRate() float64 { return 100 * r.M.SuccessRate() }
+
+// CacheHitRate returns the percentage (0–100) of object accesses served
+// from the executing site's cache.
+func (r *Result) CacheHitRate() float64 { return 100 * r.M.CacheHitRate() }
+
+func messageSnapshot(net *netsim.Network) map[netsim.Kind]netsim.KindStats {
+	kinds := []netsim.Kind{
+		netsim.KindObjectRequest, netsim.KindObjectShip, netsim.KindRecall,
+		netsim.KindObjectReturn, netsim.KindClientForward, netsim.KindLockReply,
+		netsim.KindTxnShip, netsim.KindTxnResult, netsim.KindLoadQuery,
+		netsim.KindLoadReply, netsim.KindTxnSubmit, netsim.KindUserResult,
+	}
+	out := make(map[netsim.Kind]netsim.KindStats, len(kinds))
+	for _, k := range kinds {
+		out[k] = net.Stats(k)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package rtdbs
+
+import (
+	"testing"
+	"time"
+
+	"siteselect/internal/config"
+)
+
+func smallConfig(n int, update float64) config.Config {
+	cfg := config.Default(n, update)
+	cfg.Duration = 3 * time.Minute
+	cfg.Drain = 40 * time.Second
+	cfg.Warmup = 30 * time.Second
+	return cfg
+}
+
+func TestCentralizedSmoke(t *testing.T) {
+	cfg := smallConfig(4, 0.05)
+	cfg.ServerMemory = 5000
+	ce, err := NewCentralized(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ce.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M.Submitted == 0 {
+		t.Fatal("no transactions submitted")
+	}
+	if res.M.Committed == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if got := res.M.Committed + res.M.Missed + res.M.Aborted; got != res.M.Submitted {
+		t.Fatalf("outcomes %d != submitted %d", got, res.M.Submitted)
+	}
+	t.Logf("CE: submitted=%d success=%.1f%% msgs=%d",
+		res.M.Submitted, res.SuccessRate(), res.TotalMessages)
+}
+
+func TestClientServerSmoke(t *testing.T) {
+	cs, err := NewClientServer(smallConfig(4, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M.Submitted == 0 || res.M.Committed == 0 {
+		t.Fatalf("submitted=%d committed=%d", res.M.Submitted, res.M.Committed)
+	}
+	if res.M.CacheAccesses == 0 {
+		t.Fatal("no cache accesses recorded")
+	}
+	t.Logf("CS: submitted=%d success=%.1f%% hit=%.1f%% msgs=%d",
+		res.M.Submitted, res.SuccessRate(), res.CacheHitRate(), res.TotalMessages)
+}
+
+func TestLoadSharingSmoke(t *testing.T) {
+	ls, err := NewLoadSharing(smallConfig(4, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ls.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M.Submitted == 0 || res.M.Committed == 0 {
+		t.Fatalf("submitted=%d committed=%d", res.M.Submitted, res.M.Committed)
+	}
+	t.Logf("LS: submitted=%d success=%.1f%% hit=%.1f%% shipped=%d decomposed=%d migrations=%d hops=%d",
+		res.M.Submitted, res.SuccessRate(), res.CacheHitRate(),
+		res.M.ShippedTxns, res.M.DecomposedTxns, res.MigrationsStarted, res.ForwardHops)
+}

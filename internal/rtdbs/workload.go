@@ -1,0 +1,41 @@
+package rtdbs
+
+import (
+	"siteselect/internal/config"
+	"siteselect/internal/netsim"
+	"siteselect/internal/rng"
+	"siteselect/internal/txn"
+)
+
+// newGenerator builds client i's workload generator from the experiment
+// seed: its own random stream, its access-pattern generator, and the
+// Table 1 timing parameters.
+func newGenerator(root *rng.Stream, cfg config.Config, i int, newID func() txn.ID) *txn.Generator {
+	stream := root.Derive(int64(i))
+	var access rng.AccessGen
+	switch cfg.Pattern {
+	case config.PatternUniform:
+		access = rng.NewUniform(stream.Derive(7), cfg.DBSize)
+	case config.PatternHotCold:
+		access = rng.NewHotCold(stream.Derive(7), cfg.DBSize, cfg.HotRegionSize, cfg.LocalFraction)
+	default:
+		access = rng.NewLocalizedRW(stream.Derive(7), rng.LocalizedRWConfig{
+			DBSize:        cfg.DBSize,
+			ClientIndex:   i - 1,
+			NumClients:    cfg.NumClients,
+			RegionSize:    cfg.HotRegionSize,
+			LocalFraction: cfg.LocalFraction,
+			ZipfTheta:     cfg.ZipfTheta,
+		})
+	}
+	return txn.NewGenerator(stream, netsim.SiteID(i), txn.WorkloadConfig{
+		MeanInterArrival:     cfg.MeanInterArrival,
+		MeanLength:           cfg.MeanLength,
+		MeanSlack:            cfg.MeanSlack,
+		MeanObjects:          cfg.MeanObjects,
+		UpdateFraction:       cfg.UpdateFraction,
+		DecomposableFraction: cfg.DecomposableFraction,
+		IndependentDeadlines: cfg.Deadlines == config.DeadlineIndependent,
+		Access:               access,
+	}, newID)
+}

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"siteselect/internal/txn"
+)
+
+func tx(id int64, deadline time.Duration) *txn.Transaction {
+	return &txn.Transaction{ID: txn.ID(id), Deadline: deadline, Status: txn.StatusPending}
+}
+
+func TestEDFOrder(t *testing.T) {
+	q := NewEDFQueue()
+	q.Push(tx(1, 30*time.Second))
+	q.Push(tx(2, 10*time.Second))
+	q.Push(tx(3, 20*time.Second))
+	want := []txn.ID{2, 3, 1}
+	for _, id := range want {
+		got := q.Pop()
+		if got == nil || got.ID != id {
+			t.Fatalf("pop = %v, want %d", got, id)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("pop of empty queue should be nil")
+	}
+}
+
+func TestEDFTieFIFO(t *testing.T) {
+	q := NewEDFQueue()
+	for i := int64(1); i <= 5; i++ {
+		q.Push(tx(i, time.Second))
+	}
+	for i := int64(1); i <= 5; i++ {
+		if got := q.Pop(); got.ID != txn.ID(i) {
+			t.Fatalf("tie order broken: got %d want %d", got.ID, i)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := NewEDFQueue()
+	if q.Peek() != nil {
+		t.Fatal("peek of empty should be nil")
+	}
+	q.Push(tx(1, time.Second))
+	if q.Peek().ID != 1 || q.Len() != 1 {
+		t.Fatal("peek misbehaved")
+	}
+}
+
+func TestPopReadySkipsMissed(t *testing.T) {
+	q := NewEDFQueue()
+	q.Push(tx(1, 5*time.Second))
+	q.Push(tx(2, 15*time.Second))
+	q.Push(tx(3, 25*time.Second))
+	ready, missed := q.PopReady(10 * time.Second)
+	if ready == nil || ready.ID != 2 {
+		t.Fatalf("ready = %v, want id 2", ready)
+	}
+	if len(missed) != 1 || missed[0].ID != 1 {
+		t.Fatalf("missed = %v", missed)
+	}
+	ready, missed = q.PopReady(100 * time.Second)
+	if ready != nil || len(missed) != 1 || missed[0].ID != 3 {
+		t.Fatalf("second PopReady: ready=%v missed=%v", ready, missed)
+	}
+}
+
+func TestDropMissed(t *testing.T) {
+	q := NewEDFQueue()
+	for i := int64(1); i <= 6; i++ {
+		q.Push(tx(i, time.Duration(i)*time.Second))
+	}
+	missed := q.DropMissed(3 * time.Second) // ids 1,2 missed (deadline < now), 3 at limit survives
+	if len(missed) != 2 {
+		t.Fatalf("missed = %d, want 2", len(missed))
+	}
+	if q.Len() != 4 {
+		t.Fatalf("remaining = %d, want 4", q.Len())
+	}
+	if got := q.Pop(); got.ID != 3 {
+		t.Fatalf("head after drop = %d, want 3", got.ID)
+	}
+}
+
+func TestATL(t *testing.T) {
+	a := &ATL{Default: 10 * time.Second}
+	if a.Mean() != 10*time.Second {
+		t.Fatalf("default mean = %v", a.Mean())
+	}
+	a.Observe(4 * time.Second)
+	a.Observe(8 * time.Second)
+	if a.Mean() != 6*time.Second {
+		t.Fatalf("mean = %v, want 6s", a.Mean())
+	}
+	if a.Count() != 2 {
+		t.Fatalf("count = %d", a.Count())
+	}
+}
+
+func TestFeasibleH1(t *testing.T) {
+	now := 100 * time.Second
+	atl := 10 * time.Second
+	if !FeasibleH1(now, 2, atl, 120*time.Second) {
+		t.Fatal("exactly-feasible case should pass (<=)")
+	}
+	if FeasibleH1(now, 3, atl, 120*time.Second) {
+		t.Fatal("infeasible case should fail")
+	}
+	if !FeasibleH1(now, 0, atl, now) {
+		t.Fatal("empty queue with deadline=now should pass")
+	}
+}
+
+// Property: Pop always returns nondecreasing deadlines.
+func TestEDFHeapProperty(t *testing.T) {
+	f := func(deadlines []uint16) bool {
+		q := NewEDFQueue()
+		for i, d := range deadlines {
+			q.Push(tx(int64(i), time.Duration(d)*time.Millisecond))
+		}
+		last := time.Duration(-1)
+		for q.Len() > 0 {
+			got := q.Pop()
+			if got.Deadline < last {
+				return false
+			}
+			last = got.Deadline
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

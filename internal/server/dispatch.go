@@ -1,0 +1,407 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"siteselect/internal/forward"
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/netsim"
+	"siteselect/internal/pagefile"
+	"siteselect/internal/proto"
+	"siteselect/internal/sim"
+	"siteselect/internal/txn"
+)
+
+// ship reads the object through the buffer pool (charging disk time on a
+// miss) and sends it to the client. It runs in its own process so that
+// grants triggered inside another client's connection handler do not
+// stall that handler.
+func (s *Server) ship(obj lockmgr.ObjectID, to netsim.SiteID, mode lockmgr.Mode, id txn.ID, fwd *forward.List) {
+	s.GrantsShipped++
+	version := s.versions[obj]
+	// The epoch snapshot is taken now, synchronously with the lock
+	// registration this ship delivers; a release processed while the
+	// page is being read makes the grant provably stale at the client.
+	epoch := s.epochOf(obj, to)
+	s.env.Go(fmt.Sprintf("ship-%d", obj), func(p *sim.Proc) {
+		f, err := s.pool.Get(p, pagefile.PageID(obj))
+		if err != nil {
+			panic(fmt.Sprintf("server: reading object %d: %v", obj, err))
+		}
+		s.pool.Unpin(f, false)
+		s.send(to, netsim.KindObjectShip, netsim.ObjectBytes, proto.ObjGrant{
+			Obj: obj, Mode: mode, Version: version, Txn: id, Epoch: epoch, Fwd: fwd,
+		})
+	})
+}
+
+// epochOf returns the release epoch last reported by client for obj.
+func (s *Server) epochOf(obj lockmgr.ObjectID, client netsim.SiteID) int64 {
+	return s.epochs[epochKey{obj: obj, client: client}]
+}
+
+// shipGrants ships every newly granted queued request. Grants whose
+// transactions have already missed their deadlines are not shipped (the
+// paper's object request scheduling rule); their locks are released,
+// which may cascade into further grants.
+func (s *Server) shipGrants(grants []*lockmgr.Request) {
+	for _, g := range grants {
+		if g.Owner == MigrationOwner {
+			continue
+		}
+		if g.Deadline < s.env.Now() {
+			// Don't ship 2 KB to a dead transaction; recall the grant
+			// instead (the client answers NotCached or returns the
+			// copy it was upgrading, and the release then cascades).
+			s.DeniesExpired++
+			s.recall(g.Obj, netsim.SiteID(g.Owner), false)
+			continue
+		}
+		id, _ := g.Tag.(txn.ID)
+		s.ship(g.Obj, netsim.SiteID(g.Owner), g.Mode, id, nil)
+	}
+}
+
+// groupable reports whether a firm request for obj must join the
+// object's forward list rather than the plain lock queue: the object is
+// conflicted now, mid-migration, or already has a list forming.
+func (s *Server) groupable(obj lockmgr.ObjectID, client netsim.SiteID, mode lockmgr.Mode) bool {
+	if s.inflight[obj] != nil || s.sealed[obj] != nil {
+		return true
+	}
+	if s.collector != nil && s.collector.Pending(obj) != nil {
+		return true
+	}
+	if len(s.locks.ConflictingHolders(obj, lockmgr.OwnerID(client), mode)) > 0 {
+		return true
+	}
+	return s.locks.QueueLen(obj) > 0
+}
+
+// conflictHolders answers the tentative probe: which sites stand between
+// this client and obj? For migrating or list-pending objects the paper's
+// rule applies — report the last client of the forward list as the
+// object's location.
+func (s *Server) conflictHolders(obj lockmgr.ObjectID, client netsim.SiteID, mode lockmgr.Mode) []netsim.SiteID {
+	now := s.env.Now()
+	for _, l := range s.lists(obj) {
+		if e, ok := l.Last(now); ok {
+			return []netsim.SiteID{e.Client}
+		}
+	}
+	if s.inflight[obj] != nil {
+		// List fully dead but object still out; it belongs to nobody the
+		// client could use — report no usable location, but it is still
+		// a conflict.
+		return []netsim.SiteID{client} // degenerate: treated as "busy"
+	}
+	hs := s.locks.ConflictingHolders(obj, lockmgr.OwnerID(client), mode)
+	out := make([]netsim.SiteID, 0, len(hs))
+	for _, h := range hs {
+		if h != MigrationOwner {
+			out = append(out, netsim.SiteID(h))
+		}
+	}
+	if len(out) == 0 {
+		if w := s.locks.FirstForeignWaiter(obj, lockmgr.OwnerID(client)); w != nil {
+			// Compatible with the holders, but an earlier incompatible
+			// request is queued: still a conflict. Report the current
+			// holders (whoever the queued writer waits on), or the
+			// queued requester itself when the object is bare.
+			for _, h := range s.locks.SortedHolders(obj) {
+				if h != MigrationOwner && netsim.SiteID(h) != client {
+					out = append(out, netsim.SiteID(h))
+				}
+			}
+			if len(out) == 0 && w.Owner != MigrationOwner {
+				out = append(out, netsim.SiteID(w.Owner))
+			}
+		}
+	}
+	return out
+}
+
+// lists returns the object's future-ownership lists in "latest owner
+// last" order of authority: the open collector window supersedes the
+// sealed list, which supersedes the in-flight list.
+func (s *Server) lists(obj lockmgr.ObjectID) []*forward.List {
+	var out []*forward.List
+	if s.collector != nil {
+		if l := s.collector.Pending(obj); l != nil {
+			out = append(out, l)
+		}
+	}
+	if l := s.sealed[obj]; l != nil {
+		out = append(out, l)
+	}
+	if l := s.inflight[obj]; l != nil {
+		out = append(out, l)
+	}
+	return out
+}
+
+// holdersFor answers location queries: every site currently holding obj
+// in any mode (other than the asker), or the forward-list tail for
+// objects with queued migrations.
+func (s *Server) holdersFor(obj lockmgr.ObjectID, asker netsim.SiteID) []netsim.SiteID {
+	now := s.env.Now()
+	for _, l := range s.lists(obj) {
+		if e, ok := l.Last(now); ok && e.Client != asker {
+			return []netsim.SiteID{e.Client}
+		}
+	}
+	var out []netsim.SiteID
+	for _, h := range s.locks.SortedHolders(obj) {
+		if h == MigrationOwner || netsim.SiteID(h) == asker {
+			continue
+		}
+		out = append(out, netsim.SiteID(h))
+	}
+	return out
+}
+
+// loadsFor collects the known load reports of every site mentioned in
+// conflicts, sorted by site for determinism.
+func (s *Server) loadsFor(conflicts []proto.ObjConflict) []proto.LoadReport {
+	seen := map[netsim.SiteID]bool{}
+	var sites []netsim.SiteID
+	for _, c := range conflicts {
+		for _, h := range c.Holders {
+			if !seen[h] {
+				seen[h] = true
+				sites = append(sites, h)
+			}
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	out := make([]proto.LoadReport, 0, len(sites))
+	for _, site := range sites {
+		if l, ok := s.loads[site]; ok && l.Valid {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// recallForQueueHead issues callbacks to the holders blocking the
+// earliest-deadline queued request (basic client-server path). When that
+// request only needs shared access and the modified callback scheme is
+// enabled, EL holders are asked to downgrade instead of give up the
+// object.
+func (s *Server) recallForQueueHead(obj lockmgr.ObjectID) {
+	head := s.locks.NextWaiter(obj)
+	if head == nil {
+		return
+	}
+	downgrade := head.Mode == lockmgr.ModeShared && s.cfg.UseDowngrade
+	for _, h := range s.locks.ConflictingHolders(obj, head.Owner, head.Mode) {
+		if h == MigrationOwner {
+			continue
+		}
+		s.recall(obj, netsim.SiteID(h), downgrade)
+	}
+}
+
+// headEntry returns the next forward-list entry due for obj: the sealed
+// list dispatches before the still-collecting one.
+func (s *Server) headEntry(obj lockmgr.ObjectID) (forward.Entry, bool) {
+	now := s.env.Now()
+	if l := s.sealed[obj]; l != nil {
+		for _, e := range l.Entries {
+			if e.Deadline >= now {
+				return e, true
+			}
+		}
+	}
+	if s.collector != nil {
+		if l := s.collector.Pending(obj); l != nil {
+			for _, e := range l.Entries {
+				if e.Deadline >= now {
+					return e, true
+				}
+			}
+		}
+	}
+	return forward.Entry{}, false
+}
+
+// blockedForHead reports whether any holder other than the head
+// requester itself conflicts with the head entry's mode.
+func (s *Server) blockedForHead(obj lockmgr.ObjectID, head forward.Entry) bool {
+	for _, h := range s.locks.SortedHolders(obj) {
+		if h == MigrationOwner || netsim.SiteID(h) == head.Client {
+			continue
+		}
+		if !lockmgr.Compatible(head.Mode, s.locks.HolderMode(obj, h)) {
+			return true
+		}
+	}
+	return false
+}
+
+// recallForMigration recalls the holders standing in the way of obj's
+// next forward-list entry. A reader at the head only needs EL holders to
+// downgrade (existing shared copies can stay); a writer at the head
+// needs every other copy back in full. The head requester's own cached
+// copy is never recalled — it is about to be served in place.
+func (s *Server) recallForMigration(obj lockmgr.ObjectID) {
+	head, ok := s.headEntry(obj)
+	if !ok {
+		return
+	}
+	downgrade := head.Mode == lockmgr.ModeShared && s.cfg.UseDowngrade
+	for _, h := range s.locks.SortedHolders(obj) {
+		if h == MigrationOwner || netsim.SiteID(h) == head.Client {
+			continue
+		}
+		if lockmgr.Compatible(head.Mode, s.locks.HolderMode(obj, h)) {
+			continue // compatible with the head; deeper entries recall later
+		}
+		s.recall(obj, netsim.SiteID(h), downgrade)
+	}
+}
+
+func (s *Server) recall(obj lockmgr.ObjectID, holder netsim.SiteID, downgrade bool) {
+	m, ok := s.recalls[obj]
+	if !ok {
+		m = make(map[netsim.SiteID]bool)
+		s.recalls[obj] = m
+	}
+	if m[holder] {
+		return
+	}
+	m[holder] = true
+	s.RecallsSent++
+	s.send(holder, netsim.KindRecall, netsim.ControlBytes, proto.Recall{
+		Obj:               obj,
+		DowngradeToShared: downgrade,
+		HolderMode:        s.locks.HolderMode(obj, lockmgr.OwnerID(holder)),
+	})
+}
+
+// onSeal receives a sealed forward list from the collector: merge it
+// with any still-undelivered predecessor and try to dispatch.
+func (s *Server) onSeal(l *forward.List) {
+	if prev := s.sealed[l.Obj]; prev != nil {
+		for _, e := range l.Entries {
+			prev.Insert(e)
+		}
+	} else {
+		s.sealed[l.Obj] = l
+	}
+	s.tryDispatch(l.Obj)
+}
+
+// tryDispatch starts the sealed forward list's migration if the object
+// is free: lock it for the migration pseudo-owner and ship it to the
+// first live entry together with the remaining list. Single-entry lists
+// degenerate to a normal grant. When the object is already free but the
+// collection window is still open, the window is sealed early — batching
+// only pays while the object is out.
+func (s *Server) tryDispatch(obj lockmgr.ObjectID) {
+	if s.inflight[obj] != nil {
+		return
+	}
+	head, ok := s.headEntry(obj)
+	if ok && s.blockedForHead(obj, head) {
+		s.recallForMigration(obj)
+		return
+	}
+	if s.sealed[obj] == nil {
+		if ok && s.collector != nil && s.collector.Pending(obj) != nil {
+			// The head entry can go: seal the window early (re-enters
+			// tryDispatch through onSeal with a sealed list).
+			s.collector.SealNow(obj)
+		}
+		return
+	}
+	l := s.sealed[obj]
+	now := s.env.Now()
+	run, _ := l.PopRun(now)
+	if len(run) == 0 {
+		delete(s.sealed, obj)
+		return
+	}
+	if l.Len() == 0 {
+		delete(s.sealed, obj)
+	}
+
+	if run[0].Mode == lockmgr.ModeShared || len(run) == 1 {
+		// A shared run is served in parallel (the forward list's
+		// parallel read-only annotation); a lone writer is a plain
+		// grant. Either way every recipient becomes an ordinary
+		// registered holder immediately.
+		for _, e := range run {
+			outcome, _ := s.locks.Lock(&lockmgr.Request{
+				Obj: obj, Owner: lockmgr.OwnerID(e.Client),
+				Mode: e.Mode, Deadline: e.Deadline, Tag: e.Txn,
+			})
+			if outcome != lockmgr.Granted {
+				panic("server: free object grant failed at dispatch")
+			}
+		}
+		if len(run) == 1 {
+			s.ship(obj, run[0].Client, run[0].Mode, run[0].Txn, nil)
+		} else {
+			// One copy leaves the server and hops down the run
+			// client-to-client; each reader keeps its copy. The object
+			// is marked in flight until the last member acknowledges
+			// (the list's final return), so no recall can cross a hop
+			// still on the wire.
+			s.ReadRunsStarted++
+			s.ForwardEntriesSent += int64(len(run))
+			hop := forward.NewList(obj)
+			hop.ReadRun = true
+			for _, e := range run[1:] {
+				e.Epoch = s.epochOf(obj, e.Client)
+				hop.Insert(e)
+			}
+			s.inflight[obj] = hop.Clone()
+			s.ship(obj, run[0].Client, run[0].Mode, run[0].Txn, hop)
+		}
+		if s.sealed[obj] != nil {
+			// More entries (a writer behind the readers): recall the
+			// copies once their transactions finish.
+			s.recallForMigration(obj)
+		}
+		return
+	}
+
+	// An exclusive pipeline: the object hops writer to writer and
+	// returns to the server after the last one.
+	first := run[0]
+	chain := forward.NewList(obj)
+	for _, e := range run[1:] {
+		e.Epoch = s.epochOf(obj, e.Client)
+		chain.Insert(e)
+	}
+	// A shared copy cached by the first writer is superseded by the
+	// migration grant it is about to receive.
+	s.locks.Release(obj, lockmgr.OwnerID(first.Client))
+	outcome, _ := s.locks.Lock(&lockmgr.Request{
+		Obj: obj, Owner: MigrationOwner,
+		Mode: lockmgr.ModeExclusive, Deadline: first.Deadline, Tag: first.Txn,
+	})
+	if outcome != lockmgr.Granted {
+		panic("server: migration lock failed at dispatch")
+	}
+	s.MigrationsStarted++
+	s.ForwardEntriesSent += int64(chain.Len() + 1)
+	s.inflight[obj] = chain
+	s.ship(obj, first.Client, first.Mode, first.Txn, chain.Clone())
+}
+
+// writePage installs the returned object's new contents: the page body
+// encodes the version so end-to-end consistency can be audited.
+func (s *Server) writePage(p *sim.Proc, obj lockmgr.ObjectID, version int64) {
+	buf := make([]byte, pagefile.PageSize)
+	binary.LittleEndian.PutUint64(buf, uint64(version))
+	if err := s.pool.Put(p, pagefile.PageID(obj), buf); err != nil {
+		panic(fmt.Sprintf("server: writing object %d: %v", obj, err))
+	}
+}
+
+// AuditLocks verifies the global lock table invariants.
+func (s *Server) AuditLocks() error { return s.locks.Audit() }

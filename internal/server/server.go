@@ -1,0 +1,396 @@
+// Package server implements the database server of the client-server
+// configurations: per-client connection handlers (the paper's
+// thread-per-client design), the global SL/EL lock table with callback
+// locking and EL→SL downgrades, deadline-ordered object request
+// scheduling, the piggybacked load table, and — in load-sharing mode —
+// forward-list collection and dispatch for grouped object migration.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"siteselect/internal/config"
+	"siteselect/internal/forward"
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/netsim"
+	"siteselect/internal/pagefile"
+	"siteselect/internal/proto"
+	"siteselect/internal/sim"
+	"siteselect/internal/txn"
+)
+
+// MigrationOwner is the pseudo-owner holding an object's global lock
+// while the object hops along a forward list: the server cannot know
+// which list client currently has it, only that it is checked out.
+const MigrationOwner lockmgr.OwnerID = -1
+
+// Server is the database server actor.
+type Server struct {
+	env *sim.Env
+	cfg config.Config
+	net *netsim.Network
+
+	locks    *lockmgr.Table
+	disk     *pagefile.Disk
+	pool     *pagefile.BufferPool
+	versions []int64
+	cpu      *sim.Resource
+
+	conns map[netsim.SiteID]*conn
+	loads map[netsim.SiteID]proto.LoadReport
+
+	// recalls tracks outstanding callbacks per object so holders are
+	// not recalled twice for the same demand.
+	recalls map[lockmgr.ObjectID]map[netsim.SiteID]bool
+	// epochs records, per (object, client), the release epoch last
+	// reported by that client; grants are stamped with it so releases
+	// crossing grants on the wire are detected (see proto.ObjGrant).
+	epochs map[epochKey]int64
+
+	collector *forward.Collector
+	sealed    map[lockmgr.ObjectID]*forward.List
+	inflight  map[lockmgr.ObjectID]*forward.List
+
+	// Counters surfaced in experiment reports.
+	RecallsSent        int64
+	GrantsShipped      int64
+	MigrationsStarted  int64
+	ReadRunsStarted    int64
+	ForwardEntriesSent int64
+	DeniesExpired      int64
+	DeniesDeadlock     int64
+}
+
+type epochKey struct {
+	obj    lockmgr.ObjectID
+	client netsim.SiteID
+}
+
+type conn struct {
+	id    netsim.SiteID
+	inbox *sim.Mailbox[netsim.Message] // server-side, from this client
+	out   *sim.Mailbox[netsim.Message] // the client's inbox
+}
+
+// New returns a server on env. Call Attach for every client, then Start.
+func New(env *sim.Env, cfg config.Config, net *netsim.Network) *Server {
+	disk := pagefile.NewDisk(env, cfg.DBSize, pagefile.DiskConfig{
+		ReadTime:  cfg.DiskRead,
+		WriteTime: cfg.DiskWrite,
+	})
+	s := &Server{
+		env:      env,
+		cfg:      cfg,
+		net:      net,
+		locks:    lockmgr.NewTable(),
+		disk:     disk,
+		pool:     pagefile.NewBufferPool(env, disk, cfg.ServerMemory),
+		versions: make([]int64, cfg.DBSize),
+		cpu:      sim.NewResource(env, 1),
+		conns:    make(map[netsim.SiteID]*conn),
+		loads:    make(map[netsim.SiteID]proto.LoadReport),
+		recalls:  make(map[lockmgr.ObjectID]map[netsim.SiteID]bool),
+		epochs:   make(map[epochKey]int64),
+		sealed:   make(map[lockmgr.ObjectID]*forward.List),
+		inflight: make(map[lockmgr.ObjectID]*forward.List),
+	}
+	if cfg.UseForwardLists {
+		s.collector = forward.NewCollector(env, cfg.CollectionWindow, s.onSeal)
+	}
+	return s
+}
+
+// Locks exposes the global lock table for audits.
+func (s *Server) Locks() *lockmgr.Table { return s.locks }
+
+// Pool exposes the server buffer pool for metrics.
+func (s *Server) Pool() *pagefile.BufferPool { return s.pool }
+
+// Disk exposes the server disk for metrics.
+func (s *Server) Disk() *pagefile.Disk { return s.disk }
+
+// Version returns the server's current version of obj.
+func (s *Server) Version(obj lockmgr.ObjectID) int64 { return s.versions[obj] }
+
+// Loads returns the server's current load table (live map; callers must
+// not mutate).
+func (s *Server) Loads() map[netsim.SiteID]proto.LoadReport { return s.loads }
+
+// CPUUtilization returns the server CPU's busy fraction.
+func (s *Server) CPUUtilization() float64 { return s.cpu.Utilization() }
+
+// Migrating reports whether obj is currently checked out to a forward
+// list (its authoritative version is travelling client-to-client).
+func (s *Server) Migrating(obj lockmgr.ObjectID) bool { return s.inflight[obj] != nil }
+
+// Attach registers a client connection: inbox receives the client's
+// messages at the server; out is the client's own inbox.
+func (s *Server) Attach(id netsim.SiteID, inbox, out *sim.Mailbox[netsim.Message]) {
+	s.conns[id] = &conn{id: id, inbox: inbox, out: out}
+}
+
+// Start spawns one handler process per attached connection.
+func (s *Server) Start() {
+	for id := netsim.SiteID(1); int(id) <= len(s.conns); id++ {
+		c, ok := s.conns[id]
+		if !ok {
+			continue
+		}
+		s.env.Go(fmt.Sprintf("server-conn-%d", id), func(p *sim.Proc) { s.serve(p, c) })
+	}
+}
+
+func (s *Server) serve(p *sim.Proc, c *conn) {
+	for {
+		msg := c.inbox.Get(p)
+		s.chargeCPU(p)
+		switch pl := msg.Payload.(type) {
+		case proto.ObjRequest:
+			s.noteLoad(pl.Load)
+			s.handleFirm(p, pl.Client, pl.Txn, pl.Obj, pl.Mode, pl.Deadline)
+		case proto.ProbeRequest:
+			s.noteLoad(pl.Load)
+			s.handleProbe(pl)
+		case proto.CommitRequest:
+			s.noteLoad(pl.Load)
+			s.handleCommitRequest(p, pl)
+		case proto.ObjReturn:
+			s.noteLoad(pl.Load)
+			s.handleReturn(p, pl)
+		case proto.LoadQuery:
+			s.noteLoad(pl.Load)
+			s.handleLoadQuery(pl)
+		default:
+			panic(fmt.Sprintf("server: unexpected payload %T", msg.Payload))
+		}
+	}
+}
+
+func (s *Server) chargeCPU(p *sim.Proc) {
+	if s.cfg.ServerOpCPU <= 0 {
+		return
+	}
+	p.Acquire(s.cpu, 0)
+	p.Sleep(s.cfg.ServerOpCPU)
+	s.cpu.Release()
+}
+
+func (s *Server) noteLoad(l proto.LoadReport) {
+	if l.Valid {
+		s.loads[l.Client] = l
+	}
+}
+
+func (s *Server) send(to netsim.SiteID, kind netsim.Kind, size int, payload any) {
+	c, ok := s.conns[to]
+	if !ok {
+		panic(fmt.Sprintf("server: send to unattached site %d", to))
+	}
+	s.net.Send(netsim.Message{
+		Kind:    kind,
+		From:    netsim.ServerSite,
+		To:      to,
+		Size:    size,
+		Payload: payload,
+	}, c.out)
+}
+
+// handleProbe implements the all-or-nothing tentative round of the
+// Section 4 pseudocode: grant and ship everything, or ship nothing and
+// report where the conflicting objects are.
+func (s *Server) handleProbe(req proto.ProbeRequest) {
+	now := s.env.Now()
+	if req.Deadline < now {
+		s.DeniesExpired++
+		s.send(req.Client, netsim.KindLockReply, netsim.ControlBytes,
+			proto.DenyReply{Txn: req.Txn, Reason: proto.DenyExpired})
+		return
+	}
+	var conflicts []proto.ObjConflict
+	for i, obj := range req.Objs {
+		if hs := s.conflictHolders(obj, req.Client, req.Modes[i]); len(hs) > 0 {
+			conflicts = append(conflicts, proto.ObjConflict{Obj: obj, Holders: hs})
+		}
+	}
+	if len(conflicts) == 0 {
+		for i, obj := range req.Objs {
+			outcome, _ := s.locks.Lock(&lockmgr.Request{
+				Obj: obj, Owner: lockmgr.OwnerID(req.Client),
+				Mode: req.Modes[i], Deadline: req.Deadline, Tag: req.Txn,
+			})
+			if outcome != lockmgr.Granted {
+				panic("server: conflict-free probe request not granted")
+			}
+			s.ship(obj, req.Client, req.Modes[i], req.Txn, nil)
+		}
+		return
+	}
+	s.send(req.Client, netsim.KindLockReply, netsim.ControlBytes, proto.ConflictReply{
+		Txn:        req.Txn,
+		Conflicts:  conflicts,
+		Loads:      s.loadsFor(conflicts),
+		DataCounts: s.dataCounts(req.Objs, conflicts),
+	})
+}
+
+// dataCounts reports, for every candidate holder site, how many of the
+// probed objects it caches in any mode — the Section 3.1 "significant
+// percentage of the required data" signal for transaction shipping.
+func (s *Server) dataCounts(objs []lockmgr.ObjectID, conflicts []proto.ObjConflict) []proto.SiteCount {
+	sites := map[netsim.SiteID]bool{}
+	for _, c := range conflicts {
+		for _, h := range c.Holders {
+			sites[h] = true
+		}
+	}
+	counts := make(map[netsim.SiteID]int, len(sites))
+	for _, obj := range objs {
+		for _, h := range s.locks.SortedHolders(obj) {
+			if h == MigrationOwner {
+				continue
+			}
+			if site := netsim.SiteID(h); sites[site] {
+				counts[site]++
+			}
+		}
+	}
+	ordered := make([]netsim.SiteID, 0, len(counts))
+	for site := range counts {
+		ordered = append(ordered, site)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	out := make([]proto.SiteCount, 0, len(ordered))
+	for _, site := range ordered {
+		out = append(out, proto.SiteCount{Site: site, Count: counts[site]})
+	}
+	return out
+}
+
+// handleCommitRequest is the "process locally, ship ASAP" follow-up: all
+// the transaction's outstanding objects become firm requests in one
+// message.
+func (s *Server) handleCommitRequest(p *sim.Proc, cr proto.CommitRequest) {
+	for i, obj := range cr.Objs {
+		s.handleFirm(p, cr.Client, cr.Txn, obj, cr.Modes[i], cr.Deadline)
+	}
+}
+
+// handleFirm serves one firm object request: grant and ship, queue with
+// callbacks (basic client-server), or join the object's forward list
+// (load sharing).
+func (s *Server) handleFirm(p *sim.Proc, client netsim.SiteID, id txn.ID, obj lockmgr.ObjectID, mode lockmgr.Mode, deadline time.Duration) {
+	now := s.env.Now()
+	if deadline < now {
+		// The paper's object request scheduling: the server unilaterally
+		// refuses to ship to transactions that already missed.
+		s.DeniesExpired++
+		s.send(client, netsim.KindLockReply, netsim.ControlBytes,
+			proto.DenyReply{Txn: id, Obj: obj, Reason: proto.DenyExpired})
+		return
+	}
+	if s.collector != nil && s.groupable(obj, client, mode) {
+		s.collector.Add(obj, forward.Entry{Client: client, Mode: mode, Deadline: deadline, Txn: id})
+		s.recallForMigration(obj)
+		s.tryDispatch(obj) // the object may already be free
+		return
+	}
+	outcome, _ := s.locks.Lock(&lockmgr.Request{
+		Obj: obj, Owner: lockmgr.OwnerID(client),
+		Mode: mode, Deadline: deadline, Tag: id,
+	})
+	switch outcome {
+	case lockmgr.Granted:
+		s.ship(obj, client, mode, id, nil)
+	case lockmgr.Queued:
+		s.recallForQueueHead(obj)
+	case lockmgr.Deadlock:
+		s.DeniesDeadlock++
+		s.send(client, netsim.KindLockReply, netsim.ControlBytes,
+			proto.DenyReply{Txn: id, Obj: obj, Reason: proto.DenyDeadlock})
+	}
+}
+
+// handleReturn processes a recall answer, a voluntary dirty eviction, or
+// the final hop of a migration.
+func (s *Server) handleReturn(p *sim.Proc, ret proto.ObjReturn) {
+	obj := ret.Obj
+	if k := (epochKey{obj: obj, client: ret.Client}); ret.Epoch > s.epochs[k] {
+		s.epochs[k] = ret.Epoch
+	}
+	if ret.HasData {
+		if ret.Version > s.versions[obj] {
+			s.versions[obj] = ret.Version
+		}
+		s.writePage(p, obj, s.versions[obj])
+	}
+	if ret.UpdateOnly {
+		// Write-through push: data only, the client keeps its lock.
+		return
+	}
+	if ret.RunComplete {
+		// A parallel read run finished delivering; the object is no
+		// longer in flight and waiting writers may now proceed.
+		delete(s.inflight, obj)
+		s.tryDispatch(obj)
+		return
+	}
+	if m, ok := s.recalls[obj]; ok {
+		delete(m, ret.Client)
+		if len(m) == 0 {
+			delete(s.recalls, obj)
+		}
+	}
+	if ret.Migration {
+		delete(s.inflight, obj)
+		grants := s.locks.Release(obj, MigrationOwner)
+		// Register the shared copies retained along the chain so the
+		// lock table matches the client caches.
+		for _, site := range ret.RetainedSL {
+			owner := lockmgr.OwnerID(site)
+			free := len(s.locks.ConflictingHolders(obj, owner, lockmgr.ModeShared)) == 0 &&
+				s.locks.QueueLen(obj) == 0
+			if !free {
+				// The release just granted someone else exclusivity;
+				// invalidate the stray copy instead of registering it.
+				s.recall(obj, site, false)
+				continue
+			}
+			if outcome, _ := s.locks.Lock(&lockmgr.Request{
+				Obj: obj, Owner: owner,
+				Mode: lockmgr.ModeShared, Deadline: s.env.Now(),
+			}); outcome != lockmgr.Granted {
+				panic("server: retained SL registration failed on free object")
+			}
+		}
+		s.shipGrants(grants)
+		s.tryDispatch(obj)
+		return
+	}
+	var grants []*lockmgr.Request
+	if ret.Downgraded {
+		grants = s.locks.Downgrade(obj, lockmgr.OwnerID(ret.Client))
+	} else {
+		grants = s.locks.Release(obj, lockmgr.OwnerID(ret.Client))
+	}
+	s.shipGrants(grants)
+	// Still blocked? Chase the remaining holders.
+	s.recallForQueueHead(obj)
+	s.tryDispatch(obj)
+}
+
+func (s *Server) handleLoadQuery(q proto.LoadQuery) {
+	locations := make([]proto.ObjConflict, 0, len(q.Objs))
+	for _, obj := range q.Objs {
+		hs := s.holdersFor(obj, q.Client)
+		if len(hs) > 0 {
+			locations = append(locations, proto.ObjConflict{Obj: obj, Holders: hs})
+		}
+	}
+	s.send(q.Client, netsim.KindLoadReply, netsim.ControlBytes, proto.LoadReply{
+		Txn:       q.Txn,
+		Locations: locations,
+		Loads:     s.loadsFor(locations),
+	})
+}

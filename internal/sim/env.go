@@ -1,0 +1,191 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// Virtual time is a time.Duration measured from the start of the
+// simulation. All model concurrency is cooperative: processes are
+// goroutines, but the kernel resumes exactly one of them at a time, so
+// model code never needs locks and every run with the same inputs produces
+// the same event order. Ties in the event queue are broken by scheduling
+// sequence number, which makes the order fully reproducible.
+//
+// A typical model creates an Env, spawns processes with Go, and then calls
+// Run. Processes block with Proc.Sleep, Signal waits, Resource acquisition,
+// or Mailbox receives; they never block on raw Go channels themselves.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Env is a simulation environment: a virtual clock and an event queue.
+// An Env is not safe for concurrent use; it is driven from a single
+// goroutine (the one calling Run/Step) and from the processes it resumes,
+// which by construction never run at the same time.
+type Env struct {
+	now    time.Duration
+	events eventHeap
+	seq    int64
+	procs  map[*Proc]struct{}
+	closed bool
+
+	// stepCount counts executed events, for introspection and tests.
+	stepCount int64
+}
+
+// NewEnv returns an environment with the clock at zero and no pending
+// events.
+func NewEnv() *Env {
+	return &Env{procs: make(map[*Proc]struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Env) Steps() int64 { return e.stepCount }
+
+// Procs returns the number of live (spawned and not yet finished)
+// processes.
+func (e *Env) Procs() int { return len(e.procs) }
+
+// Timer is a handle to a scheduled event that can be canceled before it
+// fires.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's event from firing. Canceling an already
+// fired or already canceled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+// Stopped reports whether the timer was canceled or has fired.
+func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.ev.canceled || t.ev.fired }
+
+// Schedule runs fn after delay of virtual time. A non-positive delay
+// schedules fn at the current time, after all events already scheduled for
+// the current time. The returned Timer may be used to cancel the event.
+func (e *Env) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Scheduling in the past is an
+// error in the model and panics.
+func (e *Env) At(t time.Duration, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Step executes the single next event, advancing the clock to its time.
+// It reports false when no events remain.
+func (e *Env) Step() bool {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.stepCount++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in order until the event queue is exhausted or the
+// next event lies beyond until. The clock is left at until (or at the last
+// executed event if the queue drained earlier than until and no later
+// events exist).
+func (e *Env) Run(until time.Duration) {
+	for e.events.Len() > 0 {
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll executes events until the queue is empty. Models with recurring
+// generators never drain, so RunAll is mostly useful in tests.
+func (e *Env) RunAll() {
+	for e.Step() {
+	}
+}
+
+// Close terminates every live process. Each blocked process is resumed
+// with a stop notice, unwinds via panic(errStopped) recovered by the
+// kernel, and its goroutine exits. Close must be called from the driving
+// goroutine (never from inside a process). After Close the environment
+// must not be used further.
+func (e *Env) Close() {
+	e.closed = true
+	for {
+		var p *Proc
+		for q := range e.procs {
+			p = q
+			break
+		}
+		if p == nil {
+			return
+		}
+		p.stopping = true
+		p.resume <- resumeMsg{stop: true}
+		<-p.yield
+	}
+}
+
+// event is a queue entry.
+type event struct {
+	at       time.Duration
+	seq      int64
+	fn       func()
+	canceled bool
+	fired    bool
+}
+
+// eventHeap is a min-heap ordered by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

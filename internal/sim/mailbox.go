@@ -1,0 +1,72 @@
+package sim
+
+import "time"
+
+// Mailbox is an unbounded FIFO queue between processes. Put never blocks
+// (and may be called from event callbacks, not just processes); Get blocks
+// the calling process until an item is available.
+type Mailbox[T any] struct {
+	env   *Env
+	items []T
+	sig   *Signal
+}
+
+// NewMailbox returns an empty mailbox bound to env.
+func NewMailbox[T any](env *Env) *Mailbox[T] {
+	return &Mailbox[T]{env: env, sig: NewSignal(env)}
+}
+
+// Put appends v and wakes one waiting receiver, if any.
+func (m *Mailbox[T]) Put(v T) {
+	m.items = append(m.items, v)
+	m.sig.Fire()
+}
+
+// Len returns the number of queued items.
+func (m *Mailbox[T]) Len() int { return len(m.items) }
+
+// TryGet removes and returns the head item without blocking. The second
+// result is false when the mailbox is empty.
+func (m *Mailbox[T]) TryGet() (T, bool) {
+	var zero T
+	if len(m.items) == 0 {
+		return zero, false
+	}
+	v := m.items[0]
+	m.items[0] = zero
+	m.items = m.items[1:]
+	return v, true
+}
+
+// Get blocks until an item is available and returns it.
+func (m *Mailbox[T]) Get(p *Proc) T {
+	for {
+		if v, ok := m.TryGet(); ok {
+			return v
+		}
+		p.Wait(m.sig)
+	}
+}
+
+// GetTimeout is Get with a timeout; ok is false when d elapsed with the
+// mailbox still empty.
+func (m *Mailbox[T]) GetTimeout(p *Proc, d time.Duration) (v T, ok bool) {
+	deadline := p.Now() + d
+	for {
+		if v, ok := m.TryGet(); ok {
+			return v, true
+		}
+		remain := deadline - p.Now()
+		if remain <= 0 {
+			var zero T
+			return zero, false
+		}
+		if !p.WaitTimeout(m.sig, remain) {
+			if v, ok := m.TryGet(); ok {
+				return v, true
+			}
+			var zero T
+			return zero, false
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"errors"
+	"time"
+)
+
+// errStopped unwinds a process goroutine when the environment is closed.
+var errStopped = errors.New("sim: process stopped")
+
+type resumeMsg struct {
+	stop bool
+}
+
+// Proc is a simulation process: a goroutine scheduled cooperatively by the
+// kernel. At most one process runs at any instant; a process runs until it
+// blocks on a kernel primitive (Sleep, Wait, Acquire, mailbox Get) or
+// returns.
+//
+// All Proc methods must be called from the process's own goroutine.
+type Proc struct {
+	env  *Env
+	name string
+
+	resume chan resumeMsg
+	yield  chan struct{}
+
+	// stopping is set by Close before the stop resume is delivered so
+	// that blocking calls made from deferred cleanup during unwinding
+	// fail fast instead of deadlocking the kernel.
+	stopping bool
+}
+
+// Go spawns a new process running fn. The process starts at the current
+// virtual time, after events already queued for this instant. The name is
+// used in diagnostics only.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	if e.closed {
+		panic("sim: Go on closed Env")
+	}
+	p := &Proc{
+		env:    e,
+		name:   name,
+		resume: make(chan resumeMsg),
+		yield:  make(chan struct{}),
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		defer func() {
+			// The kernel is blocked in dispatch (or Close) waiting for
+			// this yield, so mutating e.procs here is race-free.
+			delete(e.procs, p)
+			r := recover()
+			p.yield <- struct{}{}
+			if r != nil && r != errStopped { //nolint:errorlint // sentinel identity
+				panic(r)
+			}
+		}()
+		msg := <-p.resume
+		if msg.stop {
+			return
+		}
+		fn(p)
+	}()
+	e.Schedule(0, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch hands control to p until it blocks again or exits.
+func (e *Env) dispatch(p *Proc) {
+	p.resume <- resumeMsg{}
+	<-p.yield
+}
+
+// block yields control to the kernel and waits to be resumed. It panics
+// with errStopped when the environment is shutting down.
+func (p *Proc) block() {
+	if p.stopping {
+		panic(errStopped)
+	}
+	p.yield <- struct{}{}
+	msg := <-p.resume
+	if msg.stop {
+		panic(errStopped)
+	}
+}
+
+// Env returns the process's environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.now }
+
+// Sleep suspends the process for d of virtual time. A non-positive d
+// yields the processor for the current instant (other events scheduled now
+// still run) and resumes immediately after.
+func (p *Proc) Sleep(d time.Duration) {
+	p.env.Schedule(d, func() { p.env.dispatch(p) })
+	p.block()
+}
+
+// SleepUntil suspends the process until absolute virtual time t. If t is
+// in the past it behaves like Sleep(0).
+func (p *Proc) SleepUntil(t time.Duration) {
+	if t < p.env.now {
+		t = p.env.now
+	}
+	p.env.At(t, func() { p.env.dispatch(p) })
+	p.block()
+}
+
+// Go spawns a child process. It is shorthand for p.Env().Go.
+func (p *Proc) Go(name string, fn func(p *Proc)) *Proc {
+	return p.env.Go(name, fn)
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Resource models a server with a fixed number of identical units
+// (capacity). Processes acquire a unit, hold it while they work, and
+// release it. Waiters are served in priority order (lower value first;
+// ties FIFO), which lets callers implement Earliest-Deadline-First service
+// by passing the deadline as the priority.
+type Resource struct {
+	env     *Env
+	cap     int
+	inUse   int
+	waiters resWaitQueue
+	seq     int64
+
+	// Grants counts successful acquisitions, for metrics and tests.
+	Grants int64
+	// BusyTime accumulates unit-seconds of utilization.
+	BusyTime time.Duration
+
+	lastChange time.Duration
+}
+
+// NewResource returns a resource with the given capacity. Capacity must be
+// positive.
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{env: env, cap: capacity}
+}
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.cap }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting for a unit.
+func (r *Resource) QueueLen() int { return r.waiters.Len() }
+
+// Utilization returns the mean fraction of capacity in use since the start
+// of the simulation, sampled up to the current time.
+func (r *Resource) Utilization() float64 {
+	total := r.env.Now()
+	if total <= 0 {
+		return 0
+	}
+	busy := r.BusyTime + time.Duration(r.inUse)*(r.env.Now()-r.lastChange)
+	return float64(busy) / float64(total) / float64(r.cap)
+}
+
+func (r *Resource) account() {
+	now := r.env.Now()
+	r.BusyTime += time.Duration(r.inUse) * (now - r.lastChange)
+	r.lastChange = now
+}
+
+// Acquire blocks until a unit is available, queueing behind waiters with
+// lower priority values.
+func (p *Proc) Acquire(r *Resource, priority float64) {
+	if r.inUse < r.cap && r.waiters.Len() == 0 {
+		r.account()
+		r.inUse++
+		r.Grants++
+		return
+	}
+	w := &resWait{p: p, priority: priority}
+	r.push(w)
+	p.block()
+}
+
+// AcquireTimeout is Acquire with a timeout; it reports true when the unit
+// was obtained, false when d elapsed first (in which case no unit is
+// held).
+func (p *Proc) AcquireTimeout(r *Resource, priority float64, d time.Duration) bool {
+	if r.inUse < r.cap && r.waiters.Len() == 0 {
+		r.account()
+		r.inUse++
+		r.Grants++
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	w := &resWait{p: p, priority: priority}
+	w.timer = r.env.Schedule(d, func() {
+		w.timedOut = true
+		r.waiters.remove(w)
+		r.env.dispatch(p)
+	})
+	r.push(w)
+	p.block()
+	return !w.timedOut
+}
+
+// Release returns one unit and hands it to the best-priority waiter, if
+// any. Calling Release without holding a unit is a model bug and panics.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of idle resource")
+	}
+	r.account()
+	r.inUse--
+	r.grantNext()
+}
+
+func (r *Resource) grantNext() {
+	for r.inUse < r.cap && r.waiters.Len() > 0 {
+		w := heap.Pop(&r.waiters).(*resWait)
+		if w.timer != nil {
+			w.timer.Cancel()
+		}
+		r.account()
+		r.inUse++
+		r.Grants++
+		r.env.Schedule(0, func() { r.env.dispatch(w.p) })
+	}
+}
+
+func (r *Resource) push(w *resWait) {
+	r.seq++
+	w.seq = r.seq
+	heap.Push(&r.waiters, w)
+}
+
+type resWait struct {
+	p        *Proc
+	priority float64
+	seq      int64
+	index    int
+	timedOut bool
+	timer    *Timer
+}
+
+type resWaitQueue []*resWait
+
+func (q resWaitQueue) Len() int { return len(q) }
+
+func (q resWaitQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority < q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q resWaitQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *resWaitQueue) Push(x any) {
+	w := x.(*resWait)
+	w.index = len(*q)
+	*q = append(*q, w)
+}
+
+func (q *resWaitQueue) Pop() any {
+	old := *q
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return w
+}
+
+func (q *resWaitQueue) remove(w *resWait) {
+	if w.index >= 0 && w.index < q.Len() && (*q)[w.index] == w {
+		heap.Remove(q, w.index)
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import "time"
+
+// Signal is a condition-variable-like primitive. Processes wait on it;
+// Broadcast wakes every current waiter and Fire wakes the longest-waiting
+// one. Wakeups are scheduled at the current instant, so woken processes
+// run after the waking event completes, in wait order.
+//
+// As with condition variables, a wakeup is a hint: callers should re-check
+// their predicate in a loop (or use WaitFor).
+type Signal struct {
+	env     *Env
+	waiters []*signalWait
+}
+
+type signalWait struct {
+	p        *Proc
+	signaled bool
+	timedOut bool
+	timer    *Timer
+}
+
+// NewSignal returns a signal bound to env.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Wait blocks the process until the signal is fired or broadcast.
+func (p *Proc) Wait(s *Signal) {
+	w := &signalWait{p: p}
+	s.waiters = append(s.waiters, w)
+	p.block()
+}
+
+// WaitTimeout blocks until the signal wakes the process or d elapses. It
+// reports true when woken by the signal and false on timeout.
+func (p *Proc) WaitTimeout(s *Signal, d time.Duration) bool {
+	if d <= 0 {
+		return false
+	}
+	w := &signalWait{p: p}
+	w.timer = s.env.Schedule(d, func() {
+		w.timedOut = true
+		s.remove(w)
+		s.env.dispatch(p)
+	})
+	s.waiters = append(s.waiters, w)
+	p.block()
+	return !w.timedOut
+}
+
+// WaitFor blocks until cond() is true, re-checking each time the signal
+// wakes it. cond is evaluated before the first wait, so a true condition
+// never blocks.
+func (p *Proc) WaitFor(s *Signal, cond func() bool) {
+	for !cond() {
+		p.Wait(s)
+	}
+}
+
+// WaitForTimeout blocks until cond() is true or the deadline at absolute
+// virtual time t passes. It reports true when the condition held.
+func (p *Proc) WaitForTimeout(s *Signal, t time.Duration, cond func() bool) bool {
+	for !cond() {
+		if p.Now() >= t {
+			return false
+		}
+		if !p.WaitTimeout(s, t-p.Now()) && !cond() {
+			return false
+		}
+	}
+	return true
+}
+
+// Fire wakes the longest-waiting process, if any.
+func (s *Signal) Fire() {
+	if len(s.waiters) == 0 {
+		return
+	}
+	w := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	s.wake(w)
+}
+
+// Broadcast wakes every process currently waiting.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		s.wake(w)
+	}
+}
+
+// Waiters returns the number of processes currently waiting.
+func (s *Signal) Waiters() int { return len(s.waiters) }
+
+func (s *Signal) wake(w *signalWait) {
+	w.signaled = true
+	if w.timer != nil {
+		w.timer.Cancel()
+	}
+	s.env.Schedule(0, func() { s.env.dispatch(w.p) })
+}
+
+func (s *Signal) remove(w *signalWait) {
+	for i, q := range s.waiters {
+		if q == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}

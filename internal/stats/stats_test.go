@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.StdErr() != 0 || s.CI95() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	// Sample (n-1) standard deviation of this classic set is ~2.138.
+	if sd := s.StdDev(); math.Abs(sd-2.13809) > 1e-4 {
+		t.Fatalf("stddev = %v", sd)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.StdDev() != 0 || s.CI95() != 0 {
+		t.Fatalf("single-observation stats wrong: %v %v %v", s.Mean(), s.StdDev(), s.CI95())
+	}
+}
+
+func TestConstantSample(t *testing.T) {
+	var s Sample
+	for i := 0; i < 10; i++ {
+		s.Add(7)
+	}
+	if s.StdDev() != 0 || s.CI95() != 0 {
+		t.Fatalf("constant sample has spread: %v", s.StdDev())
+	}
+}
+
+func TestTCriticalMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 40; df++ {
+		c := tCritical(df)
+		if c > prev {
+			t.Fatalf("t critical not nonincreasing at df=%d: %v > %v", df, c, prev)
+		}
+		prev = c
+	}
+	if tCritical(1000) != 1.96 {
+		t.Fatal("large-df critical should be 1.96")
+	}
+}
+
+// Property: mean lies within [min, max] and CI95 is non-negative.
+func TestSampleBoundsProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-6 && m <= s.Max()+1e-6 && s.CI95() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

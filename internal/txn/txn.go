@@ -1,0 +1,186 @@
+// Package txn models real-time database transactions: their access sets,
+// timing constraints (arrival, execution length, deadline), lifecycle,
+// and decomposition into independently executable subtasks.
+package txn
+
+import (
+	"fmt"
+	"time"
+
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/netsim"
+)
+
+// ID identifies a transaction uniquely within a run.
+type ID int64
+
+// Status is a transaction's lifecycle state.
+type Status int
+
+// Transaction lifecycle states.
+const (
+	// StatusPending means queued, not yet executing.
+	StatusPending Status = iota + 1
+	// StatusRunning means currently acquiring data or executing.
+	StatusRunning
+	// StatusCommitted means finished within its deadline.
+	StatusCommitted
+	// StatusMissed means the deadline passed before completion (dropped
+	// from a queue, timed out waiting, or finished late).
+	StatusMissed
+	// StatusAborted means refused by deadlock detection or another
+	// non-deadline failure.
+	StatusAborted
+)
+
+// String returns a short state name.
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusRunning:
+		return "running"
+	case StatusCommitted:
+		return "committed"
+	case StatusMissed:
+		return "missed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Op is one object access.
+type Op struct {
+	Obj   lockmgr.ObjectID
+	Write bool
+}
+
+// Mode returns the lock mode the access requires.
+func (o Op) Mode() lockmgr.Mode {
+	if o.Write {
+		return lockmgr.ModeExclusive
+	}
+	return lockmgr.ModeShared
+}
+
+// Transaction is a real-time transaction.
+type Transaction struct {
+	ID     ID
+	Origin netsim.SiteID
+	// Arrival is when the transaction was submitted at its origin.
+	Arrival time.Duration
+	// Deadline is the absolute completion deadline.
+	Deadline time.Duration
+	// Length is the prescribed execution time (the paper's "processing"
+	// phase).
+	Length time.Duration
+	// Ops lists the distinct objects accessed and whether each is
+	// updated.
+	Ops []Op
+	// Decomposable marks transactions whose object requests can be
+	// disassembled and materialized independently (Section 3.2).
+	Decomposable bool
+
+	Status Status
+	// ExecSite is where the transaction ran (its origin unless
+	// shipped).
+	ExecSite netsim.SiteID
+	// Shipped marks transactions moved by the load-sharing algorithm.
+	Shipped bool
+	// Finished is when the transaction reached a terminal state.
+	Finished time.Duration
+}
+
+// Objects returns the object ids accessed, in Ops order.
+func (t *Transaction) Objects() []lockmgr.ObjectID {
+	out := make([]lockmgr.ObjectID, len(t.Ops))
+	for i, op := range t.Ops {
+		out[i] = op.Obj
+	}
+	return out
+}
+
+// Modes returns the lock mode per op, aligned with Objects.
+func (t *Transaction) Modes() []lockmgr.Mode {
+	out := make([]lockmgr.Mode, len(t.Ops))
+	for i, op := range t.Ops {
+		out[i] = op.Mode()
+	}
+	return out
+}
+
+// IsUpdate reports whether any access writes.
+func (t *Transaction) IsUpdate() bool {
+	for _, op := range t.Ops {
+		if op.Write {
+			return true
+		}
+	}
+	return false
+}
+
+// MissedAt reports whether the deadline has passed at now.
+func (t *Transaction) MissedAt(now time.Duration) bool { return now > t.Deadline }
+
+// Slack returns the remaining time until the deadline (negative when
+// missed).
+func (t *Transaction) Slack(now time.Duration) time.Duration { return t.Deadline - now }
+
+// Terminal reports whether the transaction reached a final state.
+func (t *Transaction) Terminal() bool {
+	return t.Status == StatusCommitted || t.Status == StatusMissed || t.Status == StatusAborted
+}
+
+// Subtask is one independently executable piece of a decomposed
+// transaction (Section 3.2): a subset of the object requests plus a
+// proportional share of the processing.
+type Subtask struct {
+	Parent *Transaction
+	Index  int
+	// Key is the group key (from partOf) this subtask was built from,
+	// so callers can map subtasks back to execution sites.
+	Key    int
+	Ops    []Op
+	Length time.Duration
+}
+
+// Decompose splits the transaction into at most maxParts subtasks by
+// grouping ops according to partOf, which maps each op index to a group
+// key (in the system this is the site where the object is cached — "data
+// fragmentation" style grouping). Processing time is divided
+// proportionally to group size. A transaction that is not Decomposable,
+// or whose ops all land in one group, yields nil.
+func (t *Transaction) Decompose(partOf func(i int) int, maxParts int) []*Subtask {
+	if !t.Decomposable || len(t.Ops) < 2 || maxParts < 2 {
+		return nil
+	}
+	groups := make(map[int][]Op)
+	var order []int
+	for i, op := range t.Ops {
+		k := partOf(i)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], op)
+	}
+	if len(order) < 2 {
+		return nil
+	}
+	// Merge smallest groups into the first one when exceeding maxParts,
+	// preserving the discovery order for determinism.
+	for len(order) > maxParts {
+		last := order[len(order)-1]
+		order = order[:len(order)-1]
+		groups[order[0]] = append(groups[order[0]], groups[last]...)
+		delete(groups, last)
+	}
+	subs := make([]*Subtask, 0, len(order))
+	for i, k := range order {
+		ops := groups[k]
+		length := time.Duration(float64(t.Length) * float64(len(ops)) / float64(len(t.Ops)))
+		subs = append(subs, &Subtask{Parent: t, Index: i, Key: k, Ops: ops, Length: length})
+	}
+	return subs
+}

@@ -1,0 +1,110 @@
+// Package wal models client-based write-ahead logging, the recovery
+// scheme of the client-server framework the paper builds on (Panagos et
+// al., "Client-Based Logging for High Performance Distributed
+// Architectures", reference [16]): each client appends update records to
+// its own local log and forces the tail to its disk at commit, so a
+// committed transaction's effects survive a crash without a synchronous
+// round trip to the server.
+//
+// The model charges real device time for log forces through the owning
+// site's disk resource and implements group commit: forces requested
+// while another force is in progress share the next one.
+package wal
+
+import (
+	"time"
+
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/sim"
+)
+
+// Record is one logged update.
+type Record struct {
+	// LSN is the record's log sequence number (1-based, dense).
+	LSN int64
+	// Txn tags the writing transaction (opaque to the log).
+	Txn int64
+	// Obj and Version identify the update.
+	Obj     lockmgr.ObjectID
+	Version int64
+}
+
+// Log is a single site's append-only log.
+type Log struct {
+	env      *sim.Env
+	disk     *sim.Resource
+	force    time.Duration
+	records  []Record
+	durable  int64 // highest LSN on disk
+	forcing  bool
+	forceEnd *sim.Signal
+
+	// Forces counts physical device forces; Appends counts records.
+	// GroupCommits counts forces that made more than one transaction
+	// durable.
+	Forces       int64
+	Appends      int64
+	GroupCommits int64
+
+	pendingTxns map[int64]bool
+}
+
+// New returns a log whose forces serialize on disk and take forceTime
+// each.
+func New(env *sim.Env, disk *sim.Resource, forceTime time.Duration) *Log {
+	return &Log{
+		env:         env,
+		disk:        disk,
+		force:       forceTime,
+		forceEnd:    sim.NewSignal(env),
+		pendingTxns: make(map[int64]bool),
+	}
+}
+
+// Append adds a record to the in-memory log tail and returns its LSN.
+func (l *Log) Append(txnID int64, obj lockmgr.ObjectID, version int64) int64 {
+	l.Appends++
+	lsn := int64(len(l.records)) + 1
+	l.records = append(l.records, Record{LSN: lsn, Txn: txnID, Obj: obj, Version: version})
+	return lsn
+}
+
+// DurableLSN returns the highest LSN known to be on disk.
+func (l *Log) DurableLSN() int64 { return l.durable }
+
+// Len returns the number of appended records.
+func (l *Log) Len() int { return len(l.records) }
+
+// Records returns the appended records (live slice; callers must not
+// mutate).
+func (l *Log) Records() []Record { return l.records }
+
+// ForceTo blocks until every record up to lsn is durable. Concurrent
+// callers piggyback on the in-progress force when it will cover them, or
+// join the next one (group commit).
+func (l *Log) ForceTo(p *sim.Proc, txnID int64, lsn int64) {
+	for l.durable < lsn {
+		if l.forcing {
+			// Someone is at the device; wait for that force to land and
+			// re-check (it may already cover us).
+			l.pendingTxns[txnID] = true
+			p.Wait(l.forceEnd)
+			continue
+		}
+		l.forcing = true
+		target := int64(len(l.records)) // everything appended so far
+		p.Acquire(l.disk, 0)
+		p.Sleep(l.force)
+		l.disk.Release()
+		if target > l.durable {
+			l.durable = target
+		}
+		l.forcing = false
+		l.Forces++
+		if len(l.pendingTxns) > 0 {
+			l.GroupCommits++
+			l.pendingTxns = make(map[int64]bool)
+		}
+		l.forceEnd.Broadcast()
+	}
+}
