@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"siteselect/internal/experiment"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenOpts pins everything that feeds the output: scale, master seed,
+// client sweep, and replication count. Parallel is deliberately > 1 —
+// the golden file also guards the determinism of the worker pool.
+var goldenOpts = experiment.Options{
+	Scale: 0.05, Seed: 7, Clients: []int{4, 6}, Reps: 3, Parallel: 4,
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output differs from %s (run with -update to regenerate):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestGoldenReplicatedFigure locks down the CLI output of a small
+// replicated parallel sweep: the text rendering with mean ± 95% CI
+// columns and the corresponding CSV. Any change to seed derivation,
+// cell ordering, aggregation, or formatting shows up as a diff here.
+func TestGoldenReplicatedFigure(t *testing.T) {
+	var text strings.Builder
+	if err := runExperiments(params{exp: "fig3", ablateN: 4, ablateU: 0.2}, goldenOpts, &text); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig3_replicated.golden", text.String())
+
+	var csv strings.Builder
+	if err := runExperiments(params{exp: "fig3", csv: true, ablateN: 4, ablateU: 0.2}, goldenOpts, &csv); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig3_replicated_csv.golden", csv.String())
+}

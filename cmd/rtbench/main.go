@@ -3,7 +3,7 @@
 // Usage:
 //
 //	rtbench -exp <id> [-scale 0.25] [-seed 1] [-clients 20,40,60,80,100]
-//	        [-csv] [-reps N] [-svg dir]
+//	        [-csv] [-reps N] [-parallel N] [-progress] [-svg dir]
 //
 // Experiment ids: fig3 fig4 fig5 (the paper's figures), table2 table3
 // table4, protocol (Figures 1–2), patterns, occ, speculation, outage,
@@ -12,6 +12,12 @@
 //
 // -scale shrinks the virtual run length (1 = the full 30-minute runs);
 // the shapes survive scaling but small counters get noisier.
+//
+// Every experiment fans its simulation cells across a worker pool of
+// -parallel goroutines (default: GOMAXPROCS). Each cell's seed is
+// derived from the master -seed and the cell's coordinates, so results
+// are bit-identical for any -parallel value. -reps replicates every
+// cell over derived seeds and reports mean ± 95% CI.
 package main
 
 import (
@@ -22,8 +28,10 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"siteselect/internal/experiment"
+	"siteselect/internal/metrics"
 )
 
 func main() {
@@ -38,7 +46,6 @@ func main() {
 type params struct {
 	exp     string
 	csv     bool
-	reps    int
 	svgDir  string
 	ablateN int
 	ablateU float64
@@ -46,19 +53,21 @@ type params struct {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig3, fig4, fig5, table2, table3, table4, protocol, patterns, occ, speculation, outage, sensitivity, policies, ablate-heuristics, ablate-window, ablate-downgrade, ablate-writethrough, ablate-logging, all)")
-		scale   = flag.Float64("scale", 1.0, "run-length scale factor in (0,1]")
-		seed    = flag.Int64("seed", 1, "random seed")
-		clients = flag.String("clients", "", "comma-separated client sweep for figures (default 20,40,60,80,100)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text (figures and tables)")
-		reps    = flag.Int("reps", 1, "replications over consecutive seeds (figures only)")
-		svgDir  = flag.String("svg", "", "directory to also write figures as SVG charts")
-		ablateN = flag.Int("ablate-clients", 60, "client count for ablations")
-		ablateU = flag.Float64("ablate-updates", 0.20, "update fraction for ablations")
+		exp      = flag.String("exp", "all", "experiment id (fig3, fig4, fig5, table2, table3, table4, protocol, patterns, occ, speculation, outage, sensitivity, policies, ablate-heuristics, ablate-window, ablate-downgrade, ablate-writethrough, ablate-logging, all)")
+		scale    = flag.Float64("scale", 1.0, "run-length scale factor in (0,1]")
+		seed     = flag.Int64("seed", 1, "master random seed (per-cell seeds are derived from it)")
+		clients  = flag.String("clients", "", "comma-separated client sweep for figures (default 20,40,60,80,100)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text (figures and tables)")
+		reps     = flag.Int("reps", 1, "replications per cell over derived seeds, aggregated as mean ± 95% CI")
+		parallel = flag.Int("parallel", 0, "worker pool size for experiment cells (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "log per-cell completions with wall-clock timing to stderr")
+		svgDir   = flag.String("svg", "", "directory to also write figures as SVG charts")
+		ablateN  = flag.Int("ablate-clients", 60, "client count for ablations")
+		ablateU  = flag.Float64("ablate-updates", 0.20, "update fraction for ablations")
 	)
 	flag.Parse()
 
-	opts := experiment.Options{Scale: *scale, Seed: *seed}
+	opts := experiment.Options{Scale: *scale, Seed: *seed, Reps: *reps, Parallel: *parallel}
 	if *clients != "" {
 		for _, part := range strings.Split(*clients, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -68,27 +77,29 @@ func run() error {
 			opts.Clients = append(opts.Clients, n)
 		}
 	}
-	return runExperiments(params{
-		exp: *exp, csv: *csv, reps: *reps, svgDir: *svgDir,
+	var timing *metrics.WallClock
+	if *progress {
+		timing = &metrics.WallClock{}
+		opts.Timing = timing
+		opts.Progress = func(c metrics.CellDone) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%v)\n", c.Done, c.Total, c.Label, c.Elapsed.Round(time.Millisecond))
+		}
+	}
+	err := runExperiments(params{
+		exp: *exp, csv: *csv, svgDir: *svgDir,
 		ablateN: *ablateN, ablateU: *ablateU,
 	}, opts, os.Stdout)
+	if timing != nil {
+		s := timing.Stats()
+		fmt.Fprintf(os.Stderr, "cells: %d, wall clock mean %v, max %v, total %v\n",
+			s.Count, s.Mean().Round(time.Millisecond), s.Max.Round(time.Millisecond),
+			s.Total.Round(time.Millisecond))
+	}
+	return err
 }
 
 func runExperiments(p params, opts experiment.Options, out io.Writer) error {
 	runFigure := func(id string, update float64) error {
-		if p.reps > 1 {
-			rf, err := experiment.RunReplicatedFigure(id, update, opts, p.reps)
-			if err != nil {
-				return err
-			}
-			if p.csv {
-				rf.CSV(out)
-			} else {
-				rf.Render(out)
-			}
-			fmt.Fprintln(out)
-			return nil
-		}
 		f, err := experiment.RunFigure(id, update, opts)
 		if err != nil {
 			return err

@@ -14,7 +14,7 @@ var tiny = experiment.Options{Scale: 0.05, Seed: 1, Clients: []int{4}}
 
 func TestRunExperimentsFigureText(t *testing.T) {
 	var sb strings.Builder
-	err := runExperiments(params{exp: "fig3", reps: 1, ablateN: 4, ablateU: 0.2}, tiny, &sb)
+	err := runExperiments(params{exp: "fig3", ablateN: 4, ablateU: 0.2}, tiny, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func TestRunExperimentsFigureText(t *testing.T) {
 func TestRunExperimentsFigureCSVAndSVG(t *testing.T) {
 	dir := t.TempDir()
 	var sb strings.Builder
-	err := runExperiments(params{exp: "fig4", csv: true, reps: 1, svgDir: dir, ablateN: 4, ablateU: 0.2}, tiny, &sb)
+	err := runExperiments(params{exp: "fig4", csv: true, svgDir: dir, ablateN: 4, ablateU: 0.2}, tiny, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,8 +43,10 @@ func TestRunExperimentsFigureCSVAndSVG(t *testing.T) {
 }
 
 func TestRunExperimentsReplicated(t *testing.T) {
+	opts := tiny
+	opts.Reps = 2
 	var sb strings.Builder
-	err := runExperiments(params{exp: "fig5", reps: 2, ablateN: 4, ablateU: 0.2}, tiny, &sb)
+	err := runExperiments(params{exp: "fig5", ablateN: 4, ablateU: 0.2}, opts, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +57,7 @@ func TestRunExperimentsReplicated(t *testing.T) {
 
 func TestRunExperimentsProtocol(t *testing.T) {
 	var sb strings.Builder
-	if err := runExperiments(params{exp: "protocol", reps: 1, ablateN: 4, ablateU: 0.2}, tiny, &sb); err != nil {
+	if err := runExperiments(params{exp: "protocol", ablateN: 4, ablateU: 0.2}, tiny, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "2n+1") {
@@ -69,7 +71,7 @@ func TestRunExperimentsAblations(t *testing.T) {
 		"ablate-writethrough", "ablate-logging", "outage", "policies",
 	} {
 		var sb strings.Builder
-		if err := runExperiments(params{exp: exp, reps: 1, ablateN: 4, ablateU: 0.2}, tiny, &sb); err != nil {
+		if err := runExperiments(params{exp: exp, ablateN: 4, ablateU: 0.2}, tiny, &sb); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		if sb.Len() == 0 {
@@ -80,7 +82,7 @@ func TestRunExperimentsAblations(t *testing.T) {
 
 func TestRunExperimentsUnknownID(t *testing.T) {
 	var sb strings.Builder
-	if err := runExperiments(params{exp: "nope", reps: 1}, tiny, &sb); err == nil {
+	if err := runExperiments(params{exp: "nope"}, tiny, &sb); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

@@ -6,8 +6,14 @@
 //
 //	rtdbsim -system ce|cs|ls [-clients 20] [-updates 0.05]
 //	        [-duration 30m] [-warmup 10m] [-seed 1]
+//	        [-reps 1] [-parallel 0]
 //	        [-window 500ms] [-executors 4] [-no-h1] [-no-h2]
 //	        [-no-decomposition] [-no-forward-lists] [-no-downgrade]
+//
+// With -reps N > 1 the configuration is replicated N times over seeds
+// derived from the master -seed, fanned across a -parallel worker pool
+// (0 = GOMAXPROCS), and summarized as mean ± 95% CI instead of the full
+// single-run dump.
 package main
 
 import (
@@ -18,8 +24,10 @@ import (
 	"time"
 
 	"siteselect"
+	"siteselect/internal/experiment"
 	"siteselect/internal/netsim"
 	"siteselect/internal/rtdbs"
+	"siteselect/internal/stats"
 )
 
 func main() {
@@ -36,7 +44,9 @@ func run() error {
 		updates   = flag.Float64("updates", 0.05, "fraction of accesses that update")
 		duration  = flag.Duration("duration", 30*time.Minute, "virtual generation time")
 		warmup    = flag.Duration("warmup", 10*time.Minute, "virtual warmup excluded from statistics")
-		seed      = flag.Int64("seed", 1, "random seed")
+		seed      = flag.Int64("seed", 1, "master random seed")
+		reps      = flag.Int("reps", 1, "replications over derived seeds, summarized as mean ± 95% CI")
+		parallel  = flag.Int("parallel", 0, "worker pool size for replications (0 = GOMAXPROCS)")
 		window    = flag.Duration("window", 500*time.Millisecond, "forward-list collection window (ls)")
 		executors = flag.Int("executors", 4, "concurrent executor slots per client")
 		noH1      = flag.Bool("no-h1", false, "disable heuristic H1")
@@ -80,11 +90,49 @@ func run() error {
 	if *traceN > 0 {
 		return runTraced(kind, cfg, *traceN)
 	}
+	if *reps > 1 {
+		return runReplicated(kind, cfg, *reps, *parallel)
+	}
 	res, err := siteselect.Run(kind, cfg)
 	if err != nil {
 		return err
 	}
 	dump(kind, res)
+	return nil
+}
+
+// runReplicated runs the configuration reps times over seeds derived
+// from the master seed, in parallel, and prints an aggregate summary
+// (mean ± 95% CI) instead of the single-run dump.
+func runReplicated(kind siteselect.SystemKind, cfg siteselect.Config, reps, parallel int) error {
+	opts := experiment.Options{Seed: cfg.Seed, Reps: reps, Parallel: parallel}
+	results, err := experiment.RunReps(opts, cfg, func(c siteselect.Config) (*siteselect.Result, error) {
+		return siteselect.Run(kind, c)
+	})
+	if err != nil {
+		return err
+	}
+
+	var success, resp, hit stats.Sample
+	for _, r := range results {
+		success.Add(r.SuccessRate())
+		resp.Add(r.M.TxnResponse.Mean().Seconds() * 1e3)
+		if r.M.CacheAccesses > 0 {
+			hit.Add(r.CacheHitRate())
+		}
+	}
+
+	fmt.Printf("%s — %d clients, %.0f%% updates, %d replications (master seed %d)\n\n",
+		kind, cfg.NumClients, cfg.UpdateFraction*100, reps, cfg.Seed)
+	for i, r := range results {
+		fmt.Printf("  rep %-2d seed %-20d success %6.2f%%  committed %d/%d\n",
+			i, r.Config.Seed, r.SuccessRate(), r.M.Committed, r.M.Submitted)
+	}
+	fmt.Printf("\n  success rate       %6.2f ± %.2f %% (95%% CI)\n", success.Mean(), success.CI95())
+	fmt.Printf("  mean txn response  %6.1f ± %.1f ms\n", resp.Mean(), resp.CI95())
+	if hit.N() > 0 {
+		fmt.Printf("  cache hit rate     %6.2f ± %.2f %%\n", hit.Mean(), hit.CI95())
+	}
 	return nil
 }
 

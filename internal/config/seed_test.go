@@ -1,0 +1,107 @@
+package config
+
+import "testing"
+
+func TestNormalizeSeed(t *testing.T) {
+	tests := []struct {
+		name string
+		in   int64
+	}{
+		{"positive", 42},
+		{"one", 1},
+		{"zero", 0},
+		{"negative", -7},
+		{"min-int64", -1 << 63},
+	}
+	for _, tt := range tests {
+		got := NormalizeSeed(tt.in)
+		if got <= 0 {
+			t.Errorf("%s: NormalizeSeed(%d) = %d, want positive", tt.name, tt.in, got)
+		}
+		if again := NormalizeSeed(tt.in); again != got {
+			t.Errorf("%s: NormalizeSeed(%d) unstable: %d then %d", tt.name, tt.in, got, again)
+		}
+	}
+	if NormalizeSeed(42) != 42 {
+		t.Error("positive seed should pass through unchanged")
+	}
+	if NormalizeSeed(0) != 1 {
+		t.Errorf("NormalizeSeed(0) = %d, want 1", NormalizeSeed(0))
+	}
+	if NormalizeSeed(-7) == NormalizeSeed(-8) {
+		t.Error("distinct negative seeds collided")
+	}
+}
+
+func TestCellSeedDistinctCells(t *testing.T) {
+	// Every distinct coordinate tuple must get its own seed, including
+	// tuples that differ only in one coordinate or in coordinate order.
+	cells := [][]int64{
+		{20, 10000, 0},
+		{20, 10000, 1},
+		{20, 10000, 2},
+		{40, 10000, 0},
+		{60, 10000, 0},
+		{20, 50000, 0},
+		{20, 200000, 0},
+		{10000, 20, 0}, // order swap of the first tuple
+		{0, 0, 0},
+		{0, 0, 1},
+		{-1, 0, 0},
+	}
+	seen := map[int64][]int64{}
+	for _, c := range cells {
+		s := CellSeed(1, c...)
+		if s <= 0 {
+			t.Fatalf("CellSeed(1, %v) = %d, want positive", c, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: %v and %v both map to %d", prev, c, s)
+		}
+		seen[s] = c
+	}
+}
+
+func TestCellSeedStableAcrossCalls(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		if CellSeed(7, 20, 10000, 1) != CellSeed(7, 20, 10000, 1) {
+			t.Fatal("CellSeed not stable across calls")
+		}
+	}
+}
+
+func TestCellSeedMasterNormalized(t *testing.T) {
+	// Zero and one are the same master (zero is the unset sentinel).
+	if CellSeed(0, 20, 0) != CellSeed(1, 20, 0) {
+		t.Error("master seed 0 should normalize to 1")
+	}
+	// A negative master is usable and distinct from its absolute value.
+	if CellSeed(-5, 20, 0) <= 0 {
+		t.Error("negative master produced non-positive cell seed")
+	}
+	if CellSeed(-5, 20, 0) == CellSeed(5, 20, 0) {
+		t.Error("negative master collided with its absolute value")
+	}
+	// Distinct masters give distinct cell streams.
+	if CellSeed(1, 20, 0) == CellSeed(2, 20, 0) {
+		t.Error("distinct masters collided on the same cell")
+	}
+}
+
+func TestUpdateCoord(t *testing.T) {
+	tests := []struct {
+		update float64
+		want   int64
+	}{
+		{0.01, 10000},
+		{0.05, 50000},
+		{0.20, 200000},
+		{0, 0},
+		{1, 1000000},
+	}
+	for _, tt := range tests {
+		if got := UpdateCoord(tt.update); got != tt.want {
+			t.Errorf("UpdateCoord(%v) = %d, want %d", tt.update, got, tt.want)
+		}
+	}
+}

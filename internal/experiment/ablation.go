@@ -7,12 +7,16 @@ import (
 
 	"siteselect/internal/config"
 	"siteselect/internal/forward"
+	"siteselect/internal/rtdbs"
+	"siteselect/internal/stats"
 )
 
 // AblationRow compares the LS-CS-RTDBS with one design choice changed.
+// Rates are means over the replications; counters are rounded means.
 type AblationRow struct {
 	Name        string
 	SuccessRate float64
+	SuccessCI   float64 // 95% half-width, zero for a single replication
 	CacheHit    float64
 	Shipped     int64
 	Decomposed  int64
@@ -25,12 +29,26 @@ type Ablation struct {
 	Title   string
 	Clients int
 	Update  float64
+	Reps    int
 	Rows    []AblationRow
 }
 
-// Render writes the ablation as an aligned text table.
+// Render writes the ablation as an aligned text table, with a ± 95% CI
+// success column when the ablation aggregates replications.
 func (a *Ablation) Render(w io.Writer) {
 	fmt.Fprintf(w, "%s (%d clients, %g%% updates)\n", a.Title, a.Clients, a.Update*100)
+	if a.Reps > 1 {
+		fmt.Fprintf(w, "(success mean ± 95%% CI over %d replications)\n", a.Reps)
+		fmt.Fprintf(w, "%-22s %14s %9s %8s %8s %8s %10s\n",
+			"Variant", "Success", "CacheHit", "Shipped", "Decomp", "Migr", "EL resp")
+		for _, r := range a.Rows {
+			fmt.Fprintf(w, "%-22s %13s%% %8.1f%% %8d %8d %8d %10s\n",
+				r.Name, fmt.Sprintf("%.1f ± %.1f", r.SuccessRate, r.SuccessCI),
+				r.CacheHit, r.Shipped, r.Decomposed, r.Migrations,
+				r.ELResponse.Round(time.Millisecond))
+		}
+		return
+	}
 	fmt.Fprintf(w, "%-22s %9s %9s %8s %8s %8s %10s\n",
 		"Variant", "Success", "CacheHit", "Shipped", "Decomp", "Migr", "EL resp")
 	for _, r := range a.Rows {
@@ -40,86 +58,128 @@ func (a *Ablation) Render(w io.Writer) {
 	}
 }
 
-func (a *Ablation) addRun(name string, cfg config.Config) error {
-	res, err := RunLS(cfg)
-	if err != nil {
-		return fmt.Errorf("ablation %q: %w", name, err)
+// variant is one configuration mutation an ablation compares.
+type variant struct {
+	name string
+	mod  func(*config.Config)
+}
+
+// runVariants runs every (variant, replication) cell of an LS ablation
+// concurrently and aggregates per variant.
+func runVariants(title string, clients int, update float64, opts Options, variants []variant) (*Ablation, error) {
+	opts = opts.normalize()
+	a := &Ablation{Title: title, Clients: clients, Update: update, Reps: opts.Reps}
+	type cell struct{ vi, rep int }
+	var cells []cell
+	var labels []string
+	for vi, v := range variants {
+		for r := 0; r < opts.Reps; r++ {
+			cells = append(cells, cell{vi, r})
+			labels = append(labels, fmt.Sprintf("%s %q rep=%d", title, v.name, r))
+		}
 	}
-	a.Rows = append(a.Rows, AblationRow{
-		Name:        name,
-		SuccessRate: res.SuccessRate(),
-		CacheHit:    res.CacheHitRate(),
-		Shipped:     res.M.ShippedTxns,
-		Decomposed:  res.M.DecomposedTxns,
-		Migrations:  res.MigrationsStarted,
-		ELResponse:  res.M.ExclusiveResponse.Mean(),
+	results, err := runCells(opts, labels, func(i int) (*rtdbs.Result, error) {
+		c := cells[i]
+		cfg := opts.csConfig(clients, update, c.rep)
+		variants[c.vi].mod(&cfg)
+		res, err := RunLS(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %q: %w", variants[c.vi].name, err)
+		}
+		return res, nil
 	})
-	return nil
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
+		var success, hit stats.Sample
+		var shipped, decomposed, migrations []int64
+		var elResp []time.Duration
+		for i, c := range cells {
+			if c.vi != vi {
+				continue
+			}
+			res := results[i]
+			success.Add(res.SuccessRate())
+			hit.Add(res.CacheHitRate())
+			shipped = append(shipped, res.M.ShippedTxns)
+			decomposed = append(decomposed, res.M.DecomposedTxns)
+			migrations = append(migrations, res.MigrationsStarted)
+			elResp = append(elResp, res.M.ExclusiveResponse.Mean())
+		}
+		a.Rows = append(a.Rows, AblationRow{
+			Name:        v.name,
+			SuccessRate: success.Mean(),
+			SuccessCI:   success.CI95(),
+			CacheHit:    hit.Mean(),
+			Shipped:     meanRound(shipped),
+			Decomposed:  meanRound(decomposed),
+			Migrations:  meanRound(migrations),
+			ELResponse:  meanDuration(elResp),
+		})
+	}
+	return a, nil
 }
 
 // RunHeuristicAblation isolates the contribution of each load-sharing
 // technique: all off (equals basic CS), each alone, and all on.
 func RunHeuristicAblation(clients int, update float64, opts Options) (*Ablation, error) {
-	opts = opts.normalize()
-	a := &Ablation{Title: "Load-sharing technique ablation", Clients: clients, Update: update}
 	off := func(cfg *config.Config) {
 		cfg.UseH1 = false
 		cfg.UseH2 = false
 		cfg.UseDecomposition = false
 		cfg.UseForwardLists = false
 	}
-	variants := []struct {
-		name string
-		mod  func(*config.Config)
-	}{
+	return runVariants("Load-sharing technique ablation", clients, update, opts, []variant{
 		{"all-off (=CS)", func(c *config.Config) { off(c) }},
 		{"H1 only", func(c *config.Config) { off(c); c.UseH1 = true }},
 		{"H2 only", func(c *config.Config) { off(c); c.UseH2 = true }},
 		{"decomposition only", func(c *config.Config) { off(c); c.UseDecomposition = true }},
 		{"forward lists only", func(c *config.Config) { off(c); c.UseForwardLists = true }},
 		{"all-on (=LS)", func(*config.Config) {}},
-	}
-	for _, v := range variants {
-		cfg := opts.csConfig(clients, update)
-		v.mod(&cfg)
-		if err := a.addRun(v.name, cfg); err != nil {
-			return nil, err
-		}
-	}
-	return a, nil
+	})
 }
 
 // RunWindowAblation sweeps the forward-list collection window.
 func RunWindowAblation(clients int, update float64, opts Options) (*Ablation, error) {
-	opts = opts.normalize()
-	a := &Ablation{Title: "Collection window ablation", Clients: clients, Update: update}
+	var variants []variant
 	for _, w := range []time.Duration{0, 100 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second} {
-		cfg := opts.csConfig(clients, update)
-		cfg.CollectionWindow = w
-		if err := a.addRun(fmt.Sprintf("window=%v", w), cfg); err != nil {
-			return nil, err
-		}
+		w := w
+		variants = append(variants, variant{
+			name: fmt.Sprintf("window=%v", w),
+			mod:  func(c *config.Config) { c.CollectionWindow = w },
+		})
 	}
-	return a, nil
+	return runVariants("Collection window ablation", clients, update, opts, variants)
 }
 
 // RunDowngradeAblation compares the modified callback scheme (EL→SL
 // downgrade) against plain full-release callbacks.
 func RunDowngradeAblation(clients int, update float64, opts Options) (*Ablation, error) {
-	opts = opts.normalize()
-	a := &Ablation{Title: "Callback downgrade ablation", Clients: clients, Update: update}
-	for _, on := range []bool{true, false} {
-		cfg := opts.csConfig(clients, update)
-		cfg.UseDowngrade = on
-		name := "downgrade on"
-		if !on {
-			name = "downgrade off"
-		}
-		if err := a.addRun(name, cfg); err != nil {
-			return nil, err
-		}
-	}
-	return a, nil
+	return runVariants("Callback downgrade ablation", clients, update, opts, []variant{
+		{"downgrade on", func(c *config.Config) { c.UseDowngrade = true }},
+		{"downgrade off", func(c *config.Config) { c.UseDowngrade = false }},
+	})
+}
+
+// RunWriteThroughAblation quantifies the paper's implicit write-back
+// choice: clients retaining dirty copies until a callback versus pushing
+// every committed update to the server immediately.
+func RunWriteThroughAblation(clients int, update float64, opts Options) (*Ablation, error) {
+	return runVariants("Write-back vs write-through ablation", clients, update, opts, []variant{
+		{"write-back (paper)", func(c *config.Config) { c.WriteThrough = false }},
+		{"write-through", func(c *config.Config) { c.WriteThrough = true }},
+	})
+}
+
+// RunLoggingAblation charges client-based write-ahead logging (the
+// recovery scheme of the framework the paper builds on) against the
+// cost-free baseline the paper evaluates.
+func RunLoggingAblation(clients int, update float64, opts Options) (*Ablation, error) {
+	return runVariants("Client-based logging ablation", clients, update, opts, []variant{
+		{"no logging (paper)", func(c *config.Config) { c.UseLogging = false }},
+		{"client WAL + group commit", func(c *config.Config) { c.UseLogging = true }},
+	})
 }
 
 // PatternRow compares the three systems under one access pattern.
@@ -142,36 +202,60 @@ type PatternSweep struct {
 	Rows    []PatternRow
 }
 
-// RunPatternSweep runs all three systems under each access pattern.
+// RunPatternSweep runs all three systems under each access pattern,
+// every cell concurrently; rates are means over the replications.
 func RunPatternSweep(clients int, update float64, opts Options) (*PatternSweep, error) {
 	opts = opts.normalize()
 	sweep := &PatternSweep{Clients: clients, Update: update}
-	for _, pat := range []config.AccessPattern{
+	patterns := []config.AccessPattern{
 		config.PatternLocalizedRW, config.PatternUniform, config.PatternHotCold,
-	} {
-		ceCfg := opts.ceConfig(clients, update)
-		ceCfg.Pattern = pat
-		ce, err := RunCE(ceCfg)
-		if err != nil {
-			return nil, fmt.Errorf("pattern %v: CE: %w", pat, err)
+	}
+	type cellResult struct {
+		rate, hit float64
+	}
+	type cell struct{ pi, sys, rep int }
+	var cells []cell
+	var labels []string
+	for pi, pat := range patterns {
+		for si, s := range figureSystems {
+			for r := 0; r < opts.Reps; r++ {
+				cells = append(cells, cell{pi, si, r})
+				labels = append(labels, fmt.Sprintf("patterns %v %s rep=%d", pat, s.name, r))
+			}
 		}
-		csCfg := opts.csConfig(clients, update)
-		csCfg.Pattern = pat
-		cs, err := RunCS(csCfg)
-		if err != nil {
-			return nil, fmt.Errorf("pattern %v: CS: %w", pat, err)
+	}
+	results, err := runCells(opts, labels, func(i int) (cellResult, error) {
+		c := cells[i]
+		s := figureSystems[c.sys]
+		var cfg config.Config
+		if s.central {
+			cfg = opts.ceConfig(clients, update, c.rep)
+		} else {
+			cfg = opts.csConfig(clients, update, c.rep)
 		}
-		ls, err := RunLS(csCfg)
+		cfg.Pattern = patterns[c.pi]
+		res, err := s.run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("pattern %v: LS: %w", pat, err)
+			return cellResult{}, fmt.Errorf("pattern %v: %s: %w", patterns[c.pi], s.name, err)
 		}
+		return cellResult{rate: res.SuccessRate(), hit: res.CacheHitRate()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := make([][3]struct{ rate, hit stats.Sample }, len(patterns))
+	for i, c := range cells {
+		agg[c.pi][c.sys].rate.Add(results[i].rate)
+		agg[c.pi][c.sys].hit.Add(results[i].hit)
+	}
+	for pi, pat := range patterns {
 		sweep.Rows = append(sweep.Rows, PatternRow{
 			Pattern: pat,
-			CE:      ce.SuccessRate(),
-			CS:      cs.SuccessRate(),
-			LS:      ls.SuccessRate(),
-			CSHit:   cs.CacheHitRate(),
-			LSHit:   ls.CacheHitRate(),
+			CE:      agg[pi][0].rate.Mean(),
+			CS:      agg[pi][1].rate.Mean(),
+			LS:      agg[pi][2].rate.Mean(),
+			CSHit:   agg[pi][1].hit.Mean(),
+			LSHit:   agg[pi][2].hit.Mean(),
 		})
 	}
 	return sweep, nil
@@ -226,44 +310,4 @@ func RenderProtocolCounts(w io.Writer, counts []ProtocolCounts) {
 	for _, line := range forward.FigureScenarioGrouped() {
 		fmt.Fprintf(w, "  %s\n", line)
 	}
-}
-
-// RunWriteThroughAblation quantifies the paper's implicit write-back
-// choice: clients retaining dirty copies until a callback versus pushing
-// every committed update to the server immediately.
-func RunWriteThroughAblation(clients int, update float64, opts Options) (*Ablation, error) {
-	opts = opts.normalize()
-	a := &Ablation{Title: "Write-back vs write-through ablation", Clients: clients, Update: update}
-	for _, through := range []bool{false, true} {
-		cfg := opts.csConfig(clients, update)
-		cfg.WriteThrough = through
-		name := "write-back (paper)"
-		if through {
-			name = "write-through"
-		}
-		if err := a.addRun(name, cfg); err != nil {
-			return nil, err
-		}
-	}
-	return a, nil
-}
-
-// RunLoggingAblation charges client-based write-ahead logging (the
-// recovery scheme of the framework the paper builds on) against the
-// cost-free baseline the paper evaluates.
-func RunLoggingAblation(clients int, update float64, opts Options) (*Ablation, error) {
-	opts = opts.normalize()
-	a := &Ablation{Title: "Client-based logging ablation", Clients: clients, Update: update}
-	for _, logging := range []bool{false, true} {
-		cfg := opts.csConfig(clients, update)
-		cfg.UseLogging = logging
-		name := "no logging (paper)"
-		if logging {
-			name = "client WAL + group commit"
-		}
-		if err := a.addRun(name, cfg); err != nil {
-			return nil, err
-		}
-	}
-	return a, nil
 }

@@ -2,17 +2,28 @@
 // paper's evaluation (Section 5), plus the ablations of the design
 // choices, and renders the results in the same rows and series the paper
 // reports.
+//
+// Every runner fans its simulation cells — each (system, client count,
+// update mix, replication) combination — across a bounded worker pool
+// (Options.Parallel). Each cell is seeded independently via
+// config.CellSeed, so a grid's aggregated results depend only on the
+// master seed, never on worker count or completion order, and
+// replications (Options.Reps) are aggregated into means with 95%
+// confidence half-widths.
 package experiment
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"siteselect/internal/config"
+	"siteselect/internal/metrics"
 	"siteselect/internal/netsim"
 	"siteselect/internal/plot"
 	"siteselect/internal/rtdbs"
+	"siteselect/internal/stats"
 )
 
 // DefaultClients is the client-count sweep of Figures 3–5.
@@ -22,34 +33,50 @@ var DefaultClients = []int{20, 40, 60, 80, 100}
 type Options struct {
 	// Scale shrinks run length (1 = the full 30-minute virtual runs).
 	Scale float64
-	// Seed drives all random streams.
+	// Seed is the master seed; every cell's seed is derived from it and
+	// the cell coordinates (see config.CellSeed).
 	Seed int64
 	// Clients overrides the client sweep for figures.
 	Clients []int
+	// Parallel bounds the worker pool fanning cells out
+	// (0 = runtime.GOMAXPROCS(0)). Results are identical for any value.
+	Parallel int
+	// Reps replicates every cell over derived per-replication seeds and
+	// aggregates the results as mean + 95% CI (0 or 1 = single run).
+	Reps int
+	// Progress, when non-nil, is called (serialized) after each cell
+	// completes, with per-cell wall-clock timing.
+	Progress metrics.ProgressFunc
+	// Timing, when non-nil, accumulates per-cell wall-clock timings.
+	Timing *metrics.WallClock
 }
 
 func (o Options) normalize() Options {
 	if o.Scale <= 0 || o.Scale > 1 {
 		o.Scale = 1
 	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
+	o.Seed = config.NormalizeSeed(o.Seed)
 	if len(o.Clients) == 0 {
 		o.Clients = DefaultClients
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.Reps < 1 {
+		o.Reps = 1
 	}
 	return o
 }
 
-func (o Options) csConfig(n int, update float64) config.Config {
+func (o Options) csConfig(n int, update float64, rep int) config.Config {
 	cfg := config.Default(n, update).Scale(o.Scale)
-	cfg.Seed = o.Seed
+	cfg.Seed = o.cellSeed(n, update, rep)
 	return cfg
 }
 
-func (o Options) ceConfig(n int, update float64) config.Config {
+func (o Options) ceConfig(n int, update float64, rep int) config.Config {
 	cfg := config.DefaultCentralized(n, update).Scale(o.Scale)
-	cfg.Seed = o.Seed
+	cfg.Seed = o.cellSeed(n, update, rep)
 	return cfg
 }
 
@@ -80,12 +107,31 @@ func RunLS(cfg config.Config) (*rtdbs.Result, error) {
 	return ls.Run()
 }
 
+// figureSystems enumerates the three systems of Figures 3–5 in series
+// order.
+var figureSystems = []struct {
+	name    string
+	central bool
+	run     func(config.Config) (*rtdbs.Result, error)
+}{
+	{"CE", true, RunCE},
+	{"CS", false, RunCS},
+	{"LS", false, RunLS},
+}
+
 // FigurePoint is one x-position of a Figure 3/4/5 plot.
 type FigurePoint struct {
 	Clients int
-	CE      float64
-	CS      float64
-	LS      float64
+	// CE, CS and LS are success percentages — means over the
+	// replications when Reps > 1.
+	CE float64
+	CS float64
+	LS float64
+	// CECI, CSCI and LSCI are 95% confidence half-widths (zero for a
+	// single replication).
+	CECI float64
+	CSCI float64
+	LSCI float64
 }
 
 // Figure is a reproduction of one of Figures 3–5: percentage of
@@ -94,52 +140,100 @@ type Figure struct {
 	ID             string
 	Title          string
 	UpdateFraction float64
+	Reps           int
 	Points         []FigurePoint
 }
 
 // RunFigure reproduces Figure 3 (update=0.01), Figure 4 (0.05) or
-// Figure 5 (0.20).
+// Figure 5 (0.20). All cells of the sweep run concurrently on the
+// worker pool.
 func RunFigure(id string, update float64, opts Options) (*Figure, error) {
 	opts = opts.normalize()
 	f := &Figure{
 		ID:             id,
 		Title:          fmt.Sprintf("Percentage of Transactions Completed Within Their Deadlines (%g%% updates)", update*100),
 		UpdateFraction: update,
+		Reps:           opts.Reps,
 	}
-	for _, n := range opts.Clients {
-		ce, err := RunCE(opts.ceConfig(n, update))
-		if err != nil {
-			return nil, fmt.Errorf("experiment %s: CE with %d clients: %w", id, n, err)
+	type cell struct{ pi, sys, rep int }
+	var cells []cell
+	var labels []string
+	for pi, n := range opts.Clients {
+		for si, s := range figureSystems {
+			for r := 0; r < opts.Reps; r++ {
+				cells = append(cells, cell{pi, si, r})
+				labels = append(labels, fmt.Sprintf("%s %s n=%d rep=%d", id, s.name, n, r))
+			}
 		}
-		cs, err := RunCS(opts.csConfig(n, update))
-		if err != nil {
-			return nil, fmt.Errorf("experiment %s: CS with %d clients: %w", id, n, err)
+	}
+	rates, err := runCells(opts, labels, func(i int) (float64, error) {
+		c := cells[i]
+		n := opts.Clients[c.pi]
+		s := figureSystems[c.sys]
+		var cfg config.Config
+		if s.central {
+			cfg = opts.ceConfig(n, update, c.rep)
+		} else {
+			cfg = opts.csConfig(n, update, c.rep)
 		}
-		ls, err := RunLS(opts.csConfig(n, update))
+		res, err := s.run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiment %s: LS with %d clients: %w", id, n, err)
+			return 0, fmt.Errorf("experiment %s: %s with %d clients (rep %d): %w", id, s.name, n, c.rep, err)
 		}
+		return res.SuccessRate(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := make([][3]stats.Sample, len(opts.Clients))
+	for i, c := range cells {
+		agg[c.pi][c.sys].Add(rates[i])
+	}
+	for pi, n := range opts.Clients {
 		f.Points = append(f.Points, FigurePoint{
 			Clients: n,
-			CE:      ce.SuccessRate(),
-			CS:      cs.SuccessRate(),
-			LS:      ls.SuccessRate(),
+			CE:      agg[pi][0].Mean(),
+			CS:      agg[pi][1].Mean(),
+			LS:      agg[pi][2].Mean(),
+			CECI:    agg[pi][0].CI95(),
+			CSCI:    agg[pi][1].CI95(),
+			LSCI:    agg[pi][2].CI95(),
 		})
 	}
 	return f, nil
 }
 
-// Render writes the figure as an aligned text table.
+// Render writes the figure as an aligned text table, with ± 95% CI
+// columns when the figure aggregates replications.
 func (f *Figure) Render(w io.Writer) {
 	fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title)
+	if f.Reps > 1 {
+		fmt.Fprintf(w, "(mean ± 95%% CI over %d replications)\n", f.Reps)
+		fmt.Fprintf(w, "%-10s %18s %18s %18s\n", "Clients", "CE-RTDBS", "CS-RTDBS", "LS-CS-RTDBS")
+		for _, p := range f.Points {
+			cell := func(m, ci float64) string { return fmt.Sprintf("%6.1f ± %4.1f", m, ci) }
+			fmt.Fprintf(w, "%-10d %18s %18s %18s\n",
+				p.Clients, cell(p.CE, p.CECI), cell(p.CS, p.CSCI), cell(p.LS, p.LSCI))
+		}
+		return
+	}
 	fmt.Fprintf(w, "%-10s %12s %12s %12s\n", "Clients", "CE-RTDBS", "CS-RTDBS", "LS-CS-RTDBS")
 	for _, p := range f.Points {
 		fmt.Fprintf(w, "%-10d %11.1f%% %11.1f%% %11.1f%%\n", p.Clients, p.CE, p.CS, p.LS)
 	}
 }
 
-// CSV writes the figure as comma-separated values.
+// CSV writes the figure as comma-separated values; replicated figures
+// carry a 95% CI column per series.
 func (f *Figure) CSV(w io.Writer) {
+	if f.Reps > 1 {
+		fmt.Fprintln(w, "clients,ce_mean,ce_ci,cs_mean,cs_ci,ls_mean,ls_ci")
+		for _, p := range f.Points {
+			fmt.Fprintf(w, "%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+				p.Clients, p.CE, p.CECI, p.CS, p.CSCI, p.LS, p.LSCI)
+		}
+		return
+	}
 	fmt.Fprintln(w, "clients,ce,cs,ls")
 	for _, p := range f.Points {
 		fmt.Fprintf(w, "%d,%.2f,%.2f,%.2f\n", p.Clients, p.CE, p.CS, p.LS)
@@ -147,16 +241,20 @@ func (f *Figure) CSV(w io.Writer) {
 }
 
 // Table2Row holds the cache hit rates for one client count across the
-// three update mixes (paper Table 2).
+// three update mixes (paper Table 2), with 95% CI half-widths when the
+// table aggregates replications.
 type Table2Row struct {
 	Clients int
 	CS      [3]float64 // 1%, 5%, 20%
 	LS      [3]float64
+	CSCI    [3]float64
+	LSCI    [3]float64
 }
 
 // Table2 reproduces "Average Cache Hit Rates in the CS-RTDBS and
 // LS-CS-RTDBS".
 type Table2 struct {
+	Reps int
 	Rows []Table2Row
 }
 
@@ -166,32 +264,77 @@ var Table2Updates = [3]float64{0.01, 0.05, 0.20}
 // Table2Clients are the client counts of Table 2's rows.
 var Table2Clients = []int{20, 60, 100}
 
-// RunTable2 reproduces Table 2.
+// RunTable2 reproduces Table 2. All cells run concurrently.
 func RunTable2(opts Options) (*Table2, error) {
 	opts = opts.normalize()
-	t := &Table2{}
-	for _, n := range Table2Clients {
+	t := &Table2{Reps: opts.Reps}
+	type cell struct{ ri, ui, sys, rep int } // sys: 0=CS 1=LS
+	var cells []cell
+	var labels []string
+	for ri, n := range Table2Clients {
+		for ui := range Table2Updates {
+			for sys, name := range []string{"CS", "LS"} {
+				for r := 0; r < opts.Reps; r++ {
+					cells = append(cells, cell{ri, ui, sys, r})
+					labels = append(labels, fmt.Sprintf("table2 %s n=%d u=%g rep=%d", name, n, Table2Updates[ui], r))
+				}
+			}
+		}
+	}
+	rates, err := runCells(opts, labels, func(i int) (float64, error) {
+		c := cells[i]
+		n := Table2Clients[c.ri]
+		upd := Table2Updates[c.ui]
+		cfg := opts.csConfig(n, upd, c.rep)
+		var res *rtdbs.Result
+		var err error
+		if c.sys == 0 {
+			res, err = RunCS(cfg)
+		} else {
+			res, err = RunLS(cfg)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("table2: %d clients %g%% (rep %d): %w", n, upd*100, c.rep, err)
+		}
+		return res.CacheHitRate(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := make([][3][2]stats.Sample, len(Table2Clients))
+	for i, c := range cells {
+		agg[c.ri][c.ui][c.sys].Add(rates[i])
+	}
+	for ri, n := range Table2Clients {
 		row := Table2Row{Clients: n}
-		for i, upd := range Table2Updates {
-			cs, err := RunCS(opts.csConfig(n, upd))
-			if err != nil {
-				return nil, fmt.Errorf("table2: CS %d clients %g%%: %w", n, upd*100, err)
-			}
-			ls, err := RunLS(opts.csConfig(n, upd))
-			if err != nil {
-				return nil, fmt.Errorf("table2: LS %d clients %g%%: %w", n, upd*100, err)
-			}
-			row.CS[i] = cs.CacheHitRate()
-			row.LS[i] = ls.CacheHitRate()
+		for ui := range Table2Updates {
+			row.CS[ui] = agg[ri][ui][0].Mean()
+			row.LS[ui] = agg[ri][ui][1].Mean()
+			row.CSCI[ui] = agg[ri][ui][0].CI95()
+			row.LSCI[ui] = agg[ri][ui][1].CI95()
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }
 
-// Render writes Table 2 as an aligned text table.
+// Render writes Table 2 as an aligned text table, with ± 95% CI cells
+// when the table aggregates replications.
 func (t *Table2) Render(w io.Writer) {
 	fmt.Fprintln(w, "Table 2 — Average Cache Hit Rates in the CS-RTDBS and LS-CS-RTDBS")
+	if t.Reps > 1 {
+		fmt.Fprintf(w, "(mean ± 95%% CI over %d replications)\n", t.Reps)
+		fmt.Fprintf(w, "%-10s | %13s %13s %13s | %13s %13s %13s\n",
+			"Clients", "CS 1%", "CS 5%", "CS 20%", "LS 1%", "LS 5%", "LS 20%")
+		cell := func(m, ci float64) string { return fmt.Sprintf("%5.2f ± %4.2f%%", m, ci) }
+		for _, r := range t.Rows {
+			fmt.Fprintf(w, "%-10d | %13s %13s %13s | %13s %13s %13s\n",
+				r.Clients,
+				cell(r.CS[0], r.CSCI[0]), cell(r.CS[1], r.CSCI[1]), cell(r.CS[2], r.CSCI[2]),
+				cell(r.LS[0], r.LSCI[0]), cell(r.LS[1], r.LSCI[1]), cell(r.LS[2], r.LSCI[2]))
+		}
+		return
+	}
 	fmt.Fprintf(w, "%-10s | %8s %8s %8s | %8s %8s %8s\n",
 		"Clients", "CS 1%", "CS 5%", "CS 20%", "LS 1%", "LS 5%", "LS 20%")
 	for _, r := range t.Rows {
@@ -201,45 +344,97 @@ func (t *Table2) Render(w io.Writer) {
 }
 
 // Table3Row holds mean object response times (seconds) by lock mode for
-// one client count (paper Table 3; 1% updates).
+// one client count (paper Table 3; 1% updates), with 95% CI half-widths
+// when the table aggregates replications.
 type Table3Row struct {
-	N                     int
-	CSShared, CSExclusive time.Duration
-	LSShared, LSExclusive time.Duration
+	N                         int
+	CSShared, CSExclusive     time.Duration
+	LSShared, LSExclusive     time.Duration
+	CSSharedCI, CSExclusiveCI time.Duration
+	LSSharedCI, LSExclusiveCI time.Duration
 }
 
 // Table3 reproduces "Average Object Response Times for 1% updates".
 type Table3 struct {
+	Reps int
 	Rows []Table3Row
 }
 
-// RunTable3 reproduces Table 3.
+// RunTable3 reproduces Table 3. All cells run concurrently.
 func RunTable3(opts Options) (*Table3, error) {
 	opts = opts.normalize()
-	t := &Table3{}
-	for _, n := range Table2Clients {
-		cs, err := RunCS(opts.csConfig(n, 0.01))
-		if err != nil {
-			return nil, fmt.Errorf("table3: CS %d clients: %w", n, err)
+	t := &Table3{Reps: opts.Reps}
+	type cell struct{ ri, sys, rep int } // sys: 0=CS 1=LS
+	var cells []cell
+	var labels []string
+	for ri, n := range Table2Clients {
+		for sys, name := range []string{"CS", "LS"} {
+			for r := 0; r < opts.Reps; r++ {
+				cells = append(cells, cell{ri, sys, r})
+				labels = append(labels, fmt.Sprintf("table3 %s n=%d rep=%d", name, n, r))
+			}
 		}
-		ls, err := RunLS(opts.csConfig(n, 0.01))
-		if err != nil {
-			return nil, fmt.Errorf("table3: LS %d clients: %w", n, err)
+	}
+	responses, err := runCells(opts, labels, func(i int) ([2]time.Duration, error) {
+		c := cells[i]
+		n := Table2Clients[c.ri]
+		cfg := opts.csConfig(n, 0.01, c.rep)
+		var res *rtdbs.Result
+		var err error
+		if c.sys == 0 {
+			res, err = RunCS(cfg)
+		} else {
+			res, err = RunLS(cfg)
 		}
+		if err != nil {
+			return [2]time.Duration{}, fmt.Errorf("table3: %d clients (rep %d): %w", n, c.rep, err)
+		}
+		return [2]time.Duration{res.M.SharedResponse.Mean(), res.M.ExclusiveResponse.Mean()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// agg[row][sys][mode] in seconds.
+	agg := make([][2][2]stats.Sample, len(Table2Clients))
+	for i, c := range cells {
+		agg[c.ri][c.sys][0].Add(responses[i][0].Seconds())
+		agg[c.ri][c.sys][1].Add(responses[i][1].Seconds())
+	}
+	sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+	for ri, n := range Table2Clients {
 		t.Rows = append(t.Rows, Table3Row{
-			N:           n,
-			CSShared:    cs.M.SharedResponse.Mean(),
-			CSExclusive: cs.M.ExclusiveResponse.Mean(),
-			LSShared:    ls.M.SharedResponse.Mean(),
-			LSExclusive: ls.M.ExclusiveResponse.Mean(),
+			N:             n,
+			CSShared:      sec(agg[ri][0][0].Mean()),
+			CSExclusive:   sec(agg[ri][0][1].Mean()),
+			LSShared:      sec(agg[ri][1][0].Mean()),
+			LSExclusive:   sec(agg[ri][1][1].Mean()),
+			CSSharedCI:    sec(agg[ri][0][0].CI95()),
+			CSExclusiveCI: sec(agg[ri][0][1].CI95()),
+			LSSharedCI:    sec(agg[ri][1][0].CI95()),
+			LSExclusiveCI: sec(agg[ri][1][1].CI95()),
 		})
 	}
 	return t, nil
 }
 
-// Render writes Table 3 as an aligned text table (values in seconds).
+// Render writes Table 3 as an aligned text table (values in seconds),
+// with ± 95% CI cells when the table aggregates replications.
 func (t *Table3) Render(w io.Writer) {
 	fmt.Fprintln(w, "Table 3 — Average Object Response Times (in seconds) for 1% updates")
+	if t.Reps > 1 {
+		fmt.Fprintf(w, "(mean ± 95%% CI over %d replications)\n", t.Reps)
+		fmt.Fprintf(w, "%-10s | %15s %15s | %15s %15s\n",
+			"Clients", "CS SL", "CS EL", "LS SL", "LS EL")
+		cell := func(m, ci time.Duration) string {
+			return fmt.Sprintf("%.3f ± %.3f", m.Seconds(), ci.Seconds())
+		}
+		for _, r := range t.Rows {
+			fmt.Fprintf(w, "%-10d | %15s %15s | %15s %15s\n",
+				r.N, cell(r.CSShared, r.CSSharedCI), cell(r.CSExclusive, r.CSExclusiveCI),
+				cell(r.LSShared, r.LSSharedCI), cell(r.LSExclusive, r.LSExclusiveCI))
+		}
+		return
+	}
 	fmt.Fprintf(w, "%-10s | %10s %10s | %10s %10s\n",
 		"Clients", "CS SL", "CS EL", "LS SL", "LS EL")
 	for _, r := range t.Rows {
@@ -250,7 +445,9 @@ func (t *Table3) Render(w io.Writer) {
 }
 
 // Table4 reproduces "Number of Messages Passed in the CS-RTDBSs (100
-// Clients, 1% updates)".
+// Clients, 1% updates)". Its cells are raw protocol counters, so it
+// always reports a single replication (rep 0), but its two system runs
+// still execute concurrently.
 type Table4 struct {
 	CSRequests, LSRequests int64
 	CSShipped, LSShipped   int64
@@ -264,14 +461,26 @@ type Table4 struct {
 // RunTable4 reproduces Table 4 at 100 clients and 1% updates.
 func RunTable4(opts Options) (*Table4, error) {
 	opts = opts.normalize()
-	cs, err := RunCS(opts.csConfig(100, 0.01))
+	labels := []string{"table4 CS n=100", "table4 LS n=100"}
+	results, err := runCells(opts, labels, func(i int) (*rtdbs.Result, error) {
+		cfg := opts.csConfig(100, 0.01, 0)
+		if i == 0 {
+			res, err := RunCS(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("table4: CS: %w", err)
+			}
+			return res, nil
+		}
+		res, err := RunLS(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table4: LS: %w", err)
+		}
+		return res, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("table4: CS: %w", err)
+		return nil, err
 	}
-	ls, err := RunLS(opts.csConfig(100, 0.01))
-	if err != nil {
-		return nil, fmt.Errorf("table4: LS: %w", err)
-	}
+	cs, ls := results[0], results[1]
 	req := func(r *rtdbs.Result) int64 {
 		return r.Messages[netsim.KindObjectRequest].Count
 	}
@@ -319,7 +528,8 @@ func (t *Table4) Render(w io.Writer) {
 }
 
 // Chart converts the figure to a plottable line chart (success % on a
-// 0–100 axis against client count).
+// 0–100 axis against client count). Replicated figures carry 95% CI
+// half-widths drawn as error bars.
 func (f *Figure) Chart() *plot.Chart {
 	c := &plot.Chart{
 		Title:  f.ID + " — " + f.Title,
@@ -336,13 +546,29 @@ func (f *Figure) Chart() *plot.Chart {
 		ce.Y = append(ce.Y, p.CE)
 		cs.Y = append(cs.Y, p.CS)
 		ls.Y = append(ls.Y, p.LS)
+		if f.Reps > 1 {
+			ce.CI = append(ce.CI, p.CECI)
+			cs.CI = append(cs.CI, p.CSCI)
+			ls.CI = append(ls.CI, p.LSCI)
+		}
 	}
 	c.Series = []plot.Series{ce, cs, ls}
 	return c
 }
 
-// CSV writes Table 2 as comma-separated values.
+// CSV writes Table 2 as comma-separated values; replicated tables carry
+// a 95% CI column per cell.
 func (t *Table2) CSV(w io.Writer) {
+	if t.Reps > 1 {
+		fmt.Fprintln(w, "clients,cs_1,cs_1_ci,cs_5,cs_5_ci,cs_20,cs_20_ci,ls_1,ls_1_ci,ls_5,ls_5_ci,ls_20,ls_20_ci")
+		for _, r := range t.Rows {
+			fmt.Fprintf(w, "%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+				r.Clients,
+				r.CS[0], r.CSCI[0], r.CS[1], r.CSCI[1], r.CS[2], r.CSCI[2],
+				r.LS[0], r.LSCI[0], r.LS[1], r.LSCI[1], r.LS[2], r.LSCI[2])
+		}
+		return
+	}
 	fmt.Fprintln(w, "clients,cs_1,cs_5,cs_20,ls_1,ls_5,ls_20")
 	for _, r := range t.Rows {
 		fmt.Fprintf(w, "%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
@@ -350,8 +576,20 @@ func (t *Table2) CSV(w io.Writer) {
 	}
 }
 
-// CSV writes Table 3 as comma-separated values (seconds).
+// CSV writes Table 3 as comma-separated values (seconds); replicated
+// tables carry a 95% CI column per cell.
 func (t *Table3) CSV(w io.Writer) {
+	if t.Reps > 1 {
+		fmt.Fprintln(w, "clients,cs_sl,cs_sl_ci,cs_el,cs_el_ci,ls_sl,ls_sl_ci,ls_el,ls_el_ci")
+		for _, r := range t.Rows {
+			fmt.Fprintf(w, "%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+				r.N, r.CSShared.Seconds(), r.CSSharedCI.Seconds(),
+				r.CSExclusive.Seconds(), r.CSExclusiveCI.Seconds(),
+				r.LSShared.Seconds(), r.LSSharedCI.Seconds(),
+				r.LSExclusive.Seconds(), r.LSExclusiveCI.Seconds())
+		}
+		return
+	}
 	fmt.Fprintln(w, "clients,cs_sl,cs_el,ls_sl,ls_el")
 	for _, r := range t.Rows {
 		fmt.Fprintf(w, "%d,%.4f,%.4f,%.4f,%.4f\n",

@@ -7,12 +7,15 @@ import (
 
 	"siteselect/internal/config"
 	"siteselect/internal/rtdbs"
+	"siteselect/internal/stats"
 )
 
-// OutageRow is one fault-injection measurement.
+// OutageRow is one fault-injection measurement. The success rate is a
+// mean over replications; the counters are rounded means.
 type OutageRow struct {
 	Name        string
 	SuccessRate float64
+	SuccessCI   float64
 	LostUpdates int64
 	Forces      int64
 }
@@ -23,13 +26,15 @@ type OutageRow struct {
 type OutageStudy struct {
 	Clients int
 	Update  float64
+	Reps    int
 	Rows    []OutageRow
 }
 
-// RunOutageStudy runs baseline / outage-without-log / outage-with-log.
+// RunOutageStudy runs baseline / outage-without-log / outage-with-log,
+// every cell concurrently.
 func RunOutageStudy(clients int, update float64, opts Options) (*OutageStudy, error) {
 	opts = opts.normalize()
-	study := &OutageStudy{Clients: clients, Update: update}
+	study := &OutageStudy{Clients: clients, Update: update, Reps: opts.Reps}
 	variants := []struct {
 		name    string
 		outage  bool
@@ -39,8 +44,24 @@ func RunOutageStudy(clients int, update float64, opts Options) (*OutageStudy, er
 		{"outage, no log", true, false},
 		{"outage, client WAL", true, true},
 	}
-	for _, v := range variants {
-		cfg := opts.csConfig(clients, update)
+	type cellResult struct {
+		rate        float64
+		lostUpdates int64
+		forces      int64
+	}
+	type cell struct{ vi, rep int }
+	var cells []cell
+	var labels []string
+	for vi, v := range variants {
+		for r := 0; r < opts.Reps; r++ {
+			cells = append(cells, cell{vi, r})
+			labels = append(labels, fmt.Sprintf("outage %q rep=%d", v.name, r))
+		}
+	}
+	results, err := runCells(opts, labels, func(i int) (cellResult, error) {
+		c := cells[i]
+		v := variants[c.vi]
+		cfg := opts.csConfig(clients, update, c.rep)
 		cfg.UseLogging = v.logging
 		if v.outage {
 			cfg.OutageClient = 1
@@ -49,20 +70,42 @@ func RunOutageStudy(clients int, update float64, opts Options) (*OutageStudy, er
 		}
 		ls, err := rtdbs.NewLoadSharing(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("outage %q: %w", v.name, err)
+			return cellResult{}, fmt.Errorf("outage %q: %w", v.name, err)
 		}
 		res, err := ls.Run()
 		if err != nil {
-			return nil, fmt.Errorf("outage %q: %w", v.name, err)
+			return cellResult{}, fmt.Errorf("outage %q: %w", v.name, err)
 		}
-		row := OutageRow{Name: v.name, SuccessRate: res.SuccessRate()}
+		out := cellResult{rate: res.SuccessRate()}
 		for _, cl := range ls.Clients() {
-			row.LostUpdates += cl.LostUpdates
+			out.lostUpdates += cl.LostUpdates
 			if l := cl.Log(); l != nil {
-				row.Forces += l.Forces
+				out.forces += l.Forces
 			}
 		}
-		study.Rows = append(study.Rows, row)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
+		var success stats.Sample
+		var lost, forces []int64
+		for i, c := range cells {
+			if c.vi != vi {
+				continue
+			}
+			success.Add(results[i].rate)
+			lost = append(lost, results[i].lostUpdates)
+			forces = append(forces, results[i].forces)
+		}
+		study.Rows = append(study.Rows, OutageRow{
+			Name:        v.name,
+			SuccessRate: success.Mean(),
+			SuccessCI:   success.CI95(),
+			LostUpdates: meanRound(lost),
+			Forces:      meanRound(forces),
+		})
 	}
 	return study, nil
 }
@@ -71,6 +114,16 @@ func RunOutageStudy(clients int, update float64, opts Options) (*OutageStudy, er
 func (s *OutageStudy) Render(w io.Writer) {
 	fmt.Fprintf(w, "Client outage fault injection (%d clients, %g%% updates, 1-minute outage)\n",
 		s.Clients, s.Update*100)
+	if s.Reps > 1 {
+		fmt.Fprintf(w, "(success mean ± 95%% CI over %d replications)\n", s.Reps)
+		fmt.Fprintf(w, "%-22s %14s %12s %12s\n", "Variant", "Success", "Lost updates", "Log forces")
+		for _, r := range s.Rows {
+			fmt.Fprintf(w, "%-22s %13s%% %12d %12d\n",
+				r.Name, fmt.Sprintf("%.1f ± %.1f", r.SuccessRate, r.SuccessCI),
+				r.LostUpdates, r.Forces)
+		}
+		return
+	}
 	fmt.Fprintf(w, "%-22s %9s %12s %12s\n", "Variant", "Success", "Lost updates", "Log forces")
 	for _, r := range s.Rows {
 		fmt.Fprintf(w, "%-22s %8.1f%% %12d %12d\n", r.Name, r.SuccessRate, r.LostUpdates, r.Forces)
@@ -95,39 +148,73 @@ type Sensitivity struct {
 	Rows []SensitivityRow
 }
 
-// RunSensitivity sweeps the server per-operation CPU cost.
+// sensitivityOps are the swept values of the calibrated per-operation
+// server CPU cost.
+var sensitivityOps = []time.Duration{
+	8 * time.Millisecond, 12 * time.Millisecond,
+	16 * time.Millisecond, 20 * time.Millisecond,
+}
+
+// RunSensitivity sweeps the server per-operation CPU cost, every cell
+// concurrently; rates are means over the replications.
 func RunSensitivity(opts Options) (*Sensitivity, error) {
 	opts = opts.normalize()
 	out := &Sensitivity{}
-	for _, op := range []time.Duration{
-		8 * time.Millisecond, 12 * time.Millisecond,
-		16 * time.Millisecond, 20 * time.Millisecond,
-	} {
-		row := SensitivityRow{OpCPU: op}
-		ce := map[int]float64{}
-		for _, n := range []int{40, 60, 80} {
-			cfg := opts.ceConfig(n, 0.01)
+	ceClients := []int{40, 60, 80}
+	// Slots 0..2 are CE at 40/60/80 clients; slot 3 is LS at 60.
+	type cell struct{ oi, slot, rep int }
+	var cells []cell
+	var labels []string
+	for oi, op := range sensitivityOps {
+		for slot := 0; slot < 4; slot++ {
+			for r := 0; r < opts.Reps; r++ {
+				cells = append(cells, cell{oi, slot, r})
+				labels = append(labels, fmt.Sprintf("sensitivity op=%v slot=%d rep=%d", op, slot, r))
+			}
+		}
+	}
+	rates, err := runCells(opts, labels, func(i int) (float64, error) {
+		c := cells[i]
+		op := sensitivityOps[c.oi]
+		if c.slot < 3 {
+			n := ceClients[c.slot]
+			cfg := opts.ceConfig(n, 0.01, c.rep)
 			cfg.ServerOpCPU = op
 			res, err := RunCE(cfg)
 			if err != nil {
-				return nil, fmt.Errorf("sensitivity CE %v/%d: %w", op, n, err)
+				return 0, fmt.Errorf("sensitivity CE %v/%d: %w", op, n, err)
 			}
-			ce[n] = res.SuccessRate()
+			return res.SuccessRate(), nil
 		}
-		row.CE40, row.CE60, row.CE80 = ce[40], ce[60], ce[80]
-		lsCfg := opts.csConfig(60, 0.01)
-		lsCfg.ServerOpCPU = op
-		ls, err := RunLS(lsCfg)
+		cfg := opts.csConfig(60, 0.01, c.rep)
+		cfg.ServerOpCPU = op
+		res, err := RunLS(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("sensitivity LS %v: %w", op, err)
+			return 0, fmt.Errorf("sensitivity LS %v: %w", op, err)
 		}
-		row.LS60 = ls.SuccessRate()
+		return res.SuccessRate(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := make([][4]stats.Sample, len(sensitivityOps))
+	for i, c := range cells {
+		agg[c.oi][c.slot].Add(rates[i])
+	}
+	for oi, op := range sensitivityOps {
+		row := SensitivityRow{
+			OpCPU: op,
+			CE40:  agg[oi][0].Mean(),
+			CE60:  agg[oi][1].Mean(),
+			CE80:  agg[oi][2].Mean(),
+			LS60:  agg[oi][3].Mean(),
+		}
 		switch {
-		case ce[40] < row.LS60:
+		case row.CE40 < row.LS60:
 			row.Crossover = "<=40 clients"
-		case ce[60] < row.LS60:
+		case row.CE60 < row.LS60:
 			row.Crossover = "40-60 clients"
-		case ce[80] < row.LS60:
+		case row.CE80 < row.LS60:
 			row.Crossover = "60-80 clients"
 		default:
 			row.Crossover = ">80 clients"
@@ -165,38 +252,57 @@ type PolicyStudy struct {
 	Rows    []PolicyRow
 }
 
-// RunPolicyStudy runs the three systems under each policy variant.
+// RunPolicyStudy runs the three systems under each policy variant,
+// every cell concurrently; rates are means over the replications.
 func RunPolicyStudy(clients int, update float64, opts Options) (*PolicyStudy, error) {
 	opts = opts.normalize()
 	study := &PolicyStudy{Clients: clients, Update: update}
-	variants := []struct {
-		name string
-		mod  func(*config.Config)
-	}{
+	variants := []variant{
 		{"baseline (EDF, bus)", func(*config.Config) {}},
 		{"FCFS scheduling", func(c *config.Config) { c.Scheduling = config.SchedFCFS }},
 		{"independent deadlines", func(c *config.Config) { c.Deadlines = config.DeadlineIndependent }},
 		{"switched network", func(c *config.Config) { c.Topology = config.TopologySwitched }},
 	}
-	for _, v := range variants {
-		ceCfg := opts.ceConfig(clients, update)
-		v.mod(&ceCfg)
-		ce, err := RunCE(ceCfg)
-		if err != nil {
-			return nil, fmt.Errorf("policy %q CE: %w", v.name, err)
+	type cell struct{ vi, sys, rep int }
+	var cells []cell
+	var labels []string
+	for vi, v := range variants {
+		for si, s := range figureSystems {
+			for r := 0; r < opts.Reps; r++ {
+				cells = append(cells, cell{vi, si, r})
+				labels = append(labels, fmt.Sprintf("policy %q %s rep=%d", v.name, s.name, r))
+			}
 		}
-		csCfg := opts.csConfig(clients, update)
-		v.mod(&csCfg)
-		cs, err := RunCS(csCfg)
-		if err != nil {
-			return nil, fmt.Errorf("policy %q CS: %w", v.name, err)
+	}
+	rates, err := runCells(opts, labels, func(i int) (float64, error) {
+		c := cells[i]
+		s := figureSystems[c.sys]
+		var cfg config.Config
+		if s.central {
+			cfg = opts.ceConfig(clients, update, c.rep)
+		} else {
+			cfg = opts.csConfig(clients, update, c.rep)
 		}
-		ls, err := RunLS(csCfg)
+		variants[c.vi].mod(&cfg)
+		res, err := s.run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("policy %q LS: %w", v.name, err)
+			return 0, fmt.Errorf("policy %q %s: %w", variants[c.vi].name, s.name, err)
 		}
+		return res.SuccessRate(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := make([][3]stats.Sample, len(variants))
+	for i, c := range cells {
+		agg[c.vi][c.sys].Add(rates[i])
+	}
+	for vi, v := range variants {
 		study.Rows = append(study.Rows, PolicyRow{
-			Name: v.name, CE: ce.SuccessRate(), CS: cs.SuccessRate(), LS: ls.SuccessRate(),
+			Name: v.name,
+			CE:   agg[vi][0].Mean(),
+			CS:   agg[vi][1].Mean(),
+			LS:   agg[vi][2].Mean(),
 		})
 	}
 	return study, nil

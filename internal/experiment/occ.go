@@ -5,10 +5,12 @@ import (
 	"io"
 
 	"siteselect/internal/rtdbs"
+	"siteselect/internal/stats"
 )
 
 // CCRow compares pessimistic (2PL) and optimistic (OCC) concurrency
-// control on the centralized system at one operating point.
+// control on the centralized system at one operating point. Rates are
+// means over replications; restarts are rounded means.
 type CCRow struct {
 	Clients      int
 	Update       float64
@@ -25,37 +27,82 @@ type CCComparison struct {
 	Rows []CCRow
 }
 
-// RunCCComparison sweeps client counts at two update mixes.
+// RunCCComparison sweeps client counts at two update mixes, every cell
+// concurrently.
 func RunCCComparison(opts Options) (*CCComparison, error) {
 	opts = opts.normalize()
 	out := &CCComparison{}
-	for _, update := range []float64{0.01, 0.20} {
-		for _, n := range opts.Clients {
-			plCfg := opts.ceConfig(n, update)
-			pl, err := RunCE(plCfg)
+	updates := []float64{0.01, 0.20}
+	type cellResult struct {
+		rate         float64
+		restarts     int64
+		conflictRate float64
+	}
+	type cell struct{ ui, ni, sys, rep int } // sys: 0=2PL 1=OCC
+	var cells []cell
+	var labels []string
+	for ui, update := range updates {
+		for ni, n := range opts.Clients {
+			for sys, name := range []string{"2PL", "OCC"} {
+				for r := 0; r < opts.Reps; r++ {
+					cells = append(cells, cell{ui, ni, sys, r})
+					labels = append(labels, fmt.Sprintf("cc %s n=%d u=%g rep=%d", name, n, update, r))
+				}
+			}
+		}
+	}
+	results, err := runCells(opts, labels, func(i int) (cellResult, error) {
+		c := cells[i]
+		n := opts.Clients[c.ni]
+		cfg := opts.ceConfig(n, updates[c.ui], c.rep)
+		if c.sys == 0 {
+			res, err := RunCE(cfg)
 			if err != nil {
-				return nil, fmt.Errorf("cc: 2PL %d clients: %w", n, err)
+				return cellResult{}, fmt.Errorf("cc: 2PL %d clients: %w", n, err)
 			}
-			occCfg := opts.ceConfig(n, update)
-			oc, err := rtdbs.NewCentralizedOCC(occCfg)
-			if err != nil {
-				return nil, fmt.Errorf("cc: OCC %d clients: %w", n, err)
+			return cellResult{rate: res.SuccessRate()}, nil
+		}
+		oc, err := rtdbs.NewCentralizedOCC(cfg)
+		if err != nil {
+			return cellResult{}, fmt.Errorf("cc: OCC %d clients: %w", n, err)
+		}
+		res, err := oc.Run()
+		if err != nil {
+			return cellResult{}, fmt.Errorf("cc: OCC %d clients: %w", n, err)
+		}
+		r := cellResult{rate: res.SuccessRate(), restarts: oc.Restarts}
+		if v := oc.Validator(); v.Validations > 0 {
+			r.conflictRate = float64(v.Conflicts) / float64(v.Validations)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ui, update := range updates {
+		for ni, n := range opts.Clients {
+			var pl, occ, conflict stats.Sample
+			var restarts []int64
+			for i, c := range cells {
+				if c.ui != ui || c.ni != ni {
+					continue
+				}
+				if c.sys == 0 {
+					pl.Add(results[i].rate)
+					continue
+				}
+				occ.Add(results[i].rate)
+				conflict.Add(results[i].conflictRate)
+				restarts = append(restarts, results[i].restarts)
 			}
-			res, err := oc.Run()
-			if err != nil {
-				return nil, fmt.Errorf("cc: OCC %d clients: %w", n, err)
-			}
-			row := CCRow{
-				Clients:  n,
-				Update:   update,
-				PL:       pl.SuccessRate(),
-				OCC:      res.SuccessRate(),
-				Restarts: oc.Restarts,
-			}
-			if v := oc.Validator(); v.Validations > 0 {
-				row.ConflictRate = float64(v.Conflicts) / float64(v.Validations)
-			}
-			out.Rows = append(out.Rows, row)
+			out.Rows = append(out.Rows, CCRow{
+				Clients:      n,
+				Update:       update,
+				PL:           pl.Mean(),
+				OCC:          occ.Mean(),
+				Restarts:     meanRound(restarts),
+				ConflictRate: conflict.Mean(),
+			})
 		}
 	}
 	return out, nil

@@ -3,10 +3,13 @@ package experiment
 import (
 	"fmt"
 	"io"
+
+	"siteselect/internal/stats"
 )
 
 // SpecRow compares the load-sharing system with and without speculative
-// processing at one operating point.
+// processing at one operating point. Rates are means over replications;
+// the counters are rounded means.
 type SpecRow struct {
 	Clients  int
 	Update   float64
@@ -26,29 +29,69 @@ type SpeculationStudy struct {
 
 // RunSpeculationStudy sweeps client counts at a write-heavy mix (the
 // regime where upgrades — and therefore speculation opportunities —
-// exist).
+// exist), every cell concurrently.
 func RunSpeculationStudy(opts Options) (*SpeculationStudy, error) {
 	opts = opts.normalize()
 	out := &SpeculationStudy{}
-	for _, update := range []float64{0.05, 0.20} {
-		for _, n := range opts.Clients {
-			base, err := RunLS(opts.csConfig(n, update))
-			if err != nil {
-				return nil, fmt.Errorf("speculation: base %d clients: %w", n, err)
+	updates := []float64{0.05, 0.20}
+	type cellResult struct {
+		rate       float64
+		runs, hits int64
+	}
+	type cell struct{ ui, ni, spec, rep int }
+	var cells []cell
+	var labels []string
+	for ui, update := range updates {
+		for ni, n := range opts.Clients {
+			for spec := 0; spec < 2; spec++ {
+				for r := 0; r < opts.Reps; r++ {
+					cells = append(cells, cell{ui, ni, spec, r})
+					labels = append(labels, fmt.Sprintf("speculation n=%d u=%g spec=%d rep=%d", n, update, spec, r))
+				}
 			}
-			cfg := opts.csConfig(n, update)
-			cfg.UseSpeculation = true
-			spec, err := RunLS(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("speculation: spec %d clients: %w", n, err)
+		}
+	}
+	results, err := runCells(opts, labels, func(i int) (cellResult, error) {
+		c := cells[i]
+		n := opts.Clients[c.ni]
+		cfg := opts.csConfig(n, updates[c.ui], c.rep)
+		cfg.UseSpeculation = c.spec == 1
+		res, err := RunLS(cfg)
+		if err != nil {
+			return cellResult{}, fmt.Errorf("speculation: %d clients (spec=%v): %w", n, c.spec == 1, err)
+		}
+		return cellResult{
+			rate: res.SuccessRate(),
+			runs: res.M.SpeculativeRuns,
+			hits: res.M.SpeculationHits,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ui, update := range updates {
+		for ni, n := range opts.Clients {
+			var base, spec stats.Sample
+			var runs, hits []int64
+			for i, c := range cells {
+				if c.ui != ui || c.ni != ni {
+					continue
+				}
+				if c.spec == 0 {
+					base.Add(results[i].rate)
+					continue
+				}
+				spec.Add(results[i].rate)
+				runs = append(runs, results[i].runs)
+				hits = append(hits, results[i].hits)
 			}
 			row := SpecRow{
 				Clients: n,
 				Update:  update,
-				LS:      base.SuccessRate(),
-				LSSpec:  spec.SuccessRate(),
-				Runs:    spec.M.SpeculativeRuns,
-				Hits:    spec.M.SpeculationHits,
+				LS:      base.Mean(),
+				LSSpec:  spec.Mean(),
+				Runs:    meanRound(runs),
+				Hits:    meanRound(hits),
 			}
 			if row.Runs > 0 {
 				row.HitRatio = float64(row.Hits) / float64(row.Runs)

@@ -14,6 +14,9 @@ import (
 type Series struct {
 	Name string
 	Y    []float64
+	// CI holds optional per-point 95% confidence half-widths, drawn as
+	// error bars; when non-nil its length must match Y.
+	CI []float64
 }
 
 // Chart is a line chart over a shared x-axis.
@@ -48,6 +51,9 @@ func (c *Chart) SVG(w io.Writer) error {
 	for _, s := range c.Series {
 		if len(s.Y) != len(c.X) {
 			return fmt.Errorf("plot: series %q has %d points, x-axis has %d", s.Name, len(s.Y), len(c.X))
+		}
+		if s.CI != nil && len(s.CI) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d CI values, %d points", s.Name, len(s.CI), len(s.Y))
 		}
 	}
 
@@ -128,6 +134,22 @@ func (c *Chart) SVG(w io.Writer) error {
 		sb.WriteString(fmt.Sprintf(
 			`<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
 			strings.Join(pts, " "), color))
+		// 95% CI error bars: a vertical whisker with end caps per point.
+		for i, ci := range s.CI {
+			if ci <= 0 {
+				continue
+			}
+			x := px(c.X[i])
+			yLo, yHi := py(s.Y[i]-ci), py(s.Y[i]+ci)
+			sb.WriteString(fmt.Sprintf(
+				`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1" class="errorbar"/>`,
+				x, yLo, x, yHi, color))
+			for _, y := range []float64{yLo, yHi} {
+				sb.WriteString(fmt.Sprintf(
+					`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+					x-3, y, x+3, y, color))
+			}
+		}
 		for i, y := range s.Y {
 			sb.WriteString(fmt.Sprintf(
 				`<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`, px(c.X[i]), py(y), color))

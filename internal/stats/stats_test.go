@@ -33,6 +33,39 @@ func TestKnownValues(t *testing.T) {
 	}
 }
 
+// TestCI95HandComputed checks the 95% confidence half-width against
+// values worked out by hand with the Student-t table.
+func TestCI95HandComputed(t *testing.T) {
+	cases := []struct {
+		vals []float64
+		mean float64
+		ci   float64
+	}{
+		// sd = sqrt(10), se = sqrt(2), t(4) = 2.776:
+		// ci = 2.776 * 1.4142135... = 3.9258...
+		{[]float64{10, 12, 14, 16, 18}, 14, 2.776 * math.Sqrt2},
+		// sd = 1, se = 1/sqrt(3), t(2) = 4.303.
+		{[]float64{1, 2, 3}, 2, 4.303 / math.Sqrt(3)},
+		// Two observations: sd = sqrt(2)/sqrt(1) * |d|/sqrt(2)... simply
+		// sd = |5-3|/sqrt(2) = sqrt(2), se = 1, t(1) = 12.706.
+		{[]float64{3, 5}, 4, 12.706},
+	}
+	for _, c := range cases {
+		var s Sample
+		for _, v := range c.vals {
+			s.Add(v)
+		}
+		if got := s.Mean(); math.Abs(got-c.mean) > 1e-9 {
+			t.Fatalf("vals %v: mean = %v, want %v", c.vals, got, c.mean)
+		}
+		if got := s.CI95(); math.Abs(got-c.ci) > 1e-9 {
+			t.Fatalf("vals %v: ci95 = %v, want %v", c.vals, got, c.ci)
+		}
+	}
+}
+
+// A single replication has no spread estimate: the CI half-width must
+// degenerate to zero, so Reps=1 renders as a bare mean.
 func TestSingleObservation(t *testing.T) {
 	var s Sample
 	s.Add(3.5)
