@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race bench-kernel figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -short -race ./...
+
+# bench-kernel records the kernel benchmark suite (micro benchmarks plus
+# the BenchmarkFigure3 macro run) into BENCH_kernel.json under LABEL.
+LABEL ?= current
+bench-kernel:
+	sh scripts/bench_kernel.sh $(LABEL)
+
+figures:
+	$(GO) run ./cmd/rtbench -exp all

@@ -13,6 +13,10 @@
 // -scale shrinks the virtual run length (1 = the full 30-minute runs);
 // the shapes survive scaling but small counters get noisier.
 //
+// -cpuprofile and -memprofile write pprof profiles covering the
+// experiment run, for hunting simulator hot spots (see DESIGN.md
+// "Kernel internals and performance").
+//
 // Every experiment fans its simulation cells across a worker pool of
 // -parallel goroutines (default: GOMAXPROCS). Each cell's seed is
 // derived from the master -seed and the cell's coordinates, so results
@@ -26,6 +30,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -64,8 +70,36 @@ func run() error {
 		svgDir   = flag.String("svg", "", "directory to also write figures as SVG charts")
 		ablateN  = flag.Int("ablate-clients", 60, "client count for ablations")
 		ablateU  = flag.Float64("ablate-updates", 0.20, "update fraction for ablations")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rtbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rtbench: memprofile:", err)
+			}
+		}()
+	}
 
 	opts := experiment.Options{Scale: *scale, Seed: *seed, Reps: *reps, Parallel: *parallel}
 	if *clients != "" {

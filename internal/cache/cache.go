@@ -10,8 +10,6 @@
 package cache
 
 import (
-	"container/list"
-
 	"siteselect/internal/lockmgr"
 )
 
@@ -29,7 +27,10 @@ type Entry struct {
 
 	pins int
 	tier Tier
-	elem *list.Element
+	// Intrusive LRU links: each entry is its own list node, so pin/unpin
+	// and touch cycles allocate nothing.
+	prev, next *Entry
+	inLRU      bool
 }
 
 // Pinned reports whether the entry is in use by a running transaction.
@@ -54,12 +55,53 @@ const (
 	TierDisk
 )
 
+// lruList is an intrusive doubly-linked list of entries; front = most
+// recently used. Only unpinned entries are linked.
+type lruList struct {
+	front, back *Entry
+}
+
+func (l *lruList) pushFront(e *Entry) {
+	e.prev = nil
+	e.next = l.front
+	if l.front != nil {
+		l.front.prev = e
+	} else {
+		l.back = e
+	}
+	l.front = e
+	e.inLRU = true
+}
+
+func (l *lruList) remove(e *Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+	e.inLRU = false
+}
+
+func (l *lruList) moveToFront(e *Entry) {
+	if l.front == e {
+		return
+	}
+	l.remove(e)
+	l.pushFront(e)
+}
+
 // Cache is a two-tier LRU object cache.
 type Cache struct {
 	memCap, diskCap int
 	entries         map[lockmgr.ObjectID]*Entry
-	memLRU          *list.List // of *Entry; front = most recent; unpinned only
-	diskLRU         *list.List
+	memLRU          lruList // front = most recent; unpinned only
+	diskLRU         lruList
 	memCount        int // includes pinned entries
 	diskCount       int
 
@@ -81,8 +123,6 @@ func New(memCap, diskCap int) *Cache {
 		memCap:  memCap,
 		diskCap: diskCap,
 		entries: make(map[lockmgr.ObjectID]*Entry),
-		memLRU:  list.New(),
-		diskLRU: list.New(),
 	}
 }
 
@@ -140,16 +180,15 @@ func (c *Cache) Insert(obj lockmgr.ObjectID, mode lockmgr.Mode, dirty bool, vers
 	e := &Entry{Obj: obj, Mode: mode, Dirty: dirty, Version: version, tier: TierMemory}
 	c.entries[obj] = e
 	c.memCount++
-	e.elem = c.memLRU.PushFront(e)
+	c.memLRU.pushFront(e)
 	return c.shrink()
 }
 
 // Pin marks the entry in use, excluding it from eviction.
 func (c *Cache) Pin(e *Entry) {
 	e.pins++
-	if e.elem != nil {
-		c.lruOf(e.tier).Remove(e.elem)
-		e.elem = nil
+	if e.inLRU {
+		c.lruOf(e.tier).remove(e)
 	}
 }
 
@@ -160,7 +199,7 @@ func (c *Cache) Unpin(e *Entry) {
 	}
 	e.pins--
 	if e.pins == 0 {
-		e.elem = c.lruOf(e.tier).PushFront(e)
+		c.lruOf(e.tier).pushFront(e)
 	}
 }
 
@@ -189,31 +228,29 @@ func (c *Cache) Entries() []*Entry {
 	return out
 }
 
-func (c *Cache) lruOf(t Tier) *list.List {
+func (c *Cache) lruOf(t Tier) *lruList {
 	if t == TierDisk {
-		return c.diskLRU
+		return &c.diskLRU
 	}
-	return c.memLRU
+	return &c.memLRU
 }
 
 func (c *Cache) touch(e *Entry) {
-	if e.elem != nil {
-		l := c.lruOf(e.tier)
-		l.MoveToFront(e.elem)
+	if e.inLRU {
+		c.lruOf(e.tier).moveToFront(e)
 	}
 }
 
 // promote moves a disk-tier entry to memory, shrinking tiers as needed.
 func (c *Cache) promote(e *Entry) []*Entry {
-	if e.elem != nil {
-		c.diskLRU.Remove(e.elem)
-		e.elem = nil
+	if e.inLRU {
+		c.diskLRU.remove(e)
 	}
 	c.diskCount--
 	e.tier = TierMemory
 	c.memCount++
 	if e.pins == 0 {
-		e.elem = c.memLRU.PushFront(e)
+		c.memLRU.pushFront(e)
 	}
 	return c.shrink()
 }
@@ -224,33 +261,30 @@ func (c *Cache) promote(e *Entry) []*Entry {
 func (c *Cache) shrink() []*Entry {
 	var evicted []*Entry
 	for c.memCount > c.memCap {
-		back := c.memLRU.Back()
-		if back == nil || back == c.memLRU.Front() {
+		v := c.memLRU.back
+		if v == nil || v == c.memLRU.front {
 			// Everything else is pinned: evicting the sole unpinned
 			// entry (the one just inserted/touched) would thrash, so
 			// allow transient overflow until pins drop.
 			break
 		}
-		v := back.Value.(*Entry)
-		c.memLRU.Remove(back)
+		c.memLRU.remove(v)
 		c.memCount--
 		if c.diskCap == 0 {
 			delete(c.entries, v.Obj)
-			v.elem = nil
 			v.tier = TierNone
 			evicted = append(evicted, v)
 			continue
 		}
 		v.tier = TierDisk
 		c.diskCount++
-		v.elem = c.diskLRU.PushFront(v)
+		c.diskLRU.pushFront(v)
 	}
 	for c.diskCount > c.diskCap {
-		back := c.diskLRU.Back()
-		if back == nil {
+		v := c.diskLRU.back
+		if v == nil {
 			break
 		}
-		v := back.Value.(*Entry)
 		c.drop(v)
 		evicted = append(evicted, v)
 	}
@@ -258,9 +292,8 @@ func (c *Cache) shrink() []*Entry {
 }
 
 func (c *Cache) drop(e *Entry) {
-	if e.elem != nil {
-		c.lruOf(e.tier).Remove(e.elem)
-		e.elem = nil
+	if e.inLRU {
+		c.lruOf(e.tier).remove(e)
 	}
 	switch e.tier {
 	case TierMemory:

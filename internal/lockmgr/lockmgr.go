@@ -97,12 +97,29 @@ type Table struct {
 	waits map[OwnerID]map[OwnerID]int
 	seq   int64
 
+	// heldBy indexes the objects each owner holds, so ReleaseAll is
+	// proportional to the owner's locks instead of the whole table.
+	heldBy map[OwnerID]map[ObjectID]struct{}
+	// waiting indexes the objects each owner has queued requests on
+	// (with counts), so wait-for-edge recomputation in dropEdgesFrom
+	// visits only the relevant entries instead of scanning the table.
+	waiting map[OwnerID]map[ObjectID]int
+
 	// DeadlocksRefused counts requests refused by cycle detection.
 	DeadlocksRefused int64
 }
 
+// holderEntry is one (owner, mode) holder of an object.
+type holderEntry struct {
+	owner OwnerID
+	mode  Mode
+}
+
+// entry keeps holders as a small slice sorted by owner: holder sets are
+// tiny (readers of one object), so sorted insertion beats a map and
+// conflict scans come out pre-sorted for determinism.
 type entry struct {
-	holders map[OwnerID]Mode
+	holders []holderEntry
 	queue   []*Request
 }
 
@@ -111,32 +128,91 @@ func NewTable() *Table {
 	return &Table{
 		entries: make(map[ObjectID]*entry),
 		waits:   make(map[OwnerID]map[OwnerID]int),
+		heldBy:  make(map[OwnerID]map[ObjectID]struct{}),
+		waiting: make(map[OwnerID]map[ObjectID]int),
 	}
 }
 
 func (t *Table) entryFor(obj ObjectID) *entry {
 	e, ok := t.entries[obj]
 	if !ok {
-		e = &entry{holders: make(map[OwnerID]Mode)}
+		e = &entry{}
 		t.entries[obj] = e
 	}
 	return e
 }
 
-// conflicts returns the holders of e that conflict with owner acquiring
-// mode, sorted for determinism. A holder never conflicts with itself; an
-// owner holding SL and requesting EL conflicts with every other holder.
-func (e *entry) conflicts(owner OwnerID, mode Mode) []OwnerID {
-	var out []OwnerID
-	for h, hm := range e.holders {
-		if h == owner {
-			continue
+// find returns the index of owner in the sorted holder slice, or the
+// insertion point when absent.
+func (e *entry) find(owner OwnerID) (int, bool) {
+	for i := range e.holders {
+		if e.holders[i].owner == owner {
+			return i, true
 		}
-		if !Compatible(mode, hm) {
-			out = append(out, h)
+		if e.holders[i].owner > owner {
+			return i, false
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return len(e.holders), false
+}
+
+// holderMode returns owner's held mode (0 when not holding).
+func (e *entry) holderMode(owner OwnerID) Mode {
+	if i, ok := e.find(owner); ok {
+		return e.holders[i].mode
+	}
+	return 0
+}
+
+// setHolder grants or updates owner's mode, maintaining sort order and
+// the table's held-objects index.
+func (t *Table) setHolder(obj ObjectID, e *entry, owner OwnerID, mode Mode) {
+	i, ok := e.find(owner)
+	if ok {
+		e.holders[i].mode = mode
+		return
+	}
+	e.holders = append(e.holders, holderEntry{})
+	copy(e.holders[i+1:], e.holders[i:])
+	e.holders[i] = holderEntry{owner: owner, mode: mode}
+	objs, ok := t.heldBy[owner]
+	if !ok {
+		objs = make(map[ObjectID]struct{}, 8)
+		t.heldBy[owner] = objs
+	}
+	objs[obj] = struct{}{}
+}
+
+// delHolder removes owner's hold, reporting whether it was held.
+func (t *Table) delHolder(obj ObjectID, e *entry, owner OwnerID) bool {
+	i, ok := e.find(owner)
+	if !ok {
+		return false
+	}
+	e.holders = append(e.holders[:i], e.holders[i+1:]...)
+	if objs, ok := t.heldBy[owner]; ok {
+		delete(objs, obj)
+		if len(objs) == 0 {
+			delete(t.heldBy, owner)
+		}
+	}
+	return true
+}
+
+// conflicts returns the holders of e that conflict with owner acquiring
+// mode, sorted for determinism (the holder slice is kept sorted). A
+// holder never conflicts with itself; an owner holding SL and
+// requesting EL conflicts with every other holder.
+func (e *entry) conflicts(owner OwnerID, mode Mode) []OwnerID {
+	var out []OwnerID
+	for _, h := range e.holders {
+		if h.owner == owner {
+			continue
+		}
+		if !Compatible(mode, h.mode) {
+			out = append(out, h.owner)
+		}
+	}
 	return out
 }
 
@@ -150,17 +226,17 @@ func (t *Table) Lock(req *Request) (Outcome, []OwnerID) {
 		panic(fmt.Sprintf("lockmgr: invalid mode %d", req.Mode))
 	}
 	e := t.entryFor(req.Obj)
-	if held, ok := e.holders[req.Owner]; ok && (held == req.Mode || held == ModeExclusive) {
+	if held := e.holderMode(req.Owner); held == req.Mode || held == ModeExclusive {
 		req.granted = true
 		return Granted, nil
 	}
 	conf := e.conflicts(req.Owner, req.Mode)
-	_, isUpgrade := e.holders[req.Owner]
+	isUpgrade := e.holderMode(req.Owner) != 0
 	// Upgrades bypass the queue-behind rule: an SL holder upgrading to
 	// EL only needs the other holders gone, and making it queue behind
 	// an unrelated waiter would deadlock it against its own held lock.
 	if len(conf) == 0 && (isUpgrade || !t.mustQueueBehind(e, req)) {
-		e.holders[req.Owner] = req.Mode
+		t.setHolder(req.Obj, e, req.Owner, req.Mode)
 		req.granted = true
 		return Granted, nil
 	}
@@ -205,6 +281,25 @@ func (t *Table) enqueue(e *entry, req *Request) {
 	e.queue = append(e.queue, nil)
 	copy(e.queue[i+1:], e.queue[i:])
 	e.queue[i] = req
+	objs, ok := t.waiting[req.Owner]
+	if !ok {
+		objs = make(map[ObjectID]int, 4)
+		t.waiting[req.Owner] = objs
+	}
+	objs[req.Obj]++
+}
+
+// dequeued maintains the waiting index when a queued request leaves the
+// queue (granted or canceled).
+func (t *Table) dequeued(owner OwnerID, obj ObjectID) {
+	if objs, ok := t.waiting[owner]; ok {
+		if objs[obj]--; objs[obj] <= 0 {
+			delete(objs, obj)
+			if len(objs) == 0 {
+				delete(t.waiting, owner)
+			}
+		}
+	}
 }
 
 // Release drops owner's lock on obj and returns the requests that become
@@ -214,10 +309,9 @@ func (t *Table) Release(obj ObjectID, owner OwnerID) []*Request {
 	if !ok {
 		return nil
 	}
-	if _, held := e.holders[owner]; !held {
+	if !t.delHolder(obj, e, owner) {
 		return nil
 	}
-	delete(e.holders, owner)
 	return t.admit(obj, e)
 }
 
@@ -229,10 +323,10 @@ func (t *Table) Downgrade(obj ObjectID, owner OwnerID) []*Request {
 	if !ok {
 		return nil
 	}
-	if e.holders[owner] != ModeExclusive {
+	if e.holderMode(owner) != ModeExclusive {
 		return nil
 	}
-	e.holders[owner] = ModeShared
+	t.setHolder(obj, e, owner, ModeShared)
 	return t.admit(obj, e)
 }
 
@@ -240,11 +334,13 @@ func (t *Table) Downgrade(obj ObjectID, owner OwnerID) []*Request {
 // returns all newly granted requests across objects, in ascending object
 // order.
 func (t *Table) ReleaseAll(owner OwnerID) []*Request {
-	objs := make([]ObjectID, 0, 8)
-	for obj, e := range t.entries {
-		if _, held := e.holders[owner]; held {
-			objs = append(objs, obj)
-		}
+	held := t.heldBy[owner]
+	if len(held) == 0 {
+		return nil
+	}
+	objs := make([]ObjectID, 0, len(held))
+	for obj := range held {
+		objs = append(objs, obj)
 	}
 	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
 	var grants []*Request
@@ -272,6 +368,7 @@ func (t *Table) Cancel(req *Request) []*Request {
 		}
 	}
 	req.waiting = false
+	t.dequeued(req.Owner, req.Obj)
 	t.dropEdgesFrom(req.Owner, req.Obj)
 	return t.admit(req.Obj, e)
 }
@@ -287,9 +384,10 @@ func (t *Table) admit(obj ObjectID, e *entry) []*Request {
 			break
 		}
 		e.queue = e.queue[1:]
-		e.holders[req.Owner] = req.Mode
+		t.setHolder(obj, e, req.Owner, req.Mode)
 		req.waiting = false
 		req.granted = true
+		t.dequeued(req.Owner, obj)
 		t.dropEdgesFrom(req.Owner, obj)
 		grants = append(grants, req)
 	}
@@ -302,7 +400,7 @@ func (t *Table) admit(obj ObjectID, e *entry) []*Request {
 // HolderMode returns the mode owner holds on obj (0 when not held).
 func (t *Table) HolderMode(obj ObjectID, owner OwnerID) Mode {
 	if e, ok := t.entries[obj]; ok {
-		return e.holders[owner]
+		return e.holderMode(owner)
 	}
 	return 0
 }
@@ -311,8 +409,8 @@ func (t *Table) HolderMode(obj ObjectID, owner OwnerID) Mode {
 func (t *Table) Holders(obj ObjectID) map[OwnerID]Mode {
 	out := make(map[OwnerID]Mode)
 	if e, ok := t.entries[obj]; ok {
-		for o, m := range e.holders {
-			out[o] = m
+		for _, h := range e.holders {
+			out[h.owner] = h.mode
 		}
 	}
 	return out
@@ -325,10 +423,9 @@ func (t *Table) SortedHolders(obj ObjectID) []OwnerID {
 		return nil
 	}
 	out := make([]OwnerID, 0, len(e.holders))
-	for o := range e.holders {
-		out = append(out, o)
+	for _, h := range e.holders {
+		out = append(out, h.owner)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -428,31 +525,23 @@ func (t *Table) addEdge(from, to OwnerID) {
 }
 
 // dropEdgesFrom removes the wait edges the request for obj created. Edges
-// are reference-counted per (from, to); we recompute obj's contribution
-// conservatively by decrementing one count per conflicting holder
-// recorded at enqueue time. Because holder sets shift while queued, we
-// simply clear all of owner's edges when it no longer waits on anything.
+// are reference-counted per (from, to); because holder sets shift while
+// queued, we recompute owner's outgoing edges from its remaining queued
+// requests' current conflicts. The waiting index names exactly the
+// entries holding those requests, so the rebuild touches only them
+// instead of scanning the whole table.
 func (t *Table) dropEdgesFrom(owner OwnerID, obj ObjectID) {
-	stillWaiting := false
-	for _, e := range t.entries {
-		for _, q := range e.queue {
-			if q.Owner == owner {
-				stillWaiting = true
-				break
-			}
-		}
-		if stillWaiting {
-			break
-		}
-	}
-	if !stillWaiting {
+	objs := t.waiting[owner]
+	if len(objs) == 0 {
 		delete(t.waits, owner)
 		return
 	}
-	// Recompute owner's outgoing edges from its remaining queued
-	// requests' current conflicts.
 	m := make(map[OwnerID]int)
-	for _, e := range t.entries {
+	for wobj := range objs {
+		e, ok := t.entries[wobj]
+		if !ok {
+			continue
+		}
 		for _, q := range e.queue {
 			if q.Owner != owner {
 				continue
@@ -481,8 +570,8 @@ func (t *Table) Audit() error {
 	for _, obj := range objs {
 		e := t.entries[obj]
 		var sharers, exclusives int
-		for _, m := range e.holders {
-			switch m {
+		for _, h := range e.holders {
+			switch h.mode {
 			case ModeShared:
 				sharers++
 			case ModeExclusive:

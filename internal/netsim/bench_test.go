@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"testing"
+
+	"siteselect/internal/sim"
+)
+
+// TestSendDeliverNoAllocs pins the closure-free delivery path: a
+// steady-state Send → delivery event → mailbox drain cycle reuses the
+// pending ring, the pooled sim event, and the mailbox ring, allocating
+// nothing.
+func TestSendDeliverNoAllocs(t *testing.T) {
+	env := sim.NewEnv()
+	n := New(env, DefaultConfig())
+	mb := sim.NewMailbox[Message](env)
+	msg := Message{Kind: KindObjectRequest, From: 1, To: 0, Size: 128}
+	// Warm the rings and the event pool.
+	for i := 0; i < 8; i++ {
+		n.Send(msg, mb)
+	}
+	env.RunAll()
+	for {
+		if _, ok := mb.TryGet(); !ok {
+			break
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		n.Send(msg, mb)
+		env.Step()
+		mb.TryGet()
+	})
+	if allocs != 0 {
+		t.Fatalf("Send+deliver allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkNetsimSend measures one full message lifetime: Send (bus
+// accounting + delivery scheduling), the delivery event, and the
+// mailbox drain.
+func BenchmarkNetsimSend(b *testing.B) {
+	env := sim.NewEnv()
+	n := New(env, DefaultConfig())
+	mb := sim.NewMailbox[Message](env)
+	msg := Message{Kind: KindObjectRequest, From: 1, To: 0, Size: 128}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(msg, mb)
+		env.Step()
+		mb.TryGet()
+	}
+}

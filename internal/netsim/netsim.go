@@ -7,6 +7,7 @@
 package netsim
 
 import (
+	"strconv"
 	"time"
 
 	"siteselect/internal/sim"
@@ -75,12 +76,12 @@ var kindNames = map[Kind]string{
 	KindUserResult:    "UserResult",
 }
 
-// String returns the kind's name.
+// String returns the kind's name, or "Kind(n)" for unknown values.
 func (k Kind) String() string {
 	if s, ok := kindNames[k]; ok {
 		return s
 	}
-	return "Kind(?)"
+	return "Kind(" + strconv.Itoa(int(k)) + ")"
 }
 
 // Typical message sizes in bytes. Objects are the paper's 2 KB pages;
@@ -129,6 +130,12 @@ func DefaultConfig() Config {
 	return Config{Latency: 500 * time.Microsecond, BandwidthBps: 10e6}
 }
 
+// pending is an in-flight message waiting for its delivery event.
+type pending struct {
+	msg  Message
+	dest *sim.Mailbox[Message]
+}
+
 // Network is the shared LAN.
 type Network struct {
 	env         *sim.Env
@@ -137,6 +144,15 @@ type Network struct {
 	lastDeliver time.Duration
 	stats       [numKinds]KindStats
 	trace       func(Message)
+
+	// pend is a FIFO ring (power-of-two capacity) of in-flight
+	// messages. Delivery times are nondecreasing in send order on both
+	// topologies, so the network schedules one closure-free sim event
+	// per message (RunEvent) and pops the head: a steady-state Send
+	// allocates nothing.
+	pend     []pending
+	pendHead int
+	pendN    int
 }
 
 // SetTrace installs a callback invoked for every message as it is sent
@@ -180,7 +196,6 @@ func (n *Network) Send(msg Message, dest *sim.Mailbox[Message]) {
 		if deliver <= n.lastDeliver {
 			deliver = n.lastDeliver + time.Nanosecond
 		}
-		n.lastDeliver = deliver
 	} else {
 		start := n.busFreeAt
 		if start < now {
@@ -189,7 +204,14 @@ func (n *Network) Send(msg Message, dest *sim.Mailbox[Message]) {
 		done := start + n.TransmitTime(msg.Size)
 		n.busFreeAt = done
 		deliver = done + n.cfg.Latency
+		// The bus serializes transmissions, so deliver is already
+		// nondecreasing; the clamp just pins the FIFO invariant the
+		// pending ring depends on.
+		if deliver < n.lastDeliver {
+			deliver = n.lastDeliver
+		}
 	}
+	n.lastDeliver = deliver
 	msg.DeliveredAt = deliver
 
 	if int(msg.Kind) > 0 && int(msg.Kind) < int(numKinds) {
@@ -200,7 +222,38 @@ func (n *Network) Send(msg Message, dest *sim.Mailbox[Message]) {
 		n.trace(msg)
 	}
 
-	n.env.At(deliver, func() { dest.Put(msg) })
+	n.push(pending{msg: msg, dest: dest})
+	n.env.AtHook(deliver, n)
+}
+
+func (n *Network) push(pm pending) {
+	if n.pendN == len(n.pend) {
+		newCap := len(n.pend) * 2
+		if newCap == 0 {
+			newCap = 16
+		}
+		buf := make([]pending, newCap)
+		for i := 0; i < n.pendN; i++ {
+			buf[i] = n.pend[(n.pendHead+i)&(len(n.pend)-1)]
+		}
+		n.pend = buf
+		n.pendHead = 0
+	}
+	n.pend[(n.pendHead+n.pendN)&(len(n.pend)-1)] = pm
+	n.pendN++
+}
+
+// RunEvent delivers the oldest in-flight message. It implements
+// sim.EventHook: delivery events are scheduled in send order and fire
+// in delivery-time order, which coincide (see Send), so popping the
+// ring head always yields the right message.
+func (n *Network) RunEvent() {
+	i := n.pendHead
+	pm := n.pend[i]
+	n.pend[i] = pending{}
+	n.pendHead = (i + 1) & (len(n.pend) - 1)
+	n.pendN--
+	pm.dest.Put(pm.msg)
 }
 
 // Stats returns the accumulated counters for kind.

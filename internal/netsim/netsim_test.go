@@ -104,8 +104,8 @@ func TestKindString(t *testing.T) {
 	if KindObjectRequest.String() != "ObjectRequest" {
 		t.Fatal("Kind.String broken")
 	}
-	if Kind(99).String() != "Kind(?)" {
-		t.Fatal("unknown Kind.String broken")
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Fatalf("unknown Kind.String = %q, want Kind(99)", got)
 	}
 }
 

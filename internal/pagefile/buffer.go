@@ -1,7 +1,6 @@
 package pagefile
 
 import (
-	"container/list"
 	"fmt"
 
 	"siteselect/internal/sim"
@@ -16,7 +15,10 @@ type Frame struct {
 	dirty   bool
 	loading bool
 	loaded  *sim.Signal
-	lruElem *list.Element
+	// Intrusive LRU links: the frame is its own list node, so pin/unpin
+	// cycles and evictions allocate nothing.
+	prev, next *Frame
+	inLRU      bool
 }
 
 // ID returns the page held by the frame.
@@ -36,8 +38,9 @@ type BufferPool struct {
 	disk   *Disk
 	cap    int
 	frames map[PageID]*Frame
-	lru    *list.List // of PageID; front = most recent, only unpinned pages
-	free   *sim.Signal
+	// lruFront/lruBack hold unpinned frames; front = most recent.
+	lruFront, lruBack *Frame
+	free              *sim.Signal
 
 	// Hits and Misses count Get outcomes.
 	Hits   int64
@@ -57,7 +60,6 @@ func NewBufferPool(env *sim.Env, disk *Disk, capacity int) *BufferPool {
 		disk:   disk,
 		cap:    capacity,
 		frames: make(map[PageID]*Frame, capacity),
-		lru:    list.New(),
 		free:   sim.NewSignal(env),
 	}
 }
@@ -73,6 +75,33 @@ func (bp *BufferPool) Resident() int { return len(bp.frames) }
 func (bp *BufferPool) Contains(id PageID) bool {
 	f, ok := bp.frames[id]
 	return ok && !f.loading
+}
+
+func (bp *BufferPool) lruPushFront(f *Frame) {
+	f.prev = nil
+	f.next = bp.lruFront
+	if bp.lruFront != nil {
+		bp.lruFront.prev = f
+	} else {
+		bp.lruBack = f
+	}
+	bp.lruFront = f
+	f.inLRU = true
+}
+
+func (bp *BufferPool) lruRemove(f *Frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		bp.lruFront = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		bp.lruBack = f.prev
+	}
+	f.prev, f.next = nil, nil
+	f.inLRU = false
 }
 
 // Get pins page id, reading it from disk on a miss, and returns its
@@ -130,52 +159,51 @@ func (bp *BufferPool) allocate(p *sim.Proc, id PageID) (*Frame, error) {
 		bp.frames[id] = f
 		return f, nil
 	}
-	victim := bp.lru.Back()
-	if victim == nil {
+	vf := bp.lruBack
+	if vf == nil {
 		// Every frame is pinned: wait for an Unpin, then retry from Get
 		// so the page-resident check runs again.
 		p.Wait(bp.free)
 		return nil, nil
 	}
-	vid := victim.Value.(PageID)
-	vf := bp.frames[vid]
-	bp.lru.Remove(victim)
-	vf.lruElem = nil
+	vid := vf.id
+	bp.lruRemove(vf)
 	bp.Evictions++
 
-	// Re-key the victim frame to the new page, marking it loading so
-	// other getters of id wait rather than double-read. The write-back
-	// and read below block, so the maps must already reflect the claim.
+	// Re-key the victim frame in place: it is unpinned, so it is not
+	// loading and its loaded signal has no waiters — the frame, its data
+	// buffer, and its signal are all safe to reuse. Marking it loading
+	// first makes other getters of id wait rather than double-read; the
+	// write-back and read below block, so the map must already reflect
+	// the claim.
 	delete(bp.frames, vid)
-	f := &Frame{
-		id:      id,
-		Data:    vf.Data,
-		pins:    1,
-		loading: true,
-		loaded:  sim.NewSignal(bp.env),
-	}
-	bp.frames[id] = f
-	if vf.dirty {
+	wasDirty := vf.dirty
+	vf.id = id
+	vf.pins = 1
+	vf.dirty = false
+	vf.loading = true
+	bp.frames[id] = vf
+	if wasDirty {
 		bp.DirtyWrites++
 		if err := bp.disk.Write(p, vid, vf.Data); err != nil {
 			return nil, fmt.Errorf("pagefile: evicting page %d: %w", vid, err)
 		}
 	}
-	return f, nil
+	return vf, nil
 }
 
 // touch moves an unpinned frame to the most-recently-used position.
 func (bp *BufferPool) touch(f *Frame) {
-	if f.lruElem != nil {
-		bp.lru.MoveToFront(f.lruElem)
+	if f.inLRU && bp.lruFront != f {
+		bp.lruRemove(f)
+		bp.lruPushFront(f)
 	}
 }
 
 func (bp *BufferPool) pin(f *Frame) {
 	f.pins++
-	if f.lruElem != nil {
-		bp.lru.Remove(f.lruElem)
-		f.lruElem = nil
+	if f.inLRU {
+		bp.lruRemove(f)
 	}
 }
 
@@ -191,7 +219,7 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
 	}
 	f.pins--
 	if f.pins == 0 {
-		f.lruElem = bp.lru.PushFront(f.id)
+		bp.lruPushFront(f)
 		bp.free.Broadcast()
 	}
 }

@@ -13,6 +13,7 @@ package rng
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -100,6 +101,42 @@ type Zipf struct {
 	cdf    []float64
 }
 
+// cdfCache memoizes Zipf CDF tables by (theta, n). Every client in every
+// replication builds the same table (the paper's workloads share one
+// theta and database size), and the O(n) math.Pow loop dominated sampler
+// construction. The tables are immutable once published, so sharing one
+// slice across samplers — including concurrently running experiment
+// cells — is safe, and memoization returns bit-identical floats, so
+// sampling is unchanged.
+var cdfCache sync.Map // zipfKey -> []float64
+
+type zipfKey struct {
+	theta float64
+	n     int
+}
+
+func zipfCDF(theta float64, n int) []float64 {
+	key := zipfKey{theta: theta, n: n}
+	if v, ok := cdfCache.Load(key); ok {
+		return v.([]float64)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -theta)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	// A concurrent builder may have published first; use its table so
+	// all samplers share one slice.
+	if v, loaded := cdfCache.LoadOrStore(key, cdf); loaded {
+		return v.([]float64)
+	}
+	return cdf
+}
+
 // NewZipf returns a Zipf sampler over n ranks with exponent theta > 0.
 func NewZipf(stream *Stream, theta float64, n int) *Zipf {
 	if n <= 0 {
@@ -111,16 +148,7 @@ func NewZipf(stream *Stream, theta float64, n int) *Zipf {
 	if theta > 1 {
 		return &Zipf{stream: stream, z: rand.NewZipf(stream.r, theta, 1, uint64(n-1))}
 	}
-	cdf := make([]float64, n)
-	sum := 0.0
-	for k := 0; k < n; k++ {
-		sum += math.Pow(float64(k+1), -theta)
-		cdf[k] = sum
-	}
-	for k := range cdf {
-		cdf[k] /= sum
-	}
-	return &Zipf{stream: stream, cdf: cdf}
+	return &Zipf{stream: stream, cdf: zipfCDF(theta, n)}
 }
 
 // Rank returns a rank in [0,n), with rank 0 the most popular.

@@ -11,10 +11,16 @@
 // A typical model creates an Env, spawns processes with Go, and then calls
 // Run. Processes block with Proc.Sleep, Signal waits, Resource acquisition,
 // or Mailbox receives; they never block on raw Go channels themselves.
+//
+// The kernel is built for a steady state that allocates nothing: event
+// records are pooled and recycled through a free list, the queue is a
+// monomorphic 4-ary heap (see heap.go), the dominant event shapes
+// (process resume, hook delivery, wait timeouts) avoid closures
+// entirely, and finished process goroutines are parked for reuse by the
+// next Go call. See DESIGN.md "Kernel internals and performance".
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -25,10 +31,19 @@ import (
 // which by construction never run at the same time.
 type Env struct {
 	now    time.Duration
-	events eventHeap
+	events []heapEnt  // 4-ary min-heap keyed by (at, seq)
+	pool   []eventRec // event payloads, addressed by heapEnt.idx
+	free   []int32    // recycled pool indices
 	seq    int64
-	procs  map[*Proc]struct{}
-	closed bool
+
+	// procs is the live-process registry in spawn order (nil holes mark
+	// exited processes); Close walks it in order so teardown
+	// diagnostics are reproducible. freeProcs parks goroutines of
+	// finished processes for reuse by the next Go.
+	procs     []*Proc
+	live      int
+	freeProcs []*Proc
+	closed    bool
 
 	// stepCount counts executed events, for introspection and tests.
 	stepCount int64
@@ -37,7 +52,7 @@ type Env struct {
 // NewEnv returns an environment with the clock at zero and no pending
 // events.
 func NewEnv() *Env {
-	return &Env{procs: make(map[*Proc]struct{})}
+	return &Env{}
 }
 
 // Now returns the current virtual time.
@@ -48,29 +63,63 @@ func (e *Env) Steps() int64 { return e.stepCount }
 
 // Procs returns the number of live (spawned and not yet finished)
 // processes.
-func (e *Env) Procs() int { return len(e.procs) }
+func (e *Env) Procs() int { return e.live }
+
+// EventHook is a closure-free scheduled callback: ScheduleHook/AtHook
+// queue the hook itself instead of a func(), so a long-lived object
+// (e.g. a network with its own pending-delivery ring) can receive
+// events with zero per-event allocation.
+type EventHook interface {
+	RunEvent()
+}
 
 // Timer is a handle to a scheduled event that can be canceled before it
-// fires.
+// fires. The zero Timer is valid and permanently Stopped.
 type Timer struct {
-	ev *event
+	env *Env
+	idx int32
+	gen uint32
 }
 
 // Cancel prevents the timer's event from firing. Canceling an already
 // fired or already canceled timer is a no-op.
-func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
-		t.ev.canceled = true
+func (t Timer) Cancel() {
+	if t.env == nil {
+		return
+	}
+	rec := &t.env.pool[t.idx]
+	if rec.gen == t.gen {
+		rec.canceled = true
 	}
 }
 
 // Stopped reports whether the timer was canceled or has fired.
-func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.ev.canceled || t.ev.fired }
+func (t Timer) Stopped() bool {
+	if t.env == nil {
+		return true
+	}
+	rec := &t.env.pool[t.idx]
+	return rec.gen != t.gen || rec.canceled
+}
+
+// post allocates a pooled event of the given kind at absolute time t
+// and pushes it on the queue. The caller fills in the payload via the
+// returned index. Scheduling in the past is a model error and panics.
+func (e *Env) post(t time.Duration, kind eventKind) int32 {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	idx := e.allocEvent()
+	e.pool[idx].kind = kind
+	e.heapPush(heapEnt{at: t, seq: e.seq, idx: idx})
+	return idx
+}
 
 // Schedule runs fn after delay of virtual time. A non-positive delay
 // schedules fn at the current time, after all events already scheduled for
 // the current time. The returned Timer may be used to cancel the event.
-func (e *Env) Schedule(delay time.Duration, fn func()) *Timer {
+func (e *Env) Schedule(delay time.Duration, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -79,28 +128,85 @@ func (e *Env) Schedule(delay time.Duration, fn func()) *Timer {
 
 // At runs fn at absolute virtual time t. Scheduling in the past is an
 // error in the model and panics.
-func (e *Env) At(t time.Duration, fn func()) *Timer {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+func (e *Env) At(t time.Duration, fn func()) Timer {
+	idx := e.post(t, evFunc)
+	e.pool[idx].fn = fn
+	return Timer{env: e, idx: idx, gen: e.pool[idx].gen}
+}
+
+// ScheduleHook runs h.RunEvent after delay of virtual time, like
+// Schedule but without a closure.
+func (e *Env) ScheduleHook(delay time.Duration, h EventHook) Timer {
+	if delay < 0 {
+		delay = 0
 	}
-	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	return e.AtHook(e.now+delay, h)
+}
+
+// AtHook runs h.RunEvent at absolute virtual time t, like At but
+// without a closure: the steady-state cost is one pooled event record.
+func (e *Env) AtHook(t time.Duration, h EventHook) Timer {
+	idx := e.post(t, evHook)
+	e.pool[idx].hook = h
+	return Timer{env: e, idx: idx, gen: e.pool[idx].gen}
+}
+
+// scheduleDispatch queues a closure-free resume of p at absolute time
+// t. It is the fast path under Sleep, Signal wakeups, and Resource
+// grants.
+func (e *Env) scheduleDispatch(t time.Duration, p *Proc) {
+	idx := e.post(t, evDispatch)
+	e.pool[idx].p = p
+}
+
+// scheduleTimeout queues a closure-free timeout event for p (kind
+// evSignalTimeout or evResTimeout) and returns its cancellation handle.
+func (e *Env) scheduleTimeout(t time.Duration, kind eventKind, p *Proc) Timer {
+	idx := e.post(t, kind)
+	e.pool[idx].p = p
+	return Timer{env: e, idx: idx, gen: e.pool[idx].gen}
 }
 
 // Step executes the single next event, advancing the clock to its time.
 // It reports false when no events remain.
 func (e *Env) Step() bool {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.canceled {
+	for len(e.events) > 0 {
+		ent := e.heapPop()
+		rec := &e.pool[ent.idx]
+		if rec.canceled {
+			e.recycle(ent.idx)
 			continue
 		}
-		e.now = ev.at
-		ev.fired = true
+		e.now = ent.at
 		e.stepCount++
-		ev.fn()
+		// Copy the payload out and recycle before running it: the
+		// handler may schedule new events into the reused slot.
+		kind := rec.kind
+		fn, p, hook := rec.fn, rec.p, rec.hook
+		e.recycle(ent.idx)
+		switch kind {
+		case evDispatch:
+			e.dispatch(p)
+		case evFunc:
+			fn()
+		case evHook:
+			hook.RunEvent()
+		case evSignalTimeout:
+			w := &p.wait
+			w.timedOut = true
+			if w.s != nil {
+				w.s.unlink(w)
+			}
+			e.dispatch(p)
+		case evResTimeout:
+			w := &p.rwait
+			w.timedOut = true
+			if w.r != nil {
+				w.r.waiters.remove(w)
+				w.r = nil
+			}
+			e.dispatch(p)
+		}
 		return true
 	}
 	return false
@@ -111,10 +217,11 @@ func (e *Env) Step() bool {
 // executed event if the queue drained earlier than until and no later
 // events exist).
 func (e *Env) Run(until time.Duration) {
-	for e.events.Len() > 0 {
+	for len(e.events) > 0 {
 		next := e.events[0]
-		if next.canceled {
-			heap.Pop(&e.events)
+		if e.pool[next.idx].canceled {
+			e.heapPop()
+			e.recycle(next.idx)
 			continue
 		}
 		if next.at > until {
@@ -134,58 +241,61 @@ func (e *Env) RunAll() {
 	}
 }
 
-// Close terminates every live process. Each blocked process is resumed
-// with a stop notice, unwinds via panic(errStopped) recovered by the
-// kernel, and its goroutine exits. Close must be called from the driving
-// goroutine (never from inside a process). After Close the environment
-// must not be used further.
+// Close terminates every live process, in spawn order, so teardown
+// diagnostics are reproducible. Each blocked process is resumed with a
+// stop notice, unwinds via panic(errStopped) recovered by the kernel,
+// and its goroutine exits; parked (reusable) goroutines are reaped too.
+// Close must be called from the driving goroutine (never from inside a
+// process). After Close the environment must not be used further.
 func (e *Env) Close() {
 	e.closed = true
-	for {
-		var p *Proc
-		for q := range e.procs {
-			p = q
-			break
-		}
+	// closed=true disables registry compaction, so indices are stable
+	// while we walk, and new procs cannot appear (Go panics).
+	for i := 0; i < len(e.procs); i++ {
+		p := e.procs[i]
 		if p == nil {
-			return
+			continue
 		}
 		p.stopping = true
-		p.resume <- resumeMsg{stop: true}
-		<-p.yield
+		p.stop = true
+		p.h <- struct{}{}
+		<-p.h
 	}
-}
-
-// event is a queue entry.
-type event struct {
-	at       time.Duration
-	seq      int64
-	fn       func()
-	canceled bool
-	fired    bool
-}
-
-// eventHeap is a min-heap ordered by (time, sequence).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	e.procs = e.procs[:0]
+	e.live = 0
+	for _, p := range e.freeProcs {
+		p.stop = true
+		p.h <- struct{}{}
+		<-p.h
 	}
-	return h[i].seq < h[j].seq
+	e.freeProcs = e.freeProcs[:0]
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// register adds p to the spawn-order registry.
+func (e *Env) register(p *Proc) {
+	p.slot = len(e.procs)
+	e.procs = append(e.procs, p)
+	e.live++
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// unregister removes p, leaving a nil hole to preserve spawn order, and
+// compacts the registry when it is mostly holes. It runs on the
+// process's goroutine while the kernel is blocked in dispatch (or
+// Close), so access is race-free by construction.
+func (e *Env) unregister(p *Proc) {
+	e.procs[p.slot] = nil
+	p.slot = -1
+	e.live--
+	if !e.closed && len(e.procs) >= 64 && e.live*2 < len(e.procs) {
+		w := 0
+		for _, q := range e.procs {
+			if q != nil {
+				q.slot = w
+				e.procs[w] = q
+				w++
+			}
+		}
+		clear(e.procs[w:])
+		e.procs = e.procs[:w]
+	}
 }

@@ -662,3 +662,29 @@ func TestResourceCapacityPanics(t *testing.T) {
 	}()
 	NewResource(env, 0)
 }
+
+func TestCloseTerminatesInSpawnOrder(t *testing.T) {
+	// Close must tear processes down in spawn order, not map order:
+	// teardown side effects (deferred cleanup, diagnostics) are part of
+	// the reproducible-run contract.
+	env := NewEnv()
+	sig := NewSignal(env)
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		env.Go("waiter", func(p *Proc) {
+			defer func() { order = append(order, i) }()
+			p.Wait(sig)
+		})
+	}
+	env.RunAll() // all procs start and block on the signal
+	env.Close()
+	if len(order) != 8 {
+		t.Fatalf("Close tore down %d procs, want 8", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("Close teardown order = %v, want spawn order", order)
+		}
+	}
+}

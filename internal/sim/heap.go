@@ -1,0 +1,139 @@
+package sim
+
+import "time"
+
+// The event queue is a concrete (monomorphic) 4-ary min-heap over small
+// value entries, paired with a pool of event payload records addressed
+// by index. Splitting the two keeps the parts the heap moves and
+// compares — (time, sequence, index) — in 24 contiguous bytes, so sift
+// operations never chase pointers, and lets fired or canceled events be
+// recycled through a free list instead of becoming garbage. A 4-ary
+// layout halves the tree depth of a binary heap, which matters because
+// the simulation's queue is popped once per event executed.
+//
+// Determinism: ordering is exactly (at, seq), identical to the previous
+// container/heap implementation, so event execution order — and
+// therefore every golden file — is unchanged.
+
+// eventKind discriminates the payload of a pooled event record. The
+// non-func kinds are closure-free fast paths for the dominant event
+// shapes; they let the steady-state loop run without allocating.
+type eventKind uint8
+
+const (
+	// evFunc runs an arbitrary callback.
+	evFunc eventKind = iota
+	// evDispatch resumes a blocked process (Sleep, Signal wake,
+	// Resource grant).
+	evDispatch
+	// evHook invokes an EventHook (e.g. netsim message delivery).
+	evHook
+	// evSignalTimeout expires a Proc.WaitTimeout.
+	evSignalTimeout
+	// evResTimeout expires a Proc.AcquireTimeout.
+	evResTimeout
+)
+
+// eventRec is a pooled event payload. Records live in Env.pool and are
+// addressed by heap-entry index; gen increments on every recycle so
+// stale Timer handles can detect that their event is gone.
+type eventRec struct {
+	kind     eventKind
+	canceled bool
+	gen      uint32
+	fn       func()
+	p        *Proc
+	hook     EventHook
+}
+
+// heapEnt is one entry of the 4-ary min-heap: the comparison key plus
+// the index of the payload record in Env.pool.
+type heapEnt struct {
+	at  time.Duration
+	seq int64
+	idx int32
+}
+
+func entLess(a, b heapEnt) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// allocEvent returns a free pool index, reusing recycled records first.
+func (e *Env) allocEvent() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	e.pool = append(e.pool, eventRec{})
+	return int32(len(e.pool) - 1)
+}
+
+// recycle returns a record to the free list, dropping payload
+// references and invalidating outstanding Timer handles.
+func (e *Env) recycle(idx int32) {
+	rec := &e.pool[idx]
+	rec.gen++
+	rec.fn = nil
+	rec.p = nil
+	rec.hook = nil
+	rec.canceled = false
+	e.free = append(e.free, idx)
+}
+
+func (e *Env) heapPush(ent heapEnt) {
+	e.events = append(e.events, ent)
+	// Sift up.
+	h := e.events
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !entLess(ent, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ent
+}
+
+func (e *Env) heapPop() heapEnt {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	e.events = h[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+	return top
+}
+
+// siftDown places ent, notionally at the root, into its final position.
+func (e *Env) siftDown(ent heapEnt) {
+	h := e.events
+	n := len(h)
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if entLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !entLess(h[best], ent) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = ent
+}

@@ -5,36 +5,62 @@ import "time"
 // Mailbox is an unbounded FIFO queue between processes. Put never blocks
 // (and may be called from event callbacks, not just processes); Get blocks
 // the calling process until an item is available.
+//
+// Items live in a power-of-two ring buffer, so a steady-state
+// Put/TryGet cycle allocates nothing and the backing array never grows
+// past the high-water mark of queued items (the earlier slice-based
+// implementation leaked backing-array growth on every Put/Get pair).
 type Mailbox[T any] struct {
-	env   *Env
-	items []T
-	sig   *Signal
+	env  *Env
+	buf  []T // len(buf) is zero or a power of two
+	head int
+	n    int
+	sig  Signal
 }
 
 // NewMailbox returns an empty mailbox bound to env.
 func NewMailbox[T any](env *Env) *Mailbox[T] {
-	return &Mailbox[T]{env: env, sig: NewSignal(env)}
+	return &Mailbox[T]{env: env, sig: Signal{env: env}}
 }
 
 // Put appends v and wakes one waiting receiver, if any.
 func (m *Mailbox[T]) Put(v T) {
-	m.items = append(m.items, v)
+	if m.n == len(m.buf) {
+		m.grow()
+	}
+	m.buf[(m.head+m.n)&(len(m.buf)-1)] = v
+	m.n++
 	m.sig.Fire()
 }
 
+func (m *Mailbox[T]) grow() {
+	newCap := len(m.buf) * 2
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]T, newCap)
+	for i := 0; i < m.n; i++ {
+		buf[i] = m.buf[(m.head+i)&(len(m.buf)-1)]
+	}
+	m.buf = buf
+	m.head = 0
+}
+
 // Len returns the number of queued items.
-func (m *Mailbox[T]) Len() int { return len(m.items) }
+func (m *Mailbox[T]) Len() int { return m.n }
 
 // TryGet removes and returns the head item without blocking. The second
 // result is false when the mailbox is empty.
 func (m *Mailbox[T]) TryGet() (T, bool) {
 	var zero T
-	if len(m.items) == 0 {
+	if m.n == 0 {
 		return zero, false
 	}
-	v := m.items[0]
-	m.items[0] = zero
-	m.items = m.items[1:]
+	i := m.head
+	v := m.buf[i]
+	m.buf[i] = zero
+	m.head = (i + 1) & (len(m.buf) - 1)
+	m.n--
 	return v, true
 }
 
@@ -44,7 +70,7 @@ func (m *Mailbox[T]) Get(p *Proc) T {
 		if v, ok := m.TryGet(); ok {
 			return v
 		}
-		p.Wait(m.sig)
+		p.Wait(&m.sig)
 	}
 }
 
@@ -61,7 +87,7 @@ func (m *Mailbox[T]) GetTimeout(p *Proc, d time.Duration) (v T, ok bool) {
 			var zero T
 			return zero, false
 		}
-		if !p.WaitTimeout(m.sig, remain) {
+		if !p.WaitTimeout(&m.sig, remain) {
 			if v, ok := m.TryGet(); ok {
 				return v, true
 			}

@@ -8,10 +8,6 @@ import (
 // errStopped unwinds a process goroutine when the environment is closed.
 var errStopped = errors.New("sim: process stopped")
 
-type resumeMsg struct {
-	stop bool
-}
-
 // Proc is a simulation process: a goroutine scheduled cooperatively by the
 // kernel. At most one process runs at any instant; a process runs until it
 // blocks on a kernel primitive (Sleep, Wait, Acquire, mailbox Get) or
@@ -21,55 +17,109 @@ type resumeMsg struct {
 type Proc struct {
 	env  *Env
 	name string
+	fn   func(p *Proc)
 
-	resume chan resumeMsg
-	yield  chan struct{}
+	// h is the single handoff channel: the kernel and the process
+	// alternate strictly, each sending the execution token and then
+	// receiving it back, so one unbuffered channel serves both
+	// directions (resume and yield).
+	h chan struct{}
+
+	// slot is the process's index in the env's spawn-order registry,
+	// or -1 while parked for reuse.
+	slot int
 
 	// stopping is set by Close before the stop resume is delivered so
 	// that blocking calls made from deferred cleanup during unwinding
-	// fail fast instead of deadlocking the kernel.
+	// fail fast instead of deadlocking the kernel. stop tells the
+	// goroutine to unwind (checked after every resume).
 	stopping bool
+	stop     bool
+
+	// wait and rwait are this process's intrusive wait records for
+	// Signal and Resource queues. A blocked process sits in at most
+	// one queue, so embedding the records makes waiting allocation
+	// free.
+	wait  signalWait
+	rwait resWait
 }
 
 // Go spawns a new process running fn. The process starts at the current
 // virtual time, after events already queued for this instant. The name is
 // used in diagnostics only.
+//
+// Finished processes park their goroutine on the environment's free
+// list, so in steady state Go reuses a goroutine and allocates nothing.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	if e.closed {
 		panic("sim: Go on closed Env")
 	}
-	p := &Proc{
-		env:    e,
-		name:   name,
-		resume: make(chan resumeMsg),
-		yield:  make(chan struct{}),
+	var p *Proc
+	if n := len(e.freeProcs); n > 0 {
+		p = e.freeProcs[n-1]
+		e.freeProcs[n-1] = nil
+		e.freeProcs = e.freeProcs[:n-1]
+	} else {
+		p = &Proc{env: e, h: make(chan struct{})}
+		p.wait.p = p
+		p.rwait.p = p
+		go p.loop()
 	}
-	e.procs[p] = struct{}{}
-	go func() {
-		defer func() {
-			// The kernel is blocked in dispatch (or Close) waiting for
-			// this yield, so mutating e.procs here is race-free.
-			delete(e.procs, p)
-			r := recover()
-			p.yield <- struct{}{}
-			if r != nil && r != errStopped { //nolint:errorlint // sentinel identity
-				panic(r)
+	p.name = name
+	p.fn = fn
+	p.stopping = false
+	p.stop = false
+	e.register(p)
+	e.scheduleDispatch(e.now, p)
+	return p
+}
+
+// loop is the body of a process goroutine. Each iteration waits for the
+// execution token, runs one spawned function, and then either parks the
+// goroutine for reuse or exits (on stop or model panic).
+func (p *Proc) loop() {
+	e := p.env
+	for {
+		<-p.h
+		if p.stop {
+			// Stopped before the first dispatch (still registered) or
+			// while parked on the free list (not registered).
+			if p.slot >= 0 {
+				e.unregister(p)
 			}
-		}()
-		msg := <-p.resume
-		if msg.stop {
+			p.h <- struct{}{}
 			return
 		}
-		fn(p)
-	}()
-	e.Schedule(0, func() { e.dispatch(p) })
-	return p
+		r := p.run()
+		// The kernel is blocked in dispatch (or Close) waiting for
+		// this yield, so mutating the registry here is race-free.
+		e.unregister(p)
+		if r != nil && r != errStopped { //nolint:errorlint // sentinel identity
+			p.h <- struct{}{}
+			panic(r)
+		}
+		if r == errStopped { //nolint:errorlint // sentinel identity
+			p.h <- struct{}{}
+			return
+		}
+		p.fn = nil
+		e.freeProcs = append(e.freeProcs, p)
+		p.h <- struct{}{}
+	}
+}
+
+// run executes the spawned function, converting a panic (including the
+// errStopped unwind) into a return value.
+func (p *Proc) run() (r any) {
+	defer func() { r = recover() }()
+	p.fn(p)
+	return nil
 }
 
 // dispatch hands control to p until it blocks again or exits.
 func (e *Env) dispatch(p *Proc) {
-	p.resume <- resumeMsg{}
-	<-p.yield
+	p.h <- struct{}{}
+	<-p.h
 }
 
 // block yields control to the kernel and waits to be resumed. It panics
@@ -78,9 +128,9 @@ func (p *Proc) block() {
 	if p.stopping {
 		panic(errStopped)
 	}
-	p.yield <- struct{}{}
-	msg := <-p.resume
-	if msg.stop {
+	p.h <- struct{}{}
+	<-p.h
+	if p.stop {
 		panic(errStopped)
 	}
 }
@@ -98,7 +148,10 @@ func (p *Proc) Now() time.Duration { return p.env.now }
 // yields the processor for the current instant (other events scheduled now
 // still run) and resumes immediately after.
 func (p *Proc) Sleep(d time.Duration) {
-	p.env.Schedule(d, func() { p.env.dispatch(p) })
+	if d < 0 {
+		d = 0
+	}
+	p.env.scheduleDispatch(p.env.now+d, p)
 	p.block()
 }
 
@@ -108,7 +161,7 @@ func (p *Proc) SleepUntil(t time.Duration) {
 	if t < p.env.now {
 		t = p.env.now
 	}
-	p.env.At(t, func() { p.env.dispatch(p) })
+	p.env.scheduleDispatch(t, p)
 	p.block()
 }
 

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"time"
-)
+import "time"
 
 // Resource models a server with a fixed number of identical units
 // (capacity). Processes acquire a unit, hold it while they work, and
@@ -41,7 +38,7 @@ func (r *Resource) Capacity() int { return r.cap }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of processes waiting for a unit.
-func (r *Resource) QueueLen() int { return r.waiters.Len() }
+func (r *Resource) QueueLen() int { return len(r.waiters) }
 
 // Utilization returns the mean fraction of capacity in use since the start
 // of the simulation, sampled up to the current time.
@@ -60,16 +57,25 @@ func (r *Resource) account() {
 	r.lastChange = now
 }
 
+func (r *Resource) grant() {
+	r.account()
+	r.inUse++
+	r.Grants++
+}
+
 // Acquire blocks until a unit is available, queueing behind waiters with
-// lower priority values.
+// lower priority values. Waiting is allocation free: the queue node is
+// the process's embedded wait record.
 func (p *Proc) Acquire(r *Resource, priority float64) {
-	if r.inUse < r.cap && r.waiters.Len() == 0 {
-		r.account()
-		r.inUse++
-		r.Grants++
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.grant()
 		return
 	}
-	w := &resWait{p: p, priority: priority}
+	w := &p.rwait
+	w.priority = priority
+	w.timedOut = false
+	w.hasTimer = false
+	w.r = r
 	r.push(w)
 	p.block()
 }
@@ -78,21 +84,19 @@ func (p *Proc) Acquire(r *Resource, priority float64) {
 // was obtained, false when d elapsed first (in which case no unit is
 // held).
 func (p *Proc) AcquireTimeout(r *Resource, priority float64, d time.Duration) bool {
-	if r.inUse < r.cap && r.waiters.Len() == 0 {
-		r.account()
-		r.inUse++
-		r.Grants++
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.grant()
 		return true
 	}
 	if d <= 0 {
 		return false
 	}
-	w := &resWait{p: p, priority: priority}
-	w.timer = r.env.Schedule(d, func() {
-		w.timedOut = true
-		r.waiters.remove(w)
-		r.env.dispatch(p)
-	})
+	w := &p.rwait
+	w.priority = priority
+	w.timedOut = false
+	w.timer = r.env.scheduleTimeout(r.env.now+d, evResTimeout, p)
+	w.hasTimer = true
+	w.r = r
 	r.push(w)
 	p.block()
 	return !w.timedOut
@@ -110,67 +114,114 @@ func (r *Resource) Release() {
 }
 
 func (r *Resource) grantNext() {
-	for r.inUse < r.cap && r.waiters.Len() > 0 {
-		w := heap.Pop(&r.waiters).(*resWait)
-		if w.timer != nil {
+	for r.inUse < r.cap && len(r.waiters) > 0 {
+		w := r.waiters.pop()
+		if w.hasTimer {
 			w.timer.Cancel()
+			w.hasTimer = false
 		}
-		r.account()
-		r.inUse++
-		r.Grants++
-		r.env.Schedule(0, func() { r.env.dispatch(w.p) })
+		w.r = nil
+		r.grant()
+		r.env.scheduleDispatch(r.env.now, w.p)
 	}
 }
 
 func (r *Resource) push(w *resWait) {
 	r.seq++
 	w.seq = r.seq
-	heap.Push(&r.waiters, w)
+	r.waiters.push(w)
 }
 
+// resWait is a process's intrusive resource-queue node. Every Proc
+// embeds exactly one: a blocked process waits on at most one resource.
 type resWait struct {
 	p        *Proc
+	r        *Resource // owning resource while queued, nil otherwise
 	priority float64
 	seq      int64
 	index    int
 	timedOut bool
-	timer    *Timer
+	timer    Timer
+	hasTimer bool
 }
 
+// resWaitQueue is a monomorphic binary min-heap ordered by (priority,
+// seq), with index maintenance for O(log n) removal on timeout.
 type resWaitQueue []*resWait
 
-func (q resWaitQueue) Len() int { return len(q) }
-
-func (q resWaitQueue) Less(i, j int) bool {
+func (q resWaitQueue) less(i, j int) bool {
 	if q[i].priority != q[j].priority {
 		return q[i].priority < q[j].priority
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q resWaitQueue) Swap(i, j int) {
+func (q resWaitQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
 	q[j].index = j
 }
 
-func (q *resWaitQueue) Push(x any) {
-	w := x.(*resWait)
-	w.index = len(*q)
-	*q = append(*q, w)
+func (q resWaitQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
 }
 
-func (q *resWaitQueue) Pop() any {
-	old := *q
-	n := len(old)
-	w := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+func (q resWaitQueue) down(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			return
+		}
+		q.swap(i, m)
+		i = m
+	}
+}
+
+func (q *resWaitQueue) push(w *resWait) {
+	w.index = len(*q)
+	*q = append(*q, w)
+	q.up(w.index)
+}
+
+func (q *resWaitQueue) pop() *resWait {
+	h := *q
+	n := len(h) - 1
+	h.swap(0, n)
+	w := h[n]
+	h[n] = nil
+	*q = h[:n]
+	q.down(0)
 	return w
 }
 
+// remove deletes w from the queue if it is still queued.
 func (q *resWaitQueue) remove(w *resWait) {
-	if w.index >= 0 && w.index < q.Len() && (*q)[w.index] == w {
-		heap.Remove(q, w.index)
+	i := w.index
+	h := *q
+	if i < 0 || i >= len(h) || h[i] != w {
+		return
+	}
+	n := len(h) - 1
+	h.swap(i, n)
+	h[n] = nil
+	*q = h[:n]
+	if i < n {
+		q.down(i)
+		q.up(i)
 	}
 }

@@ -9,16 +9,25 @@ import "time"
 //
 // As with condition variables, a wakeup is a hint: callers should re-check
 // their predicate in a loop (or use WaitFor).
+//
+// The waiter queue is an intrusive doubly-linked list of per-process
+// wait records (Proc.wait), so enqueueing is allocation free and
+// removal — on wake or timeout — is O(1).
 type Signal struct {
-	env     *Env
-	waiters []*signalWait
+	env        *Env
+	head, tail *signalWait
+	n          int
 }
 
+// signalWait is a process's intrusive signal-queue node. Every Proc
+// embeds exactly one: a blocked process waits on at most one signal.
 type signalWait struct {
-	p        *Proc
-	signaled bool
-	timedOut bool
-	timer    *Timer
+	p          *Proc
+	prev, next *signalWait
+	s          *Signal // owning signal while queued, nil otherwise
+	timedOut   bool
+	timer      Timer
+	hasTimer   bool
 }
 
 // NewSignal returns a signal bound to env.
@@ -26,8 +35,10 @@ func NewSignal(env *Env) *Signal { return &Signal{env: env} }
 
 // Wait blocks the process until the signal is fired or broadcast.
 func (p *Proc) Wait(s *Signal) {
-	w := &signalWait{p: p}
-	s.waiters = append(s.waiters, w)
+	w := &p.wait
+	w.timedOut = false
+	w.hasTimer = false
+	s.push(w)
 	p.block()
 }
 
@@ -37,13 +48,11 @@ func (p *Proc) WaitTimeout(s *Signal, d time.Duration) bool {
 	if d <= 0 {
 		return false
 	}
-	w := &signalWait{p: p}
-	w.timer = s.env.Schedule(d, func() {
-		w.timedOut = true
-		s.remove(w)
-		s.env.dispatch(p)
-	})
-	s.waiters = append(s.waiters, w)
+	w := &p.wait
+	w.timedOut = false
+	w.timer = s.env.scheduleTimeout(s.env.now+d, evSignalTimeout, p)
+	w.hasTimer = true
+	s.push(w)
 	p.block()
 	return !w.timedOut
 }
@@ -73,39 +82,61 @@ func (p *Proc) WaitForTimeout(s *Signal, t time.Duration, cond func() bool) bool
 
 // Fire wakes the longest-waiting process, if any.
 func (s *Signal) Fire() {
-	if len(s.waiters) == 0 {
+	w := s.head
+	if w == nil {
 		return
 	}
-	w := s.waiters[0]
-	s.waiters = s.waiters[1:]
+	s.unlink(w)
 	s.wake(w)
 }
 
 // Broadcast wakes every process currently waiting.
 func (s *Signal) Broadcast() {
-	ws := s.waiters
-	s.waiters = nil
-	for _, w := range ws {
+	for w := s.head; w != nil; {
+		next := w.next
+		w.prev, w.next, w.s = nil, nil, nil
 		s.wake(w)
+		w = next
 	}
+	s.head, s.tail = nil, nil
+	s.n = 0
 }
 
 // Waiters returns the number of processes currently waiting.
-func (s *Signal) Waiters() int { return len(s.waiters) }
+func (s *Signal) Waiters() int { return s.n }
 
 func (s *Signal) wake(w *signalWait) {
-	w.signaled = true
-	if w.timer != nil {
+	if w.hasTimer {
 		w.timer.Cancel()
+		w.hasTimer = false
 	}
-	s.env.Schedule(0, func() { s.env.dispatch(w.p) })
+	s.env.scheduleDispatch(s.env.now, w.p)
 }
 
-func (s *Signal) remove(w *signalWait) {
-	for i, q := range s.waiters {
-		if q == w {
-			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
-			return
-		}
+func (s *Signal) push(w *signalWait) {
+	w.s = s
+	w.prev = s.tail
+	w.next = nil
+	if s.tail != nil {
+		s.tail.next = w
+	} else {
+		s.head = w
 	}
+	s.tail = w
+	s.n++
+}
+
+func (s *Signal) unlink(w *signalWait) {
+	if w.prev != nil {
+		w.prev.next = w.next
+	} else {
+		s.head = w.next
+	}
+	if w.next != nil {
+		w.next.prev = w.prev
+	} else {
+		s.tail = w.prev
+	}
+	w.prev, w.next, w.s = nil, nil, nil
+	s.n--
 }

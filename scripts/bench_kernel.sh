@@ -1,0 +1,21 @@
+#!/bin/sh
+# bench_kernel.sh — run the simulation-kernel benchmark suite and record
+# the results in BENCH_kernel.json under a label.
+#
+# Usage: scripts/bench_kernel.sh [label]
+#
+# The label defaults to "current". Use distinct labels (e.g. "pre-pr",
+# "post-pr") to keep before/after snapshots side by side; re-running with
+# the same label replaces that snapshot. The macro benchmark
+# (BenchmarkFigure3) runs a full scaled experiment and takes a few
+# seconds; the micro benchmarks are fast.
+set -eu
+cd "$(dirname "$0")/.."
+
+label="${1:-current}"
+
+{
+	go test -run '^$' -bench . -benchtime 100000x -benchmem \
+		./internal/sim/... ./internal/netsim/...
+	go test -run '^$' -bench 'BenchmarkFigure3$' -benchtime 1x -benchmem .
+} | go run ./cmd/benchjson -into BENCH_kernel.json -label "$label"
