@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-kernel figures
+.PHONY: build test race fuzz-smoke bench-kernel figures
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,14 @@ test:
 
 race:
 	$(GO) test -short -race ./...
+
+# fuzz-smoke gives each fuzz target a short randomized budget on top of
+# its committed corpus (CI runs the same trio).
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -fuzz FuzzLockTable -fuzztime $(FUZZTIME) ./internal/lockmgr/
+	$(GO) test -fuzz FuzzForwardList -fuzztime $(FUZZTIME) ./internal/forward/
+	$(GO) test -fuzz FuzzFaultSchedule -fuzztime $(FUZZTIME) ./internal/netsim/
 
 # bench-kernel records the kernel benchmark suite (micro benchmarks plus
 # the BenchmarkFigure3 macro run) into BENCH_kernel.json under LABEL.

@@ -57,3 +57,25 @@ func TestGoldenReplicatedFigure(t *testing.T) {
 	}
 	checkGolden(t, "fig3_replicated_csv.golden", csv.String())
 }
+
+// TestGoldenOutageStudy locks down the generalized outage table: the
+// legacy three variants plus the fault-layer partition variants, with
+// replicated mean ± CI aggregation. The first three rows must stay
+// byte-for-byte what the pre-fault-layer study produced.
+func TestGoldenOutageStudy(t *testing.T) {
+	var text strings.Builder
+	if err := runExperiments(params{exp: "outage", ablateN: 4, ablateU: 0.2}, goldenOpts, &text); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "outage_replicated.golden", text.String())
+}
+
+// TestGoldenFaultMatrix locks down the fault-injection matrix rendering
+// and its determinism across the worker pool.
+func TestGoldenFaultMatrix(t *testing.T) {
+	var text strings.Builder
+	if err := runExperiments(params{exp: "faults", ablateN: 4, ablateU: 0.2}, goldenOpts, &text); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "faults_replicated.golden", text.String())
+}

@@ -7,7 +7,7 @@
 //
 // Experiment ids: fig3 fig4 fig5 (the paper's figures), table2 table3
 // table4, protocol (Figures 1–2), patterns, occ, speculation, outage,
-// sensitivity, policies, ablate-heuristics, ablate-window,
+// faults, sensitivity, policies, ablate-heuristics, ablate-window,
 // ablate-downgrade, ablate-writethrough, ablate-logging, or all.
 //
 // -scale shrinks the virtual run length (1 = the full 30-minute runs);
@@ -59,7 +59,7 @@ type params struct {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig3, fig4, fig5, table2, table3, table4, protocol, patterns, occ, speculation, outage, sensitivity, policies, ablate-heuristics, ablate-window, ablate-downgrade, ablate-writethrough, ablate-logging, all)")
+		exp      = flag.String("exp", "all", "experiment id (fig3, fig4, fig5, table2, table3, table4, protocol, patterns, occ, speculation, outage, faults, sensitivity, policies, ablate-heuristics, ablate-window, ablate-downgrade, ablate-writethrough, ablate-logging, all)")
 		scale    = flag.Float64("scale", 1.0, "run-length scale factor in (0,1]")
 		seed     = flag.Int64("seed", 1, "master random seed (per-cell seeds are derived from it)")
 		clients  = flag.String("clients", "", "comma-separated client sweep for figures (default 20,40,60,80,100)")
@@ -261,6 +261,15 @@ func runExperiments(p params, opts experiment.Options, out io.Writer) error {
 			return err
 		}
 		os.Render(out)
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "faults" {
+		ran = true
+		fm, err := experiment.RunFaultMatrix(p.ablateN, p.ablateU, opts)
+		if err != nil {
+			return err
+		}
+		fm.Render(out)
 		fmt.Fprintln(out)
 	}
 	if all || p.exp == "policies" {

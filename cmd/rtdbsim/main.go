@@ -9,11 +9,21 @@
 //	        [-reps 1] [-parallel 0]
 //	        [-window 500ms] [-executors 4] [-no-h1] [-no-h2]
 //	        [-no-decomposition] [-no-forward-lists] [-no-downgrade]
+//	        [-drop-rate 0] [-dup-rate 0] [-spike-rate 0] [-spike-latency 5ms]
+//	        [-partition-site -1] [-partition-at 0] [-partition-duration 0]
+//	        [-invariants]
 //
 // With -reps N > 1 the configuration is replicated N times over seeds
 // derived from the master -seed, fanned across a -parallel worker pool
 // (0 = GOMAXPROCS), and summarized as mean ± 95% CI instead of the full
 // single-run dump.
+//
+// The fault flags drive the deterministic fault-injection layer
+// (client-server systems only): per-message drop/duplicate/latency-spike
+// lotteries and a timed single-site partition, all derived from the
+// master seed so a faulty run is exactly reproducible. -invariants
+// attaches the continuous invariant monitor, which re-audits the model
+// after every simulation event (slow; meant for debugging).
 package main
 
 import (
@@ -55,6 +65,15 @@ func run() error {
 		noFwd     = flag.Bool("no-forward-lists", false, "disable forward lists")
 		noDown    = flag.Bool("no-downgrade", false, "disable EL->SL callback downgrades")
 		traceN    = flag.Int("trace", 0, "print the last N LAN messages at the end of the run")
+
+		dropRate  = flag.Float64("drop-rate", 0, "per-message drop probability [0,1]")
+		dupRate   = flag.Float64("dup-rate", 0, "per-message duplication probability [0,1]")
+		spikeRate = flag.Float64("spike-rate", 0, "per-message latency-spike probability [0,1]")
+		spikeLat  = flag.Duration("spike-latency", 5*time.Millisecond, "extra latency added by a spike")
+		partSite  = flag.Int("partition-site", -1, "site to cut off the LAN (0 = server, -1 = none)")
+		partAt    = flag.Duration("partition-at", 0, "virtual time the partition starts")
+		partDur   = flag.Duration("partition-duration", 0, "partition length (0 disables the partition)")
+		invar     = flag.Bool("invariants", false, "attach the continuous invariant monitor (slow)")
 	)
 	flag.Parse()
 
@@ -86,6 +105,16 @@ func run() error {
 	cfg.UseDecomposition = !*noDec
 	cfg.UseForwardLists = !*noFwd
 	cfg.UseDowngrade = !*noDown
+	cfg.Faults.DropRate = *dropRate
+	cfg.Faults.DupRate = *dupRate
+	cfg.Faults.SpikeRate = *spikeRate
+	cfg.Faults.SpikeLatency = *spikeLat
+	if *partSite >= 0 && *partDur > 0 {
+		cfg.Faults.PartitionSite = *partSite
+		cfg.Faults.PartitionAt = *partAt
+		cfg.Faults.PartitionDuration = *partDur
+	}
+	cfg.CheckInvariants = *invar
 
 	if *traceN > 0 {
 		return runTraced(kind, cfg, *traceN)
@@ -239,6 +268,16 @@ func dump(kind siteselect.SystemKind, r *siteselect.Result) {
 	fmt.Printf("  recalls sent         %10d\n", r.RecallsSent)
 	fmt.Printf("  grants shipped       %10d\n", r.GrantsShipped)
 	fmt.Printf("  denies (late/dlock)  %6d / %d\n", r.DeniesExpired, r.DeniesDeadlock)
+
+	if r.Faults != (netsim.FaultStats{}) || r.Retries > 0 {
+		fmt.Println("\nInjected faults")
+		fmt.Printf("  dropped              %10d\n", r.Faults.Dropped)
+		fmt.Printf("  partition drops      %10d\n", r.Faults.PartitionDrops)
+		fmt.Printf("  duplicated           %10d\n", r.Faults.Duplicated)
+		fmt.Printf("  latency spikes       %10d\n", r.Faults.Spiked)
+		fmt.Printf("  retransmissions      %10d\n", r.Faults.Retransmits)
+		fmt.Printf("  client retries       %10d\n", r.Retries)
+	}
 
 	fmt.Println("\nNetwork")
 	fmt.Printf("  total messages       %10d (%d bytes, %.2f%% bus utilization)\n",

@@ -9,9 +9,7 @@
 // locks) to the server.
 package cache
 
-import (
-	"siteselect/internal/lockmgr"
-)
+import "siteselect/internal/lockmgr"
 
 // Entry is one cached object.
 type Entry struct {

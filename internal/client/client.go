@@ -53,6 +53,17 @@ type Client struct {
 
 	loadShare bool
 
+	// faulty and rto configure the retry machinery: both are zero-valued
+	// in fault-free runs, where every retry path collapses to the
+	// original single-send behavior. rto is the base retransmission
+	// timeout, doubled per retry of the same request (capped at 8x) and
+	// always bounded by the transaction deadline.
+	faulty bool
+	rto    time.Duration
+	// onCommit, when set, observes every committed write (invariant
+	// monitoring: no committed update may be lost).
+	onCommit func(lockmgr.ObjectID, int64)
+
 	// pending tracks transactions waiting for object replies; waiters
 	// indexes them by object for grant routing.
 	pending map[txn.ID]*pendingTxn
@@ -88,6 +99,8 @@ type Client struct {
 	// LostUpdates counts committed-but-unreturned updates wiped by an
 	// outage with no recovery log configured.
 	LostUpdates int64
+	// Retries counts request retransmissions sent under fault injection.
+	Retries int64
 }
 
 type shipKey struct {
@@ -144,6 +157,8 @@ func New(env *sim.Env, cfg config.Config, id netsim.SiteID, net *netsim.Network,
 		migrations: make(map[lockmgr.ObjectID]*forward.List),
 		shipWaits:  make(map[shipKey]*shipWait),
 	}
+	c.faulty = cfg.Faults.Enabled()
+	c.rto = cfg.EffectiveRetryTimeout()
 	if cfg.ClientExecutors > 1 {
 		c.localLocks = lockmgr.NewBlockingTable(env)
 	}
@@ -168,6 +183,29 @@ func (c *Client) HasDeferredRecall(obj lockmgr.ObjectID) bool {
 
 // Log exposes the client's write-ahead log (nil unless UseLogging).
 func (c *Client) Log() *wal.Log { return c.log }
+
+// SetCommitHook installs fn to observe every committed write as
+// (object, new version). The invariant monitor uses it to verify that
+// no committed update is ever lost.
+func (c *Client) SetCommitHook(fn func(lockmgr.ObjectID, int64)) { c.onCommit = fn }
+
+// AuditPending verifies request conservation: no transaction may still
+// be waiting on a request more than grace past its deadline — by then
+// the request must have been answered, retried to resolution, or
+// abandoned by the deadline timeout.
+func (c *Client) AuditPending(grace time.Duration) error {
+	now := c.env.Now()
+	for id, pt := range c.pending {
+		if len(pt.want) == 0 && !pt.wantLoad {
+			continue
+		}
+		if now > pt.t.Deadline+grace {
+			return fmt.Errorf("client %d: txn %d still waiting %v past its deadline",
+				c.id, id, now-pt.t.Deadline)
+		}
+	}
+	return nil
+}
 
 // ATL exposes the observed average transaction length.
 func (c *Client) ATL() *sched.ATL { return c.atl }

@@ -65,25 +65,58 @@ func (c *Client) shipViaQuery(p *sim.Proc, t *txn.Transaction) bool {
 }
 
 // loadQuery asks the server for object locations and candidate loads,
-// blocking until the reply or the transaction's deadline.
+// blocking until the reply or the transaction's deadline. Under fault
+// injection the query is retried with backoff: LoadQuery/LoadReply is
+// an unreliable, idempotent exchange, so resending is always safe.
 func (c *Client) loadQuery(p *sim.Proc, t *txn.Transaction) *proto.LoadReply {
 	pt := c.ensurePending(t)
 	pt.wantLoad = true
 	pt.loadReply = nil
-	c.toServer(netsim.KindLoadQuery, netsim.ControlBytes, proto.LoadQuery{
-		Client:   c.id,
-		Txn:      t.ID,
-		Objs:     t.Objects(),
-		Modes:    t.Modes(),
-		Deadline: t.Deadline,
-		Load:     c.loadReport(),
-	})
-	ok := p.WaitForTimeout(pt.sig, t.Deadline, func() bool { return pt.loadReply != nil })
+	send := func(attempt int) {
+		c.toServer(netsim.KindLoadQuery, netsim.ControlBytes, proto.LoadQuery{
+			Client:   c.id,
+			Txn:      t.ID,
+			Objs:     t.Objects(),
+			Modes:    t.Modes(),
+			Deadline: t.Deadline,
+			Attempt:  attempt,
+			Load:     c.loadReport(),
+		})
+	}
+	send(0)
+	ok := c.awaitReply(p, t.Deadline, pt.sig, func() bool { return pt.loadReply != nil }, send)
 	pt.wantLoad = false
 	if !ok {
 		return nil
 	}
 	return pt.loadReply
+}
+
+// awaitReply waits for done on sig until deadline. In fault-free runs
+// (rto == 0) it is exactly one bounded wait. Under fault injection it
+// retransmits via resend on an exponentially backed-off timer (capped at
+// 8x the base timeout), always bounded by the deadline, so a request or
+// reply lost to the fault layer is recovered instead of hanging the
+// transaction until its deadline.
+func (c *Client) awaitReply(p *sim.Proc, deadline time.Duration, sig *sim.Signal, done func() bool, resend func(attempt int)) bool {
+	if c.rto <= 0 {
+		return p.WaitForTimeout(sig, deadline, done)
+	}
+	rto := c.rto
+	for attempt := 1; ; attempt++ {
+		next := p.Now() + rto
+		if next >= deadline {
+			return p.WaitForTimeout(sig, deadline, done)
+		}
+		if p.WaitForTimeout(sig, next, done) {
+			return true
+		}
+		c.Retries++
+		resend(attempt)
+		if rto < 8*c.rto {
+			rto *= 2
+		}
+	}
 }
 
 func loadsBySite(loads []proto.LoadReport) map[netsim.SiteID]proto.LoadReport {
@@ -269,6 +302,9 @@ func (c *Client) execute(p *sim.Proc, t *txn.Transaction, sub *txn.Subtask, orig
 		if op.Write {
 			e.Version++
 			e.Dirty = true
+			if c.onCommit != nil {
+				c.onCommit(op.Obj, e.Version)
+			}
 			if c.log != nil {
 				lastLSN = c.log.Append(int64(t.ID), op.Obj, e.Version)
 			}
@@ -461,18 +497,25 @@ func (c *Client) fetch(p *sim.Proc, t *txn.Transaction, missing []txn.Op, attemp
 		pt.sent[op.Obj] = now
 		c.waiters[op.Obj] = append(c.waiters[op.Obj], pt)
 	}
-	c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ProbeRequest{
-		Client:   c.id,
-		Txn:      t.ID,
-		Objs:     objs,
-		Modes:    modes,
-		Deadline: t.Deadline,
-		Load:     c.loadReport(),
-	})
+	sendProbe := func(attempt int) {
+		c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ProbeRequest{
+			Client:   c.id,
+			Txn:      t.ID,
+			Objs:     objs,
+			Modes:    modes,
+			Deadline: t.Deadline,
+			Attempt:  attempt,
+			Load:     c.loadReport(),
+		})
+	}
+	sendProbe(0)
 	settled := func() bool {
 		return len(pt.want) == 0 || pt.denied != 0 || pt.gotConflict
 	}
-	if !p.WaitForTimeout(pt.sig, t.Deadline, settled) {
+	// A retried probe is idempotent at the server: already-granted locks
+	// hit the lock table's re-entrant fast path and the objects ship
+	// again over the reliable channel.
+	if !c.awaitReply(p, t.Deadline, pt.sig, settled, sendProbe) {
 		return false
 	}
 	if pt.denied != 0 {
@@ -525,16 +568,20 @@ func (c *Client) fetch(p *sim.Proc, t *txn.Transaction, missing []txn.Op, attemp
 	for _, op := range missing {
 		pt.sent[op.Obj] = now
 	}
-	c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.CommitRequest{
-		Client:   c.id,
-		Txn:      t.ID,
-		Deadline: t.Deadline,
-		Objs:     objs,
-		Modes:    modes,
-		Load:     c.loadReport(),
-	})
+	sendCommit := func(attempt int) {
+		c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.CommitRequest{
+			Client:   c.id,
+			Txn:      t.ID,
+			Deadline: t.Deadline,
+			Objs:     objs,
+			Modes:    modes,
+			Attempt:  attempt,
+			Load:     c.loadReport(),
+		})
+	}
+	sendCommit(0)
 	granted := func() bool { return len(pt.want) == 0 || pt.denied != 0 }
-	if !p.WaitForTimeout(pt.sig, t.Deadline, granted) {
+	if !c.awaitReply(p, t.Deadline, pt.sig, granted, sendCommit) {
 		return false
 	}
 	if pt.denied != 0 {
@@ -558,19 +605,23 @@ func (c *Client) fetchSequential(p *sim.Proc, t *txn.Transaction, pt *pendingTxn
 		pt.want[obj] = op.Mode()
 		pt.sent[obj] = p.Now()
 		c.waiters[obj] = append(c.waiters[obj], pt)
-		c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ObjRequest{
-			Client:   c.id,
-			Txn:      t.ID,
-			Obj:      obj,
-			Mode:     op.Mode(),
-			Deadline: t.Deadline,
-			Load:     c.loadReport(),
-		})
+		send := func(attempt int) {
+			c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ObjRequest{
+				Client:   c.id,
+				Txn:      t.ID,
+				Obj:      obj,
+				Mode:     op.Mode(),
+				Deadline: t.Deadline,
+				Attempt:  attempt,
+				Load:     c.loadReport(),
+			})
+		}
+		send(0)
 		arrived := func() bool {
 			_, waiting := pt.want[obj]
 			return !waiting || pt.denied != 0
 		}
-		if !p.WaitForTimeout(pt.sig, t.Deadline, arrived) {
+		if !c.awaitReply(p, t.Deadline, pt.sig, arrived, send) {
 			return false
 		}
 		if pt.denied != 0 {

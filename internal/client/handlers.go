@@ -20,11 +20,38 @@ func (c *Client) onGrant(g proto.ObjGrant) {
 		// the copy must not be cached or served.
 		if g.Fwd != nil && g.Fwd.ReadRun {
 			c.hopReadRun(g) // keep the run moving for the others
+		} else if c.faulty && g.Fwd != nil {
+			// Dropping a migration hop here would strand every downstream
+			// entry of the chain: pass the object on without caching it.
+			c.hopStaleMigration(g)
 		}
 		return
 	}
-	evicted := c.objects.Insert(g.Obj, g.Mode, false, g.Version)
-	c.returnEvicted(evicted)
+	install := true
+	if c.faulty && g.Fwd == nil {
+		if e := c.objects.Peek(g.Obj); e != nil {
+			if e.Version > g.Version {
+				// Provably stale duplicate: versions only move forward,
+				// so a grant older than the cached copy predates a local
+				// commit (e.g. a dupFirm re-ship overtaken by a
+				// downgrade). Installing it would clobber the newer
+				// version; its mode is equally outdated.
+				install = false
+				g.Mode = e.Mode
+			} else if e.Version == g.Version && modeSufficient(e.Mode, g.Mode) {
+				// Duplicate grant from a retried request: the cached
+				// copy is already as fresh and as strong. Still run the
+				// waiter scan below — the retry that produced this
+				// duplicate may itself be the one waiting.
+				install = false
+				g.Mode = e.Mode
+			}
+		}
+	}
+	if install {
+		evicted := c.objects.Insert(g.Obj, g.Mode, false, g.Version)
+		c.returnEvicted(evicted)
+	}
 	if g.Fwd != nil && !g.Fwd.ReadRun {
 		// Migration hop: hold the object pinned until this site's turn
 		// is over, then pass it on.
@@ -75,6 +102,37 @@ func (c *Client) onGrant(g proto.ObjGrant) {
 	// dead), keep the migration moving now.
 	if len(satisfied) == 0 {
 		c.forwardMigration(g.Obj)
+	}
+}
+
+// hopStaleMigration keeps an exclusive migration chain alive when this
+// site must not accept the hop (its epoch shows the registration was
+// released while the hop was in flight — possible only under fault
+// injection, where extra latency can reorder a hop past a recall
+// answer). The object is passed to the next live entry without caching
+// it here, or returned to the server when the chain is spent.
+func (c *Client) hopStaleMigration(g proto.ObjGrant) {
+	l := g.Fwd
+	now := c.env.Now()
+	for {
+		next, ok, _ := l.PopLive(now)
+		if !ok {
+			c.toServer(netsim.KindObjectReturn, netsim.ObjectBytes, proto.ObjReturn{
+				Client: c.id, Obj: g.Obj, HasData: true, Version: g.Version,
+				Migration: true, RetainedSL: l.Retained,
+				Epoch: c.epochs[g.Obj], Load: c.loadReport(),
+			})
+			return
+		}
+		if next.Client == c.id {
+			continue // same stale registration; skip our own entries too
+		}
+		c.ForwardHops++
+		c.toPeer(next.Client, netsim.KindClientForward, netsim.ObjectBytes, proto.ObjGrant{
+			Obj: g.Obj, Mode: next.Mode, Version: g.Version, Txn: next.Txn,
+			Epoch: next.Epoch, Fwd: l,
+		})
+		return
 	}
 }
 
@@ -311,6 +369,14 @@ func (c *Client) forwardMigration(obj lockmgr.ObjectID) {
 	e := c.objects.Peek(obj)
 	if e == nil {
 		panic(fmt.Sprintf("client %d: migrating object %d not cached", c.id, obj))
+	}
+	if e.Pins() > 1 {
+		// Beyond the migration pin, a running local transaction still
+		// holds the copy (reachable under fault injection, where a hop
+		// can arrive while a transaction satisfied by an earlier grant
+		// is still executing). Its afterRelease resumes the hop once
+		// the last such pin drops.
+		return
 	}
 	now := c.env.Now()
 	for {

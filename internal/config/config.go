@@ -206,6 +206,26 @@ type Config struct {
 	OutageAt       time.Duration
 	OutageDuration time.Duration
 
+	// Faults configures deterministic network fault injection (message
+	// drop, duplication, latency spikes, timed partitions). The zero
+	// value disables it entirely, leaving the fault-free simulation
+	// byte-identical to a build without the fault layer.
+	Faults FaultSpec
+
+	// RetryTimeout is the base client retransmission timeout for
+	// request–reply messages, doubled on each successive retry of the
+	// same request and always bounded by the transaction deadline. It
+	// takes effect only when Faults.Enabled(); zero selects a default
+	// derived from MeanSlack (see EffectiveRetryTimeout).
+	RetryTimeout time.Duration
+
+	// CheckInvariants attaches the continuous invariant monitor
+	// (internal/invariant) to the run: lock-table consistency,
+	// forward-list well-formedness, request conservation, and
+	// no-committed-lost-updates are re-checked as the simulation
+	// executes. Off by default; the test tier turns it on.
+	CheckInvariants bool
+
 	// Duration is how long transaction generation runs; the simulation
 	// then drains for Drain before results are read. Transactions
 	// arriving before Warmup are executed but excluded from statistics
@@ -324,8 +344,79 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: OutageClient %d out of [0,%d]", c.OutageClient, c.NumClients)
 	case c.OutageClient > 0 && c.OutageDuration <= 0:
 		return errors.New("config: OutageDuration must be positive when OutageClient is set")
+	case c.Faults.DropRate < 0 || c.Faults.DropRate > 1:
+		return fmt.Errorf("config: Faults.DropRate %v out of [0,1]", c.Faults.DropRate)
+	case c.Faults.DupRate < 0 || c.Faults.DupRate > 1:
+		return fmt.Errorf("config: Faults.DupRate %v out of [0,1]", c.Faults.DupRate)
+	case c.Faults.SpikeRate < 0 || c.Faults.SpikeRate > 1:
+		return fmt.Errorf("config: Faults.SpikeRate %v out of [0,1]", c.Faults.SpikeRate)
+	case c.Faults.SpikeRate > 0 && c.Faults.SpikeLatency <= 0:
+		return errors.New("config: Faults.SpikeLatency must be positive when SpikeRate is set")
+	case c.Faults.PartitionSite < 0 || c.Faults.PartitionSite > c.NumClients:
+		return fmt.Errorf("config: Faults.PartitionSite %d out of [0,%d]", c.Faults.PartitionSite, c.NumClients)
+	case c.Faults.PartitionDuration < 0:
+		return errors.New("config: Faults.PartitionDuration must be non-negative")
+	case c.RetryTimeout < 0:
+		return errors.New("config: RetryTimeout must be non-negative")
 	}
 	return nil
+}
+
+// FaultSpec parameterizes the deterministic network fault layer. Rates
+// are per-message probabilities evaluated at send time from a dedicated
+// seed-derived stream, so the same Config produces the same fault
+// sequence on every run regardless of worker count.
+type FaultSpec struct {
+	// DropRate drops a message in transit (the sender never learns).
+	DropRate float64
+	// DupRate delivers an extra copy of a message one latency later.
+	// Reliable (sequence-numbered) kinds are exempt: their modeled
+	// dedup layer discards duplicates before the application sees them.
+	DupRate float64
+	// SpikeRate delays a message by an extra SpikeLatency.
+	SpikeRate    float64
+	SpikeLatency time.Duration
+	// PartitionSite (0 = the server, 1..N = that client; use
+	// PartitionDuration = 0 for "no partition") is cut off the LAN from
+	// PartitionAt for PartitionDuration: every message to or from it
+	// during the window is lost in transit. Unlike OutageClient the
+	// site keeps running and keeps its cache — this is a network
+	// partition, not a crash.
+	PartitionSite     int
+	PartitionAt       time.Duration
+	PartitionDuration time.Duration
+}
+
+// Enabled reports whether any fault is configured.
+func (f FaultSpec) Enabled() bool {
+	return f.DropRate > 0 || f.DupRate > 0 || f.SpikeRate > 0 || f.PartitionDuration > 0
+}
+
+// DefaultRetryTimeout is the floor of the base request retransmission
+// timeout used when faults are enabled and Config.RetryTimeout is zero.
+const DefaultRetryTimeout = 250 * time.Millisecond
+
+// EffectiveRetryTimeout returns the retransmission timeout the protocol
+// should use: zero (retries off, preserving fault-free behavior bit for
+// bit) unless faults are enabled, then RetryTimeout or a default derived
+// from the deadline slack. The default must sit well above genuine
+// response times — a retry exists to recover a lost message, and firing
+// it during an ordinary lock wait duplicates object ships and, under
+// load, snowballs into a congestion collapse — so it defaults to a
+// quarter of the mean slack (a dropped message still leaves most of the
+// slack to finish in), floored at DefaultRetryTimeout for configurations
+// with unusually tight slack.
+func (c Config) EffectiveRetryTimeout() time.Duration {
+	if !c.Faults.Enabled() {
+		return 0
+	}
+	if c.RetryTimeout > 0 {
+		return c.RetryTimeout
+	}
+	if rto := c.MeanSlack / 4; rto > DefaultRetryTimeout {
+		return rto
+	}
+	return DefaultRetryTimeout
 }
 
 // Scale shrinks the run length by factor (0 < factor <= 1) for quick

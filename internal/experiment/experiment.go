@@ -44,6 +44,12 @@ type Options struct {
 	// Reps replicates every cell over derived per-replication seeds and
 	// aggregates the results as mean + 95% CI (0 or 1 = single run).
 	Reps int
+	// CheckInvariants attaches the continuous invariant monitor to every
+	// cell of the fault studies (it re-audits the model after each
+	// kernel event, so it is meant for the test tier, not full-scale
+	// runs). It never changes results, only fails runs that violate an
+	// invariant.
+	CheckInvariants bool
 	// Progress, when non-nil, is called (serialized) after each cell
 	// completes, with per-cell wall-clock timing.
 	Progress metrics.ProgressFunc

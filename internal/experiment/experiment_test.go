@@ -252,7 +252,7 @@ func TestOutageStudyRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(os.Rows) != 3 {
+	if len(os.Rows) != 5 {
 		t.Fatalf("rows = %d", len(os.Rows))
 	}
 	if os.Rows[2].Forces == 0 {

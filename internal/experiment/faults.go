@@ -22,7 +22,10 @@ type OutageRow struct {
 
 // OutageStudy injects a client outage (partition plus volatile-state
 // loss) mid-run and measures the durability difference client-based
-// logging makes, alongside the cluster-wide real-time cost.
+// logging makes, alongside the cluster-wide real-time cost. Two
+// fault-layer variants ride along for comparison: the same one-minute
+// window as a pure network partition (state intact, reliable channel
+// retransmits through the cut) on a client and on the server itself.
 type OutageStudy struct {
 	Clients int
 	Update  float64
@@ -30,19 +33,24 @@ type OutageStudy struct {
 	Rows    []OutageRow
 }
 
-// RunOutageStudy runs baseline / outage-without-log / outage-with-log,
-// every cell concurrently.
+// RunOutageStudy runs baseline / outage-without-log / outage-with-log
+// plus the two fault-layer partition variants, every cell concurrently.
+// The first three rows are the legacy outage table and keep their names
+// and order (regression goldens pin them).
 func RunOutageStudy(clients int, update float64, opts Options) (*OutageStudy, error) {
 	opts = opts.normalize()
 	study := &OutageStudy{Clients: clients, Update: update, Reps: opts.Reps}
 	variants := []struct {
-		name    string
-		outage  bool
-		logging bool
+		name      string
+		outage    bool
+		logging   bool
+		partition int // fault-layer cut: -1 none, else the site to isolate
 	}{
-		{"no fault", false, false},
-		{"outage, no log", true, false},
-		{"outage, client WAL", true, true},
+		{"no fault", false, false, -1},
+		{"outage, no log", true, false, -1},
+		{"outage, client WAL", true, true, -1},
+		{"partition, no wipe", false, false, 1},
+		{"server partition", false, false, 0},
 	}
 	type cellResult struct {
 		rate        float64
@@ -63,10 +71,18 @@ func RunOutageStudy(clients int, update float64, opts Options) (*OutageStudy, er
 		v := variants[c.vi]
 		cfg := opts.csConfig(clients, update, c.rep)
 		cfg.UseLogging = v.logging
+		cfg.CheckInvariants = opts.CheckInvariants
 		if v.outage {
 			cfg.OutageClient = 1
 			cfg.OutageAt = cfg.Warmup + (cfg.Duration-cfg.Warmup)/2
 			cfg.OutageDuration = time.Minute
+		}
+		if v.partition >= 0 {
+			// The fault-layer twin of the outage window: same midpoint,
+			// same length, but a pure network cut — no state is wiped.
+			cfg.Faults.PartitionSite = v.partition
+			cfg.Faults.PartitionAt = cfg.Warmup + (cfg.Duration-cfg.Warmup)/2
+			cfg.Faults.PartitionDuration = time.Minute
 		}
 		ls, err := rtdbs.NewLoadSharing(cfg)
 		if err != nil {
@@ -127,6 +143,143 @@ func (s *OutageStudy) Render(w io.Writer) {
 	fmt.Fprintf(w, "%-22s %9s %12s %12s\n", "Variant", "Success", "Lost updates", "Log forces")
 	for _, r := range s.Rows {
 		fmt.Fprintf(w, "%-22s %8.1f%% %12d %12d\n", r.Name, r.SuccessRate, r.LostUpdates, r.Forces)
+	}
+}
+
+// FaultMatrixRow is one scenario of the fault matrix: the success rate
+// (mean over replications) plus rounded-mean fault and recovery
+// counters.
+type FaultMatrixRow struct {
+	Name           string
+	SuccessRate    float64
+	SuccessCI      float64
+	Retries        int64
+	Dropped        int64
+	PartitionDrops int64
+	Retransmits    int64
+}
+
+// FaultMatrix measures the load-sharing system's resilience to
+// deterministic fault injection: success rate versus message-drop rate
+// and versus partition length.
+type FaultMatrix struct {
+	Clients int
+	Update  float64
+	Reps    int
+	Rows    []FaultMatrixRow
+}
+
+// faultMatrixDropRates is the drop-rate axis (the first entry is the
+// clean baseline).
+var faultMatrixDropRates = []float64{0, 0.02, 0.05, 0.10}
+
+// faultMatrixPartitions is the partition-length axis: client 1 is cut
+// off the LAN for this long, a quarter of the way into the measured
+// window. Lengths scale with Options.Scale like every other duration.
+var faultMatrixPartitions = []time.Duration{
+	30 * time.Second, time.Minute, 2 * time.Minute,
+}
+
+// RunFaultMatrix runs the LS system across the drop-rate sweep and the
+// partition-length sweep, every cell concurrently. Each cell's fault
+// schedule derives deterministically from its cell seed, so the matrix
+// is byte-identical for any worker count.
+func RunFaultMatrix(clients int, update float64, opts Options) (*FaultMatrix, error) {
+	opts = opts.normalize()
+	type scenario struct {
+		name string
+		drop float64
+		cut  time.Duration // unscaled partition length; 0 = none
+	}
+	var scens []scenario
+	for _, dr := range faultMatrixDropRates {
+		scens = append(scens, scenario{fmt.Sprintf("drop %g%%", dr*100), dr, 0})
+	}
+	for _, pd := range faultMatrixPartitions {
+		scens = append(scens, scenario{fmt.Sprintf("partition %v", pd), 0, pd})
+	}
+	study := &FaultMatrix{Clients: clients, Update: update, Reps: opts.Reps}
+	type cellResult struct {
+		rate                                float64
+		retries, dropped, partDrops, rexmit int64
+	}
+	type cell struct{ si, rep int }
+	var cells []cell
+	var labels []string
+	for si, s := range scens {
+		for r := 0; r < opts.Reps; r++ {
+			cells = append(cells, cell{si, r})
+			labels = append(labels, fmt.Sprintf("faults %q rep=%d", s.name, r))
+		}
+	}
+	results, err := runCells(opts, labels, func(i int) (cellResult, error) {
+		c := cells[i]
+		s := scens[c.si]
+		cfg := opts.csConfig(clients, update, c.rep)
+		cfg.CheckInvariants = opts.CheckInvariants
+		cfg.Faults.DropRate = s.drop
+		if s.cut > 0 {
+			cfg.Faults.PartitionSite = 1
+			cfg.Faults.PartitionAt = cfg.Warmup + (cfg.Duration-cfg.Warmup)/4
+			cfg.Faults.PartitionDuration = time.Duration(float64(s.cut) * opts.Scale)
+		}
+		res, err := RunLS(cfg)
+		if err != nil {
+			return cellResult{}, fmt.Errorf("faults %q: %w", s.name, err)
+		}
+		return cellResult{
+			rate:      res.SuccessRate(),
+			retries:   res.Retries,
+			dropped:   res.Faults.Dropped,
+			partDrops: res.Faults.PartitionDrops,
+			rexmit:    res.Faults.Retransmits,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range scens {
+		var success stats.Sample
+		var retries, dropped, partDrops, rexmit []int64
+		for i, c := range cells {
+			if c.si != si {
+				continue
+			}
+			success.Add(results[i].rate)
+			retries = append(retries, results[i].retries)
+			dropped = append(dropped, results[i].dropped)
+			partDrops = append(partDrops, results[i].partDrops)
+			rexmit = append(rexmit, results[i].rexmit)
+		}
+		study.Rows = append(study.Rows, FaultMatrixRow{
+			Name:           s.name,
+			SuccessRate:    success.Mean(),
+			SuccessCI:      success.CI95(),
+			Retries:        meanRound(retries),
+			Dropped:        meanRound(dropped),
+			PartitionDrops: meanRound(partDrops),
+			Retransmits:    meanRound(rexmit),
+		})
+	}
+	return study, nil
+}
+
+// Render writes the fault matrix as an aligned text table.
+func (s *FaultMatrix) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fault-injection matrix on LS (%d clients, %g%% updates)\n",
+		s.Clients, s.Update*100)
+	if s.Reps > 1 {
+		fmt.Fprintf(w, "(success mean ± 95%% CI over %d replications; counters are rounded means)\n", s.Reps)
+	}
+	fmt.Fprintf(w, "%-18s %14s %9s %9s %10s %12s\n",
+		"Scenario", "Success", "Retries", "Dropped", "Cut drops", "Retransmits")
+	for _, r := range s.Rows {
+		succ := fmt.Sprintf("%.1f", r.SuccessRate)
+		if s.Reps > 1 {
+			succ = fmt.Sprintf("%.1f ± %.1f", r.SuccessRate, r.SuccessCI)
+		}
+		fmt.Fprintf(w, "%-18s %13s%% %9d %9d %10d %12d\n",
+			r.Name, succ, r.Retries, r.Dropped, r.PartitionDrops, r.Retransmits)
 	}
 }
 

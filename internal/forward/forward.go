@@ -12,6 +12,7 @@
 package forward
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -49,6 +50,42 @@ type List struct {
 	Retained []netsim.SiteID
 	seq      []int64
 	nextSeq  int64
+}
+
+// Contains reports whether an entry for (client, id) is on the list —
+// the server's duplicate-request guard under fault injection.
+func (l *List) Contains(client netsim.SiteID, id txn.ID) bool {
+	for _, e := range l.Entries {
+		if e.Client == client && e.Txn == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Wellformed verifies the list's structural invariants — entries sorted
+// by (deadline, insertion order) with parallel seq bookkeeping — and
+// returns the first violation. The invariant monitor and the fuzz
+// targets run it after every mutation.
+func (l *List) Wellformed() error {
+	if len(l.seq) != len(l.Entries) {
+		return fmt.Errorf("forward: list %d has %d entries but %d seqs", l.Obj, len(l.Entries), len(l.seq))
+	}
+	for i := 1; i < len(l.Entries); i++ {
+		prev, cur := l.Entries[i-1], l.Entries[i]
+		if prev.Deadline > cur.Deadline {
+			return fmt.Errorf("forward: list %d out of deadline order at %d (%v > %v)", l.Obj, i, prev.Deadline, cur.Deadline)
+		}
+		if prev.Deadline == cur.Deadline && l.seq[i-1] > l.seq[i] {
+			return fmt.Errorf("forward: list %d breaks FIFO tie order at %d", l.Obj, i)
+		}
+	}
+	for i, s := range l.seq {
+		if s <= 0 || s > l.nextSeq {
+			return fmt.Errorf("forward: list %d has seq %d out of range at %d", l.Obj, s, i)
+		}
+	}
+	return nil
 }
 
 // HasExclusive reports whether any remaining entry needs an EL.
@@ -192,6 +229,21 @@ func NewCollector(env *sim.Env, window time.Duration, onSeal func(*List)) *Colle
 
 // Pending returns the open (not yet sealed) list for obj, or nil.
 func (c *Collector) Pending(obj lockmgr.ObjectID) *List { return c.open[obj] }
+
+// OpenLists returns the still-collecting lists in ascending object
+// order (for audits).
+func (c *Collector) OpenLists() []*List {
+	objs := make([]lockmgr.ObjectID, 0, len(c.open))
+	for obj := range c.open {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	out := make([]*List, len(objs))
+	for i, obj := range objs {
+		out[i] = c.open[obj]
+	}
+	return out
+}
 
 // SealNow closes obj's window early (the object became available before
 // the window elapsed; waiting longer would only add latency). The

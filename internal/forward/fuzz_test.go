@@ -9,9 +9,11 @@ import (
 )
 
 // FuzzForwardList checks the list invariants under arbitrary insert and
-// pop interleavings: PopLive yields nondecreasing deadlines among live
-// entries, PopRun yields a single-mode run, and no entry is ever lost
-// (every insert is eventually popped or skipped).
+// pop interleavings: the list stays well-formed (the same check the
+// continuous invariant monitor runs) after every mutation, PopLive
+// yields nondecreasing deadlines among live entries, PopRun yields a
+// single-mode run, and no entry is ever lost (every insert is
+// eventually popped or skipped).
 func FuzzForwardList(f *testing.F) {
 	f.Add([]byte{0x10, 0x22, 0x35, 0xf0}, uint8(3))
 	f.Add([]byte{0x01, 0x81, 0x41, 0xc1}, uint8(1))
@@ -29,6 +31,9 @@ func FuzzForwardList(f *testing.F) {
 			}
 			l.Insert(e)
 			inserted++
+			if err := l.Wellformed(); err != nil {
+				t.Fatalf("after insert %d: %v", inserted, err)
+			}
 		}
 		now := time.Duration(nowByte%16) * time.Millisecond
 		accounted := 0
@@ -40,6 +45,9 @@ func FuzzForwardList(f *testing.F) {
 				if s.Deadline >= now {
 					t.Fatalf("live entry %+v skipped", s)
 				}
+			}
+			if err := l.Wellformed(); err != nil {
+				t.Fatalf("after pop: %v", err)
 			}
 			if !ok {
 				break

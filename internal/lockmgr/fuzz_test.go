@@ -34,6 +34,15 @@ func FuzzLockTable(f *testing.F) {
 			if err := tab.Audit(); err != nil {
 				t.Fatalf("step %d: %v", i, err)
 			}
+			// HasWaiter (the retry path's idempotence probe) must agree
+			// with the queue: a reported waiter implies a non-empty queue.
+			for o := ObjectID(0); o < 4; o++ {
+				for w := OwnerID(1); w <= 8; w++ {
+					if tab.HasWaiter(o, w) && tab.QueueLen(o) == 0 {
+						t.Fatalf("step %d: HasWaiter(%d,%d) on an empty queue", i, o, w)
+					}
+				}
+			}
 		}
 		// Drain: repeated releases must eventually empty every queue.
 		for round := 0; round < len(data)+8; round++ {
@@ -51,6 +60,11 @@ func FuzzLockTable(f *testing.F) {
 		for obj := ObjectID(0); obj < 4; obj++ {
 			if tab.QueueLen(obj) != 0 {
 				t.Fatalf("object %d queue not drained: %d waiters", obj, tab.QueueLen(obj))
+			}
+			for w := OwnerID(1); w <= 8; w++ {
+				if tab.HasWaiter(obj, w) {
+					t.Fatalf("drained table still reports waiter %d on object %d", w, obj)
+				}
 			}
 		}
 	})

@@ -451,6 +451,15 @@ func (t *Table) FirstForeignWaiter(obj ObjectID, owner OwnerID) *Request {
 	return nil
 }
 
+// HasWaiter reports whether owner has a request queued on obj — the
+// server's duplicate-request guard under fault injection.
+func (t *Table) HasWaiter(obj ObjectID, owner OwnerID) bool {
+	if objs, ok := t.waiting[owner]; ok {
+		return objs[obj] > 0
+	}
+	return false
+}
+
 // QueueLen returns the number of requests waiting on obj.
 func (t *Table) QueueLen(obj ObjectID) int {
 	if e, ok := t.entries[obj]; ok {

@@ -103,6 +103,10 @@ type Message struct {
 	// SentAt and DeliveredAt are stamped by the network.
 	SentAt      time.Duration
 	DeliveredAt time.Duration
+
+	// rexmit counts reliable-channel retransmissions of this frame
+	// (fault injection only), driving the backoff schedule.
+	rexmit uint8
 }
 
 // KindStats aggregates traffic for one message kind.
@@ -144,6 +148,7 @@ type Network struct {
 	lastDeliver time.Duration
 	stats       [numKinds]KindStats
 	trace       func(Message)
+	faults      *faultState
 
 	// pend is a FIFO ring (power-of-two capacity) of in-flight
 	// messages. Delivery times are nondecreasing in send order on both
@@ -222,6 +227,9 @@ func (n *Network) Send(msg Message, dest *sim.Mailbox[Message]) {
 		n.trace(msg)
 	}
 
+	if n.faults != nil && n.deliverFaulty(msg, dest, deliver) {
+		return
+	}
 	n.push(pending{msg: msg, dest: dest})
 	n.env.AtHook(deliver, n)
 }

@@ -40,7 +40,12 @@ type ObjRequest struct {
 	Obj      lockmgr.ObjectID
 	Mode     lockmgr.Mode
 	Deadline time.Duration
-	Load     LoadReport
+	// Attempt sequence-numbers retransmissions of this request (0 = the
+	// first send). The server serves duplicates idempotently from its
+	// lock-table state; the attempt number distinguishes retries in
+	// traces.
+	Attempt int
+	Load    LoadReport
 }
 
 // ProbeRequest is the load-sharing client's tentative all-or-nothing
@@ -54,7 +59,9 @@ type ProbeRequest struct {
 	Objs     []lockmgr.ObjectID
 	Modes    []lockmgr.Mode
 	Deadline time.Duration
-	Load     LoadReport
+	// Attempt sequence-numbers retransmissions (see ObjRequest.Attempt).
+	Attempt int
+	Load    LoadReport
 }
 
 // CommitRequest is the single follow-up message of the load-sharing
@@ -67,7 +74,9 @@ type CommitRequest struct {
 	Deadline time.Duration
 	Objs     []lockmgr.ObjectID
 	Modes    []lockmgr.Mode
-	Load     LoadReport
+	// Attempt sequence-numbers retransmissions (see ObjRequest.Attempt).
+	Attempt int
+	Load    LoadReport
 }
 
 // ObjGrant delivers an object and its lock to a client. It is the
@@ -189,7 +198,9 @@ type LoadQuery struct {
 	Objs     []lockmgr.ObjectID
 	Modes    []lockmgr.Mode
 	Deadline time.Duration
-	Load     LoadReport
+	// Attempt sequence-numbers retransmissions (see ObjRequest.Attempt).
+	Attempt int
+	Load    LoadReport
 }
 
 // LoadReply answers a LoadQuery.

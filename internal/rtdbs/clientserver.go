@@ -5,6 +5,7 @@ import (
 
 	"siteselect/internal/client"
 	"siteselect/internal/config"
+	"siteselect/internal/invariant"
 	"siteselect/internal/lockmgr"
 	"siteselect/internal/metrics"
 	"siteselect/internal/netsim"
@@ -56,6 +57,9 @@ func newCluster(cfg config.Config, loadShare bool) (*Cluster, error) {
 		BandwidthBps: cfg.NetBandwidthBps,
 		Switched:     cfg.Topology == config.TopologySwitched,
 	})
+	if cfg.Faults.Enabled() {
+		net.SetFaults(faultConfig(cfg))
+	}
 	c := &Cluster{
 		cfg:       cfg,
 		loadShare: loadShare,
@@ -86,6 +90,34 @@ func newCluster(cfg config.Config, loadShare bool) (*Cluster, error) {
 	return c, nil
 }
 
+// faultSeedCoord is the coordinate separating the fault lottery stream
+// from the workload streams in seed derivation ("fault" in ASCII).
+const faultSeedCoord int64 = 0x6661756c74
+
+// faultConfig translates the experiment-level fault spec into the
+// network's fault schedule. The fault stream is seeded on a coordinate
+// of its own, so enabling faults leaves every workload stream
+// untouched, and fault activity stops at the generation horizon so the
+// drain window converges.
+func faultConfig(cfg config.Config) netsim.FaultConfig {
+	fc := netsim.FaultConfig{
+		Seed:         config.CellSeed(cfg.Seed, faultSeedCoord),
+		DropRate:     cfg.Faults.DropRate,
+		DupRate:      cfg.Faults.DupRate,
+		SpikeRate:    cfg.Faults.SpikeRate,
+		SpikeLatency: cfg.Faults.SpikeLatency,
+		Horizon:      cfg.Duration,
+	}
+	if cfg.Faults.PartitionDuration > 0 {
+		fc.Partitions = []netsim.Partition{{
+			Site:  netsim.SiteID(cfg.Faults.PartitionSite),
+			Start: cfg.Faults.PartitionAt,
+			End:   cfg.Faults.PartitionAt + cfg.Faults.PartitionDuration,
+		}}
+	}
+	return fc
+}
+
 // Env exposes the simulation environment (tests drive it directly).
 func (c *Cluster) Env() *sim.Env { return c.env }
 
@@ -112,17 +144,91 @@ func (c *Cluster) Start() {
 
 // Run executes the full experiment: generate work for cfg.Duration, let
 // in-flight transactions drain, finalize outcomes, audit invariants, and
-// shut the simulation down.
+// shut the simulation down. With cfg.CheckInvariants set, a continuous
+// invariant monitor re-checks the model after every executed event and
+// a commit tracker verifies at the end that no committed update was
+// lost.
 func (c *Cluster) Run() (*Result, error) {
+	var mon *invariant.Monitor
+	var committed *invariant.Committed
+	if c.cfg.CheckInvariants {
+		mon, committed = c.monitor()
+		mon.Attach()
+	}
 	c.Start()
 	c.env.Run(c.cfg.Duration + c.cfg.Drain)
 	res := c.collect()
 	err := c.Audit()
+	if err == nil && mon != nil {
+		err = mon.Final()
+	}
+	if err == nil && committed != nil {
+		err = committed.Verify(c.bestVersion)
+	}
 	c.env.Close()
 	if err != nil {
 		return res, err
 	}
 	return res, nil
+}
+
+// monitor assembles the continuous check suite: global lock-table
+// consistency, forward-list well-formedness, dirty-implies-exclusive on
+// every client cache, and request conservation (no transaction waits
+// past its deadline plus a small grace). It also installs the commit
+// tracker — except when the configured outage is allowed to lose
+// updates by design (no recovery log).
+func (c *Cluster) monitor() (*invariant.Monitor, *invariant.Committed) {
+	var committed *invariant.Committed
+	if c.cfg.OutageClient == 0 || c.cfg.UseLogging {
+		committed = invariant.NewCommitted()
+		for _, cl := range c.clients {
+			cl.SetCommitHook(committed.Observe)
+		}
+	}
+	grace := c.cfg.MeanSlack + 2*c.cfg.EffectiveRetryTimeout()
+	checks := []invariant.Check{
+		{Name: "lock-table", Fn: c.server.AuditLocks},
+		{Name: "forward-lists", Fn: c.server.AuditForward},
+		{Name: "dirty-implies-exclusive", Fn: c.auditDirty},
+		{Name: "request-conservation", Fn: func() error {
+			for _, cl := range c.clients {
+				if err := cl.AuditPending(grace); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+	return invariant.New(c.env, 1, checks...), committed
+}
+
+// auditDirty is the per-step slice of the end-of-run cache audit: a
+// dirty cached object must be held exclusively. (The version
+// comparisons of Audit are end-of-run properties — mid-run the server's
+// copy legitimately lags committed writers.)
+func (c *Cluster) auditDirty() error {
+	for _, cl := range c.clients {
+		for _, e := range cl.Cache().Entries() {
+			if e.Dirty && e.Mode != lockmgr.ModeExclusive && !cl.HasDeferredRecall(e.Obj) {
+				return fmt.Errorf("rtdbs: client %d caches dirty object %d with %v",
+					cl.ID(), e.Obj, e.Mode)
+			}
+		}
+	}
+	return nil
+}
+
+// bestVersion returns the highest version of obj any surviving copy
+// carries — the server's page or a client's cached copy.
+func (c *Cluster) bestVersion(obj lockmgr.ObjectID) int64 {
+	best := c.server.Version(obj)
+	for _, cl := range c.clients {
+		if e := cl.Cache().Peek(obj); e != nil && e.Version > best {
+			best = e.Version
+		}
+	}
+	return best
 }
 
 func (c *Cluster) collect() *Result {
@@ -160,9 +266,11 @@ func (c *Cluster) collect() *Result {
 		DeniesDeadlock:      c.server.DeniesDeadlock,
 		Elapsed:             now,
 	}
+	res.Faults = c.net.Faults()
 	res.ExecutedPerSite = make(map[netsim.SiteID]int64, len(c.clients))
 	for _, cl := range c.clients {
 		res.ForwardHops += cl.ForwardHops
+		res.Retries += cl.Retries
 		for _, t := range cl.Tracked {
 			if t.Status == txn.StatusCommitted && t.Arrival >= c.cfg.Warmup {
 				res.ExecutedPerSite[t.ExecSite]++

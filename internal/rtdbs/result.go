@@ -42,6 +42,11 @@ type Result struct {
 	DeniesExpired     int64
 	DeniesDeadlock    int64
 
+	// Faults holds the injected-fault counters (zero-valued when fault
+	// injection is off); Retries counts client request retransmissions.
+	Faults  netsim.FaultStats
+	Retries int64
+
 	// ExecutedPerSite counts committed transactions by executing site
 	// (client-server systems only); Spread is their coefficient of
 	// variation — load sharing should push it down.

@@ -405,3 +405,28 @@ func (s *Server) writePage(p *sim.Proc, obj lockmgr.ObjectID, version int64) {
 
 // AuditLocks verifies the global lock table invariants.
 func (s *Server) AuditLocks() error { return s.locks.Audit() }
+
+// AuditForward verifies the structural invariants of every forward list
+// the server tracks — still collecting, sealed, and in flight.
+func (s *Server) AuditForward() error {
+	if s.collector != nil {
+		for _, l := range s.collector.OpenLists() {
+			if err := l.Wellformed(); err != nil {
+				return err
+			}
+		}
+	}
+	for _, m := range []map[lockmgr.ObjectID]*forward.List{s.sealed, s.inflight} {
+		objs := make([]lockmgr.ObjectID, 0, len(m))
+		for obj := range m {
+			objs = append(objs, obj)
+		}
+		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+		for _, obj := range objs {
+			if err := m[obj].Wellformed(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

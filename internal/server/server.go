@@ -53,6 +53,12 @@ type Server struct {
 	sealed    map[lockmgr.ObjectID]*forward.List
 	inflight  map[lockmgr.ObjectID]*forward.List
 
+	// faulty enables the duplicate-request guard: with fault injection on,
+	// clients retransmit requests, and a request already reflected in the
+	// lock table or a forward list must be served idempotently rather
+	// than registered twice.
+	faulty bool
+
 	// Counters surfaced in experiment reports.
 	RecallsSent        int64
 	GrantsShipped      int64
@@ -96,6 +102,7 @@ func New(env *sim.Env, cfg config.Config, net *netsim.Network) *Server {
 		sealed:   make(map[lockmgr.ObjectID]*forward.List),
 		inflight: make(map[lockmgr.ObjectID]*forward.List),
 	}
+	s.faulty = cfg.Faults.Enabled()
 	if cfg.UseForwardLists {
 		s.collector = forward.NewCollector(env, cfg.CollectionWindow, s.onSeal)
 	}
@@ -290,6 +297,9 @@ func (s *Server) handleFirm(p *sim.Proc, client netsim.SiteID, id txn.ID, obj lo
 			proto.DenyReply{Txn: id, Obj: obj, Reason: proto.DenyExpired})
 		return
 	}
+	if s.faulty && s.dupFirm(client, id, obj, mode) {
+		return
+	}
 	if s.collector != nil && s.groupable(obj, client, mode) {
 		s.collector.Add(obj, forward.Entry{Client: client, Mode: mode, Deadline: deadline, Txn: id})
 		s.recallForMigration(obj)
@@ -310,6 +320,32 @@ func (s *Server) handleFirm(p *sim.Proc, client netsim.SiteID, id txn.ID, obj lo
 		s.send(client, netsim.KindLockReply, netsim.ControlBytes,
 			proto.DenyReply{Txn: id, Obj: obj, Reason: proto.DenyDeadlock})
 	}
+}
+
+// dupFirm serves a retransmitted firm request idempotently from the
+// server's existing state (fault injection only): a request whose lock
+// is already held ships the object again (the original ship may have
+// been lost); one already queued or on a forward list just nudges the
+// recall machinery. Only a request with no trace in the server's state
+// proceeds to normal registration.
+func (s *Server) dupFirm(client netsim.SiteID, id txn.ID, obj lockmgr.ObjectID, mode lockmgr.Mode) bool {
+	owner := lockmgr.OwnerID(client)
+	if held := s.locks.HolderMode(obj, owner); held == mode || held == lockmgr.ModeExclusive {
+		s.ship(obj, client, held, id, nil)
+		return true
+	}
+	if s.locks.HasWaiter(obj, owner) {
+		s.recallForQueueHead(obj)
+		return true
+	}
+	for _, l := range s.lists(obj) {
+		if l.Contains(client, id) {
+			s.recallForMigration(obj)
+			s.tryDispatch(obj)
+			return true
+		}
+	}
+	return false
 }
 
 // handleReturn processes a recall answer, a voluntary dirty eviction, or

@@ -47,6 +47,11 @@ type Env struct {
 
 	// stepCount counts executed events, for introspection and tests.
 	stepCount int64
+
+	// stepHook, when set, runs after every executed event (invariant
+	// monitoring). Nil in normal runs so Step stays allocation- and
+	// call-free on the hot path.
+	stepHook func()
 }
 
 // NewEnv returns an environment with the clock at zero and no pending
@@ -64,6 +69,12 @@ func (e *Env) Steps() int64 { return e.stepCount }
 // Procs returns the number of live (spawned and not yet finished)
 // processes.
 func (e *Env) Procs() int { return e.live }
+
+// SetStepHook installs fn to run after every executed event, or removes
+// the hook when fn is nil. The invariant monitor uses it to re-check
+// model invariants continuously; the hook must not schedule events or
+// block.
+func (e *Env) SetStepHook(fn func()) { e.stepHook = fn }
 
 // EventHook is a closure-free scheduled callback: ScheduleHook/AtHook
 // queue the hook itself instead of a func(), so a long-lived object
@@ -207,6 +218,9 @@ func (e *Env) Step() bool {
 			}
 			e.dispatch(p)
 		}
+		if e.stepHook != nil {
+			e.stepHook()
+		}
 		return true
 	}
 	return false
@@ -246,8 +260,12 @@ func (e *Env) RunAll() {
 // stop notice, unwinds via panic(errStopped) recovered by the kernel,
 // and its goroutine exits; parked (reusable) goroutines are reaped too.
 // Close must be called from the driving goroutine (never from inside a
-// process). After Close the environment must not be used further.
+// process). Closing an already closed environment is a no-op; after
+// Close the environment must not be used otherwise.
 func (e *Env) Close() {
+	if e.closed {
+		return
+	}
 	e.closed = true
 	// closed=true disables registry compaction, so indices are stable
 	// while we walk, and new procs cannot appear (Go panics).
