@@ -70,6 +70,33 @@ func TestGoldenOutageStudy(t *testing.T) {
 	checkGolden(t, "outage_replicated.golden", text.String())
 }
 
+// TestGoldenTraceSummary locks down the aggregate miss-cause table of
+// the traced figure sweep — both the low-contention Figure 3 mix and the
+// update-heavy Figure 5 mix (which actually populates the cause
+// columns), plus the CSV form. Beyond formatting, this pins the
+// determinism of the whole trace layer under the parallel worker pool:
+// any drift in event emission, attribution bucketing, or dominant-cause
+// classification shows up as a diff here.
+func TestGoldenTraceSummary(t *testing.T) {
+	var fig3 strings.Builder
+	if err := runExperiments(params{exp: "fig3", traceSummary: true, ablateN: 4, ablateU: 0.2}, goldenOpts, &fig3); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig3_trace_summary.golden", fig3.String())
+
+	var fig5 strings.Builder
+	if err := runExperiments(params{exp: "fig5", traceSummary: true, ablateN: 4, ablateU: 0.2}, goldenOpts, &fig5); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig5_trace_summary.golden", fig5.String())
+
+	var csv strings.Builder
+	if err := runExperiments(params{exp: "fig5", traceSummary: true, csv: true, ablateN: 4, ablateU: 0.2}, goldenOpts, &csv); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig5_trace_summary_csv.golden", csv.String())
+}
+
 // TestGoldenFaultMatrix locks down the fault-injection matrix rendering
 // and its determinism across the worker pool.
 func TestGoldenFaultMatrix(t *testing.T) {

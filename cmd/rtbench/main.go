@@ -13,6 +13,11 @@
 // -scale shrinks the virtual run length (1 = the full 30-minute runs);
 // the shapes survive scaling but small counters get noisier.
 //
+// -trace-summary re-runs a figure's CS/LS cells with per-transaction
+// tracing enabled and reports the aggregate miss-cause table (missed
+// transactions classified by the dominant component of their slack
+// attribution) instead of the success-rate figure.
+//
 // -cpuprofile and -memprofile write pprof profiles covering the
 // experiment run, for hunting simulator hot spots (see DESIGN.md
 // "Kernel internals and performance").
@@ -50,11 +55,12 @@ func main() {
 // params carries the parsed command line into runExperiments, keeping
 // the experiment dispatch testable without flag globals.
 type params struct {
-	exp     string
-	csv     bool
-	svgDir  string
-	ablateN int
-	ablateU float64
+	exp          string
+	csv          bool
+	svgDir       string
+	ablateN      int
+	ablateU      float64
+	traceSummary bool
 }
 
 func run() error {
@@ -70,6 +76,7 @@ func run() error {
 		svgDir   = flag.String("svg", "", "directory to also write figures as SVG charts")
 		ablateN  = flag.Int("ablate-clients", 60, "client count for ablations")
 		ablateU  = flag.Float64("ablate-updates", 0.20, "update fraction for ablations")
+		traceSum = flag.Bool("trace-summary", false, "for figure experiments, re-run the CS/LS cells with tracing enabled and report the aggregate miss-cause table instead of the figure")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -122,6 +129,7 @@ func run() error {
 	err := runExperiments(params{
 		exp: *exp, csv: *csv, svgDir: *svgDir,
 		ablateN: *ablateN, ablateU: *ablateU,
+		traceSummary: *traceSum,
 	}, opts, os.Stdout)
 	if timing != nil {
 		s := timing.Stats()
@@ -134,6 +142,19 @@ func run() error {
 
 func runExperiments(p params, opts experiment.Options, out io.Writer) error {
 	runFigure := func(id string, update float64) error {
+		if p.traceSummary {
+			ts, err := experiment.RunTraceSummary(id, update, opts)
+			if err != nil {
+				return err
+			}
+			if p.csv {
+				ts.CSV(out)
+			} else {
+				ts.Render(out)
+			}
+			fmt.Fprintln(out)
+			return nil
+		}
 		f, err := experiment.RunFigure(id, update, opts)
 		if err != nil {
 			return err

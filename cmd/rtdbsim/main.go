@@ -11,12 +11,21 @@
 //	        [-no-decomposition] [-no-forward-lists] [-no-downgrade]
 //	        [-drop-rate 0] [-dup-rate 0] [-spike-rate 0] [-spike-latency 5ms]
 //	        [-partition-site -1] [-partition-at 0] [-partition-duration 0]
-//	        [-invariants]
+//	        [-invariants] [-trace out.json] [-msgtrace 0]
 //
 // With -reps N > 1 the configuration is replicated N times over seeds
 // derived from the master -seed, fanned across a -parallel worker pool
 // (0 = GOMAXPROCS), and summarized as mean ± 95% CI instead of the full
 // single-run dump.
+//
+// -trace out.json enables the per-transaction event tracer (cs/ls
+// only): the run additionally prints a slack-attribution report for the
+// missed transactions — per-component queue / lock-wait / network /
+// exec / retry / fanout breakdowns that sum exactly to each
+// transaction's lifetime — plus the aggregate miss-cause table, and
+// writes the full event timeline as Chrome trace-event JSON loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing, one track per site.
+// -msgtrace N instead prints the last N raw LAN messages.
 //
 // The fault flags drive the deterministic fault-injection layer
 // (client-server systems only): per-message drop/duplicate/latency-spike
@@ -64,7 +73,8 @@ func run() error {
 		noDec     = flag.Bool("no-decomposition", false, "disable transaction decomposition")
 		noFwd     = flag.Bool("no-forward-lists", false, "disable forward lists")
 		noDown    = flag.Bool("no-downgrade", false, "disable EL->SL callback downgrades")
-		traceN    = flag.Int("trace", 0, "print the last N LAN messages at the end of the run")
+		traceOut  = flag.String("trace", "", "trace every transaction; write Chrome trace-event JSON to this file and print the slack-attribution report (cs/ls)")
+		msgTraceN = flag.Int("msgtrace", 0, "print the last N LAN messages at the end of the run")
 
 		dropRate  = flag.Float64("drop-rate", 0, "per-message drop probability [0,1]")
 		dupRate   = flag.Float64("dup-rate", 0, "per-message duplication probability [0,1]")
@@ -116,8 +126,11 @@ func run() error {
 	}
 	cfg.CheckInvariants = *invar
 
-	if *traceN > 0 {
-		return runTraced(kind, cfg, *traceN)
+	if *traceOut != "" {
+		return runTxnTraced(kind, cfg, *traceOut)
+	}
+	if *msgTraceN > 0 {
+		return runMsgTraced(kind, cfg, *msgTraceN)
 	}
 	if *reps > 1 {
 		return runReplicated(kind, cfg, *reps, *parallel)
@@ -165,9 +178,53 @@ func runReplicated(kind siteselect.SystemKind, cfg siteselect.Config, reps, para
 	return nil
 }
 
-// runTraced builds the system directly so a message trace can be
+// runTxnTraced runs a client-server system with the per-transaction
+// tracer on: after the normal dump it prints the slack-attribution
+// report (per missed transaction and the aggregate miss-cause table)
+// and writes the event timeline as Chrome trace-event JSON.
+func runTxnTraced(kind siteselect.SystemKind, cfg siteselect.Config, path string) error {
+	cfg.Trace = true
+	var c *rtdbs.Cluster
+	var err error
+	switch kind {
+	case siteselect.ClientServer:
+		c, err = rtdbs.NewClientServer(cfg)
+	case siteselect.LoadSharing:
+		c, err = rtdbs.NewLoadSharing(cfg)
+	default:
+		return fmt.Errorf("-trace requires -system cs or ls (the centralized systems are untraced)")
+	}
+	if err != nil {
+		return err
+	}
+	res, err := c.Run()
+	if err != nil {
+		return err
+	}
+	dump(kind, res)
+	tr := c.Tracer()
+	fmt.Println()
+	if err := tr.WriteAttribution(os.Stdout, cfg.Warmup, 20); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nChrome trace written to %s (load in Perfetto or chrome://tracing)\n", path)
+	return nil
+}
+
+// runMsgTraced builds the system directly so a message trace can be
 // installed before the run, then prints the tail of the trace ring.
-func runTraced(kind siteselect.SystemKind, cfg siteselect.Config, n int) error {
+func runMsgTraced(kind siteselect.SystemKind, cfg siteselect.Config, n int) error {
 	ring := make([]netsim.Message, 0, n)
 	trace := func(m netsim.Message) {
 		if len(ring) == n {

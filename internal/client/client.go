@@ -23,6 +23,7 @@ import (
 	"siteselect/internal/proto"
 	"siteselect/internal/sched"
 	"siteselect/internal/sim"
+	"siteselect/internal/trace"
 	"siteselect/internal/txn"
 	"siteselect/internal/wal"
 )
@@ -63,6 +64,13 @@ type Client struct {
 	// onCommit, when set, observes every committed write (invariant
 	// monitoring: no committed update may be lost).
 	onCommit func(lockmgr.ObjectID, int64)
+
+	// tr is the per-run transaction tracer (nil when tracing is off; a
+	// nil tracer's methods are no-ops). curTransit is the wire transit
+	// of the message the dispatcher is currently handling, accumulated
+	// into waiting transactions' network attribution.
+	tr         *trace.Tracer
+	curTransit time.Duration
 
 	// pending tracks transactions waiting for object replies; waiters
 	// indexes them by object for grant routing.
@@ -127,6 +135,11 @@ type pendingTxn struct {
 	denied      proto.DenyReason
 	loadReply   *proto.LoadReply
 	wantLoad    bool
+	// netAccum accumulates the measured wire transit of the current
+	// request/reply exchange (uplink sends plus satisfying replies);
+	// awaitReply splits each wait interval into network and lock-wait
+	// attribution with it.
+	netAccum time.Duration
 }
 
 // New returns a client site. inbox is this client's message queue;
@@ -188,6 +201,9 @@ func (c *Client) Log() *wal.Log { return c.log }
 // (object, new version). The invariant monitor uses it to verify that
 // no committed update is ever lost.
 func (c *Client) SetCommitHook(fn func(lockmgr.ObjectID, int64)) { c.onCommit = fn }
+
+// SetTracer installs the per-run transaction tracer. Call before Start.
+func (c *Client) SetTracer(tr *trace.Tracer) { c.tr = tr }
 
 // AuditPending verifies request conservation: no transaction may still
 // be waiting on a request more than grace past its deadline — by then
@@ -269,6 +285,7 @@ func (c *Client) generate(p *sim.Proc) {
 		}
 		t := c.gen.Next()
 		c.Tracked = append(c.Tracked, t)
+		c.tr.Submitted(t, c.id, p.Now())
 		c.env.Go(fmt.Sprintf("txn-%d", t.ID), func(tp *sim.Proc) { c.submit(tp, t) })
 	}
 }
@@ -281,6 +298,7 @@ func (c *Client) dispatch(p *sim.Proc) {
 		if p.Now() < c.outageEnd {
 			p.SleepUntil(c.outageEnd)
 		}
+		c.curTransit = msg.DeliveredAt - msg.SentAt
 		switch pl := msg.Payload.(type) {
 		case proto.ObjGrant:
 			c.onGrant(pl)
@@ -317,18 +335,20 @@ func (c *Client) loadReport() proto.LoadReport {
 // should be recorded.
 func (c *Client) measuring() bool { return c.env.Now() >= c.cfg.Warmup }
 
-func (c *Client) toServer(kind netsim.Kind, size int, payload any) {
-	c.net.Send(netsim.Message{
+// toServer and toPeer send one message and return its wire transit for
+// network attribution.
+func (c *Client) toServer(kind netsim.Kind, size int, payload any) time.Duration {
+	return c.net.Send(netsim.Message{
 		Kind: kind, From: c.id, To: netsim.ServerSite, Size: size, Payload: payload,
 	}, c.serverIn)
 }
 
-func (c *Client) toPeer(to netsim.SiteID, kind netsim.Kind, size int, payload any) {
+func (c *Client) toPeer(to netsim.SiteID, kind netsim.Kind, size int, payload any) time.Duration {
 	mb, ok := c.peers[to]
 	if !ok {
 		panic(fmt.Sprintf("client %d: no peer route to %d", c.id, to))
 	}
-	c.net.Send(netsim.Message{
+	return c.net.Send(netsim.Message{
 		Kind: kind, From: c.id, To: to, Size: size, Payload: payload,
 	}, mb)
 }

@@ -12,8 +12,16 @@ import (
 	"siteselect/internal/netsim"
 	"siteselect/internal/proto"
 	"siteselect/internal/sim"
+	"siteselect/internal/trace"
 	"siteselect/internal/txn"
 )
+
+func boolArg(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // submit is the entry point of the load-sharing algorithm for a
 // transaction initiated at this client (Section 4 pseudocode).
@@ -28,7 +36,9 @@ func (c *Client) submit(p *sim.Proc, t *txn.Transaction) {
 		// drain k at a time, so the expected start delay is n·ATL/k.
 		n := c.slots.QueueLen()
 		atl := c.atl.Mean() / time.Duration(c.cfg.ClientExecutors)
-		if !loadshare.H1Feasible(p.Now(), n, atl, t.Deadline) {
+		feasible := loadshare.H1Feasible(p.Now(), n, atl, t.Deadline)
+		c.tr.Point(t.ID, c.id, trace.EvH1, 0, int64(n), boolArg(feasible), p.Now())
+		if !feasible {
 			c.m.H1Rejections++
 			if c.shipViaQuery(p, t) {
 				return
@@ -47,7 +57,7 @@ func (c *Client) shipViaQuery(p *sim.Proc, t *txn.Transaction) bool {
 	if reply == nil {
 		return false
 	}
-	d := loadshare.ChooseSite(loadshare.Params{
+	params := loadshare.Params{
 		Origin:         c.id,
 		Now:            p.Now(),
 		Deadline:       t.Deadline,
@@ -56,7 +66,13 @@ func (c *Client) shipViaQuery(p *sim.Proc, t *txn.Transaction) bool {
 		OriginQueueLen: c.slots.QueueLen(),
 		OriginATL:      c.atl.Mean(),
 		Executors:      c.cfg.ClientExecutors,
-	})
+	}
+	if c.tr.Enabled() {
+		params.Trace = func(d loadshare.Decision) {
+			c.tr.Point(t.ID, c.id, trace.EvH2, 0, int64(d.Target), boolArg(d.Ship), p.Now())
+		}
+	}
+	d := loadshare.ChooseSite(params)
 	if !d.Ship {
 		return false
 	}
@@ -72,8 +88,9 @@ func (c *Client) loadQuery(p *sim.Proc, t *txn.Transaction) *proto.LoadReply {
 	pt := c.ensurePending(t)
 	pt.wantLoad = true
 	pt.loadReply = nil
+	pt.netAccum = 0
 	send := func(attempt int) {
-		c.toServer(netsim.KindLoadQuery, netsim.ControlBytes, proto.LoadQuery{
+		pt.netAccum += c.toServer(netsim.KindLoadQuery, netsim.ControlBytes, proto.LoadQuery{
 			Client:   c.id,
 			Txn:      t.ID,
 			Objs:     t.Objects(),
@@ -84,7 +101,7 @@ func (c *Client) loadQuery(p *sim.Proc, t *txn.Transaction) *proto.LoadReply {
 		})
 	}
 	send(0)
-	ok := c.awaitReply(p, t.Deadline, pt.sig, func() bool { return pt.loadReply != nil }, send)
+	ok := c.awaitReply(p, t, pt, true, func() bool { return pt.loadReply != nil }, send)
 	pt.wantLoad = false
 	if !ok {
 		return nil
@@ -92,26 +109,47 @@ func (c *Client) loadQuery(p *sim.Proc, t *txn.Transaction) *proto.LoadReply {
 	return pt.loadReply
 }
 
-// awaitReply waits for done on sig until deadline. In fault-free runs
-// (rto == 0) it is exactly one bounded wait. Under fault injection it
-// retransmits via resend on an exponentially backed-off timer (capped at
-// 8x the base timeout), always bounded by the deadline, so a request or
-// reply lost to the fault layer is recovered instead of hanging the
-// transaction until its deadline.
-func (c *Client) awaitReply(p *sim.Proc, deadline time.Duration, sig *sim.Signal, done func() bool, resend func(attempt int)) bool {
+// awaitReply waits for done on pt.sig until the transaction's deadline.
+// In fault-free runs (rto == 0) it is exactly one bounded wait. Under
+// fault injection it retransmits via resend on an exponentially
+// backed-off timer (capped at 8x the base timeout), always bounded by
+// the deadline, so a request or reply lost to the fault layer is
+// recovered instead of hanging the transaction until its deadline.
+//
+// owns marks the call as running in the transaction's attributing
+// context (a subtask must not mark its parent's trace): each completed
+// wait closes into network + lock-wait via the transit accumulated in
+// pt.netAccum, and each expired retransmission window closes into the
+// retry bucket.
+func (c *Client) awaitReply(p *sim.Proc, t *txn.Transaction, pt *pendingTxn, owns bool, done func() bool, resend func(attempt int)) bool {
+	markWait := func() {
+		if owns {
+			c.tr.MarkWait(t.ID, c.id, p.Now(), pt.netAccum)
+		}
+		pt.netAccum = 0
+	}
 	if c.rto <= 0 {
-		return p.WaitForTimeout(sig, deadline, done)
+		ok := p.WaitForTimeout(pt.sig, t.Deadline, done)
+		markWait()
+		return ok
 	}
 	rto := c.rto
 	for attempt := 1; ; attempt++ {
 		next := p.Now() + rto
-		if next >= deadline {
-			return p.WaitForTimeout(sig, deadline, done)
+		if next >= t.Deadline {
+			ok := p.WaitForTimeout(pt.sig, t.Deadline, done)
+			markWait()
+			return ok
 		}
-		if p.WaitForTimeout(sig, next, done) {
+		if p.WaitForTimeout(pt.sig, next, done) {
+			markWait()
 			return true
 		}
 		c.Retries++
+		if owns {
+			c.tr.MarkRetry(t.ID, c.id, p.Now(), attempt)
+		}
+		pt.netAccum = 0
 		resend(attempt)
 		if rto < 8*c.rto {
 			rto *= 2
@@ -136,6 +174,7 @@ func (c *Client) shipTxn(t *txn.Transaction, target netsim.SiteID) {
 	c.ShippedOut++
 	c.m.ShippedTxns++
 	t.Shipped = true
+	c.tr.Point(t.ID, c.id, trace.EvShippedTxn, 0, int64(target), 0, c.env.Now())
 	c.toPeer(target, netsim.KindTxnShip, netsim.TxnShipBytes, proto.TxnShip{
 		T: t, ReplyTo: c.id, Load: c.loadReport(),
 	})
@@ -165,6 +204,7 @@ func (c *Client) tryDecompose(p *sim.Proc, t *txn.Transaction) bool {
 		}
 	}
 	c.m.DecomposedTxns++
+	c.tr.Point(t.ID, c.id, trace.EvDecomposed, 0, int64(len(subs)), 0, p.Now())
 	results := make([]*shipWait, len(subs))
 	for i, sub := range subs {
 		c.m.SubtasksRun++
@@ -193,6 +233,7 @@ func (c *Client) tryDecompose(p *sim.Proc, t *txn.Transaction) bool {
 	for _, w := range results {
 		p.WaitForTimeout(w.sig, grace, func() bool { return w.done })
 	}
+	c.tr.Mark(t.ID, c.id, trace.CompFanout, p.Now())
 	for _, sub := range subs {
 		delete(c.shipWaits, shipKey{id: t.ID, sub: sub.Index})
 	}
@@ -214,6 +255,7 @@ func (c *Client) finishParent(t *txn.Transaction, committed bool) {
 	}
 	t.Finished = c.env.Now()
 	t.ExecSite = c.id
+	c.tr.Finish(t, c.id, c.env.Now())
 }
 
 // execute runs a transaction (or subtask) at this site: queue for an
@@ -228,15 +270,25 @@ func (c *Client) execute(p *sim.Proc, t *txn.Transaction, sub *txn.Subtask, orig
 		ops = sub.Ops
 		length = sub.Length
 	}
+	// Only the context that owns the transaction's status attributes its
+	// trace: a subtask must not mark its parent's timeline.
+	owns := sub == nil
 	now := p.Now()
 	slack := t.Deadline - now
 	if slack <= 0 || !p.AcquireTimeout(c.slots, c.priorityOf(t), slack) {
+		if owns {
+			c.tr.Mark(t.ID, c.id, trace.CompQueue, p.Now())
+		}
 		return c.finish(p, t, sub, false)
 	}
 	defer c.slots.Release()
 	// Whatever way this attempt ends, forward any migrations this
 	// transaction came to own and answer recalls deferred on its pins.
 	defer c.afterRelease(ops, t.ID)
+	if owns {
+		c.tr.Mark(t.ID, c.id, trace.CompQueue, p.Now())
+		c.tr.Point(t.ID, c.id, trace.EvSlotAcquired, 0, 0, 0, p.Now())
+	}
 	if p.Now() > t.Deadline {
 		return c.finish(p, t, sub, false)
 	}
@@ -245,7 +297,11 @@ func (c *Client) execute(p *sim.Proc, t *txn.Transaction, sub *txn.Subtask, orig
 
 	owner := lockmgr.OwnerID(t.ID)
 	if c.localLocks != nil {
-		if !c.lockLocal(p, t, ops, owner) {
+		ok := c.lockLocal(p, t, ops, owner)
+		if owns {
+			c.tr.Mark(t.ID, c.id, trace.CompLockWait, p.Now())
+		}
+		if !ok {
 			c.localLocks.ReleaseAll(owner)
 			return c.finish(p, t, sub, false)
 		}
@@ -259,7 +315,7 @@ func (c *Client) execute(p *sim.Proc, t *txn.Transaction, sub *txn.Subtask, orig
 	specVersions, specFraction := c.speculationCandidates(ops)
 	specStart := p.Now()
 
-	entries, ok := c.materialize(p, t, ops, origin)
+	entries, ok := c.materialize(p, t, ops, origin, owns)
 	if !ok {
 		return c.finish(p, t, sub, false)
 	}
@@ -327,6 +383,9 @@ func (c *Client) execute(p *sim.Proc, t *txn.Transaction, sub *txn.Subtask, orig
 		c.objects.Unpin(e)
 	}
 	c.atl.Observe(p.Now() - start)
+	if owns {
+		c.tr.Mark(t.ID, c.id, trace.CompExec, p.Now())
+	}
 	committed := p.Now() <= t.Deadline
 	return c.finish(p, t, sub, committed)
 }
@@ -405,7 +464,7 @@ func (c *Client) lockLocal(p *sim.Proc, t *txn.Transaction, ops []txn.Op, owner 
 // a sufficient lock and pins it. Presence can be lost to callbacks while
 // fetching, so it loops: (1) ensure presence, fetching misses from the
 // server; (2) pin atomically; on any loss, refetch — until the deadline.
-func (c *Client) materialize(p *sim.Proc, t *txn.Transaction, ops []txn.Op, origin bool) ([]*cache.Entry, bool) {
+func (c *Client) materialize(p *sim.Proc, t *txn.Transaction, ops []txn.Op, origin, owns bool) ([]*cache.Entry, bool) {
 	for attempt := 0; ; attempt++ {
 		var missing []txn.Op
 		for _, op := range ops {
@@ -422,6 +481,9 @@ func (c *Client) materialize(p *sim.Proc, t *txn.Transaction, ops []txn.Op, orig
 			c.returnEvicted(evicted)
 			if tier == cache.TierDisk {
 				c.chargeLocalDisk(p)
+				if owns {
+					c.tr.Mark(t.ID, c.id, trace.CompExec, p.Now())
+				}
 			}
 		}
 		if len(missing) == 0 {
@@ -439,7 +501,7 @@ func (c *Client) materialize(p *sim.Proc, t *txn.Transaction, ops []txn.Op, orig
 		if p.Now() > t.Deadline {
 			return nil, false
 		}
-		if !c.fetch(p, t, missing, attempt, origin) {
+		if !c.fetch(p, t, missing, attempt, origin, owns) {
 			return nil, false
 		}
 		if t.Shipped && origin {
@@ -478,12 +540,12 @@ func modeSufficient(have, need lockmgr.Mode) bool {
 // one firm request outstanding). Returns false when the transaction can
 // no longer proceed here (deadline, denial) — or when it was shipped
 // away (t.Shipped distinguishes that case).
-func (c *Client) fetch(p *sim.Proc, t *txn.Transaction, missing []txn.Op, attempt int, origin bool) bool {
+func (c *Client) fetch(p *sim.Proc, t *txn.Transaction, missing []txn.Op, attempt int, origin, owns bool) bool {
 	pt := c.ensurePending(t)
 	defer c.releasePending(pt)
 
 	if !(c.loadShare && c.cfg.UseH2 && origin && attempt == 0) {
-		return c.fetchSequential(p, t, pt, missing)
+		return c.fetchSequential(p, t, pt, missing, owns)
 	}
 
 	// Tentative probe: one message covering every missing object.
@@ -497,8 +559,9 @@ func (c *Client) fetch(p *sim.Proc, t *txn.Transaction, missing []txn.Op, attemp
 		pt.sent[op.Obj] = now
 		c.waiters[op.Obj] = append(c.waiters[op.Obj], pt)
 	}
+	pt.netAccum = 0
 	sendProbe := func(attempt int) {
-		c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ProbeRequest{
+		pt.netAccum += c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ProbeRequest{
 			Client:   c.id,
 			Txn:      t.ID,
 			Objs:     objs,
@@ -515,7 +578,7 @@ func (c *Client) fetch(p *sim.Proc, t *txn.Transaction, missing []txn.Op, attemp
 	// A retried probe is idempotent at the server: already-granted locks
 	// hit the lock table's re-entrant fast path and the objects ship
 	// again over the reliable channel.
-	if !c.awaitReply(p, t.Deadline, pt.sig, settled, sendProbe) {
+	if !c.awaitReply(p, t, pt, owns, settled, sendProbe) {
 		return false
 	}
 	if pt.denied != 0 {
@@ -538,7 +601,7 @@ func (c *Client) fetch(p *sim.Proc, t *txn.Transaction, missing []txn.Op, attemp
 	for _, dc := range pt.dataCounts {
 		dataCounts[dc.Site] = dc.Count
 	}
-	d := loadshare.ChooseSite(loadshare.Params{
+	params := loadshare.Params{
 		Origin:             c.id,
 		Now:                p.Now(),
 		Deadline:           t.Deadline,
@@ -553,7 +616,13 @@ func (c *Client) fetch(p *sim.Proc, t *txn.Transaction, missing []txn.Op, attemp
 		// than the origin currently does — otherwise the move trades
 		// one blocked object for several lost cache hits.
 		MinShipData: len(t.Ops) - len(missing) + 1,
-	})
+	}
+	if c.tr.Enabled() {
+		params.Trace = func(d loadshare.Decision) {
+			c.tr.Point(t.ID, c.id, trace.EvH2, 0, int64(d.Target), boolArg(d.Ship), p.Now())
+		}
+	}
+	d := loadshare.ChooseSite(params)
 	if d.Ship {
 		c.shipTxn(t, d.Target)
 		return true // t.Shipped signals the caller
@@ -568,8 +637,9 @@ func (c *Client) fetch(p *sim.Proc, t *txn.Transaction, missing []txn.Op, attemp
 	for _, op := range missing {
 		pt.sent[op.Obj] = now
 	}
+	pt.netAccum = 0
 	sendCommit := func(attempt int) {
-		c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.CommitRequest{
+		pt.netAccum += c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.CommitRequest{
 			Client:   c.id,
 			Txn:      t.ID,
 			Deadline: t.Deadline,
@@ -581,7 +651,7 @@ func (c *Client) fetch(p *sim.Proc, t *txn.Transaction, missing []txn.Op, attemp
 	}
 	sendCommit(0)
 	granted := func() bool { return len(pt.want) == 0 || pt.denied != 0 }
-	if !c.awaitReply(p, t.Deadline, pt.sig, granted, sendCommit) {
+	if !c.awaitReply(p, t, pt, owns, granted, sendCommit) {
 		return false
 	}
 	if pt.denied != 0 {
@@ -596,7 +666,7 @@ func (c *Client) fetch(p *sim.Proc, t *txn.Transaction, missing []txn.Op, attemp
 
 // fetchSequential fetches the missing objects one at a time: send a firm
 // request, wait for the object (or a denial or the deadline), move on.
-func (c *Client) fetchSequential(p *sim.Proc, t *txn.Transaction, pt *pendingTxn, missing []txn.Op) bool {
+func (c *Client) fetchSequential(p *sim.Proc, t *txn.Transaction, pt *pendingTxn, missing []txn.Op, owns bool) bool {
 	for _, op := range missing {
 		if p.Now() > t.Deadline {
 			return false
@@ -605,8 +675,9 @@ func (c *Client) fetchSequential(p *sim.Proc, t *txn.Transaction, pt *pendingTxn
 		pt.want[obj] = op.Mode()
 		pt.sent[obj] = p.Now()
 		c.waiters[obj] = append(c.waiters[obj], pt)
+		pt.netAccum = 0
 		send := func(attempt int) {
-			c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ObjRequest{
+			pt.netAccum += c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ObjRequest{
 				Client:   c.id,
 				Txn:      t.ID,
 				Obj:      obj,
@@ -621,7 +692,7 @@ func (c *Client) fetchSequential(p *sim.Proc, t *txn.Transaction, pt *pendingTxn
 			_, waiting := pt.want[obj]
 			return !waiting || pt.denied != 0
 		}
-		if !c.awaitReply(p, t.Deadline, pt.sig, arrived, send) {
+		if !c.awaitReply(p, t, pt, owns, arrived, send) {
 			return false
 		}
 		if pt.denied != 0 {
@@ -685,6 +756,7 @@ func (c *Client) finish(p *sim.Proc, t *txn.Transaction, sub *txn.Subtask, commi
 		}
 		t.Finished = now
 		t.ExecSite = c.id
+		c.tr.Finish(t, c.id, now)
 		if t.Origin != c.id {
 			c.toPeer(t.Origin, netsim.KindTxnResult, netsim.ResultBytes, proto.TxnResult{
 				Txn: t.ID, SubIndex: -1, Committed: committed, ExecSite: c.id,

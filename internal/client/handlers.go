@@ -8,6 +8,7 @@ import (
 	"siteselect/internal/netsim"
 	"siteselect/internal/proto"
 	"siteselect/internal/sim"
+	"siteselect/internal/trace"
 	"siteselect/internal/txn"
 )
 
@@ -72,6 +73,8 @@ func (c *Client) onGrant(g proto.ObjGrant) {
 		if sent, ok := pt.sent[g.Obj]; ok && c.measuring() {
 			c.m.RecordResponse(need, now-sent)
 		}
+		pt.netAccum += c.curTransit
+		c.tr.Point(pt.t.ID, c.id, trace.EvLockGranted, g.Obj, 0, 0, now)
 		satisfied = append(satisfied, pt.t.ID)
 		pt.sig.Broadcast()
 	}
@@ -128,6 +131,7 @@ func (c *Client) hopStaleMigration(g proto.ObjGrant) {
 			continue // same stale registration; skip our own entries too
 		}
 		c.ForwardHops++
+		c.tr.Point(next.Txn, c.id, trace.EvMigrationHop, g.Obj, int64(next.Client), 0, now)
 		c.toPeer(next.Client, netsim.KindClientForward, netsim.ObjectBytes, proto.ObjGrant{
 			Obj: g.Obj, Mode: next.Mode, Version: g.Version, Txn: next.Txn,
 			Epoch: next.Epoch, Fwd: l,
@@ -158,6 +162,7 @@ func (c *Client) hopReadRun(g proto.ObjGrant) {
 			continue
 		}
 		c.ForwardHops++
+		c.tr.Point(next.Txn, c.id, trace.EvMigrationHop, g.Obj, int64(next.Client), 0, c.env.Now())
 		c.toPeer(next.Client, netsim.KindClientForward, netsim.ObjectBytes, proto.ObjGrant{
 			Obj: g.Obj, Mode: next.Mode, Version: g.Version, Txn: next.Txn,
 			Epoch: next.Epoch, Fwd: g.Fwd,
@@ -175,6 +180,7 @@ func (c *Client) onConflictReply(r proto.ConflictReply) {
 	pt.conflicts = r.Conflicts
 	pt.loads = r.Loads
 	pt.dataCounts = r.DataCounts
+	pt.netAccum += c.curTransit
 	pt.sig.Broadcast()
 }
 
@@ -184,6 +190,8 @@ func (c *Client) onDeny(d proto.DenyReply) {
 		return
 	}
 	pt.denied = d.Reason
+	pt.netAccum += c.curTransit
+	c.tr.Point(d.Txn, c.id, trace.EvLockDenied, 0, int64(d.Reason), 0, c.env.Now())
 	pt.sig.Broadcast()
 }
 
@@ -194,6 +202,7 @@ func (c *Client) onLoadReply(r proto.LoadReply) {
 	}
 	reply := r
 	pt.loadReply = &reply
+	pt.netAccum += c.curTransit
 	pt.sig.Broadcast()
 }
 
@@ -279,6 +288,9 @@ func (c *Client) onTxnShip(s proto.TxnShip) {
 			return
 		}
 		t.ExecSite = c.id
+		// The target now owns the trace: the hop from the origin's ship
+		// decision to here is network time.
+		c.tr.MarkShipArrived(t.ID, c.id, p.Now())
 		c.execute(p, t, nil, false)
 	})
 }
@@ -400,6 +412,7 @@ func (c *Client) forwardMigration(obj lockmgr.ObjectID) {
 				if sent, okSent := pt.sent[obj]; okSent && c.measuring() {
 					c.m.RecordResponse(need, now-sent)
 				}
+				c.tr.Point(pt.t.ID, c.id, trace.EvLockGranted, obj, 0, 0, now)
 				satisfied = true
 				pt.sig.Broadcast()
 			}
@@ -429,6 +442,7 @@ func (c *Client) forwardMigration(obj lockmgr.ObjectID) {
 		}
 		if ok {
 			c.ForwardHops++
+			c.tr.Point(next.Txn, c.id, trace.EvMigrationHop, obj, int64(next.Client), 0, now)
 			c.toPeer(next.Client, netsim.KindClientForward, netsim.ObjectBytes, proto.ObjGrant{
 				Obj: obj, Mode: next.Mode, Version: version, Txn: next.Txn,
 				Epoch: next.Epoch, Fwd: l,

@@ -226,6 +226,14 @@ type Config struct {
 	// executes. Off by default; the test tier turns it on.
 	CheckInvariants bool
 
+	// Trace enables the per-transaction event tracer (internal/trace):
+	// every transaction accumulates a typed event timeline and a slack
+	// attribution splitting its lifetime into queue / lock-wait /
+	// network / exec / retry / fanout components. Off by default; the
+	// fault-free simulation with tracing off is byte-identical to a
+	// build without the trace layer.
+	Trace bool
+
 	// Duration is how long transaction generation runs; the simulation
 	// then drains for Drain before results are read. Transactions
 	// arriving before Warmup are executed but excluded from statistics

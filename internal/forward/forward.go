@@ -214,6 +214,10 @@ type Collector struct {
 	// shared a list with at least one other entry.
 	Sealed  int64
 	Grouped int64
+
+	// TraceSeal, when set, observes every sealed list just before it is
+	// handed to onSeal (tracing).
+	TraceSeal func(*List)
 }
 
 // NewCollector returns a collector sealing lists with onSeal after
@@ -270,6 +274,9 @@ func (c *Collector) seal(obj lockmgr.ObjectID) {
 	c.Sealed++
 	if l.Len() > 1 {
 		c.Grouped += int64(l.Len())
+	}
+	if c.TraceSeal != nil {
+		c.TraceSeal(l)
 	}
 	c.onSeal(l)
 }

@@ -96,6 +96,8 @@ type Params struct {
 	// already cached at another site" condition. Zero disables the
 	// check.
 	MinShipData int
+	// Trace, when set, observes the final decision (tracing).
+	Trace func(Decision)
 }
 
 // ChooseSite evaluates H2 over the candidate sites (every reported
@@ -198,7 +200,11 @@ func ChooseSite(p Params) Decision {
 			best = origin
 		}
 	}
-	return Decision{Target: best.site, Ship: best.site != p.Origin, Conflicts: best.conflicts}
+	d := Decision{Target: best.site, Ship: best.site != p.Origin, Conflicts: best.conflicts}
+	if p.Trace != nil {
+		p.Trace(d)
+	}
+	return d
 }
 
 // GroupByLocation builds the decomposition partition of Section 3.2:

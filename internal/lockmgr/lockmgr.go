@@ -107,7 +107,23 @@ type Table struct {
 
 	// DeadlocksRefused counts requests refused by cycle detection.
 	DeadlocksRefused int64
+
+	// hook observes lock-table transitions (tracing); zero-valued when
+	// tracing is off, costing one nil check per transition.
+	hook Hook
 }
+
+// Hook observes lock-table transitions. Both fields are optional; a
+// zero Hook disables observation. Requested fires for every Lock call
+// with its outcome and (for Queued/Deadlock) the conflicting holders;
+// Granted fires for every delayed grant admitted from the queue.
+type Hook struct {
+	Requested func(req *Request, outcome Outcome, blockers []OwnerID)
+	Granted   func(req *Request)
+}
+
+// SetHook installs h.
+func (t *Table) SetHook(h Hook) { t.hook = h }
 
 // holderEntry is one (owner, mode) holder of an object.
 type holderEntry struct {
@@ -228,7 +244,7 @@ func (t *Table) Lock(req *Request) (Outcome, []OwnerID) {
 	e := t.entryFor(req.Obj)
 	if held := e.holderMode(req.Owner); held == req.Mode || held == ModeExclusive {
 		req.granted = true
-		return Granted, nil
+		return t.requested(req, Granted, nil)
 	}
 	conf := e.conflicts(req.Owner, req.Mode)
 	isUpgrade := e.holderMode(req.Owner) != 0
@@ -238,17 +254,25 @@ func (t *Table) Lock(req *Request) (Outcome, []OwnerID) {
 	if len(conf) == 0 && (isUpgrade || !t.mustQueueBehind(e, req)) {
 		t.setHolder(req.Obj, e, req.Owner, req.Mode)
 		req.granted = true
-		return Granted, nil
+		return t.requested(req, Granted, nil)
 	}
 	if len(conf) > 0 && t.wouldDeadlock(req.Owner, conf) {
 		t.DeadlocksRefused++
-		return Deadlock, conf
+		return t.requested(req, Deadlock, conf)
 	}
 	t.enqueue(e, req)
 	for _, h := range conf {
 		t.addEdge(req.Owner, h)
 	}
-	return Queued, conf
+	return t.requested(req, Queued, conf)
+}
+
+// requested funnels every Lock outcome through the hook.
+func (t *Table) requested(req *Request, out Outcome, conf []OwnerID) (Outcome, []OwnerID) {
+	if t.hook.Requested != nil {
+		t.hook.Requested(req, out, conf)
+	}
+	return out, conf
 }
 
 // mustQueueBehind reports whether req, though compatible with current
@@ -389,6 +413,9 @@ func (t *Table) admit(obj ObjectID, e *entry) []*Request {
 		req.granted = true
 		t.dequeued(req.Owner, obj)
 		t.dropEdgesFrom(req.Owner, obj)
+		if t.hook.Granted != nil {
+			t.hook.Granted(req)
+		}
 		grants = append(grants, req)
 	}
 	if len(e.holders) == 0 && len(e.queue) == 0 {

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"math/bits"
 	"time"
 )
@@ -16,6 +17,9 @@ type Histogram struct {
 }
 
 func bucketOf(d time.Duration) int {
+	// Negative durations (a clock-skewed or misordered span) clamp to
+	// the first bucket; the guard below must stay before the uint64
+	// conversion, which would otherwise wrap them to huge bit lengths.
 	us := d.Microseconds()
 	if us < 1 {
 		return 0
@@ -48,9 +52,15 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	rank := int64(q * float64(h.count))
+	// The q-quantile upper bound is the ceiling rank: with 10 samples,
+	// P95 must look at the 10th order statistic, not truncate to the
+	// 9th (which is the 90th percentile).
+	rank := int64(math.Ceil(q * float64(h.count)))
 	if rank < 1 {
 		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
 	}
 	var seen int64
 	for i, n := range h.buckets {

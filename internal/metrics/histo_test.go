@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// fill observes fast samples of ~1ms (bucket upper bound 1.024ms) and
+// slow samples of ~1s (bucket upper bound ~1.049s) so a quantile answer
+// unambiguously identifies which order statistic was consulted.
+func fill(h *Histogram, fast, slow int) {
+	for i := 0; i < fast; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < slow; i++ {
+		h.Observe(time.Second)
+	}
+}
+
+// TestQuantileCeilingRank pins the upper-bound rank convention: the
+// q-quantile of n samples consults order statistic ceil(q·n). The
+// pre-fix truncating rank int64(q·n) turned P95 of 10 samples into the
+// 9th order statistic (the 90th percentile) — with 9 fast and 1 slow
+// sample it reported the fast bucket and this test fails.
+func TestQuantileCeilingRank(t *testing.T) {
+	fastBound := 1024 * time.Microsecond                 // 1ms rounds up to 2^10 µs
+	slowBound := time.Duration(1<<20) * time.Microsecond // 1s rounds up to 2^20 µs
+	cases := []struct {
+		name       string
+		fast, slow int
+		q          float64
+		want       time.Duration
+	}{
+		// count 10: ceil(9.5)=10 and ceil(9.9)=10 → both hit the slow
+		// sample; truncation gave rank 9 (fast) for both.
+		{"p95 of 10", 9, 1, 0.95, slowBound},
+		{"p99 of 10", 9, 1, 0.99, slowBound},
+		// count 20: ceil(19)=19 stays fast, ceil(19.8)=20 is slow;
+		// truncation gave 19 (fast) for both.
+		{"p95 of 20", 19, 1, 0.95, fastBound},
+		{"p99 of 20", 19, 1, 0.99, slowBound},
+		// count 100: exact products — ceil changes nothing and the
+		// 95th/99th order statistics are both fast samples.
+		{"p95 of 100", 99, 1, 0.95, fastBound},
+		{"p99 of 100", 99, 1, 0.99, fastBound},
+		{"p100 of 100", 99, 1, 1.0, slowBound},
+	}
+	for _, c := range cases {
+		var h Histogram
+		fill(&h, c.fast, c.slow)
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// The rank must clamp to count even for q slightly above 1 after
+// floating-point noise, and to 1 for tiny q.
+func TestQuantileRankClamps(t *testing.T) {
+	var h Histogram
+	fill(&h, 3, 0)
+	if got := h.Quantile(1.5); got != 1024*time.Microsecond {
+		t.Fatalf("q>1: got %v", got)
+	}
+	if got := h.Quantile(0.0001); got != 1024*time.Microsecond {
+		t.Fatalf("tiny q: got %v", got)
+	}
+	if got := h.Quantile(-1); got != 1024*time.Microsecond {
+		t.Fatalf("negative q: got %v", got)
+	}
+}
+
+// Negative durations (clock-skewed spans) must clamp into the first
+// bucket rather than wrapping through the uint64 conversion.
+func TestHistogramNegativeDuration(t *testing.T) {
+	if b := bucketOf(-5 * time.Second); b != 0 {
+		t.Fatalf("negative duration bucket = %d, want 0", b)
+	}
+	if b := bucketOf(-time.Nanosecond); b != 0 {
+		t.Fatalf("negative nanosecond bucket = %d, want 0", b)
+	}
+	var h Histogram
+	h.Observe(-time.Hour)
+	h.Observe(-time.Microsecond)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Both land in bucket 0, whose upper bound is 2µs.
+	if got := h.Quantile(1); got != 2*time.Microsecond {
+		t.Fatalf("quantile of negatives = %v, want 2µs", got)
+	}
+}

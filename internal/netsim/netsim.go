@@ -183,8 +183,11 @@ func (n *Network) TransmitTime(size int) time.Duration {
 // Send queues msg for delivery into dest. The sender does not block: the
 // message occupies the shared bus for its transmission time (waiting
 // behind frames already queued) and arrives Latency later. Send stamps
-// SentAt/DeliveredAt on the delivered copy.
-func (n *Network) Send(msg Message, dest *sim.Mailbox[Message]) {
+// SentAt/DeliveredAt on the delivered copy and returns the transit time
+// (DeliveredAt − SentAt) so senders can attribute network time; under
+// fault injection the returned value is the nominal transit of the
+// original frame, whatever the fault layer then does with it.
+func (n *Network) Send(msg Message, dest *sim.Mailbox[Message]) time.Duration {
 	if msg.Size <= 0 {
 		msg.Size = ControlBytes
 	}
@@ -228,10 +231,11 @@ func (n *Network) Send(msg Message, dest *sim.Mailbox[Message]) {
 	}
 
 	if n.faults != nil && n.deliverFaulty(msg, dest, deliver) {
-		return
+		return deliver - now
 	}
 	n.push(pending{msg: msg, dest: dest})
 	n.env.AtHook(deliver, n)
+	return deliver - now
 }
 
 func (n *Network) push(pm pending) {

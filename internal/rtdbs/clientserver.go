@@ -12,6 +12,7 @@ import (
 	"siteselect/internal/rng"
 	"siteselect/internal/server"
 	"siteselect/internal/sim"
+	"siteselect/internal/trace"
 	"siteselect/internal/txn"
 )
 
@@ -28,6 +29,7 @@ type Cluster struct {
 	m       *metrics.Collector
 	server  *server.Server
 	clients []*client.Client
+	tr      *trace.Tracer
 }
 
 // NewClientServer builds the basic CS-RTDBS. Load-sharing features are
@@ -87,6 +89,13 @@ func newCluster(cfg config.Config, loadShare bool) (*Cluster, error) {
 	for _, cl := range c.clients {
 		cl.SetPeers(inboxes)
 	}
+	if cfg.Trace {
+		c.tr = trace.New()
+		c.server.SetTracer(c.tr)
+		for _, cl := range c.clients {
+			cl.SetTracer(c.tr)
+		}
+	}
 	return c, nil
 }
 
@@ -134,6 +143,9 @@ func (c *Cluster) Clients() []*client.Client { return c.clients }
 // Metrics exposes the live metrics collector.
 func (c *Cluster) Metrics() *metrics.Collector { return c.m }
 
+// Tracer exposes the per-transaction tracer (nil unless cfg.Trace).
+func (c *Cluster) Tracer() *trace.Tracer { return c.tr }
+
 // Start spawns all actors without running the clock (tests use this).
 func (c *Cluster) Start() {
 	c.server.Start()
@@ -164,6 +176,9 @@ func (c *Cluster) Run() (*Result, error) {
 	}
 	if err == nil && committed != nil {
 		err = committed.Verify(c.bestVersion)
+	}
+	if err == nil {
+		err = c.tr.VerifyAll()
 	}
 	c.env.Close()
 	if err != nil {
@@ -199,6 +214,11 @@ func (c *Cluster) monitor() (*invariant.Monitor, *invariant.Committed) {
 			}
 			return nil
 		}},
+	}
+	if c.tr != nil {
+		// Attribution identity: every trace closed since the last step
+		// must have buckets summing exactly to its elapsed time.
+		checks = append(checks, invariant.Check{Name: "slack-attribution", Fn: c.tr.VerifyNewlyClosed})
 	}
 	return invariant.New(c.env, 1, checks...), committed
 }
@@ -241,6 +261,13 @@ func (c *Cluster) collect() *Result {
 				}
 				t.Status = txn.StatusMissed
 				t.Finished = now
+				// Close the stranded transaction's trace so its wait since
+				// the last mark is attributed (it died waiting).
+				site := t.ExecSite
+				if site == netsim.ServerSite {
+					site = t.Origin
+				}
+				c.tr.Finish(t, site, now)
 			}
 			if t.Arrival < c.cfg.Warmup {
 				continue // cold-start transactions are excluded
@@ -267,6 +294,9 @@ func (c *Cluster) collect() *Result {
 		Elapsed:             now,
 	}
 	res.Faults = c.net.Faults()
+	if c.tr != nil {
+		res.MissCauses = c.tr.MissCauses(c.cfg.Warmup)
+	}
 	res.ExecutedPerSite = make(map[netsim.SiteID]int64, len(c.clients))
 	for _, cl := range c.clients {
 		res.ForwardHops += cl.ForwardHops

@@ -12,6 +12,7 @@ import (
 	"siteselect/internal/config"
 	"siteselect/internal/metrics"
 	"siteselect/internal/netsim"
+	"siteselect/internal/trace"
 )
 
 // Result is the outcome of one simulated run.
@@ -46,6 +47,10 @@ type Result struct {
 	// injection is off); Retries counts client request retransmissions.
 	Faults  netsim.FaultStats
 	Retries int64
+
+	// MissCauses aggregates missed transactions by dominant attribution
+	// component (set only when the run traced, i.e. Config.Trace).
+	MissCauses *trace.MissTable
 
 	// ExecutedPerSite counts committed transactions by executing site
 	// (client-server systems only); Spread is their coefficient of

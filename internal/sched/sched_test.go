@@ -116,6 +116,79 @@ func TestFeasibleH1(t *testing.T) {
 	}
 }
 
+// DropMissed filters the backing slice in place and re-heapifies; after
+// a partial removal the survivors must still satisfy the heap property
+// (parent ≤ child under the (deadline, seq) order) and pop in EDF order.
+func TestDropMissedPreservesHeapProperty(t *testing.T) {
+	q := NewEDFQueue()
+	// Interleave survivors and victims so the removal punches holes in
+	// the middle of the heap slice, not just at the top.
+	deadlines := []time.Duration{9, 2, 7, 2, 9, 4, 7, 1, 4, 8, 3, 8}
+	for i, d := range deadlines {
+		q.Push(tx(int64(i+1), d*time.Second))
+	}
+	missed := q.DropMissed(5 * time.Second) // deadlines 1..4 missed
+	if len(missed) != 6 {
+		t.Fatalf("missed = %d, want 6", len(missed))
+	}
+	for _, m := range missed {
+		if m.Deadline >= 5*time.Second {
+			t.Fatalf("txn %d (deadline %v) wrongly dropped", m.ID, m.Deadline)
+		}
+	}
+	// Direct heap-invariant check on the retained items.
+	for i := 1; i < q.items.Len(); i++ {
+		parent := (i - 1) / 2
+		if q.items.Less(i, parent) {
+			t.Fatalf("heap property violated: item %d < parent %d", i, parent)
+		}
+	}
+	// And the observable consequence: pops come out in EDF order.
+	last := time.Duration(-1)
+	for q.Len() > 0 {
+		got := q.Pop()
+		if got.Deadline < last {
+			t.Fatalf("pop order broken after DropMissed: %v after %v", got.Deadline, last)
+		}
+		last = got.Deadline
+	}
+}
+
+// PopReady under an equal-deadline tie: the missed transactions are
+// accounted in submission (seq) order, and the first live transaction
+// returned is the earliest-pushed among the tied survivors.
+func TestPopReadyEqualDeadlineTies(t *testing.T) {
+	q := NewEDFQueue()
+	// Three transactions tied at a deadline that has passed, then two
+	// tied at a live deadline.
+	for i := int64(1); i <= 3; i++ {
+		q.Push(tx(i, 5*time.Second))
+	}
+	q.Push(tx(4, 20*time.Second))
+	q.Push(tx(5, 20*time.Second))
+	ready, missed := q.PopReady(10 * time.Second)
+	if ready == nil || ready.ID != 4 {
+		t.Fatalf("ready = %v, want id 4 (seq order among ties)", ready)
+	}
+	if len(missed) != 3 {
+		t.Fatalf("missed = %d, want 3", len(missed))
+	}
+	for i, m := range missed {
+		if m.ID != txn.ID(i+1) {
+			t.Fatalf("missed[%d] = %d, want %d (seq order)", i, m.ID, i+1)
+		}
+	}
+	// A deadline exactly equal to now is not missed (MissedAt is <),
+	// so the remaining tied transaction pops as ready at its deadline.
+	ready, missed = q.PopReady(20 * time.Second)
+	if ready == nil || ready.ID != 5 || len(missed) != 0 {
+		t.Fatalf("at-deadline pop = %v missed=%v, want id 5 and none missed", ready, missed)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue should be empty, len = %d", q.Len())
+	}
+}
+
 // Property: Pop always returns nondecreasing deadlines.
 func TestEDFHeapProperty(t *testing.T) {
 	f := func(deadlines []uint16) bool {

@@ -11,6 +11,7 @@ import (
 	"siteselect/internal/pagefile"
 	"siteselect/internal/proto"
 	"siteselect/internal/sim"
+	"siteselect/internal/trace"
 	"siteselect/internal/txn"
 )
 
@@ -20,6 +21,7 @@ import (
 // stall that handler.
 func (s *Server) ship(obj lockmgr.ObjectID, to netsim.SiteID, mode lockmgr.Mode, id txn.ID, fwd *forward.List) {
 	s.GrantsShipped++
+	s.tr.Point(id, netsim.ServerSite, trace.EvObjectShipped, obj, int64(to), 0, s.env.Now())
 	version := s.versions[obj]
 	// The epoch snapshot is taken now, synchronously with the lock
 	// registration this ship delivers; a release processed while the
@@ -56,7 +58,8 @@ func (s *Server) shipGrants(grants []*lockmgr.Request) {
 			// instead (the client answers NotCached or returns the
 			// copy it was upgrading, and the release then cascades).
 			s.DeniesExpired++
-			s.recall(g.Obj, netsim.SiteID(g.Owner), false)
+			expired, _ := g.Tag.(txn.ID)
+			s.recall(g.Obj, netsim.SiteID(g.Owner), false, expired)
 			continue
 		}
 		id, _ := g.Tag.(txn.ID)
@@ -196,11 +199,12 @@ func (s *Server) recallForQueueHead(obj lockmgr.ObjectID) {
 		return
 	}
 	downgrade := head.Mode == lockmgr.ModeShared && s.cfg.UseDowngrade
+	forTxn, _ := head.Tag.(txn.ID)
 	for _, h := range s.locks.ConflictingHolders(obj, head.Owner, head.Mode) {
 		if h == MigrationOwner {
 			continue
 		}
-		s.recall(obj, netsim.SiteID(h), downgrade)
+		s.recall(obj, netsim.SiteID(h), downgrade, forTxn)
 	}
 }
 
@@ -259,11 +263,14 @@ func (s *Server) recallForMigration(obj lockmgr.ObjectID) {
 		if lockmgr.Compatible(head.Mode, s.locks.HolderMode(obj, h)) {
 			continue // compatible with the head; deeper entries recall later
 		}
-		s.recall(obj, netsim.SiteID(h), downgrade)
+		s.recall(obj, netsim.SiteID(h), downgrade, head.Txn)
 	}
 }
 
-func (s *Server) recall(obj lockmgr.ObjectID, holder netsim.SiteID, downgrade bool) {
+// recall sends a callback to holder for obj; forTxn names the waiting
+// transaction the callback serves (zero when none, e.g. stray-copy
+// invalidation), recorded on its trace.
+func (s *Server) recall(obj lockmgr.ObjectID, holder netsim.SiteID, downgrade bool, forTxn txn.ID) {
 	m, ok := s.recalls[obj]
 	if !ok {
 		m = make(map[netsim.SiteID]bool)
@@ -274,6 +281,7 @@ func (s *Server) recall(obj lockmgr.ObjectID, holder netsim.SiteID, downgrade bo
 	}
 	m[holder] = true
 	s.RecallsSent++
+	s.tr.Point(forTxn, netsim.ServerSite, trace.EvRecall, obj, int64(holder), 0, s.env.Now())
 	s.send(holder, netsim.KindRecall, netsim.ControlBytes, proto.Recall{
 		Obj:               obj,
 		DowngradeToShared: downgrade,

@@ -18,6 +18,7 @@ import (
 	"siteselect/internal/pagefile"
 	"siteselect/internal/proto"
 	"siteselect/internal/sim"
+	"siteselect/internal/trace"
 	"siteselect/internal/txn"
 )
 
@@ -52,6 +53,9 @@ type Server struct {
 	collector *forward.Collector
 	sealed    map[lockmgr.ObjectID]*forward.List
 	inflight  map[lockmgr.ObjectID]*forward.List
+
+	// tr is the per-run transaction tracer (nil when tracing is off).
+	tr *trace.Tracer
 
 	// faulty enables the duplicate-request guard: with fault injection on,
 	// clients retransmit requests, and a request already reflected in the
@@ -107,6 +111,46 @@ func New(env *sim.Env, cfg config.Config, net *netsim.Network) *Server {
 		s.collector = forward.NewCollector(env, cfg.CollectionWindow, s.onSeal)
 	}
 	return s
+}
+
+// SetTracer installs the per-run transaction tracer and wires the lock
+// table and forward-list hooks that feed it. Call before Start.
+func (s *Server) SetTracer(tr *trace.Tracer) {
+	s.tr = tr
+	if tr == nil {
+		return
+	}
+	s.locks.SetHook(lockmgr.Hook{
+		Requested: func(req *lockmgr.Request, out lockmgr.Outcome, blockers []lockmgr.OwnerID) {
+			id, ok := req.Tag.(txn.ID)
+			if !ok || req.Owner == MigrationOwner {
+				return
+			}
+			now := s.env.Now()
+			tr.Point(id, netsim.ServerSite, trace.EvLockRequested, req.Obj, int64(req.Mode), int64(out), now)
+			switch out {
+			case lockmgr.Queued:
+				tr.Point(id, netsim.ServerSite, trace.EvLockBlocked, req.Obj, int64(len(blockers)), 0, now)
+			case lockmgr.Deadlock:
+				tr.Point(id, netsim.ServerSite, trace.EvLockDenied, req.Obj, int64(proto.DenyDeadlock), 0, now)
+			}
+		},
+		Granted: func(req *lockmgr.Request) {
+			id, ok := req.Tag.(txn.ID)
+			if !ok || req.Owner == MigrationOwner {
+				return
+			}
+			tr.Point(id, netsim.ServerSite, trace.EvLockGranted, req.Obj, 0, 0, s.env.Now())
+		},
+	})
+	if s.collector != nil {
+		s.collector.TraceSeal = func(l *forward.List) {
+			now := s.env.Now()
+			for _, e := range l.Entries {
+				tr.Point(e.Txn, netsim.ServerSite, trace.EvListSealed, l.Obj, int64(l.Len()), 0, now)
+			}
+		}
+	}
 }
 
 // Locks exposes the global lock table for audits.
@@ -301,6 +345,7 @@ func (s *Server) handleFirm(p *sim.Proc, client netsim.SiteID, id txn.ID, obj lo
 		return
 	}
 	if s.collector != nil && s.groupable(obj, client, mode) {
+		s.tr.Point(id, netsim.ServerSite, trace.EvListJoined, obj, 0, 0, now)
 		s.collector.Add(obj, forward.Entry{Client: client, Mode: mode, Deadline: deadline, Txn: id})
 		s.recallForMigration(obj)
 		s.tryDispatch(obj) // the object may already be free
@@ -390,7 +435,7 @@ func (s *Server) handleReturn(p *sim.Proc, ret proto.ObjReturn) {
 			if !free {
 				// The release just granted someone else exclusivity;
 				// invalidate the stray copy instead of registering it.
-				s.recall(obj, site, false)
+				s.recall(obj, site, false, 0)
 				continue
 			}
 			if outcome, _ := s.locks.Lock(&lockmgr.Request{

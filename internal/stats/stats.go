@@ -1,6 +1,7 @@
 // Package stats provides the small-sample statistics used when
 // experiments are replicated across seeds: means, standard deviations,
-// and normal-approximation confidence half-widths.
+// and Student-t confidence half-widths (the t table falls back to the
+// normal critical value 1.96 beyond 30 degrees of freedom).
 package stats
 
 import "math"

@@ -98,6 +98,28 @@ func TestTCriticalMonotone(t *testing.T) {
 	}
 }
 
+// TestTCriticalBoundary pins the handoff from the Student-t table to
+// the normal critical value: df 30 is the last tabulated entry (2.042)
+// and df 31 falls back to 1.96.
+func TestTCriticalBoundary(t *testing.T) {
+	if got := tCritical(30); got != 2.042 {
+		t.Fatalf("tCritical(30) = %v, want 2.042", got)
+	}
+	if got := tCritical(31); got != 1.96 {
+		t.Fatalf("tCritical(31) = %v, want 1.96", got)
+	}
+	// A 32-observation sample has df 31 and therefore a plain normal
+	// half-width: 1.96 × StdErr.
+	var s Sample
+	for i := 0; i < 16; i++ {
+		s.Add(0)
+		s.Add(1)
+	}
+	if got, want := s.CI95(), 1.96*s.StdErr(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CI95 at df 31 = %v, want %v", got, want)
+	}
+}
+
 // Property: mean lies within [min, max] and CI95 is non-negative.
 func TestSampleBoundsProperty(t *testing.T) {
 	f := func(vals []float64) bool {
