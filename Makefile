@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz-smoke bench-kernel figures
+.PHONY: build test race fuzz-smoke bench-kernel figures scenarios update-scenarios
 
 build:
 	$(GO) build ./...
@@ -12,12 +12,21 @@ race:
 	$(GO) test -short -race ./...
 
 # fuzz-smoke gives each fuzz target a short randomized budget on top of
-# its committed corpus (CI runs the same trio).
+# its committed corpus (CI runs the same quartet).
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -fuzz FuzzLockTable -fuzztime $(FUZZTIME) ./internal/lockmgr/
 	$(GO) test -fuzz FuzzForwardList -fuzztime $(FUZZTIME) ./internal/forward/
 	$(GO) test -fuzz FuzzFaultSchedule -fuzztime $(FUZZTIME) ./internal/netsim/
+	$(GO) test -fuzz FuzzScenarioParse -fuzztime $(FUZZTIME) ./internal/scenario/
+
+# scenarios runs the committed .rts corpus and fails on any expect
+# violation; update-scenarios reruns it and rewrites the goldens.
+scenarios:
+	$(GO) run ./cmd/rtbench -scenario-dir scenarios
+
+update-scenarios:
+	$(GO) test ./internal/scenario -run TestCorpusGoldens -update
 
 # bench-kernel records the kernel benchmark suite (micro benchmarks plus
 # the BenchmarkFigure3 macro run) into BENCH_kernel.json under LABEL.

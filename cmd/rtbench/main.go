@@ -79,8 +79,18 @@ func run() error {
 		traceSum = flag.Bool("trace-summary", false, "for figure experiments, re-run the CS/LS cells with tracing enabled and report the aggregate miss-cause table instead of the figure")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		scenFile = flag.String("scenario", "", "run one .rts scenario file instead of an experiment")
+		scenDir  = flag.String("scenario-dir", "", "run every .rts scenario in a directory instead of an experiment")
+		scenOut  = flag.String("scenario-out", "", "also write each scenario report to this directory as <name>.golden")
 	)
 	flag.Parse()
+
+	if *scenFile != "" || *scenDir != "" {
+		// Scenario runs carry their own seed (derived from the scenario
+		// name and the file's seed stanza), so -seed, -scale, and -reps
+		// do not apply here.
+		return runScenarios(*scenFile, *scenDir, *scenOut, *parallel, os.Stdout)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

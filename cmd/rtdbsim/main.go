@@ -84,8 +84,13 @@ func run() error {
 		partAt    = flag.Duration("partition-at", 0, "virtual time the partition starts")
 		partDur   = flag.Duration("partition-duration", 0, "partition length (0 disables the partition)")
 		invar     = flag.Bool("invariants", false, "attach the continuous invariant monitor (slow)")
+		scenFile  = flag.String("scenario", "", "run one .rts scenario file (its own system, workload, and seed) and dump the result")
 	)
 	flag.Parse()
+
+	if *scenFile != "" {
+		return runScenario(*scenFile)
+	}
 
 	var kind siteselect.SystemKind
 	var cfg siteselect.Config

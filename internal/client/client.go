@@ -50,7 +50,7 @@ type Client struct {
 	log        *wal.Log
 
 	atl *sched.ATL
-	gen *txn.Generator
+	gen txn.Source
 
 	loadShare bool
 
@@ -147,7 +147,7 @@ type pendingTxn struct {
 // SetPeers before Start when forward lists or shipping are enabled.
 func New(env *sim.Env, cfg config.Config, id netsim.SiteID, net *netsim.Network,
 	m *metrics.Collector, inbox, serverIn *sim.Mailbox[netsim.Message],
-	gen *txn.Generator, loadShare bool) *Client {
+	gen txn.Source, loadShare bool) *Client {
 	c := &Client{
 		env:        env,
 		cfg:        cfg,

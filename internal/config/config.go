@@ -234,6 +234,13 @@ type Config struct {
 	// build without the trace layer.
 	Trace bool
 
+	// Workload, when non-nil, replaces the flat Table 1 workload with a
+	// declarative multi-class spec: heterogeneous client classes with
+	// phased arrival processes and per-class access skew (the scenario
+	// DSL compiles onto this). Nil preserves the original generators
+	// byte for byte.
+	Workload *WorkloadSpec
+
 	// Duration is how long transaction generation runs; the simulation
 	// then drains for Drain before results are read. Transactions
 	// arriving before Warmup are executed but excluded from statistics
@@ -366,6 +373,11 @@ func (c Config) Validate() error {
 		return errors.New("config: Faults.PartitionDuration must be non-negative")
 	case c.RetryTimeout < 0:
 		return errors.New("config: RetryTimeout must be non-negative")
+	case c.ZipfTheta < 0:
+		return fmt.Errorf("config: ZipfTheta %v must be non-negative", c.ZipfTheta)
+	}
+	if c.Workload != nil {
+		return c.validateWorkload()
 	}
 	return nil
 }

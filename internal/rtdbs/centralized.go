@@ -43,7 +43,7 @@ type Centralized struct {
 type terminal struct {
 	id      netsim.SiteID
 	inbox   *sim.Mailbox[netsim.Message]
-	gen     *txn.Generator
+	gen     txn.Source
 	tracked []*txn.Transaction
 }
 

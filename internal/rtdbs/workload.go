@@ -1,6 +1,9 @@
 package rtdbs
 
 import (
+	"math"
+	"time"
+
 	"siteselect/internal/config"
 	"siteselect/internal/netsim"
 	"siteselect/internal/rng"
@@ -9,24 +12,13 @@ import (
 
 // newGenerator builds client i's workload generator from the experiment
 // seed: its own random stream, its access-pattern generator, and the
-// Table 1 timing parameters.
-func newGenerator(root *rng.Stream, cfg config.Config, i int, newID func() txn.ID) *txn.Generator {
+// Table 1 timing parameters — or, when the config carries a declarative
+// WorkloadSpec, the class-specific parameters, phased arrival process,
+// and access-skew generator of client i's class.
+func newGenerator(root *rng.Stream, cfg config.Config, i int, newID func() txn.ID) txn.Source {
 	stream := root.Derive(int64(i))
-	var access rng.AccessGen
-	switch cfg.Pattern {
-	case config.PatternUniform:
-		access = rng.NewUniform(stream.Derive(7), cfg.DBSize)
-	case config.PatternHotCold:
-		access = rng.NewHotCold(stream.Derive(7), cfg.DBSize, cfg.HotRegionSize, cfg.LocalFraction)
-	default:
-		access = rng.NewLocalizedRW(stream.Derive(7), rng.LocalizedRWConfig{
-			DBSize:        cfg.DBSize,
-			ClientIndex:   i - 1,
-			NumClients:    cfg.NumClients,
-			RegionSize:    cfg.HotRegionSize,
-			LocalFraction: cfg.LocalFraction,
-			ZipfTheta:     cfg.ZipfTheta,
-		})
+	if cfg.Workload != nil {
+		return classGenerator(stream, cfg, i, newID)
 	}
 	return txn.NewGenerator(stream, netsim.SiteID(i), txn.WorkloadConfig{
 		MeanInterArrival:     cfg.MeanInterArrival,
@@ -36,6 +28,146 @@ func newGenerator(root *rng.Stream, cfg config.Config, i int, newID func() txn.I
 		UpdateFraction:       cfg.UpdateFraction,
 		DecomposableFraction: cfg.DecomposableFraction,
 		IndependentDeadlines: cfg.Deadlines == config.DeadlineIndependent,
-		Access:               access,
+		Access:               defaultAccess(stream.Derive(7), cfg, i),
 	}, newID)
+}
+
+// defaultAccess builds the run-level access generator (Config.Pattern).
+func defaultAccess(stream *rng.Stream, cfg config.Config, i int) rng.AccessGen {
+	switch cfg.Pattern {
+	case config.PatternUniform:
+		return rng.NewUniform(stream, cfg.DBSize)
+	case config.PatternHotCold:
+		return rng.NewHotCold(stream, cfg.DBSize, cfg.HotRegionSize, cfg.LocalFraction)
+	default:
+		return rng.NewLocalizedRW(stream, rng.LocalizedRWConfig{
+			DBSize:        cfg.DBSize,
+			ClientIndex:   i - 1,
+			NumClients:    cfg.NumClients,
+			RegionSize:    cfg.HotRegionSize,
+			LocalFraction: cfg.LocalFraction,
+			ZipfTheta:     cfg.ZipfTheta,
+		})
+	}
+}
+
+// phaseSeedTag offsets the per-phase arrival stream tags well away from
+// the other per-client derivations (access uses tag 7), so adding a
+// phase to one class never perturbs another stream.
+const phaseSeedTag int64 = 0x70686173 // "phas"
+
+// classGenerator builds client i's generator from its workload class:
+// the class workload parameters (run-level values fill zero fields), a
+// phased arrival schedule with one independent stream per phase, and
+// the class access spec.
+func classGenerator(stream *rng.Stream, cfg config.Config, i int, newID func() txn.ID) txn.Source {
+	class := cfg.Workload.Classes[cfg.Workload.ClassOf(i)]
+	wc := txn.WorkloadConfig{
+		MeanInterArrival:     cfg.MeanInterArrival,
+		MeanLength:           orDur(class.MeanLength, cfg.MeanLength),
+		MeanSlack:            orDur(class.MeanSlack, cfg.MeanSlack),
+		MeanObjects:          orInt(class.MeanObjects, cfg.MeanObjects),
+		UpdateFraction:       class.UpdateFraction,
+		DecomposableFraction: class.DecomposableFraction,
+		IndependentDeadlines: cfg.Deadlines == config.DeadlineIndependent,
+		Access:               classAccess(stream.Derive(7), cfg, class, i),
+	}
+	// The arrival schedule draws from per-phase streams derived from the
+	// client stream, so lengthening one phase's activity never shifts
+	// the draws of the next phase or of the workload stream.
+	phases := make([]txn.Phase, len(class.Phases))
+	start := time.Duration(0)
+	for pi, ph := range class.Phases {
+		end := time.Duration(math.MaxInt64)
+		if ph.Duration > 0 {
+			end = start + ph.Duration
+		}
+		phases[pi] = txn.Phase{
+			Start: start,
+			End:   end,
+			Proc:  phaseProcess(stream.Derive(phaseSeedTag+int64(pi)), ph, start),
+		}
+		start = end
+	}
+	wc.Arrivals = &txn.PhasedArrivals{Phases: phases}
+	return txn.NewGenerator(stream, netsim.SiteID(i), wc, newID)
+}
+
+// phaseProcess lowers one declarative phase onto its arrival process.
+func phaseProcess(stream *rng.Stream, ph config.ArrivalPhase, start time.Duration) txn.ArrivalProcess {
+	switch ph.Kind {
+	case config.ArrivalOpen:
+		return &txn.OpenLoop{Stream: stream, Rate: ph.Rate}
+	case config.ArrivalBurst:
+		return &txn.Bursts{
+			Stream: stream,
+			Start:  start,
+			Size:   ph.BurstSize,
+			Every:  ph.BurstEvery,
+			Spread: ph.BurstSpread,
+		}
+	case config.ArrivalDiurnal:
+		return &txn.VariableRate{
+			Stream: stream,
+			Peak:   ph.Peak,
+			RateAt: txn.DiurnalRate(start, ph.Rate, ph.Peak, ph.Period),
+		}
+	case config.ArrivalFlash:
+		return &txn.VariableRate{
+			Stream: stream,
+			Peak:   ph.Peak,
+			RateAt: txn.FlashRate(start, ph.Rate, ph.Peak, ph.Ramp),
+		}
+	default: // config.ArrivalClosed (Validate rejects unknown kinds)
+		return &txn.ClosedLoop{Stream: stream, Mean: ph.MeanInterArrival}
+	}
+}
+
+// classAccess builds the access generator for one class.
+func classAccess(stream *rng.Stream, cfg config.Config, class config.ClientClass, i int) rng.AccessGen {
+	a := class.Access
+	if a == nil {
+		return defaultAccess(stream, cfg, i)
+	}
+	switch a.Kind {
+	case config.AccessUniform:
+		return rng.NewUniform(stream, cfg.DBSize)
+	case config.AccessHotCold:
+		return rng.NewHotCold(stream, cfg.DBSize, a.HotSize, a.HotFraction)
+	case config.AccessSkewed:
+		return rng.NewSkewed(stream, rng.SkewedConfig{
+			DBSize:      cfg.DBSize,
+			ZipfTheta:   a.ZipfTheta,
+			HotSize:     a.HotSize,
+			HotFraction: a.HotFraction,
+			DriftEvery:  a.DriftEvery,
+			DriftStep:   a.DriftStep,
+		})
+	case config.AccessLocalized:
+		return rng.NewLocalizedRW(stream, rng.LocalizedRWConfig{
+			DBSize:        cfg.DBSize,
+			ClientIndex:   i - 1,
+			NumClients:    cfg.NumClients,
+			RegionSize:    cfg.HotRegionSize,
+			LocalFraction: cfg.LocalFraction,
+			ZipfTheta:     cfg.ZipfTheta,
+		})
+	default: // config.AccessDefault
+		return defaultAccess(stream, cfg, i)
+	}
+}
+
+// orDur and orInt apply run-level defaults to unset class fields.
+func orDur(v, def time.Duration) time.Duration {
+	if v != 0 {
+		return v
+	}
+	return def
+}
+
+func orInt(v, def int) int {
+	if v != 0 {
+		return v
+	}
+	return def
 }

@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the scenario corpus goldens")
+
+const corpusDir = "../../scenarios"
+
+func loadCorpus(t *testing.T) []*Scenario {
+	t.Helper()
+	scens, err := LoadDir(corpusDir)
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	if len(scens) < 10 {
+		t.Fatalf("corpus has %d scenarios, want at least 10", len(scens))
+	}
+	return scens
+}
+
+func runCorpus(t *testing.T, parallel int) []*Report {
+	t.Helper()
+	reports, err := RunAll(loadCorpus(t), parallel)
+	if err != nil {
+		t.Fatalf("running corpus: %v", err)
+	}
+	return reports
+}
+
+// TestCorpusGoldens runs every committed scenario and pins each report
+// byte for byte against scenarios/golden/<name>.golden; go test
+// -run TestCorpusGoldens -update ./internal/scenario rewrites them.
+// The reports embed the expect verdicts, so a golden match also means
+// every scenario's assertions held.
+func TestCorpusGoldens(t *testing.T) {
+	for _, r := range runCorpus(t, 8) {
+		name := r.Compiled.Scenario.Name
+		got := r.Format()
+		path := filepath.Join(corpusDir, "golden", name+".golden")
+		if *update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatalf("updating %s: %v", path, err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: report differs from %s\n--- got ---\n%s--- want ---\n%s", name, path, got, want)
+		}
+		if !r.Passed() {
+			t.Errorf("%s: scenario failed its expectations", name)
+		}
+	}
+}
+
+// TestCorpusDeterminism reruns the corpus at different worker counts
+// and again at the same count: every report must be byte-identical.
+// Scenario seeds are derived from scenario names alone, so neither
+// batch order nor scheduling may leak into results.
+func TestCorpusDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rerunning the corpus three times is not -short work")
+	}
+	base := runCorpus(t, 1)
+	for _, parallel := range []int{8, 8} {
+		other := runCorpus(t, parallel)
+		for i, r := range base {
+			if got, want := other[i].Format(), r.Format(); got != want {
+				t.Errorf("%s: -parallel %d report differs from -parallel 1\n--- got ---\n%s--- want ---\n%s",
+					r.Compiled.Scenario.Name, parallel, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestInvalidScenarios drives every file under testdata/invalid through
+// the parse → compile pipeline. Each file's first line declares the
+// diagnostic it must provoke ("# want: substring"); on top of that
+// substring every error must carry a file:line position, so a user is
+// always pointed at the offending line and stanza.
+func TestInvalidScenarios(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "invalid", "*.rts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no invalid-case files found")
+	}
+	posRE := regexp.MustCompile(`\.rts:\d+: `)
+	for _, path := range paths {
+		path := path
+		t.Run(strings.TrimSuffix(filepath.Base(path), ".rts"), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, _, _ := strings.Cut(string(src), "\n")
+			want, ok := strings.CutPrefix(first, "# want: ")
+			if !ok {
+				t.Fatalf("%s must start with a \"# want: substring\" line", path)
+			}
+			s, err := Parse(path, string(src))
+			if err == nil {
+				_, err = Compile(s)
+			}
+			if err == nil {
+				t.Fatalf("scenario unexpectedly parsed and compiled; want error containing %q", want)
+			}
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q does not contain %q", err, want)
+			}
+			if !posRE.MatchString(err.Error()) {
+				t.Errorf("error %q does not name a file:line position", err)
+			}
+		})
+	}
+}
+
+// TestCorpusRoundTrips pins the parse → Format → parse round-trip on
+// the real corpus files (the fuzz target checks the same property on
+// arbitrary inputs).
+func TestCorpusRoundTrips(t *testing.T) {
+	for _, s := range loadCorpus(t) {
+		out := Format(s)
+		s2, err := Parse(s.File, out)
+		if err != nil {
+			t.Fatalf("%s: canonical output failed to reparse: %v", s.Name, err)
+		}
+		if got := Format(s2); got != out {
+			t.Errorf("%s: Format is not a fixed point\n--- got ---\n%s--- want ---\n%s", s.Name, got, out)
+		}
+		clearLines(s)
+		clearLines(s2)
+		if !reflect.DeepEqual(s, s2) {
+			t.Errorf("%s: round-trip changed the AST", s.Name)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// parseValue classifies one token. The order — integer, float,
+// duration, word — and the canonical printer in formatFloat are
+// designed as a pair: printing any Value and reclassifying the text
+// yields the same Value, which is the round-trip property the fuzz
+// target enforces.
+func parseValue(tok string) Value {
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return Value{Kind: ValInt, Int: n}
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		// NaN and infinities have no reparseable canonical form;
+		// keep them as words.
+		if !math.IsNaN(f) && !math.IsInf(f, 0) {
+			return Value{Kind: ValFloat, Float: f}
+		}
+	} else if d, err := time.ParseDuration(tok); err == nil {
+		return Value{Kind: ValDur, Dur: d}
+	}
+	return Value{Kind: ValWord, Word: tok}
+}
+
+// formatFloat renders a float so that parseValue classifies the text as
+// the same float again: shortest round-trip form, with ".0" appended
+// when the form would otherwise read as an integer.
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// AsDuration converts the value to a duration; integers and floats are
+// read as seconds. ok is false for words.
+func (v Value) AsDuration() (time.Duration, bool) {
+	switch v.Kind {
+	case ValDur:
+		return v.Dur, true
+	case ValInt:
+		return time.Duration(v.Int) * time.Second, true
+	case ValFloat:
+		return time.Duration(v.Float * float64(time.Second)), true
+	default:
+		return 0, false
+	}
+}
+
+// AsFloat converts the value to a float; ok is false for words and
+// durations.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case ValFloat:
+		return v.Float, true
+	case ValInt:
+		return float64(v.Int), true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt converts the value to an integer; ok is false unless the value
+// is an integer literal.
+func (v Value) AsInt() (int64, bool) {
+	if v.Kind == ValInt {
+		return v.Int, true
+	}
+	return 0, false
+}

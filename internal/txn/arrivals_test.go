@@ -1,0 +1,149 @@
+package txn
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"siteselect/internal/rng"
+)
+
+func drain(p ArrivalProcess, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	prev := time.Duration(0)
+	for i := range out {
+		prev = p.Next(prev)
+		out[i] = prev
+	}
+	return out
+}
+
+func TestClosedAndOpenLoopAdvance(t *testing.T) {
+	for name, p := range map[string]ArrivalProcess{
+		"closed": &ClosedLoop{Stream: rng.NewStream(1), Mean: time.Second},
+		"open":   &OpenLoop{Stream: rng.NewStream(1), Rate: 2},
+	} {
+		prev := time.Duration(0)
+		for i := 0; i < 1000; i++ {
+			next := p.Next(prev)
+			if next <= prev {
+				t.Fatalf("%s: arrival %d did not advance: %v -> %v", name, i, prev, next)
+			}
+			prev = next
+		}
+	}
+}
+
+func TestOpenLoopRate(t *testing.T) {
+	p := &OpenLoop{Stream: rng.NewStream(7), Rate: 4}
+	arr := drain(p, 20000)
+	got := float64(len(arr)) / arr[len(arr)-1].Seconds()
+	if math.Abs(got-4) > 0.2 {
+		t.Fatalf("open loop delivered %.2f arrivals/s, want ~4", got)
+	}
+}
+
+func TestBurstsLandOnSchedule(t *testing.T) {
+	p := &Bursts{Stream: rng.NewStream(1), Start: time.Minute, Size: 3, Every: 10 * time.Second}
+	arr := drain(p, 9)
+	for i, at := range arr {
+		want := time.Minute + time.Duration(i/3)*10*time.Second
+		if at != want {
+			t.Fatalf("arrival %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestBurstsSpreadStaysMonotonicInWindow(t *testing.T) {
+	p := &Bursts{Stream: rng.NewStream(3), Start: 0, Size: 5, Every: 30 * time.Second, Spread: 4 * time.Second}
+	arr := drain(p, 50)
+	prev := time.Duration(-1)
+	for i, at := range arr {
+		if at < prev {
+			t.Fatalf("arrival %d went backwards: %v after %v", i, at, prev)
+		}
+		burst := time.Duration(i/5) * 30 * time.Second
+		if at < burst || at >= burst+4*time.Second {
+			t.Fatalf("arrival %d at %v outside burst window [%v, %v)", i, at, burst, burst+4*time.Second)
+		}
+		prev = at
+	}
+}
+
+func TestVariableRateMatchesConstantRate(t *testing.T) {
+	// With RateAt == Peak every candidate survives, so the process is
+	// plain Poisson at the peak rate.
+	p := &VariableRate{Stream: rng.NewStream(11), Peak: 2, RateAt: func(time.Duration) float64 { return 2 }}
+	arr := drain(p, 20000)
+	got := float64(len(arr)) / arr[len(arr)-1].Seconds()
+	if math.Abs(got-2) > 0.1 {
+		t.Fatalf("thinned process delivered %.2f arrivals/s, want ~2", got)
+	}
+}
+
+func TestDiurnalRateCurve(t *testing.T) {
+	r := DiurnalRate(time.Minute, 0.1, 0.9, 2*time.Minute)
+	cases := map[time.Duration]float64{
+		time.Minute:     0.1, // trough at phase start
+		2 * time.Minute: 0.9, // crest half a period in
+		3 * time.Minute: 0.1, // back to trough
+	}
+	for at, want := range cases {
+		if got := r(at); math.Abs(got-want) > 1e-9 {
+			t.Errorf("rate(%v) = %v, want %v", at, got, want)
+		}
+	}
+}
+
+func TestFlashRateCurve(t *testing.T) {
+	r := FlashRate(time.Minute, 0.1, 1.1, 10*time.Second)
+	cases := map[time.Duration]float64{
+		0:                             0.1, // before the phase: clamped to base
+		time.Minute:                   0.1,
+		time.Minute + 5*time.Second:   0.6, // halfway up the ramp
+		time.Minute + 10*time.Second:  1.1,
+		time.Minute + 100*time.Second: 1.1, // holds peak
+	}
+	for at, want := range cases {
+		if got := r(at); math.Abs(got-want) > 1e-9 {
+			t.Errorf("rate(%v) = %v, want %v", at, got, want)
+		}
+	}
+	if got := FlashRate(0, 0.1, 1.1, 0)(0); got != 1.1 {
+		t.Errorf("zero ramp should jump to peak, got %v", got)
+	}
+}
+
+func TestPhasedArrivalsHandOff(t *testing.T) {
+	// A slow closed loop for one minute, then a dense burst phase. The
+	// hand-off must land exactly on the second phase's start even though
+	// the first process would next fire far beyond it.
+	p := &PhasedArrivals{Phases: []Phase{
+		{Start: 0, End: time.Minute, Proc: &ClosedLoop{Stream: rng.NewStream(5), Mean: 40 * time.Second}},
+		{Start: time.Minute, End: math.MaxInt64, Proc: &Bursts{Stream: rng.NewStream(6), Start: time.Minute, Size: 2, Every: 20 * time.Second}},
+	}}
+	var arr []time.Duration
+	prev := time.Duration(0)
+	for i := 0; i < 8; i++ {
+		prev = p.Next(prev)
+		arr = append(arr, prev)
+	}
+	seenSecond := false
+	for i, at := range arr {
+		if at >= time.Minute {
+			seenSecond = true
+			since := at - time.Minute
+			if since%(20*time.Second) != 0 {
+				t.Fatalf("arrival %d at %v is off the burst schedule", i, at)
+			}
+		} else if seenSecond {
+			t.Fatalf("arrival %d at %v went back before the phase boundary", i, at)
+		}
+	}
+	if !seenSecond {
+		t.Fatal("schedule never advanced to the burst phase")
+	}
+	if arr[len(arr)-1] < time.Minute+20*time.Second {
+		t.Fatalf("burst phase did not progress: last arrival %v", arr[len(arr)-1])
+	}
+}

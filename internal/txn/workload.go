@@ -40,16 +40,34 @@ type WorkloadConfig struct {
 	// Access generates object ids (Localized-RW in the paper's
 	// experiments; Uniform and HotCold for the robustness sweeps).
 	Access rng.AccessGen
+	// Arrivals, when non-nil, replaces the default closed-loop arrival
+	// process (scenario workloads install phased open-loop, burst,
+	// diurnal, and flash-crowd processes here). Nil preserves the
+	// original draw sequence exactly.
+	Arrivals ArrivalProcess
+}
+
+// Source produces a client's transaction stream; *Generator is the only
+// implementation, but the interface keeps the client decoupled from how
+// the stream is parameterized.
+type Source interface {
+	// NextArrival returns the absolute virtual time of the next
+	// transaction.
+	NextArrival() time.Duration
+	// Next produces the transaction arriving at NextArrival and
+	// advances the arrival process.
+	Next() *Transaction
 }
 
 // Generator produces one client's transaction stream deterministically
 // from its stream.
 type Generator struct {
-	cfg    WorkloadConfig
-	stream *rng.Stream
-	origin netsim.SiteID
-	nextID func() ID
-	nextAt time.Duration
+	cfg     WorkloadConfig
+	stream  *rng.Stream
+	origin  netsim.SiteID
+	nextID  func() ID
+	nextAt  time.Duration
+	advance func(time.Duration)
 }
 
 // NewGenerator returns a generator for origin. nextID must hand out
@@ -65,7 +83,14 @@ func NewGenerator(stream *rng.Stream, origin netsim.SiteID, cfg WorkloadConfig, 
 		cfg.MinSlack = time.Second
 	}
 	g := &Generator{cfg: cfg, stream: stream, origin: origin, nextID: nextID}
-	g.nextAt = stream.Exp(cfg.MeanInterArrival)
+	if a, ok := cfg.Access.(interface{ Advance(time.Duration) }); ok {
+		g.advance = a.Advance
+	}
+	if cfg.Arrivals != nil {
+		g.nextAt = cfg.Arrivals.Next(0)
+	} else {
+		g.nextAt = stream.Exp(cfg.MeanInterArrival)
+	}
 	return g
 }
 
@@ -76,7 +101,14 @@ func (g *Generator) NextArrival() time.Duration { return g.nextAt }
 // arrival process.
 func (g *Generator) Next() *Transaction {
 	arrival := g.nextAt
-	g.nextAt += g.stream.Exp(g.cfg.MeanInterArrival)
+	if g.cfg.Arrivals != nil {
+		g.nextAt = g.cfg.Arrivals.Next(arrival)
+	} else {
+		g.nextAt += g.stream.Exp(g.cfg.MeanInterArrival)
+	}
+	if g.advance != nil {
+		g.advance(arrival)
+	}
 
 	n := g.stream.Poisson(float64(g.cfg.MeanObjects))
 	if n < 1 {
