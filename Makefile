@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz-smoke bench-kernel figures scenarios update-scenarios
+.PHONY: build test race fuzz-smoke bench-kernel figures scenarios update-scenarios update-scenarios-scale
 
 build:
 	$(GO) build ./...
@@ -21,15 +21,22 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzScenarioParse -fuzztime $(FUZZTIME) ./internal/scenario/
 
 # scenarios runs the committed .rts corpus and fails on any expect
-# violation; update-scenarios reruns it and rewrites the goldens.
+# violation; update-scenarios reruns it and rewrites the goldens. Both
+# cover the everyday tier; the scale tier (scale_1m, >= 100k clients) is
+# opt-in via update-scenarios-scale or RTS_SCALE=1.
 scenarios:
 	$(GO) run ./cmd/rtbench -scenario-dir scenarios
 
 update-scenarios:
 	$(GO) test ./internal/scenario -run TestCorpusGoldens -update
 
+update-scenarios-scale:
+	$(GO) test ./internal/scenario -run TestCorpusScale -update -timeout 60m
+
 # bench-kernel records the kernel benchmark suite (micro benchmarks plus
-# the BenchmarkFigure3 macro run) into BENCH_kernel.json under LABEL.
+# the BenchmarkFigure3 and BenchmarkScaleSmoke macro runs) into
+# BENCH_kernel.json under LABEL; BENCH_SCALE=1 adds the million-client
+# BenchmarkScale100x (minutes, tens of GB).
 LABEL ?= current
 bench-kernel:
 	sh scripts/bench_kernel.sh $(LABEL)

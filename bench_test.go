@@ -1,16 +1,19 @@
 package siteselect_test
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"siteselect"
 	"siteselect/internal/cache"
+	"siteselect/internal/config"
 	"siteselect/internal/experiment"
 	"siteselect/internal/forward"
 	"siteselect/internal/lockmgr"
 	"siteselect/internal/rng"
+	"siteselect/internal/rtdbs"
 	"siteselect/internal/sched"
 	"siteselect/internal/sim"
 	"siteselect/internal/txn"
@@ -282,4 +285,103 @@ func BenchmarkPatternSweep(b *testing.B) {
 			b.Log("\n" + sb.String())
 		}
 	}
+}
+
+// --- population-scale benchmarks of the state-machine kernel ---
+
+// scaleConfig is a synthetic large-population workload for the scale
+// benchmarks: the paper's protocol stack with hardware constants turned
+// down to modern values (the 1999 12 ms server op on one CPU would
+// saturate long before a million clients could be observed) and loose
+// deadlines, so the run measures kernel throughput rather than overload
+// behavior. Each client submits ~2 transactions over the horizon.
+func scaleConfig(clients int) config.Config {
+	return config.Config{
+		NumClients:       clients,
+		DBSize:           2 * clients,
+		ServerMemory:     100_000,
+		ClientMemory:     256,
+		ClientDisk:       0,
+		MeanInterArrival: 200 * time.Second,
+		MeanLength:       time.Second,
+		MeanSlack:        1000 * time.Second,
+		MeanObjects:      4,
+		UpdateFraction:   0.01,
+		Pattern:          config.PatternLocalizedRW,
+		Deadlines:        config.DeadlineLengthPlusSlack,
+		Scheduling:       config.SchedEDF,
+		HotRegionSize:    200,
+		LocalFraction:    0.9,
+		ZipfTheta:        0.9,
+		DiskRead:         20 * time.Microsecond,
+		DiskWrite:        20 * time.Microsecond,
+		NetLatency:       200 * time.Microsecond,
+		NetBandwidthBps:  1e9,
+		Topology:         config.TopologySwitched,
+		ServerOpCPU:      5 * time.Microsecond,
+		ServerThreads:    100,
+		ClientExecutors:  2,
+		MaxSubtasks:      2,
+		Duration:         400 * time.Second,
+		Drain:            60 * time.Second,
+		Seed:             1,
+	}
+}
+
+// benchScale runs one client-server population of the given size and
+// reports kernel-level throughput and footprint: executed events per
+// wall second, the heap high-water mark, and bytes of heap per
+// simulated client. The heap is sampled every few million events, which
+// catches the steady-state plateau without perturbing the run.
+func benchScale(b *testing.B, clients int) {
+	for i := 0; i < b.N; i++ {
+		c, err := rtdbs.NewClientServer(scaleConfig(clients))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ms runtime.MemStats
+		var heapHW uint64
+		var sinceSample int
+		c.Env().SetStepHook(func() {
+			if sinceSample++; sinceSample >= 4_000_000 {
+				sinceSample = 0
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > heapHW {
+					heapHW = ms.HeapAlloc
+				}
+			}
+		})
+		start := time.Now()
+		res, err := c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > heapHW {
+			heapHW = ms.HeapAlloc
+		}
+		if res.M.Submitted == 0 {
+			b.Fatal("empty run")
+		}
+		steps := c.Env().Steps()
+		b.ReportMetric(float64(steps)/elapsed.Seconds(), "steps/sec")
+		b.ReportMetric(float64(heapHW)/(1<<20), "heap-MB")
+		b.ReportMetric(float64(heapHW)/float64(clients), "B/client")
+		b.ReportMetric(float64(res.M.Submitted), "txns")
+	}
+}
+
+// BenchmarkScaleSmoke is the CI-sized population run (10k clients), the
+// benchmark counterpart of scenarios/scale_smoke.rts.
+func BenchmarkScaleSmoke(b *testing.B) {
+	benchScale(b, 10_000)
+}
+
+// BenchmarkScale100x runs one million simulated clients — 10,000× the
+// paper's maximum population — on the state-machine kernel. Feasible at
+// all because machines park as a few words of state instead of a
+// goroutine stack; see EXPERIMENTS.md "Running at scale".
+func BenchmarkScale100x(b *testing.B) {
+	benchScale(b, 1_000_000)
 }

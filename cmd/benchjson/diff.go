@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// diffLabels compares one label's records against a baseline label in
+// the same file and renders a delta table for every benchmark present
+// under both. For each metric the two records share, the delta is
+// (current-baseline)/baseline; only ns/op is shown in the table (the
+// rest of the metrics ride along in the JSON), but the warn check can
+// target any metric.
+//
+// When warnBench is non-empty and that benchmark's ns/op regressed by
+// more than warnOver percent, a GitHub-annotation-style warning line is
+// written and the function reports true. The caller decides what to do
+// with that — CI treats it as informational (non-blocking).
+func diffLabels(f File, baseline, label, warnBench string, warnOver float64, out io.Writer) (warned bool, err error) {
+	base := make(map[string]Record)
+	cur := make(map[string]Record)
+	for _, r := range f.Records {
+		switch r.Label {
+		case baseline:
+			base[r.Name] = r
+		case label:
+			cur[r.Name] = r
+		}
+	}
+	if len(base) == 0 {
+		return false, fmt.Errorf("no records labeled %q (baseline)", baseline)
+	}
+	if len(cur) == 0 {
+		return false, fmt.Errorf("no records labeled %q", label)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return false, fmt.Errorf("labels %q and %q share no benchmarks", baseline, label)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(out, "%-40s %15s %15s %8s\n", "benchmark", baseline+" ns/op", label+" ns/op", "delta")
+	for _, name := range names {
+		b, c := base[name].Metrics["ns/op"], cur[name].Metrics["ns/op"]
+		if b == 0 {
+			continue
+		}
+		delta := (c - b) / b * 100
+		fmt.Fprintf(out, "%-40s %15.0f %15.0f %+7.1f%%\n", name, b, c, delta)
+	}
+
+	if warnBench != "" {
+		b, okB := base[warnBench]
+		c, okC := cur[warnBench]
+		if !okB || !okC {
+			return false, fmt.Errorf("warn benchmark %q missing from baseline %q or label %q", warnBench, baseline, label)
+		}
+		bn, cn := b.Metrics["ns/op"], c.Metrics["ns/op"]
+		if bn > 0 {
+			delta := (cn - bn) / bn * 100
+			if delta > warnOver {
+				fmt.Fprintf(out, "::warning title=%s regression::%s ns/op regressed %.1f%% vs %q (%.0f -> %.0f), over the %.0f%% budget\n",
+					warnBench, warnBench, delta, baseline, bn, cn, warnOver)
+				warned = true
+			}
+		}
+	}
+	return warned, nil
+}

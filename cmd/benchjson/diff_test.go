@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rec(label, name string, nsop float64) Record {
+	return Record{Label: label, Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": nsop}}
+}
+
+func TestDiffLabelsTableAndWarning(t *testing.T) {
+	f := File{Records: []Record{
+		rec("base", "BenchmarkFigure3", 1000),
+		rec("base", "BenchmarkMachineSleep", 20),
+		rec("ci", "BenchmarkFigure3", 1300),
+		rec("ci", "BenchmarkMachineSleep", 19),
+		rec("ci", "BenchmarkOnlyInCI", 5),
+	}}
+
+	var out strings.Builder
+	warned, err := diffLabels(f, "base", "ci", "BenchmarkFigure3", 15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warned {
+		t.Error("30% regression over a 15% budget should warn")
+	}
+	s := out.String()
+	for _, want := range []string{"BenchmarkFigure3", "+30.0%", "BenchmarkMachineSleep", "-5.0%", "::warning"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "BenchmarkOnlyInCI") {
+		t.Errorf("benchmark absent from the baseline should not be in the table:\n%s", s)
+	}
+
+	out.Reset()
+	warned, err = diffLabels(f, "base", "ci", "BenchmarkMachineSleep", 15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warned {
+		t.Error("an improvement must not warn")
+	}
+	if strings.Contains(out.String(), "::warning") {
+		t.Errorf("no annotation expected:\n%s", out.String())
+	}
+}
+
+func TestDiffLabelsErrors(t *testing.T) {
+	f := File{Records: []Record{rec("base", "BenchmarkFigure3", 1000)}}
+	if _, err := diffLabels(f, "base", "ci", "", 15, &strings.Builder{}); err == nil {
+		t.Error("missing label should error")
+	}
+	if _, err := diffLabels(f, "nope", "base", "", 15, &strings.Builder{}); err == nil {
+		t.Error("missing baseline should error")
+	}
+	f.Records = append(f.Records, rec("base", "BenchmarkOther", 5), rec("ci", "BenchmarkOther", 6))
+	if _, err := diffLabels(f, "base", "ci", "BenchmarkFigure3", 15, &strings.Builder{}); err == nil {
+		t.Error("warn benchmark absent from one side should error")
+	}
+}

@@ -12,6 +12,17 @@
 // one snapshot per label (e.g. "pre-pr", "post-pr"). Non-benchmark lines
 // are ignored; the parsed input is echoed to stdout so the tool can sit
 // in a pipe without hiding results.
+//
+// Diff mode compares two labels already in the file instead of reading
+// stdin:
+//
+//	go run ./cmd/benchjson -into BENCH_kernel.json \
+//	    -diff post-pr -label ci \
+//	    -warn-bench BenchmarkFigure3 -warn-over 15
+//
+// prints a per-benchmark ns/op delta table and, when the named
+// benchmark regressed past the budget, a `::warning` annotation line.
+// The exit code stays 0 either way — the diff is informational.
 package main
 
 import (
@@ -44,7 +55,29 @@ var cpuSuffix = regexp.MustCompile(`-\d+$`)
 func main() {
 	into := flag.String("into", "BENCH_kernel.json", "JSON file to merge records into")
 	label := flag.String("label", "current", "label for this snapshot (e.g. pre-pr, post-pr)")
+	diffBase := flag.String("diff", "", "compare -label's records in -into against this baseline label instead of reading stdin")
+	warnBench := flag.String("warn-bench", "", "with -diff, warn when this benchmark's ns/op regresses more than -warn-over percent")
+	warnOver := flag.Float64("warn-over", 15, "with -diff and -warn-bench, the regression budget in percent")
 	flag.Parse()
+	if *diffBase != "" {
+		data, err := os.ReadFile(*into)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var f File
+		if err := json.Unmarshal(data, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *into, err)
+			os.Exit(1)
+		}
+		// A regression warning is informational, not a failure: the
+		// exit code stays 0 so CI treats the diff as non-blocking.
+		if _, err := diffLabels(f, *diffBase, *label, *warnBench, *warnOver, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*into, *label); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

@@ -82,6 +82,7 @@ func run() error {
 		scenFile = flag.String("scenario", "", "run one .rts scenario file instead of an experiment")
 		scenDir  = flag.String("scenario-dir", "", "run every .rts scenario in a directory instead of an experiment")
 		scenOut  = flag.String("scenario-out", "", "also write each scenario report to this directory as <name>.golden")
+		scenBig  = flag.Bool("scale-scenarios", false, "include scale-tier scenarios (>= 100k clients) in -scenario-dir runs; these take minutes and tens of GB")
 	)
 	flag.Parse()
 
@@ -89,7 +90,7 @@ func run() error {
 		// Scenario runs carry their own seed (derived from the scenario
 		// name and the file's seed stanza), so -seed, -scale, and -reps
 		// do not apply here.
-		return runScenarios(*scenFile, *scenDir, *scenOut, *parallel, os.Stdout)
+		return runScenarios(*scenFile, *scenDir, *scenOut, *parallel, *scenBig, os.Stdout)
 	}
 
 	if *cpuProf != "" {

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"strings"
 
@@ -13,9 +14,12 @@ import (
 // both) and writes each report to out. When outDir is non-empty every
 // report is also written there as <name>.golden — the same bytes the
 // corpus goldens pin — so CI can diff a fresh batch against
-// scenarios/golden. The returned error is non-nil when any scenario
-// fails to parse, compile, or run, or when any expect assertion fails.
-func runScenarios(file, dir, outDir string, parallel int, out io.Writer) error {
+// scenarios/golden. Directory runs skip scale-tier scenarios
+// (population >= scenario.ScaleFloor) unless includeScale is set; a
+// -scenario file is always run, whatever its size. The returned error
+// is non-nil when any scenario fails to parse, compile, or run, or
+// when any expect assertion fails.
+func runScenarios(file, dir, outDir string, parallel int, includeScale bool, out io.Writer) error {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -31,6 +35,14 @@ func runScenarios(file, dir, outDir string, parallel int, out io.Writer) error {
 		batch, err := scenario.LoadDir(dir)
 		if err != nil {
 			return err
+		}
+		if !includeScale {
+			everyday, scale := scenario.SplitScale(batch)
+			for _, s := range scale {
+				fmt.Fprintf(os.Stderr, "rtbench: skipping scale-tier scenario %s (%d clients); rerun with -scale-scenarios to include it\n",
+					s.Name, s.Population())
+			}
+			batch = everyday
 		}
 		scens = append(scens, batch...)
 	}

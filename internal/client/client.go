@@ -89,6 +89,9 @@ type Client struct {
 	migrations map[lockmgr.ObjectID]*forward.List
 	// shipWaits collects results of shipped transactions and subtasks.
 	shipWaits map[shipKey]*shipWait
+	// txnFree recycles finished transaction machines so steady-state
+	// submission allocates nothing but the transaction itself.
+	txnFree []*txnMachine
 
 	// outageEnd is set while the client is partitioned (fault
 	// injection): the dispatcher holds all message processing until it
@@ -173,6 +176,9 @@ func New(env *sim.Env, cfg config.Config, id netsim.SiteID, net *netsim.Network,
 	c.faulty = cfg.Faults.Enabled()
 	c.rto = cfg.EffectiveRetryTimeout()
 	if cfg.ClientExecutors > 1 {
+		// Deliberately not Reserved: a client only ever locks the few
+		// objects it caches, and a dense database-wide index per client
+		// would dominate memory at large populations.
 		c.localLocks = lockmgr.NewBlockingTable(env)
 	}
 	if cfg.UseLogging {
@@ -226,23 +232,36 @@ func (c *Client) AuditPending(grace time.Duration) error {
 // ATL exposes the observed average transaction length.
 func (c *Client) ATL() *sched.ATL { return c.atl }
 
-// SetPeers installs the other clients' inboxes.
+// SetPeers installs the clients' inbox routing table. The map is shared
+// by reference across all clients (it may include this client's own
+// entry); sharing one table keeps per-client state O(1) at large
+// populations. Self-sends are rejected in toPeer.
 func (c *Client) SetPeers(peers map[netsim.SiteID]*sim.Mailbox[netsim.Message]) {
-	for id, mb := range peers {
-		if id != c.id {
-			c.peers[id] = mb
-		}
-	}
+	c.peers = peers
 }
 
-// Start spawns the client's generator and dispatcher processes, and
+// Start spawns the client's generator and dispatcher machines, and
 // schedules the configured outage, if this client is its target.
 func (c *Client) Start() {
-	c.env.Go(fmt.Sprintf("client-%d-gen", c.id), c.generate)
-	c.env.Go(fmt.Sprintf("client-%d-dispatch", c.id), c.dispatch)
+	g := &genMachine{c: c}
+	c.env.Spawn(&g.task, g)
+	c.startDispatcher()
 	if netsim.SiteID(c.cfg.OutageClient) == c.id && c.cfg.OutageDuration > 0 {
 		c.env.At(c.cfg.OutageAt, c.beginOutage)
 	}
+}
+
+// startDispatcher runs only the message dispatcher (tests submit
+// transactions explicitly).
+func (c *Client) startDispatcher() {
+	d := &dispMachine{c: c}
+	c.env.Spawn(&d.task, d)
+}
+
+// submitAsync runs the full submit path for t, starting at the current
+// instant.
+func (c *Client) submitAsync(t *txn.Transaction) {
+	c.spawnTxn(t, nil, enOrigin, nil)
 }
 
 // beginOutage partitions the client and wipes its volatile state: the
@@ -272,51 +291,99 @@ func (c *Client) beginOutage() {
 // Down reports whether the client is currently partitioned.
 func (c *Client) Down() bool { return c.env.Now() < c.outageEnd }
 
-// generate produces the transaction stream until the configured horizon.
-func (c *Client) generate(p *sim.Proc) {
+// genMachine produces the transaction stream until the configured
+// horizon, as a state machine with the same park points as the earlier
+// generator process (one scheduler pass per arrival, even for
+// already-due arrivals).
+type genMachine struct {
+	task sim.Task
+	c    *Client
+	pc   uint8
+}
+
+const (
+	gsNext uint8 = iota
+	gsArrived
+)
+
+func (g *genMachine) Resume() {
+	c := g.c
 	for {
-		next := c.gen.NextArrival()
-		if next > c.cfg.Duration {
+		switch g.pc {
+		case gsNext:
+			next := c.gen.NextArrival()
+			if next > c.cfg.Duration {
+				g.task.Detach()
+				return
+			}
+			g.pc = gsArrived
+			g.task.SleepUntil(next)
 			return
+		default: // gsArrived
+			if now := g.task.Now(); now < c.outageEnd {
+				g.task.SleepUntil(c.outageEnd) // no submissions while down
+				return
+			}
+			t := c.gen.Next()
+			c.Tracked = append(c.Tracked, t)
+			c.tr.Submitted(t, c.id, g.task.Now())
+			c.spawnTxn(t, nil, enOrigin, nil)
+			g.pc = gsNext
 		}
-		p.SleepUntil(next)
-		if p.Now() < c.outageEnd {
-			p.SleepUntil(c.outageEnd) // no submissions while down
-		}
-		t := c.gen.Next()
-		c.Tracked = append(c.Tracked, t)
-		c.tr.Submitted(t, c.id, p.Now())
-		c.env.Go(fmt.Sprintf("txn-%d", t.ID), func(tp *sim.Proc) { c.submit(tp, t) })
 	}
 }
 
-// dispatch routes incoming messages. During an injected outage the
-// messages queue in the inbox and drain only after the client restarts.
-func (c *Client) dispatch(p *sim.Proc) {
+// dispMachine routes incoming messages. During an injected outage the
+// messages queue in the inbox (plus at most one held in-hand) and drain
+// only after the client restarts.
+type dispMachine struct {
+	task sim.Task
+	c    *Client
+	held netsim.Message
+	hold bool
+}
+
+func (d *dispMachine) Resume() {
+	c := d.c
+	if d.hold {
+		d.hold = false
+		msg := d.held
+		d.held = netsim.Message{}
+		c.dispatchMsg(msg)
+	}
 	for {
-		msg := c.inbox.Get(p)
-		if p.Now() < c.outageEnd {
-			p.SleepUntil(c.outageEnd)
+		msg, ok := c.inbox.Recv(&d.task)
+		if !ok {
+			return
 		}
-		c.curTransit = msg.DeliveredAt - msg.SentAt
-		switch pl := msg.Payload.(type) {
-		case proto.ObjGrant:
-			c.onGrant(pl)
-		case proto.ConflictReply:
-			c.onConflictReply(pl)
-		case proto.DenyReply:
-			c.onDeny(pl)
-		case proto.Recall:
-			c.onRecall(pl)
-		case proto.LoadReply:
-			c.onLoadReply(pl)
-		case proto.TxnShip:
-			c.onTxnShip(pl)
-		case proto.TxnResult:
-			c.onTxnResult(pl)
-		default:
-			panic(fmt.Sprintf("client: unexpected payload %T", msg.Payload))
+		if d.task.Now() < c.outageEnd {
+			d.held, d.hold = msg, true
+			d.task.SleepUntil(c.outageEnd)
+			return
 		}
+		c.dispatchMsg(msg)
+	}
+}
+
+func (c *Client) dispatchMsg(msg netsim.Message) {
+	c.curTransit = msg.DeliveredAt - msg.SentAt
+	switch pl := msg.Payload.(type) {
+	case proto.ObjGrant:
+		c.onGrant(pl)
+	case proto.ConflictReply:
+		c.onConflictReply(pl)
+	case proto.DenyReply:
+		c.onDeny(pl)
+	case proto.Recall:
+		c.onRecall(pl)
+	case proto.LoadReply:
+		c.onLoadReply(pl)
+	case proto.TxnShip:
+		c.onTxnShip(pl)
+	case proto.TxnResult:
+		c.onTxnResult(pl)
+	default:
+		panic(fmt.Sprintf("client: unexpected payload %T", msg.Payload))
 	}
 }
 
@@ -345,7 +412,7 @@ func (c *Client) toServer(kind netsim.Kind, size int, payload any) time.Duration
 
 func (c *Client) toPeer(to netsim.SiteID, kind netsim.Kind, size int, payload any) time.Duration {
 	mb, ok := c.peers[to]
-	if !ok {
+	if !ok || to == c.id {
 		panic(fmt.Sprintf("client %d: no peer route to %d", c.id, to))
 	}
 	return c.net.Send(netsim.Message{

@@ -63,7 +63,7 @@ func newRig(t *testing.T, mod func(*config.Config)) *rig {
 	cl := New(env, cfg, 1, net, &metrics.Collector{}, inbox, toSrv, gen, true)
 	cl.SetPeers(map[netsim.SiteID]*sim.Mailbox[netsim.Message]{2: peer})
 	// Only the dispatcher: tests submit transactions explicitly.
-	env.Go("dispatch", cl.dispatch)
+	cl.startDispatcher()
 	return &rig{t: t, env: env, net: net, cl: cl, inbox: inbox, toSrv: toSrv, peer: peer}
 }
 
@@ -217,7 +217,7 @@ func TestClientExecutesFullyCachedTransaction(t *testing.T) {
 	r.seed(1, lockmgr.ModeShared, false, 0)
 	r.seed(2, lockmgr.ModeExclusive, false, 0)
 	tx := r.newTxn([]txn.Op{{Obj: 1}, {Obj: 2, Write: true}}, time.Minute)
-	r.env.Go("submit", func(p *sim.Proc) { r.cl.submit(p, tx) })
+	r.cl.submitAsync(tx)
 	msgs := r.sent(10 * time.Second)
 	if len(msgs) != 0 {
 		t.Fatalf("fully cached txn sent messages: %+v", msgs)
@@ -238,7 +238,7 @@ func TestClientProbeThenGrantFlow(t *testing.T) {
 	r := newRig(t, nil)
 	defer r.env.Close()
 	tx := r.newTxn([]txn.Op{{Obj: 30}, {Obj: 31}}, time.Minute)
-	r.env.Go("submit", func(p *sim.Proc) { r.cl.submit(p, tx) })
+	r.cl.submitAsync(tx)
 	msgs := r.sent(time.Second)
 	if len(msgs) != 1 {
 		t.Fatalf("expected one probe, got %+v", msgs)
@@ -261,7 +261,7 @@ func TestClientConflictReplyShipsToDataRichTarget(t *testing.T) {
 	defer r.env.Close()
 	ops := []txn.Op{{Obj: 40}, {Obj: 41}, {Obj: 42}}
 	tx := r.newTxn(ops, time.Minute)
-	r.env.Go("submit", func(p *sim.Proc) { r.cl.submit(p, tx) })
+	r.cl.submitAsync(tx)
 	r.sent(time.Second) // probe out
 	// Peer 2 holds everything: strictly better on conflicts and data.
 	r.inject(netsim.KindLockReply, proto.ConflictReply{
@@ -295,7 +295,7 @@ func TestClientConflictReplyStaysWhenTargetDataPoor(t *testing.T) {
 	r.seed(42, lockmgr.ModeShared, false, 0)
 	ops := []txn.Op{{Obj: 40}, {Obj: 41}, {Obj: 42}, {Obj: 43}}
 	tx := r.newTxn(ops, time.Minute)
-	r.env.Go("submit", func(p *sim.Proc) { r.cl.submit(p, tx) })
+	r.cl.submitAsync(tx)
 	r.sent(time.Second)
 	r.inject(netsim.KindLockReply, proto.ConflictReply{
 		Txn:        tx.ID,
@@ -318,7 +318,7 @@ func TestClientMigrationForwardOnCommit(t *testing.T) {
 	r := newRig(t, nil)
 	defer r.env.Close()
 	tx := r.newTxn([]txn.Op{{Obj: 50, Write: true}}, time.Minute)
-	r.env.Go("submit", func(p *sim.Proc) { r.cl.submit(p, tx) })
+	r.cl.submitAsync(tx)
 	r.sent(time.Second) // probe out
 	// Grant arrives as a migration hop with peer 2 next in line.
 	fwd := forward.NewList(50)
@@ -350,7 +350,7 @@ func TestClientMigrationFinalReturnRetainsSharedCopy(t *testing.T) {
 	r := newRig(t, nil)
 	defer r.env.Close()
 	tx := r.newTxn([]txn.Op{{Obj: 60, Write: true}}, time.Minute)
-	r.env.Go("submit", func(p *sim.Proc) { r.cl.submit(p, tx) })
+	r.cl.submitAsync(tx)
 	r.sent(time.Second)
 	fwd := forward.NewList(60) // empty: we are the last hop
 	r.inject(netsim.KindObjectShip, proto.ObjGrant{
@@ -458,7 +458,7 @@ func TestClientDeniedTransactionAborts(t *testing.T) {
 	r := newRig(t, nil)
 	defer r.env.Close()
 	tx := r.newTxn([]txn.Op{{Obj: 80}}, time.Minute)
-	r.env.Go("submit", func(p *sim.Proc) { r.cl.submit(p, tx) })
+	r.cl.submitAsync(tx)
 	r.sent(time.Second)
 	r.inject(netsim.KindLockReply, proto.DenyReply{Txn: tx.ID, Obj: 80, Reason: proto.DenyDeadlock})
 	r.env.Run(5 * time.Second)
@@ -471,7 +471,7 @@ func TestClientDeadlineTimeoutWhileFetching(t *testing.T) {
 	r := newRig(t, nil)
 	defer r.env.Close()
 	tx := r.newTxn([]txn.Op{{Obj: 90}}, 2*time.Second)
-	r.env.Go("submit", func(p *sim.Proc) { r.cl.submit(p, tx) })
+	r.cl.submitAsync(tx)
 	r.sent(time.Second)
 	// The server never answers; the transaction must terminate at its
 	// deadline.
@@ -510,7 +510,7 @@ func TestClientSpeculationOverlapsUpgrade(t *testing.T) {
 	r.seed(2, lockmgr.ModeShared, false, 0)
 	tx := r.newTxn([]txn.Op{{Obj: 1, Write: true}, {Obj: 2}}, time.Minute)
 	tx.Length = 10 * time.Second
-	r.env.Go("submit", func(p *sim.Proc) { r.cl.submit(p, tx) })
+	r.cl.submitAsync(tx)
 	r.sent(time.Second) // probe for the upgrade goes out
 	// Server takes 5 seconds to grant the EL upgrade.
 	r.env.Run(5 * time.Second)
@@ -534,7 +534,7 @@ func TestClientSpeculationInvalidatedByNewVersion(t *testing.T) {
 	r.seed(1, lockmgr.ModeShared, false, 4)
 	tx := r.newTxn([]txn.Op{{Obj: 1, Write: true}}, time.Minute)
 	tx.Length = 10 * time.Second
-	r.env.Go("submit", func(p *sim.Proc) { r.cl.submit(p, tx) })
+	r.cl.submitAsync(tx)
 	r.sent(time.Second)
 	r.env.Run(5 * time.Second)
 	// The upgrade arrives with a NEWER version: the speculative work
@@ -558,7 +558,7 @@ func TestClientSpeculationDisabledByDefault(t *testing.T) {
 	defer r.env.Close()
 	r.seed(1, lockmgr.ModeShared, false, 4)
 	tx := r.newTxn([]txn.Op{{Obj: 1, Write: true}}, time.Minute)
-	r.env.Go("submit", func(p *sim.Proc) { r.cl.submit(p, tx) })
+	r.cl.submitAsync(tx)
 	r.sent(time.Second)
 	r.inject(netsim.KindObjectShip, proto.ObjGrant{Obj: 1, Mode: lockmgr.ModeExclusive, Version: 4, Txn: tx.ID})
 	r.env.Run(30 * time.Second)
@@ -621,19 +621,19 @@ func TestClientH1RejectionShipsViaLoadQuery(t *testing.T) {
 	r.seed(1, lockmgr.ModeShared, false, 0)
 	blocker := r.newTxn([]txn.Op{{Obj: 1}}, 10*time.Minute)
 	blocker.Length = 3 * time.Minute
-	r.env.Go("blocker", func(p *sim.Proc) { r.cl.submit(p, blocker) })
+	r.cl.submitAsync(blocker)
 	r.env.Run(time.Second)
 	// Queue several more to build a waiting line.
 	for i := 0; i < 3; i++ {
 		w := r.newTxn([]txn.Op{{Obj: 1}}, 10*time.Minute)
 		w.Length = 3 * time.Minute
-		r.env.Go("w", func(p *sim.Proc) { r.cl.submit(p, w) })
+		r.cl.submitAsync(w)
 	}
 	r.sent(2 * time.Second)
 	// This one cannot make its short deadline behind the queue: it must
 	// query the server for candidate sites.
 	tight := r.newTxn([]txn.Op{{Obj: 2}}, 25*time.Second)
-	r.env.Go("tight", func(p *sim.Proc) { r.cl.submit(p, tight) })
+	r.cl.submitAsync(tight)
 	msgs := r.sent(3 * time.Second)
 	var q *proto.LoadQuery
 	for _, m := range msgs {
@@ -666,7 +666,7 @@ func TestClientDecomposition(t *testing.T) {
 	tx := r.newTxn([]txn.Op{{Obj: 10}, {Obj: 11}, {Obj: 20}, {Obj: 21}}, 5*time.Minute)
 	tx.Decomposable = true
 	tx.Length = 2 * time.Second
-	r.env.Go("submit", func(p *sim.Proc) { r.cl.submit(p, tx) })
+	r.cl.submitAsync(tx)
 	msgs := r.sent(time.Second)
 	if len(msgs) != 1 {
 		t.Fatalf("messages = %+v", msgs)

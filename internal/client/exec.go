@@ -2,7 +2,7 @@ package client
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"siteselect/internal/cache"
@@ -14,6 +14,7 @@ import (
 	"siteselect/internal/sim"
 	"siteselect/internal/trace"
 	"siteselect/internal/txn"
+	"siteselect/internal/wal"
 )
 
 func boolArg(b bool) int64 {
@@ -23,43 +24,347 @@ func boolArg(b bool) int64 {
 	return 0
 }
 
-// submit is the entry point of the load-sharing algorithm for a
-// transaction initiated at this client (Section 4 pseudocode).
-func (c *Client) submit(p *sim.Proc, t *txn.Transaction) {
-	if c.loadShare && c.cfg.UseDecomposition && t.Decomposable {
-		if c.tryDecompose(p, t) {
+// txnMachine runs one transaction (or subtask) lifecycle as an
+// event-driven state machine: the Section 4 submit path (decomposition,
+// H1 admission, H2 site selection) followed by execution — executor
+// slot, local locks, materialization with tentative probes or
+// sequential fetches, computation, commit and log force. Each state
+// mirrors the corresponding stretch of the earlier blocking coroutine
+// between two park points, so the event sequence is identical; the
+// deferred unwinds of the coroutine (local-lock release, migration
+// forwarding, slot release) become the explicit unwind() in LIFO order.
+type txnMachine struct {
+	task sim.Task
+	c    *Client
+	t    *txn.Transaction
+	sub  *txn.Subtask
+	// origin marks the transaction's originating site (the tentative
+	// and ship decisions only apply there); owns marks the context that
+	// owns the transaction's status and trace (sub == nil).
+	origin bool
+	owns   bool
+	// reportTo collects a local decomposition subtask's result for the
+	// parent's fanout wait.
+	reportTo *shipWait
+	pc       uint8
+
+	// request/reply exchange state (the blocking awaitReply).
+	pt        *pendingTxn
+	sendKind  uint8
+	awRTO     time.Duration
+	awAttempt int
+	awFinal   bool
+	awPC      uint8
+	wft       wftOp
+
+	// probe/commit request vectors and the sequential-fetch cursor.
+	objs    []lockmgr.ObjectID
+	modes   []lockmgr.Mode
+	seqIdx  int
+	curObj  lockmgr.ObjectID
+	curMode lockmgr.Mode
+
+	// decomposition fanout.
+	subs    []*txn.Subtask
+	results []*shipWait
+	waitIdx int
+	grace   time.Duration
+
+	// execution.
+	ops          []txn.Op
+	length       time.Duration
+	start        time.Duration
+	slotHeld     bool
+	locksHeld    bool
+	lockOps      []txn.Op
+	lockReqs     []lockmgr.Request
+	lockIdx      int
+	lockStarted  bool
+	lockOp       lockmgr.LockOp
+	entries      []*cache.Entry
+	spec         map[lockmgr.ObjectID]int64
+	specFraction float64
+	specStart    time.Duration
+	lastLSN      int64
+	force        wal.ForceOp
+
+	// materialization.
+	attempt int
+	missing []txn.Op
+	scanIdx int
+	diskPC  uint8
+}
+
+// Transaction machine states.
+const (
+	tsSubmit uint8 = iota
+	tsH1
+	tsShipArrive
+	tsDecomposeQuery
+	tsShipQuery
+	tsFanoutWait
+	tsExecBegin
+	tsSlotWait
+	tsSlotHeld
+	tsLock
+	tsMatBegin
+	tsScan
+	tsScanDone
+	tsProbeWait
+	tsCommitWait
+	tsSeqSend
+	tsSeqWait
+	tsMaterialized
+	tsRan
+	tsForce
+	tsCommitDone
+	tsDone
+)
+
+// Entry modes for spawnTxn.
+const (
+	enOrigin    uint8 = iota // submitted at this site (full Section 4 path)
+	enShipWhole              // whole transaction shipped in by a peer
+	enShipSub                // decomposition subtask shipped in by a peer
+	enLocalSub               // decomposition subtask run at the origin
+)
+
+// Request kinds for resend.
+const (
+	skLoad uint8 = iota
+	skProbe
+	skCommit
+	skSeq
+)
+
+// Local-disk charge sub-states.
+const (
+	dcIdle uint8 = iota
+	dcAcquire
+	dcSleep
+	dcRelease
+)
+
+// spawnTxn starts a transaction machine in the given entry mode,
+// reusing a machine from the client's free list when one is available.
+func (c *Client) spawnTxn(t *txn.Transaction, sub *txn.Subtask, entry uint8, reportTo *shipWait) {
+	var m *txnMachine
+	if n := len(c.txnFree); n > 0 {
+		m = c.txnFree[n-1]
+		c.txnFree[n-1] = nil
+		c.txnFree = c.txnFree[:n-1]
+	} else {
+		m = &txnMachine{}
+	}
+	*m = txnMachine{
+		c: c, t: t, sub: sub, reportTo: reportTo,
+		objs: m.objs[:0], modes: m.modes[:0],
+		subs: m.subs[:0], results: m.results[:0],
+		lockOps: m.lockOps[:0], lockReqs: m.lockReqs[:0],
+		entries: m.entries[:0], missing: m.missing[:0],
+	}
+	m.owns = sub == nil
+	switch entry {
+	case enOrigin:
+		m.origin = true
+		m.pc = tsSubmit
+	case enShipWhole:
+		m.pc = tsShipArrive
+	default:
+		m.pc = tsExecBegin
+	}
+	c.env.Spawn(&m.task, m)
+}
+
+func (m *txnMachine) Resume() {
+	for m.pc != tsDone {
+		if m.step() {
 			return
 		}
 	}
-	if c.loadShare && c.cfg.UseH1 {
-		// H1 with a concurrent executor pool: n waiting transactions
-		// drain k at a time, so the expected start delay is n·ATL/k.
-		n := c.slots.QueueLen()
-		atl := c.atl.Mean() / time.Duration(c.cfg.ClientExecutors)
-		feasible := loadshare.H1Feasible(p.Now(), n, atl, t.Deadline)
-		c.tr.Point(t.ID, c.id, trace.EvH1, 0, int64(n), boolArg(feasible), p.Now())
-		if !feasible {
-			c.m.H1Rejections++
-			if c.shipViaQuery(p, t) {
-				return
-			}
-		}
-	}
-	c.execute(p, t, nil, true)
+	m.task.Detach()
+	m.c.recycleTxn(m)
 }
 
-// shipViaQuery handles the H1-infeasible branch: ask the server where
-// the transaction's objects live and how loaded the candidates are, pick
-// the most suitable site (H2), and ship. Returns false when the origin
-// remains the best choice (the transaction then queues locally anyway).
-func (c *Client) shipViaQuery(p *sim.Proc, t *txn.Transaction) bool {
-	reply := c.loadQuery(p, t)
+// recycleTxn clears a finished machine's pointer-bearing slices (so the
+// backing arrays don't pin transactions and cache entries) and returns
+// it to the free list. The remaining fields are overwritten wholesale
+// by the next spawnTxn.
+func (c *Client) recycleTxn(m *txnMachine) {
+	clear(m.subs)
+	clear(m.results)
+	clear(m.entries)
+	c.txnFree = append(c.txnFree, m)
+}
+
+// step advances the machine by one state; true means it parked.
+func (m *txnMachine) step() bool {
+	c, t := m.c, m.t
+	switch m.pc {
+	case tsSubmit:
+		// Entry point of the load-sharing algorithm for a transaction
+		// initiated at this client (Section 4 pseudocode).
+		if c.loadShare && c.cfg.UseDecomposition && t.Decomposable {
+			m.beginLoadQuery(tsDecomposeQuery)
+			return false
+		}
+		m.pc = tsH1
+	case tsH1:
+		return m.stepH1()
+	case tsShipArrive:
+		// The target now owns the trace: the hop from the origin's ship
+		// decision to here is network time.
+		t.ExecSite = c.id
+		c.tr.MarkShipArrived(t.ID, c.id, m.task.Now())
+		m.pc = tsExecBegin
+	case tsDecomposeQuery:
+		done, ok := m.awaitStep()
+		if !done {
+			return true
+		}
+		m.pt.wantLoad = false
+		var reply *proto.LoadReply
+		if ok {
+			reply = m.pt.loadReply
+		}
+		if !m.tryDecompose(reply) {
+			m.pc = tsH1
+		}
+	case tsShipQuery:
+		done, ok := m.awaitStep()
+		if !done {
+			return true
+		}
+		m.pt.wantLoad = false
+		if ok && m.shipAfterQuery(m.pt.loadReply) {
+			m.pc = tsDone
+			return false
+		}
+		m.pc = tsExecBegin
+	case tsFanoutWait:
+		return m.stepFanout()
+	case tsExecBegin:
+		return m.stepExecBegin()
+	case tsSlotWait:
+		if m.task.ResTimedOut() {
+			if m.owns {
+				c.tr.Mark(t.ID, c.id, trace.CompQueue, m.task.Now())
+			}
+			m.execDone(false)
+			return false
+		}
+		m.pc = tsSlotHeld
+	case tsSlotHeld:
+		return m.stepSlotHeld()
+	case tsLock:
+		return m.stepLock()
+	case tsMatBegin:
+		m.spec, m.specFraction = c.speculationCandidates(m.ops)
+		m.specStart = m.task.Now()
+		m.attempt = 0
+		m.missing = m.missing[:0]
+		m.scanIdx = 0
+		m.pc = tsScan
+	case tsScan:
+		return m.stepScan()
+	case tsScanDone:
+		return m.stepScanDone()
+	case tsProbeWait:
+		return m.stepProbeWait()
+	case tsCommitWait:
+		done, ok := m.awaitStep()
+		if !done {
+			return true
+		}
+		if !ok || m.denied() {
+			m.fetchFail()
+			return false
+		}
+		m.fetchOK()
+	case tsSeqSend:
+		return m.stepSeqSend()
+	case tsSeqWait:
+		done, ok := m.awaitStep()
+		if !done {
+			return true
+		}
+		if !ok || m.denied() {
+			m.fetchFail()
+			return false
+		}
+		m.seqIdx++
+		m.pc = tsSeqSend
+	case tsMaterialized:
+		return m.stepMaterialized()
+	case tsRan:
+		m.stepCommit()
+	case tsForce:
+		if !m.force.Step(&m.task) {
+			return true
+		}
+		m.pc = tsCommitDone
+	case tsCommitDone:
+		for _, e := range m.entries {
+			c.objects.Unpin(e)
+		}
+		m.entries = nil
+		now := m.task.Now()
+		c.atl.Observe(now - m.start)
+		if m.owns {
+			c.tr.Mark(t.ID, c.id, trace.CompExec, now)
+		}
+		m.execDone(now <= t.Deadline)
+	}
+	return false
+}
+
+// beginLoadQuery starts a location/load query: register interest, send,
+// and arm the reply wait. next is the state that consumes the reply.
+func (m *txnMachine) beginLoadQuery(next uint8) {
+	pt := m.c.ensurePending(m.t)
+	m.pt = pt
+	pt.wantLoad = true
+	pt.loadReply = nil
+	pt.netAccum = 0
+	m.sendKind = skLoad
+	m.resend(0)
+	m.awaitArm()
+	m.pc = next
+}
+
+// stepH1 applies the H1 admission heuristic with a concurrent executor
+// pool: n waiting transactions drain k at a time, so the expected start
+// delay is n·ATL/k. Infeasible transactions ask the server where their
+// objects live and how loaded the candidates are (tsShipQuery).
+func (m *txnMachine) stepH1() bool {
+	c, t := m.c, m.t
+	if c.loadShare && c.cfg.UseH1 {
+		n := c.slots.QueueLen()
+		atl := c.atl.Mean() / time.Duration(c.cfg.ClientExecutors)
+		feasible := loadshare.H1Feasible(m.task.Now(), n, atl, t.Deadline)
+		c.tr.Point(t.ID, c.id, trace.EvH1, 0, int64(n), boolArg(feasible), m.task.Now())
+		if !feasible {
+			c.m.H1Rejections++
+			m.beginLoadQuery(tsShipQuery)
+			return false
+		}
+	}
+	m.pc = tsExecBegin
+	return false
+}
+
+// shipAfterQuery is the H1-infeasible branch after the load reply: pick
+// the most suitable site (H2) and ship. False means the origin remains
+// the best choice (the transaction then queues locally anyway).
+func (m *txnMachine) shipAfterQuery(reply *proto.LoadReply) bool {
+	c, t := m.c, m.t
 	if reply == nil {
 		return false
 	}
+	now := m.task.Now()
 	params := loadshare.Params{
 		Origin:         c.id,
-		Now:            p.Now(),
+		Now:            now,
 		Deadline:       t.Deadline,
 		Locations:      reply.Locations,
 		Loads:          loadsBySite(reply.Loads),
@@ -69,7 +374,7 @@ func (c *Client) shipViaQuery(p *sim.Proc, t *txn.Transaction) bool {
 	}
 	if c.tr.Enabled() {
 		params.Trace = func(d loadshare.Decision) {
-			c.tr.Point(t.ID, c.id, trace.EvH2, 0, int64(d.Target), boolArg(d.Ship), p.Now())
+			c.tr.Point(t.ID, c.id, trace.EvH2, 0, int64(d.Target), boolArg(d.Ship), now)
 		}
 	}
 	d := loadshare.ChooseSite(params)
@@ -80,16 +385,690 @@ func (c *Client) shipViaQuery(p *sim.Proc, t *txn.Transaction) bool {
 	return true
 }
 
-// loadQuery asks the server for object locations and candidate loads,
-// blocking until the reply or the transaction's deadline. Under fault
-// injection the query is retried with backoff: LoadQuery/LoadReply is
-// an unreliable, idempotent exchange, so resending is always safe.
-func (c *Client) loadQuery(p *sim.Proc, t *txn.Transaction) *proto.LoadReply {
-	pt := c.ensurePending(t)
-	pt.wantLoad = true
-	pt.loadReply = nil
+// tryDecompose implements Section 3.2 after the location reply: group
+// the accesses by caching site and run the groups as independent
+// subtasks at those sites. All subtasks must meet the parent deadline
+// for the transaction to succeed. False means the transaction is not
+// profitably decomposable and the caller falls through to H1.
+func (m *txnMachine) tryDecompose(reply *proto.LoadReply) bool {
+	c, t := m.c, m.t
+	if reply == nil || len(reply.Locations) == 0 {
+		return false
+	}
+	partOf, siteOf := loadshare.GroupByLocation(c.id, t.Objects(), reply.Locations)
+	subs := t.Decompose(partOf, c.cfg.MaxSubtasks)
+	if subs == nil {
+		return false
+	}
+	// Only worth the fan-out risk (every subtask must meet the parent
+	// deadline) when each remote materialization covers enough data.
+	for _, sub := range subs {
+		if siteOf[sub.Key] != c.id && len(sub.Ops) < 2 {
+			return false
+		}
+	}
+	c.m.DecomposedTxns++
+	c.tr.Point(t.ID, c.id, trace.EvDecomposed, 0, int64(len(subs)), 0, m.task.Now())
+	m.subs = subs
+	m.results = make([]*shipWait, len(subs))
+	for i, sub := range subs {
+		c.m.SubtasksRun++
+		w := &shipWait{sig: sim.NewSignal(c.env)}
+		m.results[i] = w
+		target := siteOf[sub.Key]
+		if target == c.id || c.peers[target] == nil {
+			// Local subtask (materialization at the origin).
+			c.spawnTxn(t, sub, enLocalSub, w)
+			continue
+		}
+		c.shipWaits[shipKey{id: t.ID, sub: sub.Index}] = w
+		c.toPeer(target, netsim.KindTxnShip, netsim.TxnShipBytes, proto.TxnShip{
+			T: t, Sub: sub, ReplyTo: c.id, Load: c.loadReport(),
+		})
+	}
+	// Answer synthesis: every subtask must finish in time for the
+	// parent to succeed (the Section 3.2 failure rule).
+	m.grace = t.Deadline + c.cfg.MeanSlack
+	m.waitIdx = 0
+	m.pc = tsFanoutWait
+	return true
+}
+
+// stepFanout waits for every subtask result in turn, each bounded by
+// the parent's grace deadline, then synthesizes the answer.
+func (m *txnMachine) stepFanout() bool {
+	c, t := m.c, m.t
+	for m.waitIdx < len(m.results) {
+		w := m.results[m.waitIdx]
+		if !m.wft.armed {
+			m.wft.arm(w.sig, m.grace)
+		}
+		done, _ := m.wft.step(&m.task, w.done)
+		if !done {
+			return true
+		}
+		m.waitIdx++
+	}
+	now := m.task.Now()
+	c.tr.Mark(t.ID, c.id, trace.CompFanout, now)
+	for _, sub := range m.subs {
+		delete(c.shipWaits, shipKey{id: t.ID, sub: sub.Index})
+	}
+	committed := now <= t.Deadline
+	for _, w := range m.results {
+		if !w.done || !w.committed {
+			committed = false
+		}
+	}
+	c.finishParent(t, committed)
+	m.pc = tsDone
+	return false
+}
+
+// stepExecBegin queues for an executor slot in deadline order.
+func (m *txnMachine) stepExecBegin() bool {
+	c, t := m.c, m.t
+	m.ops, m.length = t.Ops, t.Length
+	if m.sub != nil {
+		m.ops, m.length = m.sub.Ops, m.sub.Length
+	}
+	now := m.task.Now()
+	slack := t.Deadline - now
+	if slack <= 0 {
+		if m.owns {
+			c.tr.Mark(t.ID, c.id, trace.CompQueue, now)
+		}
+		m.execDone(false)
+		return false
+	}
+	switch m.task.AcquireTimeout(c.slots, c.priorityOf(t), slack) {
+	case sim.AcquireGranted:
+		m.pc = tsSlotHeld
+		return false
+	default:
+		m.pc = tsSlotWait
+		return true
+	}
+}
+
+// stepSlotHeld runs the stretch from slot acquisition to the local-lock
+// phase.
+func (m *txnMachine) stepSlotHeld() bool {
+	c, t := m.c, m.t
+	m.slotHeld = true
+	now := m.task.Now()
+	if m.owns {
+		c.tr.Mark(t.ID, c.id, trace.CompQueue, now)
+		c.tr.Point(t.ID, c.id, trace.EvSlotAcquired, 0, 0, 0, now)
+	}
+	if now > t.Deadline {
+		m.execDone(false)
+		return false
+	}
+	t.Status = txn.StatusRunning
+	m.start = now
+	if c.localLocks != nil {
+		// Serialize concurrent local transactions over the same objects
+		// (only active when ClientExecutors > 1), in object order.
+		m.lockOps = append(m.lockOps[:0], m.ops...)
+		slices.SortFunc(m.lockOps, func(a, b txn.Op) int { return int(a.Obj) - int(b.Obj) })
+		if cap(m.lockReqs) < len(m.lockOps) {
+			m.lockReqs = make([]lockmgr.Request, len(m.lockOps))
+		} else {
+			m.lockReqs = m.lockReqs[:len(m.lockOps)]
+		}
+		m.lockIdx = 0
+		m.lockStarted = false
+		m.pc = tsLock
+		return false
+	}
+	m.pc = tsMatBegin
+	return false
+}
+
+// stepLock acquires the local locks one object at a time.
+func (m *txnMachine) stepLock() bool {
+	c, t := m.c, m.t
+	owner := lockmgr.OwnerID(t.ID)
+	for m.lockIdx < len(m.lockOps) {
+		var done bool
+		var err error
+		if !m.lockStarted {
+			op := m.lockOps[m.lockIdx]
+			m.lockStarted = true
+			req := &m.lockReqs[m.lockIdx]
+			*req = lockmgr.Request{Obj: op.Obj, Owner: owner, Mode: op.Mode(), Deadline: t.Deadline}
+			done, err = m.lockOp.Start(c.localLocks, &m.task, req)
+		} else {
+			done, err = m.lockOp.Step(&m.task)
+		}
+		if !done {
+			return true
+		}
+		m.lockStarted = false
+		if err != nil {
+			if m.owns {
+				c.tr.Mark(t.ID, c.id, trace.CompLockWait, m.task.Now())
+			}
+			c.localLocks.ReleaseAll(owner)
+			m.execDone(false)
+			return false
+		}
+		m.lockIdx++
+	}
+	if m.owns {
+		c.tr.Mark(t.ID, c.id, trace.CompLockWait, m.task.Now())
+	}
+	m.locksHeld = true
+	m.pc = tsMatBegin
+	return false
+}
+
+// stepScan is the materialization presence scan: ensure every access is
+// cached with a sufficient lock, charging local-disk time for copies
+// that aged to the disk tier, and collect the misses.
+func (m *txnMachine) stepScan() bool {
+	c, t := m.c, m.t
+	if m.diskPC != dcIdle {
+		// Resuming mid-charge for ops[scanIdx].
+		if !m.stepDiskCharge() {
+			return true
+		}
+		if m.owns {
+			c.tr.Mark(t.ID, c.id, trace.CompExec, m.task.Now())
+		}
+		m.scanIdx++
+	}
+	for m.scanIdx < len(m.ops) {
+		op := m.ops[m.scanIdx]
+		e := c.objects.Peek(op.Obj)
+		sufficient := e != nil && modeSufficient(e.Mode, op.Mode())
+		if m.attempt == 0 && c.measuring() {
+			c.m.RecordCacheAccess(sufficient)
+		}
+		if !sufficient {
+			m.missing = append(m.missing, op)
+			m.scanIdx++
+			continue
+		}
+		_, tier, evicted := c.objects.Lookup(op.Obj)
+		c.returnEvicted(evicted)
+		if tier == cache.TierDisk {
+			m.diskPC = dcAcquire
+			if !m.stepDiskCharge() {
+				return true
+			}
+			if m.owns {
+				c.tr.Mark(t.ID, c.id, trace.CompExec, m.task.Now())
+			}
+		}
+		m.scanIdx++
+	}
+	m.pc = tsScanDone
+	return false
+}
+
+// stepDiskCharge serializes on the local disk arm for one read; true
+// means the charge completed.
+func (m *txnMachine) stepDiskCharge() bool {
+	c := m.c
+	for {
+		switch m.diskPC {
+		case dcAcquire:
+			m.diskPC = dcSleep
+			if !m.task.Acquire(c.localDisk, 0) {
+				return false
+			}
+		case dcSleep:
+			m.diskPC = dcRelease
+			m.task.Sleep(c.cfg.DiskRead)
+			return false
+		default: // dcRelease
+			c.localDisk.Release()
+			m.diskPC = dcIdle
+			return true
+		}
+	}
+}
+
+// stepScanDone decides the materialization round's outcome: pin the
+// full set atomically, or fetch the misses — until the deadline.
+func (m *txnMachine) stepScanDone() bool {
+	c, t := m.c, m.t
+	if len(m.missing) == 0 {
+		if entries, ok := c.pinAll(m.ops); ok {
+			m.entries = entries
+			m.pc = tsMaterialized
+			return false
+		}
+		// Lost something between presence check and pinning (a blocking
+		// disk-tier charge let a recall in). Refetch.
+		c.m.Refetches++
+		m.nextAttempt()
+		return false
+	}
+	if m.attempt > 0 {
+		c.m.Refetches++
+	}
+	if m.task.Now() > t.Deadline {
+		m.execDone(false)
+		return false
+	}
+	m.beginFetch()
+	return false
+}
+
+// nextAttempt restarts the materialization loop.
+func (m *txnMachine) nextAttempt() {
+	m.attempt++
+	m.missing = m.missing[:0]
+	m.scanIdx = 0
+	m.pc = tsScan
+}
+
+// beginFetch requests the missing objects. At the origin of a
+// load-sharing client's first round it sends one tentative probe for
+// the whole set; otherwise objects are fetched one at a time (the
+// paper's sequential request/response loop — a client keeps at most one
+// firm request outstanding).
+func (m *txnMachine) beginFetch() {
+	c, t := m.c, m.t
+	m.pt = c.ensurePending(t)
+	if !(c.loadShare && c.cfg.UseH2 && m.origin && m.attempt == 0) {
+		m.seqIdx = 0
+		m.pc = tsSeqSend
+		return
+	}
+	// Tentative probe: one message covering every missing object.
+	pt := m.pt
+	m.objs = m.objs[:0]
+	m.modes = m.modes[:0]
+	now := m.task.Now()
+	for _, op := range m.missing {
+		m.objs = append(m.objs, op.Obj)
+		m.modes = append(m.modes, op.Mode())
+		pt.want[op.Obj] = op.Mode()
+		pt.sent[op.Obj] = now
+		c.waiters[op.Obj] = append(c.waiters[op.Obj], pt)
+	}
 	pt.netAccum = 0
-	send := func(attempt int) {
+	m.sendKind = skProbe
+	// A retried probe is idempotent at the server: already-granted locks
+	// hit the lock table's re-entrant fast path and the objects ship
+	// again over the reliable channel.
+	m.resend(0)
+	m.awaitArm()
+	m.pc = tsProbeWait
+}
+
+// denied resolves a denial reply; it reports true when the fetch must
+// fail, recording an abort for deadlock refusals.
+func (m *txnMachine) denied() bool {
+	pt, t := m.pt, m.t
+	if pt.denied == 0 {
+		return false
+	}
+	if pt.denied == proto.DenyDeadlock {
+		t.Status = txn.StatusAborted
+		t.Finished = m.task.Now()
+	}
+	return true
+}
+
+// stepProbeWait consumes the tentative round's reply: everything
+// granted, denied, or a conflict set that triggers the H2 ship-or-stay
+// decision.
+func (m *txnMachine) stepProbeWait() bool {
+	c, t := m.c, m.t
+	done, ok := m.awaitStep()
+	if !done {
+		return true
+	}
+	if !ok || m.denied() {
+		m.fetchFail()
+		return false
+	}
+	pt := m.pt
+	if !pt.gotConflict {
+		m.fetchOK() // everything granted
+		return false
+	}
+	// Tentative round hit conflicts: decide where this transaction
+	// should run (H2), then either ship it or commit to local
+	// processing.
+	pt.gotConflict = false
+	dataCounts := make(map[netsim.SiteID]int, len(pt.dataCounts))
+	for _, dc := range pt.dataCounts {
+		dataCounts[dc.Site] = dc.Count
+	}
+	now := m.task.Now()
+	params := loadshare.Params{
+		Origin:             c.id,
+		Now:                now,
+		Deadline:           t.Deadline,
+		Conflicts:          pt.conflicts,
+		Loads:              loadsBySite(pt.loads),
+		OriginQueueLen:     c.slots.QueueLen(),
+		OriginATL:          c.atl.Mean(),
+		Executors:          c.cfg.ClientExecutors,
+		DataCounts:         dataCounts,
+		RequireImprovement: true,
+		// Ship only to a site caching more of this transaction's data
+		// than the origin currently does — otherwise the move trades
+		// one blocked object for several lost cache hits.
+		MinShipData: len(t.Ops) - len(m.missing) + 1,
+	}
+	if c.tr.Enabled() {
+		params.Trace = func(d loadshare.Decision) {
+			c.tr.Point(t.ID, c.id, trace.EvH2, 0, int64(d.Target), boolArg(d.Ship), now)
+		}
+	}
+	d := loadshare.ChooseSite(params)
+	if d.Ship {
+		c.shipTxn(t, d.Target)
+		m.fetchOK() // t.Shipped signals the outcome
+		return false
+	}
+	// Stay local: one commit message asks for everything outstanding.
+	// The tentative round granted nothing, so pt.want and the waiter
+	// index still hold every missing object — no re-registration. The
+	// response clock restarts here: the probe was site-selection
+	// control traffic, and this is the firm object request Table 3
+	// measures.
+	for _, op := range m.missing {
+		pt.sent[op.Obj] = now
+	}
+	pt.netAccum = 0
+	m.sendKind = skCommit
+	m.resend(0)
+	m.awaitArm()
+	m.pc = tsCommitWait
+	return false
+}
+
+// stepSeqSend sends the next firm single-object request.
+func (m *txnMachine) stepSeqSend() bool {
+	c, t := m.c, m.t
+	if m.seqIdx >= len(m.missing) {
+		m.fetchOK()
+		return false
+	}
+	if m.task.Now() > t.Deadline {
+		m.fetchFail()
+		return false
+	}
+	op := m.missing[m.seqIdx]
+	pt := m.pt
+	m.curObj, m.curMode = op.Obj, op.Mode()
+	pt.want[m.curObj] = m.curMode
+	pt.sent[m.curObj] = m.task.Now()
+	c.waiters[m.curObj] = append(c.waiters[m.curObj], pt)
+	pt.netAccum = 0
+	m.sendKind = skSeq
+	m.resend(0)
+	m.awaitArm()
+	m.pc = tsSeqWait
+	return false
+}
+
+// fetchFail ends a fetch that cannot proceed here (deadline, denial):
+// unregister the outstanding waits and fail the execution.
+func (m *txnMachine) fetchFail() {
+	m.c.releasePending(m.pt)
+	m.execDone(false)
+}
+
+// fetchOK ends a successful fetch round: back to the presence scan, or
+// — when the H2 decision shipped the transaction away mid-gather — out
+// of the execution entirely, with the unwind but no local finish (the
+// target owns the status now).
+func (m *txnMachine) fetchOK() {
+	c, t := m.c, m.t
+	c.releasePending(m.pt)
+	if t.Shipped && m.origin {
+		m.unwind()
+		m.reportResult(false)
+		m.pc = tsDone
+		return
+	}
+	m.nextAttempt()
+}
+
+// stepMaterialized applies the speculation credit and runs the
+// computation.
+func (m *txnMachine) stepMaterialized() bool {
+	c, t := m.c, m.t
+	now := m.task.Now()
+	if now > t.Deadline {
+		// Late already: abandon rather than burn the executor slot.
+		for _, e := range m.entries {
+			c.objects.Unpin(e)
+		}
+		m.entries = nil
+		m.execDone(false)
+		return false
+	}
+	length := m.length
+	if m.spec != nil {
+		c.m.SpeculativeRuns++
+		if c.speculationValid(m.spec) {
+			c.m.SpeculationHits++
+			// Only the share of the computation whose data was present
+			// could run during the fetch.
+			credit := time.Duration(float64(now-m.specStart) * m.specFraction)
+			if credit > length {
+				credit = length
+			}
+			length -= credit
+		}
+	}
+	m.pc = tsRan
+	m.task.Sleep(length)
+	return true
+}
+
+// stepCommit applies updates to the cached copies, logging each write;
+// the log force (group commit) follows in tsForce.
+func (m *txnMachine) stepCommit() {
+	c, t := m.c, m.t
+	m.lastLSN = 0
+	for _, op := range m.ops {
+		e := c.objects.Peek(op.Obj)
+		if e == nil {
+			panic(fmt.Sprintf("client %d: committed object %d not cached", c.id, op.Obj))
+		}
+		if op.Write {
+			e.Version++
+			e.Dirty = true
+			if c.onCommit != nil {
+				c.onCommit(op.Obj, e.Version)
+			}
+			if c.log != nil {
+				m.lastLSN = c.log.Append(int64(t.ID), op.Obj, e.Version)
+			}
+			if c.cfg.WriteThrough && c.migrations[op.Obj] == nil {
+				// Write-through ablation: push the update to the server
+				// now (keeping the exclusive lock) instead of holding a
+				// dirty copy until a callback.
+				e.Dirty = false
+				c.toServer(netsim.KindObjectReturn, netsim.ObjectBytes, proto.ObjReturn{
+					Client: c.id, Obj: op.Obj, HasData: true, Version: e.Version,
+					UpdateOnly: true, Epoch: c.epochs[op.Obj], Load: c.loadReport(),
+				})
+			}
+		}
+	}
+	if c.log != nil && m.lastLSN > 0 {
+		m.force.Init(c.log, int64(t.ID), m.lastLSN)
+		m.pc = tsForce
+		return
+	}
+	m.pc = tsCommitDone
+}
+
+// execDone records the execution's terminal state. finish runs before
+// the unwind, exactly as the blocking coroutine's return value was
+// evaluated before its defers.
+func (m *txnMachine) execDone(committed bool) {
+	m.c.finish(m.t, m.sub, committed)
+	m.unwind()
+	m.reportResult(committed)
+	m.pc = tsDone
+}
+
+// unwind releases whatever the execution still holds, in the blocking
+// coroutine's defer (LIFO) order: local locks, then migration
+// forwarding and deferred recalls, then the executor slot.
+func (m *txnMachine) unwind() {
+	c, t := m.c, m.t
+	if m.locksHeld {
+		c.localLocks.ReleaseAll(lockmgr.OwnerID(t.ID))
+		m.locksHeld = false
+	}
+	if m.slotHeld {
+		// Whatever way this attempt ended, forward any migrations this
+		// transaction came to own and answer recalls deferred on its
+		// pins.
+		c.afterRelease(m.ops, t.ID)
+		c.slots.Release()
+		m.slotHeld = false
+	}
+}
+
+// reportResult hands a local subtask's outcome to the parent's fanout
+// wait.
+func (m *txnMachine) reportResult(committed bool) {
+	if m.reportTo == nil {
+		return
+	}
+	w := m.reportTo
+	w.done = true
+	w.committed = committed
+	w.sig.Broadcast()
+}
+
+// wftOp mirrors Proc.WaitForTimeout for machines: wait until a
+// caller-evaluated condition holds or an absolute deadline passes. The
+// caller re-evaluates the condition at every resume and passes it in.
+type wftOp struct {
+	sig      *sim.Signal
+	deadline time.Duration
+	armed    bool
+	waited   bool
+}
+
+func (w *wftOp) arm(sig *sim.Signal, deadline time.Duration) {
+	w.sig, w.deadline, w.armed, w.waited = sig, deadline, true, false
+}
+
+// step advances the wait; done=false means the task parked. ok reports
+// whether the condition held.
+func (w *wftOp) step(t *sim.Task, cond bool) (done, ok bool) {
+	if cond {
+		w.armed = false
+		return true, true
+	}
+	if w.waited && t.TimedOut() {
+		w.armed = false
+		return true, false
+	}
+	if t.Now() >= w.deadline {
+		w.armed = false
+		return true, false
+	}
+	w.waited = true
+	t.WaitTimeout(w.sig, w.deadline-t.Now())
+	return false, false
+}
+
+// Await sub-states.
+const (
+	awIdle uint8 = iota
+	awWait
+)
+
+// awaitArm begins a reply wait (the blocking awaitReply), after the
+// initial send.
+func (m *txnMachine) awaitArm() {
+	m.awRTO = m.c.rto
+	m.awAttempt = 1
+	m.awPC = awIdle
+}
+
+// awaitStep waits for the current exchange's condition until the
+// transaction's deadline. In fault-free runs (rto == 0) it is exactly
+// one bounded wait. Under fault injection it retransmits on an
+// exponentially backed-off timer (capped at 8x the base timeout),
+// always bounded by the deadline, so a request or reply lost to the
+// fault layer is recovered instead of hanging the transaction until
+// its deadline. Each completed wait closes into network + lock-wait
+// attribution via pt.netAccum; each expired retransmission window
+// closes into the retry bucket.
+func (m *txnMachine) awaitStep() (done, ok bool) {
+	c, t, pt := m.c, m.t, m.pt
+	for {
+		switch m.awPC {
+		case awIdle:
+			if c.rto <= 0 {
+				m.awFinal = true
+				m.wft.arm(pt.sig, t.Deadline)
+			} else if next := m.task.Now() + m.awRTO; next >= t.Deadline {
+				m.awFinal = true
+				m.wft.arm(pt.sig, t.Deadline)
+			} else {
+				m.awFinal = false
+				m.wft.arm(pt.sig, next)
+			}
+			m.awPC = awWait
+		default: // awWait
+			d, ok := m.wft.step(&m.task, m.awaitCond())
+			if !d {
+				return false, false
+			}
+			if ok || m.awFinal {
+				if m.owns {
+					c.tr.MarkWait(t.ID, c.id, m.task.Now(), pt.netAccum)
+				}
+				pt.netAccum = 0
+				return true, ok
+			}
+			// Retransmission window expired.
+			c.Retries++
+			if m.owns {
+				c.tr.MarkRetry(t.ID, c.id, m.task.Now(), m.awAttempt)
+			}
+			pt.netAccum = 0
+			m.resend(m.awAttempt)
+			m.awAttempt++
+			if m.awRTO < 8*c.rto {
+				m.awRTO *= 2
+			}
+			m.awPC = awIdle
+		}
+	}
+}
+
+// awaitCond evaluates the current exchange's completion predicate.
+func (m *txnMachine) awaitCond() bool {
+	pt := m.pt
+	switch m.sendKind {
+	case skLoad:
+		return pt.loadReply != nil
+	case skProbe:
+		return len(pt.want) == 0 || pt.denied != 0 || pt.gotConflict
+	case skCommit:
+		return len(pt.want) == 0 || pt.denied != 0
+	default: // skSeq
+		_, waiting := pt.want[m.curObj]
+		return !waiting || pt.denied != 0
+	}
+}
+
+// resend (re)transmits the current exchange's request.
+func (m *txnMachine) resend(attempt int) {
+	c, t, pt := m.c, m.t, m.pt
+	switch m.sendKind {
+	case skLoad:
 		pt.netAccum += c.toServer(netsim.KindLoadQuery, netsim.ControlBytes, proto.LoadQuery{
 			Client:   c.id,
 			Txn:      t.ID,
@@ -99,61 +1078,36 @@ func (c *Client) loadQuery(p *sim.Proc, t *txn.Transaction) *proto.LoadReply {
 			Attempt:  attempt,
 			Load:     c.loadReport(),
 		})
-	}
-	send(0)
-	ok := c.awaitReply(p, t, pt, true, func() bool { return pt.loadReply != nil }, send)
-	pt.wantLoad = false
-	if !ok {
-		return nil
-	}
-	return pt.loadReply
-}
-
-// awaitReply waits for done on pt.sig until the transaction's deadline.
-// In fault-free runs (rto == 0) it is exactly one bounded wait. Under
-// fault injection it retransmits via resend on an exponentially
-// backed-off timer (capped at 8x the base timeout), always bounded by
-// the deadline, so a request or reply lost to the fault layer is
-// recovered instead of hanging the transaction until its deadline.
-//
-// owns marks the call as running in the transaction's attributing
-// context (a subtask must not mark its parent's trace): each completed
-// wait closes into network + lock-wait via the transit accumulated in
-// pt.netAccum, and each expired retransmission window closes into the
-// retry bucket.
-func (c *Client) awaitReply(p *sim.Proc, t *txn.Transaction, pt *pendingTxn, owns bool, done func() bool, resend func(attempt int)) bool {
-	markWait := func() {
-		if owns {
-			c.tr.MarkWait(t.ID, c.id, p.Now(), pt.netAccum)
-		}
-		pt.netAccum = 0
-	}
-	if c.rto <= 0 {
-		ok := p.WaitForTimeout(pt.sig, t.Deadline, done)
-		markWait()
-		return ok
-	}
-	rto := c.rto
-	for attempt := 1; ; attempt++ {
-		next := p.Now() + rto
-		if next >= t.Deadline {
-			ok := p.WaitForTimeout(pt.sig, t.Deadline, done)
-			markWait()
-			return ok
-		}
-		if p.WaitForTimeout(pt.sig, next, done) {
-			markWait()
-			return true
-		}
-		c.Retries++
-		if owns {
-			c.tr.MarkRetry(t.ID, c.id, p.Now(), attempt)
-		}
-		pt.netAccum = 0
-		resend(attempt)
-		if rto < 8*c.rto {
-			rto *= 2
-		}
+	case skProbe:
+		pt.netAccum += c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ProbeRequest{
+			Client:   c.id,
+			Txn:      t.ID,
+			Objs:     m.objs,
+			Modes:    m.modes,
+			Deadline: t.Deadline,
+			Attempt:  attempt,
+			Load:     c.loadReport(),
+		})
+	case skCommit:
+		pt.netAccum += c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.CommitRequest{
+			Client:   c.id,
+			Txn:      t.ID,
+			Deadline: t.Deadline,
+			Objs:     m.objs,
+			Modes:    m.modes,
+			Attempt:  attempt,
+			Load:     c.loadReport(),
+		})
+	default: // skSeq
+		pt.netAccum += c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ObjRequest{
+			Client:   c.id,
+			Txn:      t.ID,
+			Obj:      m.curObj,
+			Mode:     m.curMode,
+			Deadline: t.Deadline,
+			Attempt:  attempt,
+			Load:     c.loadReport(),
+		})
 	}
 }
 
@@ -180,73 +1134,6 @@ func (c *Client) shipTxn(t *txn.Transaction, target netsim.SiteID) {
 	})
 }
 
-// tryDecompose implements Section 3.2: query the objects' locations,
-// group the accesses by caching site, and run the groups as independent
-// subtasks at those sites. All subtasks must meet the parent deadline
-// for the transaction to succeed. Returns false when the transaction is
-// not profitably decomposable (fewer than two groups or no location
-// data), in which case the caller falls through to the normal path.
-func (c *Client) tryDecompose(p *sim.Proc, t *txn.Transaction) bool {
-	reply := c.loadQuery(p, t)
-	if reply == nil || len(reply.Locations) == 0 {
-		return false
-	}
-	partOf, siteOf := loadshare.GroupByLocation(c.id, t.Objects(), reply.Locations)
-	subs := t.Decompose(partOf, c.cfg.MaxSubtasks)
-	if subs == nil {
-		return false
-	}
-	// Only worth the fan-out risk (every subtask must meet the parent
-	// deadline) when each remote materialization covers enough data.
-	for _, sub := range subs {
-		if siteOf[sub.Key] != c.id && len(sub.Ops) < 2 {
-			return false
-		}
-	}
-	c.m.DecomposedTxns++
-	c.tr.Point(t.ID, c.id, trace.EvDecomposed, 0, int64(len(subs)), 0, p.Now())
-	results := make([]*shipWait, len(subs))
-	for i, sub := range subs {
-		c.m.SubtasksRun++
-		w := &shipWait{sig: sim.NewSignal(c.env)}
-		results[i] = w
-		target := siteOf[sub.Key]
-		if target == c.id || c.peers[target] == nil {
-			// Local subtask (materialization at the origin).
-			sub := sub
-			c.env.Go(fmt.Sprintf("sub-%d-%d", t.ID, sub.Index), func(sp *sim.Proc) {
-				committed := c.execute(sp, t, sub, false)
-				w.done = true
-				w.committed = committed
-				w.sig.Broadcast()
-			})
-			continue
-		}
-		c.shipWaits[shipKey{id: t.ID, sub: sub.Index}] = w
-		c.toPeer(target, netsim.KindTxnShip, netsim.TxnShipBytes, proto.TxnShip{
-			T: t, Sub: sub, ReplyTo: c.id, Load: c.loadReport(),
-		})
-	}
-	// Answer synthesis: every subtask must finish in time for the
-	// parent to succeed (the Section 3.2 failure rule).
-	grace := t.Deadline + c.cfg.MeanSlack
-	for _, w := range results {
-		p.WaitForTimeout(w.sig, grace, func() bool { return w.done })
-	}
-	c.tr.Mark(t.ID, c.id, trace.CompFanout, p.Now())
-	for _, sub := range subs {
-		delete(c.shipWaits, shipKey{id: t.ID, sub: sub.Index})
-	}
-	committed := p.Now() <= t.Deadline
-	for _, w := range results {
-		if !w.done || !w.committed {
-			committed = false
-		}
-	}
-	c.finishParent(t, committed)
-	return true
-}
-
 func (c *Client) finishParent(t *txn.Transaction, committed bool) {
 	if committed {
 		t.Status = txn.StatusCommitted
@@ -256,138 +1143,6 @@ func (c *Client) finishParent(t *txn.Transaction, committed bool) {
 	t.Finished = c.env.Now()
 	t.ExecSite = c.id
 	c.tr.Finish(t, c.id, c.env.Now())
-}
-
-// execute runs a transaction (or subtask) at this site: queue for an
-// executor slot in deadline order, gather the objects, run, and commit.
-// origin is true when this site is also the transaction's origin (the
-// tentative/ship decisions of the load-sharing path only apply there).
-// It reports whether the work committed by the deadline.
-func (c *Client) execute(p *sim.Proc, t *txn.Transaction, sub *txn.Subtask, origin bool) bool {
-	ops := t.Ops
-	length := t.Length
-	if sub != nil {
-		ops = sub.Ops
-		length = sub.Length
-	}
-	// Only the context that owns the transaction's status attributes its
-	// trace: a subtask must not mark its parent's timeline.
-	owns := sub == nil
-	now := p.Now()
-	slack := t.Deadline - now
-	if slack <= 0 || !p.AcquireTimeout(c.slots, c.priorityOf(t), slack) {
-		if owns {
-			c.tr.Mark(t.ID, c.id, trace.CompQueue, p.Now())
-		}
-		return c.finish(p, t, sub, false)
-	}
-	defer c.slots.Release()
-	// Whatever way this attempt ends, forward any migrations this
-	// transaction came to own and answer recalls deferred on its pins.
-	defer c.afterRelease(ops, t.ID)
-	if owns {
-		c.tr.Mark(t.ID, c.id, trace.CompQueue, p.Now())
-		c.tr.Point(t.ID, c.id, trace.EvSlotAcquired, 0, 0, 0, p.Now())
-	}
-	if p.Now() > t.Deadline {
-		return c.finish(p, t, sub, false)
-	}
-	t.Status = txn.StatusRunning
-	start := p.Now()
-
-	owner := lockmgr.OwnerID(t.ID)
-	if c.localLocks != nil {
-		ok := c.lockLocal(p, t, ops, owner)
-		if owns {
-			c.tr.Mark(t.ID, c.id, trace.CompLockWait, p.Now())
-		}
-		if !ok {
-			c.localLocks.ReleaseAll(owner)
-			return c.finish(p, t, sub, false)
-		}
-		defer c.localLocks.ReleaseAll(owner)
-	}
-
-	// Speculative processing (future-work extension): compute against
-	// the locally present copies while the missing objects and upgrades
-	// are in flight, and keep the overlapped share of the work if those
-	// copies' versions validate once everything is pinned.
-	specVersions, specFraction := c.speculationCandidates(ops)
-	specStart := p.Now()
-
-	entries, ok := c.materialize(p, t, ops, origin, owns)
-	if !ok {
-		return c.finish(p, t, sub, false)
-	}
-	if t.Shipped && origin {
-		// The tentative round decided to ship this transaction away;
-		// the target executes it and owns its status.
-		return false
-	}
-	if p.Now() > t.Deadline {
-		// Late already: abandon rather than burn the executor slot.
-		for _, e := range entries {
-			c.objects.Unpin(e)
-		}
-		return c.finish(p, t, sub, false)
-	}
-
-	if specVersions != nil {
-		c.m.SpeculativeRuns++
-		if c.speculationValid(specVersions) {
-			c.m.SpeculationHits++
-			// Only the share of the computation whose data was present
-			// could run during the fetch.
-			credit := time.Duration(float64(p.Now()-specStart) * specFraction)
-			if credit > length {
-				credit = length
-			}
-			length -= credit
-		}
-	}
-	p.Sleep(length)
-
-	// Commit: apply updates to the cached copies, logging each write,
-	// then force the log tail (group commit) and release pins.
-	var lastLSN int64
-	for _, op := range ops {
-		e := c.objects.Peek(op.Obj)
-		if e == nil {
-			panic(fmt.Sprintf("client %d: committed object %d not cached", c.id, op.Obj))
-		}
-		if op.Write {
-			e.Version++
-			e.Dirty = true
-			if c.onCommit != nil {
-				c.onCommit(op.Obj, e.Version)
-			}
-			if c.log != nil {
-				lastLSN = c.log.Append(int64(t.ID), op.Obj, e.Version)
-			}
-			if c.cfg.WriteThrough && c.migrations[op.Obj] == nil {
-				// Write-through ablation: push the update to the server
-				// now (keeping the exclusive lock) instead of holding a
-				// dirty copy until a callback.
-				e.Dirty = false
-				c.toServer(netsim.KindObjectReturn, netsim.ObjectBytes, proto.ObjReturn{
-					Client: c.id, Obj: op.Obj, HasData: true, Version: e.Version,
-					UpdateOnly: true, Epoch: c.epochs[op.Obj], Load: c.loadReport(),
-				})
-			}
-		}
-	}
-	if c.log != nil && lastLSN > 0 {
-		c.log.ForceTo(p, int64(t.ID), lastLSN)
-	}
-	for _, e := range entries {
-		c.objects.Unpin(e)
-	}
-	c.atl.Observe(p.Now() - start)
-	if owns {
-		c.tr.Mark(t.ID, c.id, trace.CompExec, p.Now())
-	}
-	committed := p.Now() <= t.Deadline
-	return c.finish(p, t, sub, committed)
 }
 
 // speculationCandidates decides what part of a transaction can start
@@ -444,72 +1199,6 @@ func (c *Client) priorityOf(t *txn.Transaction) float64 {
 	return t.Deadline.Seconds()
 }
 
-// lockLocal serializes concurrent local transactions over the same
-// objects (only active when ClientExecutors > 1).
-func (c *Client) lockLocal(p *sim.Proc, t *txn.Transaction, ops []txn.Op, owner lockmgr.OwnerID) bool {
-	sorted := append([]txn.Op(nil), ops...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Obj < sorted[j].Obj })
-	for _, op := range sorted {
-		err := c.localLocks.LockWait(p, &lockmgr.Request{
-			Obj: op.Obj, Owner: owner, Mode: op.Mode(), Deadline: t.Deadline,
-		})
-		if err != nil {
-			return false
-		}
-	}
-	return true
-}
-
-// materialize brings every object of the access set into the cache with
-// a sufficient lock and pins it. Presence can be lost to callbacks while
-// fetching, so it loops: (1) ensure presence, fetching misses from the
-// server; (2) pin atomically; on any loss, refetch — until the deadline.
-func (c *Client) materialize(p *sim.Proc, t *txn.Transaction, ops []txn.Op, origin, owns bool) ([]*cache.Entry, bool) {
-	for attempt := 0; ; attempt++ {
-		var missing []txn.Op
-		for _, op := range ops {
-			e := c.objects.Peek(op.Obj)
-			sufficient := e != nil && modeSufficient(e.Mode, op.Mode())
-			if attempt == 0 && c.measuring() {
-				c.m.RecordCacheAccess(sufficient)
-			}
-			if !sufficient {
-				missing = append(missing, op)
-				continue
-			}
-			_, tier, evicted := c.objects.Lookup(op.Obj)
-			c.returnEvicted(evicted)
-			if tier == cache.TierDisk {
-				c.chargeLocalDisk(p)
-				if owns {
-					c.tr.Mark(t.ID, c.id, trace.CompExec, p.Now())
-				}
-			}
-		}
-		if len(missing) == 0 {
-			if entries, ok := c.pinAll(ops); ok {
-				return entries, true
-			}
-			// Lost something between presence check and pinning (a
-			// blocking disk-tier charge let a recall in). Refetch.
-			c.m.Refetches++
-			continue
-		}
-		if attempt > 0 {
-			c.m.Refetches++
-		}
-		if p.Now() > t.Deadline {
-			return nil, false
-		}
-		if !c.fetch(p, t, missing, attempt, origin, owns) {
-			return nil, false
-		}
-		if t.Shipped && origin {
-			return nil, true // shipped away mid-gather; caller checks t.Shipped
-		}
-	}
-}
-
 // pinAll pins the whole access set atomically (no blocking between
 // checks). It fails if any object lost presence or mode.
 func (c *Client) pinAll(ops []txn.Op) ([]*cache.Entry, bool) {
@@ -530,180 +1219,6 @@ func (c *Client) pinAll(ops []txn.Op) ([]*cache.Entry, bool) {
 
 func modeSufficient(have, need lockmgr.Mode) bool {
 	return have == lockmgr.ModeExclusive || need == lockmgr.ModeShared && have == lockmgr.ModeShared
-}
-
-// fetch requests the missing objects from the server and waits for them.
-// At the origin of a load-sharing client's first round it sends one
-// tentative probe for the whole set; a conflict reply then triggers the
-// H2 ship-or-stay decision. Otherwise objects are fetched one at a time
-// (the paper's sequential request/response loop — a client keeps at most
-// one firm request outstanding). Returns false when the transaction can
-// no longer proceed here (deadline, denial) — or when it was shipped
-// away (t.Shipped distinguishes that case).
-func (c *Client) fetch(p *sim.Proc, t *txn.Transaction, missing []txn.Op, attempt int, origin, owns bool) bool {
-	pt := c.ensurePending(t)
-	defer c.releasePending(pt)
-
-	if !(c.loadShare && c.cfg.UseH2 && origin && attempt == 0) {
-		return c.fetchSequential(p, t, pt, missing, owns)
-	}
-
-	// Tentative probe: one message covering every missing object.
-	objs := make([]lockmgr.ObjectID, len(missing))
-	modes := make([]lockmgr.Mode, len(missing))
-	now := p.Now()
-	for i, op := range missing {
-		objs[i] = op.Obj
-		modes[i] = op.Mode()
-		pt.want[op.Obj] = op.Mode()
-		pt.sent[op.Obj] = now
-		c.waiters[op.Obj] = append(c.waiters[op.Obj], pt)
-	}
-	pt.netAccum = 0
-	sendProbe := func(attempt int) {
-		pt.netAccum += c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ProbeRequest{
-			Client:   c.id,
-			Txn:      t.ID,
-			Objs:     objs,
-			Modes:    modes,
-			Deadline: t.Deadline,
-			Attempt:  attempt,
-			Load:     c.loadReport(),
-		})
-	}
-	sendProbe(0)
-	settled := func() bool {
-		return len(pt.want) == 0 || pt.denied != 0 || pt.gotConflict
-	}
-	// A retried probe is idempotent at the server: already-granted locks
-	// hit the lock table's re-entrant fast path and the objects ship
-	// again over the reliable channel.
-	if !c.awaitReply(p, t, pt, owns, settled, sendProbe) {
-		return false
-	}
-	if pt.denied != 0 {
-		if pt.denied == proto.DenyDeadlock {
-			t.Status = txn.StatusAborted
-			t.Finished = p.Now()
-		}
-		return false
-	}
-	if !pt.gotConflict {
-		return true // everything granted
-	}
-	// Tentative round hit conflicts: decide where this transaction
-	// should run (H2), then either ship it or commit to local
-	// processing.
-	pt.gotConflict = false
-	conflicts := pt.conflicts
-	loads := pt.loads
-	dataCounts := make(map[netsim.SiteID]int, len(pt.dataCounts))
-	for _, dc := range pt.dataCounts {
-		dataCounts[dc.Site] = dc.Count
-	}
-	params := loadshare.Params{
-		Origin:             c.id,
-		Now:                p.Now(),
-		Deadline:           t.Deadline,
-		Conflicts:          conflicts,
-		Loads:              loadsBySite(loads),
-		OriginQueueLen:     c.slots.QueueLen(),
-		OriginATL:          c.atl.Mean(),
-		Executors:          c.cfg.ClientExecutors,
-		DataCounts:         dataCounts,
-		RequireImprovement: true,
-		// Ship only to a site caching more of this transaction's data
-		// than the origin currently does — otherwise the move trades
-		// one blocked object for several lost cache hits.
-		MinShipData: len(t.Ops) - len(missing) + 1,
-	}
-	if c.tr.Enabled() {
-		params.Trace = func(d loadshare.Decision) {
-			c.tr.Point(t.ID, c.id, trace.EvH2, 0, int64(d.Target), boolArg(d.Ship), p.Now())
-		}
-	}
-	d := loadshare.ChooseSite(params)
-	if d.Ship {
-		c.shipTxn(t, d.Target)
-		return true // t.Shipped signals the caller
-	}
-	// Stay local: one commit message asks for everything outstanding.
-	// The tentative round granted nothing, so pt.want and the waiter
-	// index still hold every missing object — no re-registration. The
-	// response clock restarts here: the probe was site-selection
-	// control traffic, and this is the firm object request Table 3
-	// measures.
-	now = p.Now()
-	for _, op := range missing {
-		pt.sent[op.Obj] = now
-	}
-	pt.netAccum = 0
-	sendCommit := func(attempt int) {
-		pt.netAccum += c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.CommitRequest{
-			Client:   c.id,
-			Txn:      t.ID,
-			Deadline: t.Deadline,
-			Objs:     objs,
-			Modes:    modes,
-			Attempt:  attempt,
-			Load:     c.loadReport(),
-		})
-	}
-	sendCommit(0)
-	granted := func() bool { return len(pt.want) == 0 || pt.denied != 0 }
-	if !c.awaitReply(p, t, pt, owns, granted, sendCommit) {
-		return false
-	}
-	if pt.denied != 0 {
-		if pt.denied == proto.DenyDeadlock {
-			t.Status = txn.StatusAborted
-			t.Finished = p.Now()
-		}
-		return false
-	}
-	return true
-}
-
-// fetchSequential fetches the missing objects one at a time: send a firm
-// request, wait for the object (or a denial or the deadline), move on.
-func (c *Client) fetchSequential(p *sim.Proc, t *txn.Transaction, pt *pendingTxn, missing []txn.Op, owns bool) bool {
-	for _, op := range missing {
-		if p.Now() > t.Deadline {
-			return false
-		}
-		obj := op.Obj
-		pt.want[obj] = op.Mode()
-		pt.sent[obj] = p.Now()
-		c.waiters[obj] = append(c.waiters[obj], pt)
-		pt.netAccum = 0
-		send := func(attempt int) {
-			pt.netAccum += c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ObjRequest{
-				Client:   c.id,
-				Txn:      t.ID,
-				Obj:      obj,
-				Mode:     op.Mode(),
-				Deadline: t.Deadline,
-				Attempt:  attempt,
-				Load:     c.loadReport(),
-			})
-		}
-		send(0)
-		arrived := func() bool {
-			_, waiting := pt.want[obj]
-			return !waiting || pt.denied != 0
-		}
-		if !c.awaitReply(p, t, pt, owns, arrived, send) {
-			return false
-		}
-		if pt.denied != 0 {
-			if pt.denied == proto.DenyDeadlock {
-				t.Status = txn.StatusAborted
-				t.Finished = p.Now()
-			}
-			return false
-		}
-	}
-	return true
 }
 
 func (c *Client) ensurePending(t *txn.Transaction) *pendingTxn {
@@ -746,8 +1261,8 @@ func (c *Client) dropWaiter(obj lockmgr.ObjectID, pt *pendingTxn) {
 
 // finish records a terminal state for work executed here. For subtasks
 // and shipped-in transactions it also reports the result to the origin.
-func (c *Client) finish(p *sim.Proc, t *txn.Transaction, sub *txn.Subtask, committed bool) bool {
-	now := p.Now()
+func (c *Client) finish(t *txn.Transaction, sub *txn.Subtask, committed bool) bool {
+	now := c.env.Now()
 	if sub == nil {
 		if committed {
 			t.Status = txn.StatusCommitted
@@ -768,10 +1283,4 @@ func (c *Client) finish(p *sim.Proc, t *txn.Transaction, sub *txn.Subtask, commi
 		})
 	}
 	return committed
-}
-
-func (c *Client) chargeLocalDisk(p *sim.Proc) {
-	p.Acquire(c.localDisk, 0)
-	p.Sleep(c.cfg.DiskRead)
-	c.localDisk.Release()
 }

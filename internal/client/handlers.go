@@ -7,7 +7,6 @@ import (
 	"siteselect/internal/lockmgr"
 	"siteselect/internal/netsim"
 	"siteselect/internal/proto"
-	"siteselect/internal/sim"
 	"siteselect/internal/trace"
 	"siteselect/internal/txn"
 )
@@ -275,24 +274,11 @@ func (c *Client) answerRecall(e *cache.Entry, r proto.Recall) {
 // onTxnShip executes a transaction or subtask shipped to this site.
 func (c *Client) onTxnShip(s proto.TxnShip) {
 	c.ShippedIn++
-	t := s.T
-	sub := s.Sub
-	name := fmt.Sprintf("shipped-%d", t.ID)
-	if sub != nil {
-		name = fmt.Sprintf("shipped-%d-%d", t.ID, sub.Index)
+	if s.Sub != nil {
+		c.spawnTxn(s.T, s.Sub, enShipSub, nil)
+		return
 	}
-	c.env.Go(name, func(p *sim.Proc) {
-		if sub != nil {
-			committed := c.execute(p, t, sub, false)
-			_ = committed // result already reported by finish
-			return
-		}
-		t.ExecSite = c.id
-		// The target now owns the trace: the hop from the origin's ship
-		// decision to here is network time.
-		c.tr.MarkShipArrived(t.ID, c.id, p.Now())
-		c.execute(p, t, nil, false)
-	})
+	c.spawnTxn(s.T, nil, enShipWhole, nil)
 }
 
 func (c *Client) onTxnResult(r proto.TxnResult) {

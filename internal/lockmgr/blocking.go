@@ -39,6 +39,9 @@ func NewBlockingTable(env *sim.Env) *BlockingTable {
 // queries). Mutations must use the wrapper methods.
 func (bt *BlockingTable) Table() *Table { return bt.table }
 
+// Reserve pre-sizes the underlying table's entry index.
+func (bt *BlockingTable) Reserve(n int) { bt.table.Reserve(n) }
+
 // LockWait acquires req, blocking until granted. It fails with
 // ErrDeadlock when refused by cycle detection and with ErrDeadline when
 // req.Deadline arrives first (the request is then canceled, matching the
@@ -66,6 +69,64 @@ func (bt *BlockingTable) LockWait(p *sim.Proc, req *Request) error {
 	}
 	delete(bt.wakeups, req)
 	return nil
+}
+
+// LockOp is the state-machine counterpart of LockWait: a resumable lock
+// acquisition for Machine callers with identical outcomes and park
+// points. Call Start once; done=true resolves the request immediately
+// (grant, deadlock refusal, or an already-expired deadline). Otherwise
+// the task parked: call Step from every following Resume until done.
+type LockOp struct {
+	bt  *BlockingTable
+	req *Request
+	sig *sim.Signal
+}
+
+// Start issues the request, mirroring LockWait up to the first park.
+func (o *LockOp) Start(bt *BlockingTable, t *sim.Task, req *Request) (bool, error) {
+	o.bt, o.req = bt, req
+	outcome, _ := bt.table.Lock(req)
+	switch outcome {
+	case Granted:
+		return true, nil
+	case Deadlock:
+		return true, ErrDeadlock
+	}
+	o.sig = sim.NewSignal(bt.env)
+	bt.wakeups[req] = o.sig
+	return o.wait(t)
+}
+
+// Step continues after a park.
+func (o *LockOp) Step(t *sim.Task) (bool, error) {
+	if t.TimedOut() {
+		if o.req.GrantedNow() { // granted in the same instant as the timeout
+			delete(o.bt.wakeups, o.req)
+			return true, nil
+		}
+		return o.expire()
+	}
+	return o.wait(t)
+}
+
+// wait mirrors LockWait's grant-recheck loop: resolve if granted,
+// expire if the deadline passed, otherwise park until woken.
+func (o *LockOp) wait(t *sim.Task) (bool, error) {
+	if o.req.GrantedNow() {
+		delete(o.bt.wakeups, o.req)
+		return true, nil
+	}
+	remain := o.req.Deadline - t.Now()
+	if remain <= 0 || !t.WaitTimeout(o.sig, remain) {
+		return o.expire()
+	}
+	return false, nil
+}
+
+func (o *LockOp) expire() (bool, error) {
+	delete(o.bt.wakeups, o.req)
+	o.bt.fire(o.bt.table.Cancel(o.req))
+	return true, ErrDeadline
 }
 
 // Release drops owner's lock on obj and wakes newly granted waiters.

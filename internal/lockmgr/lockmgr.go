@@ -12,6 +12,7 @@ package lockmgr
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 )
@@ -90,20 +91,36 @@ func (r *Request) GrantedNow() bool { return r.granted }
 func (r *Request) Waiting() bool { return r.waiting }
 
 // Table is a lock table with deadline-ordered waiting and deadlock
-// refusal.
+// refusal. Object ids are page numbers — dense and non-negative — so
+// entries live in a dense slice indexed by object when the caller
+// Reserved the id space (the server's table, which locks the whole
+// database), or a sparse map otherwise (per-client tables, which only
+// ever lock the few objects the client caches — a dense index sized by
+// the database would dwarf the client itself at large populations).
+// Spent entries recycle through a free list instead of churning the
+// allocator either way.
 type Table struct {
-	entries map[ObjectID]*entry
+	dense   bool
+	entries []*entry            // dense: indexed by ObjectID; nil when no locks or waiters
+	sparse  map[ObjectID]*entry // sparse: present only while locked or waited on
+	free    []*entry
 	// waits holds wait-for edges: waits[a][b] > 0 means a waits for b.
 	waits map[OwnerID]map[OwnerID]int
 	seq   int64
 
 	// heldBy indexes the objects each owner holds, so ReleaseAll is
 	// proportional to the owner's locks instead of the whole table.
-	heldBy map[OwnerID]map[ObjectID]struct{}
+	// Owner lock sets are tiny, so a slice beats a set.
+	heldBy map[OwnerID][]ObjectID
 	// waiting indexes the objects each owner has queued requests on
 	// (with counts), so wait-for-edge recomputation in dropEdgesFrom
 	// visits only the relevant entries instead of scanning the table.
-	waiting map[OwnerID]map[ObjectID]int
+	waiting map[OwnerID][]objCount
+	// objsFree and countsFree recycle the per-owner index slices:
+	// owners are transient transaction ids, so without reuse every
+	// transaction pays two allocations here.
+	objsFree   [][]ObjectID
+	countsFree [][]objCount
 
 	// DeadlocksRefused counts requests refused by cycle detection.
 	DeadlocksRefused int64
@@ -111,6 +128,13 @@ type Table struct {
 	// hook observes lock-table transitions (tracing); zero-valued when
 	// tracing is off, costing one nil check per transition.
 	hook Hook
+}
+
+// objCount is one (object, queued-request count) pair of an owner's
+// waiting index.
+type objCount struct {
+	obj ObjectID
+	n   int
 }
 
 // Hook observes lock-table transitions. Both fields are optional; a
@@ -142,20 +166,72 @@ type entry struct {
 // NewTable returns an empty lock table.
 func NewTable() *Table {
 	return &Table{
-		entries: make(map[ObjectID]*entry),
+		sparse:  make(map[ObjectID]*entry),
 		waits:   make(map[OwnerID]map[OwnerID]int),
-		heldBy:  make(map[OwnerID]map[ObjectID]struct{}),
-		waiting: make(map[OwnerID]map[ObjectID]int),
+		heldBy:  make(map[OwnerID][]ObjectID),
+		waiting: make(map[OwnerID][]objCount),
 	}
 }
 
+// Reserve switches the table to the dense entry index, pre-sized for
+// object ids in [0, n). Call it before first use when the table will
+// lock a dense id space (the server's whole-database table); leave
+// unreserved tables on the sparse map.
+func (t *Table) Reserve(n int) {
+	t.dense = true
+	if n > cap(t.entries) {
+		grown := make([]*entry, len(t.entries), n)
+		copy(grown, t.entries)
+		t.entries = grown
+	}
+}
+
+// lookup returns obj's entry, or nil when it has no locks or waiters.
+func (t *Table) lookup(obj ObjectID) *entry {
+	if t.dense {
+		if int(obj) < len(t.entries) {
+			return t.entries[obj]
+		}
+		return nil
+	}
+	return t.sparse[obj]
+}
+
 func (t *Table) entryFor(obj ObjectID) *entry {
-	e, ok := t.entries[obj]
-	if !ok {
+	if e := t.lookup(obj); e != nil {
+		return e
+	}
+	var e *entry
+	if n := len(t.free); n > 0 {
+		e = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
 		e = &entry{}
+	}
+	if t.dense {
+		for int(obj) >= len(t.entries) {
+			t.entries = append(t.entries, nil)
+		}
 		t.entries[obj] = e
+	} else {
+		t.sparse[obj] = e
 	}
 	return e
+}
+
+// retire returns obj's spent entry to the free list.
+func (t *Table) retire(obj ObjectID, e *entry) {
+	e.holders = e.holders[:0]
+	for i := range e.queue {
+		e.queue[i] = nil
+	}
+	e.queue = e.queue[:0]
+	if t.dense {
+		t.entries[obj] = nil
+	} else {
+		delete(t.sparse, obj)
+	}
+	t.free = append(t.free, e)
 }
 
 // find returns the index of owner in the sorted holder slice, or the
@@ -193,10 +269,12 @@ func (t *Table) setHolder(obj ObjectID, e *entry, owner OwnerID, mode Mode) {
 	e.holders[i] = holderEntry{owner: owner, mode: mode}
 	objs, ok := t.heldBy[owner]
 	if !ok {
-		objs = make(map[ObjectID]struct{}, 8)
-		t.heldBy[owner] = objs
+		if n := len(t.objsFree); n > 0 {
+			objs = t.objsFree[n-1]
+			t.objsFree = t.objsFree[:n-1]
+		}
 	}
-	objs[obj] = struct{}{}
+	t.heldBy[owner] = append(objs, obj)
 }
 
 // delHolder removes owner's hold, reporting whether it was held.
@@ -207,9 +285,17 @@ func (t *Table) delHolder(obj ObjectID, e *entry, owner OwnerID) bool {
 	}
 	e.holders = append(e.holders[:i], e.holders[i+1:]...)
 	if objs, ok := t.heldBy[owner]; ok {
-		delete(objs, obj)
+		for j, o := range objs {
+			if o == obj {
+				objs = append(objs[:j], objs[j+1:]...)
+				break
+			}
+		}
 		if len(objs) == 0 {
 			delete(t.heldBy, owner)
+			t.objsFree = append(t.objsFree, objs)
+		} else {
+			t.heldBy[owner] = objs
 		}
 	}
 	return true
@@ -305,32 +391,50 @@ func (t *Table) enqueue(e *entry, req *Request) {
 	e.queue = append(e.queue, nil)
 	copy(e.queue[i+1:], e.queue[i:])
 	e.queue[i] = req
-	objs, ok := t.waiting[req.Owner]
-	if !ok {
-		objs = make(map[ObjectID]int, 4)
-		t.waiting[req.Owner] = objs
+	counts, ok := t.waiting[req.Owner]
+	if ok {
+		for j := range counts {
+			if counts[j].obj == req.Obj {
+				counts[j].n++
+				return
+			}
+		}
+	} else if n := len(t.countsFree); n > 0 {
+		counts = t.countsFree[n-1]
+		t.countsFree = t.countsFree[:n-1]
 	}
-	objs[req.Obj]++
+	t.waiting[req.Owner] = append(counts, objCount{obj: req.Obj, n: 1})
 }
 
 // dequeued maintains the waiting index when a queued request leaves the
 // queue (granted or canceled).
 func (t *Table) dequeued(owner OwnerID, obj ObjectID) {
-	if objs, ok := t.waiting[owner]; ok {
-		if objs[obj]--; objs[obj] <= 0 {
-			delete(objs, obj)
-			if len(objs) == 0 {
+	counts, ok := t.waiting[owner]
+	if !ok {
+		return
+	}
+	for j := range counts {
+		if counts[j].obj != obj {
+			continue
+		}
+		if counts[j].n--; counts[j].n <= 0 {
+			counts = append(counts[:j], counts[j+1:]...)
+			if len(counts) == 0 {
 				delete(t.waiting, owner)
+				t.countsFree = append(t.countsFree, counts)
+			} else {
+				t.waiting[owner] = counts
 			}
 		}
+		return
 	}
 }
 
 // Release drops owner's lock on obj and returns the requests that become
 // granted as a result, in service order.
 func (t *Table) Release(obj ObjectID, owner OwnerID) []*Request {
-	e, ok := t.entries[obj]
-	if !ok {
+	e := t.lookup(obj)
+	if e == nil {
 		return nil
 	}
 	if !t.delHolder(obj, e, owner) {
@@ -343,8 +447,8 @@ func (t *Table) Release(obj ObjectID, owner OwnerID) []*Request {
 // scheme: the holder keeps reading while the requester proceeds in shared
 // mode) and returns newly granted requests.
 func (t *Table) Downgrade(obj ObjectID, owner OwnerID) []*Request {
-	e, ok := t.entries[obj]
-	if !ok {
+	e := t.lookup(obj)
+	if e == nil {
 		return nil
 	}
 	if e.holderMode(owner) != ModeExclusive {
@@ -362,11 +466,10 @@ func (t *Table) ReleaseAll(owner OwnerID) []*Request {
 	if len(held) == 0 {
 		return nil
 	}
-	objs := make([]ObjectID, 0, len(held))
-	for obj := range held {
-		objs = append(objs, obj)
-	}
-	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	// Release mutates heldBy[owner]; snapshot and order the set first.
+	var stack [16]ObjectID
+	objs := append(stack[:0], held...)
+	slices.Sort(objs)
 	var grants []*Request
 	for _, obj := range objs {
 		grants = append(grants, t.Release(obj, owner)...)
@@ -381,8 +484,8 @@ func (t *Table) Cancel(req *Request) []*Request {
 	if !req.waiting {
 		return nil
 	}
-	e, ok := t.entries[req.Obj]
-	if !ok {
+	e := t.lookup(req.Obj)
+	if e == nil {
 		return nil
 	}
 	for i, q := range e.queue {
@@ -419,14 +522,14 @@ func (t *Table) admit(obj ObjectID, e *entry) []*Request {
 		grants = append(grants, req)
 	}
 	if len(e.holders) == 0 && len(e.queue) == 0 {
-		delete(t.entries, obj)
+		t.retire(obj, e)
 	}
 	return grants
 }
 
 // HolderMode returns the mode owner holds on obj (0 when not held).
 func (t *Table) HolderMode(obj ObjectID, owner OwnerID) Mode {
-	if e, ok := t.entries[obj]; ok {
+	if e := t.lookup(obj); e != nil {
 		return e.holderMode(owner)
 	}
 	return 0
@@ -435,7 +538,7 @@ func (t *Table) HolderMode(obj ObjectID, owner OwnerID) Mode {
 // Holders returns obj's holders and modes (copy).
 func (t *Table) Holders(obj ObjectID) map[OwnerID]Mode {
 	out := make(map[OwnerID]Mode)
-	if e, ok := t.entries[obj]; ok {
+	if e := t.lookup(obj); e != nil {
 		for _, h := range e.holders {
 			out[h.owner] = h.mode
 		}
@@ -445,8 +548,8 @@ func (t *Table) Holders(obj ObjectID) map[OwnerID]Mode {
 
 // SortedHolders returns obj's holders sorted by owner id.
 func (t *Table) SortedHolders(obj ObjectID) []OwnerID {
-	e, ok := t.entries[obj]
-	if !ok {
+	e := t.lookup(obj)
+	if e == nil {
 		return nil
 	}
 	out := make([]OwnerID, 0, len(e.holders))
@@ -459,7 +562,7 @@ func (t *Table) SortedHolders(obj ObjectID) []OwnerID {
 // NextWaiter returns the head of obj's wait queue (the earliest-deadline
 // pending request), or nil when nothing waits.
 func (t *Table) NextWaiter(obj ObjectID) *Request {
-	if e, ok := t.entries[obj]; ok && len(e.queue) > 0 {
+	if e := t.lookup(obj); e != nil && len(e.queue) > 0 {
 		return e.queue[0]
 	}
 	return nil
@@ -468,7 +571,7 @@ func (t *Table) NextWaiter(obj ObjectID) *Request {
 // FirstForeignWaiter returns the earliest queued request on obj not
 // owned by owner, or nil.
 func (t *Table) FirstForeignWaiter(obj ObjectID, owner OwnerID) *Request {
-	if e, ok := t.entries[obj]; ok {
+	if e := t.lookup(obj); e != nil {
 		for _, q := range e.queue {
 			if q.Owner != owner {
 				return q
@@ -481,15 +584,17 @@ func (t *Table) FirstForeignWaiter(obj ObjectID, owner OwnerID) *Request {
 // HasWaiter reports whether owner has a request queued on obj — the
 // server's duplicate-request guard under fault injection.
 func (t *Table) HasWaiter(obj ObjectID, owner OwnerID) bool {
-	if objs, ok := t.waiting[owner]; ok {
-		return objs[obj] > 0
+	for _, c := range t.waiting[owner] {
+		if c.obj == obj {
+			return c.n > 0
+		}
 	}
 	return false
 }
 
 // QueueLen returns the number of requests waiting on obj.
 func (t *Table) QueueLen(obj ObjectID) int {
-	if e, ok := t.entries[obj]; ok {
+	if e := t.lookup(obj); e != nil {
 		return len(e.queue)
 	}
 	return 0
@@ -498,7 +603,7 @@ func (t *Table) QueueLen(obj ObjectID) int {
 // ConflictingHolders returns the holders that would conflict with owner
 // acquiring obj in mode right now.
 func (t *Table) ConflictingHolders(obj ObjectID, owner OwnerID, mode Mode) []OwnerID {
-	if e, ok := t.entries[obj]; ok {
+	if e := t.lookup(obj); e != nil {
 		return e.conflicts(owner, mode)
 	}
 	return nil
@@ -567,15 +672,15 @@ func (t *Table) addEdge(from, to OwnerID) {
 // entries holding those requests, so the rebuild touches only them
 // instead of scanning the whole table.
 func (t *Table) dropEdgesFrom(owner OwnerID, obj ObjectID) {
-	objs := t.waiting[owner]
-	if len(objs) == 0 {
+	counts := t.waiting[owner]
+	if len(counts) == 0 {
 		delete(t.waits, owner)
 		return
 	}
 	m := make(map[OwnerID]int)
-	for wobj := range objs {
-		e, ok := t.entries[wobj]
-		if !ok {
+	for _, c := range counts {
+		e := t.lookup(c.obj)
+		if e == nil {
 			continue
 		}
 		for _, q := range e.queue {
@@ -598,13 +703,21 @@ func (t *Table) dropEdgesFrom(owner OwnerID, obj ObjectID) {
 // no granted request is still queued. It returns an error describing the
 // first violation found.
 func (t *Table) Audit() error {
-	objs := make([]ObjectID, 0, len(t.entries))
-	for obj := range t.entries {
-		objs = append(objs, obj)
+	objs := make([]ObjectID, 0, len(t.sparse))
+	if t.dense {
+		for obj := ObjectID(0); int(obj) < len(t.entries); obj++ {
+			if t.entries[obj] != nil {
+				objs = append(objs, obj)
+			}
+		}
+	} else {
+		for obj := range t.sparse {
+			objs = append(objs, obj)
+		}
+		slices.Sort(objs)
 	}
-	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
 	for _, obj := range objs {
-		e := t.entries[obj]
+		e := t.lookup(obj)
 		var sharers, exclusives int
 		for _, h := range e.holders {
 			switch h.mode {

@@ -316,8 +316,11 @@ func TestEntryGarbageCollected(t *testing.T) {
 	tab := NewTable()
 	tab.Lock(req(1, 1, ModeShared, time.Second))
 	tab.Release(1, 1)
-	if len(tab.entries) != 0 {
-		t.Fatal("empty entry not collected")
+	if tab.lookup(1) != nil {
+		t.Fatal("empty entry not retired")
+	}
+	if len(tab.free) != 1 {
+		t.Fatalf("free list = %d entries, want 1", len(tab.free))
 	}
 }
 

@@ -1,0 +1,272 @@
+package pagefile
+
+import "siteselect/internal/sim"
+
+// State-machine counterparts of the blocking pool and disk operations.
+// Each op mirrors its blocking twin line by line — same counter order,
+// same park points, same retry loops — so a Machine caller produces
+// exactly the event sequence a Proc caller would. The blocking methods
+// stay for process-based models; both kinds share the pool.
+
+// ioOp is a resumable disk access (Disk.Read / Disk.Write for tasks):
+// acquire the arm, hold it for the access time, release, count, copy.
+type ioOp struct {
+	d     *Disk
+	id    PageID
+	buf   []byte
+	write bool
+	pc    uint8
+}
+
+const (
+	ioAcquire uint8 = iota
+	ioSleep
+	ioFinish
+)
+
+func (o *ioOp) start(d *Disk, write bool, id PageID, buf []byte) {
+	o.d, o.id, o.buf, o.write, o.pc = d, id, buf, write, ioAcquire
+}
+
+// step advances the access; false means the task parked and step must
+// run again on the next resume.
+func (o *ioOp) step(t *sim.Task) bool {
+	for {
+		switch o.pc {
+		case ioAcquire:
+			o.pc = ioSleep
+			if !t.Acquire(o.d.arm, 0) {
+				return false
+			}
+		case ioSleep:
+			o.pc = ioFinish
+			if o.write {
+				t.Sleep(o.d.cfg.WriteTime)
+			} else {
+				t.Sleep(o.d.cfg.ReadTime)
+			}
+			return false
+		default: // ioFinish
+			d := o.d
+			d.arm.Release()
+			if o.write {
+				d.Writes++
+				if d.pages[o.id] == nil {
+					d.pages[o.id] = make([]byte, PageSize)
+				}
+				copy(d.pages[o.id], o.buf)
+			} else {
+				d.Reads++
+				if d.pages[o.id] == nil {
+					clear(o.buf)
+				} else {
+					copy(o.buf, d.pages[o.id])
+				}
+			}
+			o.buf = nil
+			return true
+		}
+	}
+}
+
+// allocAction is what allocateTask decided; it mirrors the blocking
+// allocate's three outcomes.
+type allocAction uint8
+
+const (
+	// allocReady: frame claimed, no write-back needed.
+	allocReady allocAction = iota
+	// allocWriteback: frame claimed; the victim write-back was started
+	// in the caller's ioOp and must be stepped to completion.
+	allocWriteback
+	// allocWaitFree: every frame is pinned; the task parked on the
+	// pool's free signal and must retry the lookup after resuming.
+	allocWaitFree
+)
+
+// allocateTask is allocate for machine callers; identical decisions and
+// counter order, with the blocking write-back handed to io.
+func (bp *BufferPool) allocateTask(t *sim.Task, io *ioOp, id PageID) (*Frame, allocAction) {
+	if len(bp.frames) < bp.cap {
+		f := &Frame{
+			id:      id,
+			Data:    make([]byte, PageSize),
+			pins:    1,
+			loading: true,
+			loaded:  sim.NewSignal(bp.env),
+		}
+		bp.frames[id] = f
+		return f, allocReady
+	}
+	vf := bp.lruBack
+	if vf == nil {
+		t.Wait(bp.free)
+		return nil, allocWaitFree
+	}
+	vid := vf.id
+	bp.lruRemove(vf)
+	bp.Evictions++
+	delete(bp.frames, vid)
+	wasDirty := vf.dirty
+	vf.id = id
+	vf.pins = 1
+	vf.dirty = false
+	vf.loading = true
+	bp.frames[id] = vf
+	if wasDirty {
+		bp.DirtyWrites++
+		io.start(bp.disk, true, vid, vf.Data)
+		return vf, allocWriteback
+	}
+	return vf, allocReady
+}
+
+// GetOp is the state-machine counterpart of BufferPool.Get: a resumable
+// pin-with-read. Init it, then call Step from every Resume until it
+// reports done; the pinned frame is then available from Frame.
+type GetOp struct {
+	bp *BufferPool
+	id PageID
+	f  *Frame
+	io ioOp
+	pc uint8
+}
+
+const (
+	gpLookup uint8 = iota
+	gpEvictWrite
+	gpMiss
+	gpRead
+)
+
+// Init arms the op to pin page id from bp.
+func (g *GetOp) Init(bp *BufferPool, id PageID) {
+	g.bp, g.id, g.f, g.pc = bp, id, nil, gpLookup
+}
+
+// Frame returns the pinned frame after Step reported done.
+func (g *GetOp) Frame() *Frame { return g.f }
+
+// Step advances the pin; false means the task parked and Step must run
+// again on the next resume.
+func (g *GetOp) Step(t *sim.Task) (bool, error) {
+	bp := g.bp
+	for {
+		switch g.pc {
+		case gpLookup:
+			if err := bp.disk.check(g.id); err != nil {
+				return true, err
+			}
+			if f, ok := bp.frames[g.id]; ok {
+				if f.loading {
+					t.Wait(f.loaded)
+					return false, nil // frame may be re-keyed; recheck
+				}
+				bp.Hits++
+				bp.pin(f)
+				g.f = f
+				return true, nil
+			}
+			f, act := bp.allocateTask(t, &g.io, g.id)
+			if act == allocWaitFree {
+				return false, nil // lost a race while parked; retry lookup
+			}
+			g.f = f
+			if act == allocWriteback {
+				g.pc = gpEvictWrite
+			} else {
+				g.pc = gpMiss
+			}
+		case gpEvictWrite:
+			if !g.io.step(t) {
+				return false, nil
+			}
+			g.pc = gpMiss
+		case gpMiss:
+			bp.Misses++
+			g.io.start(bp.disk, false, g.id, g.f.Data)
+			g.pc = gpRead
+		default: // gpRead
+			if !g.io.step(t) {
+				return false, nil
+			}
+			g.f.loading = false
+			g.f.loaded.Broadcast()
+			return true, nil
+		}
+	}
+}
+
+// PutOp is the state-machine counterpart of BufferPool.Put: install
+// data as page id without reading the old contents, evicting (and
+// possibly writing back) a victim when the pool is full.
+type PutOp struct {
+	bp   *BufferPool
+	id   PageID
+	data []byte
+	f    *Frame
+	io   ioOp
+	pc   uint8
+}
+
+const (
+	ppLookup uint8 = iota
+	ppEvictWrite
+	ppInstall
+)
+
+// Init arms the op to install data as page id in bp. The data slice is
+// read when the install completes, so it must stay valid until Step
+// reports done.
+func (o *PutOp) Init(bp *BufferPool, id PageID, data []byte) {
+	o.bp, o.id, o.data, o.f, o.pc = bp, id, data, nil, ppLookup
+}
+
+// Step advances the install; false means the task parked and Step must
+// run again on the next resume.
+func (o *PutOp) Step(t *sim.Task) (bool, error) {
+	bp := o.bp
+	for {
+		switch o.pc {
+		case ppLookup:
+			if err := bp.disk.check(o.id); err != nil {
+				return true, err
+			}
+			if f, ok := bp.frames[o.id]; ok {
+				if f.loading {
+					t.Wait(f.loaded)
+					return false, nil
+				}
+				copy(f.Data, o.data)
+				f.dirty = true
+				bp.touch(f)
+				o.data = nil
+				return true, nil
+			}
+			f, act := bp.allocateTask(t, &o.io, o.id)
+			if act == allocWaitFree {
+				return false, nil
+			}
+			o.f = f
+			if act == allocWriteback {
+				o.pc = ppEvictWrite
+			} else {
+				o.pc = ppInstall
+			}
+		case ppEvictWrite:
+			if !o.io.step(t) {
+				return false, nil
+			}
+			o.pc = ppInstall
+		default: // ppInstall
+			f := o.f
+			copy(f.Data, o.data)
+			f.dirty = true
+			f.loading = false
+			f.loaded.Broadcast()
+			bp.Unpin(f, true)
+			o.data = nil
+			return true, nil
+		}
+	}
+}

@@ -38,6 +38,8 @@ type Centralized struct {
 	log       *wal.Log
 	inbox     *sim.Mailbox[netsim.Message]
 	terminals []*terminal
+	// txnFree recycles finished transaction machines.
+	txnFree []*ceTxnMachine
 }
 
 type terminal struct {
@@ -75,6 +77,7 @@ func NewCentralized(cfg config.Config) (*Centralized, error) {
 		versions: make([]int64, cfg.DBSize),
 		inbox:    sim.NewMailbox[netsim.Message](env),
 	}
+	ce.locks.Reserve(cfg.DBSize)
 	if cfg.UseLogging {
 		ce.log = wal.New(env, disk.Resource(), cfg.DiskWrite)
 	}
@@ -102,167 +105,407 @@ func (ce *Centralized) Net() *netsim.Network { return ce.net }
 // Metrics exposes the live collector.
 func (ce *Centralized) Metrics() *metrics.Collector { return ce.m }
 
-// Start spawns the server dispatcher and the terminal processes.
+// Start spawns the server dispatcher and the terminal machines.
 func (ce *Centralized) Start() {
-	ce.env.Go("ce-server", ce.serve)
+	s := &ceServeMachine{ce: ce}
+	ce.env.Spawn(&s.task, s)
 	for _, term := range ce.terminals {
-		term := term
-		ce.env.Go(fmt.Sprintf("terminal-%d", term.id), func(p *sim.Proc) {
-			ce.runTerminal(p, term)
-		})
-		ce.env.Go(fmt.Sprintf("terminal-%d-drain", term.id), func(p *sim.Proc) {
-			for {
-				term.inbox.Get(p) // results are displayed to the user
-			}
-		})
+		tm := &ceTermMachine{ce: ce, term: term}
+		ce.env.Spawn(&tm.task, tm)
+		dm := &ceDrainMachine{term: term}
+		ce.env.Spawn(&dm.task, dm)
 	}
 }
 
-// runTerminal submits the terminal's transaction stream to the server.
-func (ce *Centralized) runTerminal(p *sim.Proc, term *terminal) {
+// ceTermMachine submits a terminal's transaction stream to the server.
+type ceTermMachine struct {
+	task sim.Task
+	ce   *Centralized
+	term *terminal
+	pc   uint8
+}
+
+const (
+	ctNext uint8 = iota
+	ctArrived
+)
+
+func (m *ceTermMachine) Resume() {
+	ce, term := m.ce, m.term
 	for {
-		next := term.gen.NextArrival()
-		if next > ce.cfg.Duration {
+		switch m.pc {
+		case ctNext:
+			next := term.gen.NextArrival()
+			if next > ce.cfg.Duration {
+				m.task.Detach()
+				return
+			}
+			m.pc = ctArrived
+			m.task.SleepUntil(next)
+			return
+		default: // ctArrived
+			t := term.gen.Next()
+			term.tracked = append(term.tracked, t)
+			ce.net.Send(netsim.Message{
+				Kind: netsim.KindTxnSubmit, From: term.id, To: netsim.ServerSite,
+				Size: netsim.TxnShipBytes, Payload: proto.TxnSubmit{T: t},
+			}, ce.inbox)
+			m.pc = ctNext
+		}
+	}
+}
+
+// ceDrainMachine consumes result messages (displayed to the user).
+type ceDrainMachine struct {
+	task sim.Task
+	term *terminal
+}
+
+func (m *ceDrainMachine) Resume() {
+	for {
+		if _, ok := m.term.inbox.Recv(&m.task); !ok {
 			return
 		}
-		p.SleepUntil(next)
-		t := term.gen.Next()
-		term.tracked = append(term.tracked, t)
-		ce.net.Send(netsim.Message{
-			Kind: netsim.KindTxnSubmit, From: term.id, To: netsim.ServerSite,
-			Size: netsim.TxnShipBytes, Payload: proto.TxnSubmit{T: t},
-		}, ce.inbox)
 	}
 }
 
-// serve dispatches arriving transactions, each executing as its own
-// process (the paper's thread-per-transaction server).
-func (ce *Centralized) serve(p *sim.Proc) {
+// ceServeMachine dispatches arriving transactions, each executing as
+// its own machine (the paper's thread-per-transaction server).
+type ceServeMachine struct {
+	task sim.Task
+	ce   *Centralized
+	pc   uint8
+	t    *txn.Transaction
+}
+
+const (
+	csIdle uint8 = iota
+	csCPUSleep
+	csSpawn
+)
+
+func (m *ceServeMachine) Resume() {
+	ce := m.ce
 	for {
-		msg := ce.inbox.Get(p)
-		sub, ok := msg.Payload.(proto.TxnSubmit)
-		if !ok {
-			panic(fmt.Sprintf("rtdbs: centralized server got %T", msg.Payload))
+		switch m.pc {
+		case csIdle:
+			msg, ok := ce.inbox.Recv(&m.task)
+			if !ok {
+				return
+			}
+			sub, ok := msg.Payload.(proto.TxnSubmit)
+			if !ok {
+				panic(fmt.Sprintf("rtdbs: centralized server got %T", msg.Payload))
+			}
+			m.t = sub.T
+			if ce.cfg.ServerOpCPU <= 0 {
+				m.pc = csSpawn
+				continue
+			}
+			m.pc = csCPUSleep
+			if !m.task.Acquire(ce.cpu, 0) {
+				return
+			}
+		case csCPUSleep:
+			m.pc = csSpawn
+			m.task.Sleep(ce.cfg.ServerOpCPU)
+			return
+		default: // csSpawn
+			if ce.cfg.ServerOpCPU > 0 {
+				ce.cpu.Release()
+			}
+			ce.spawnTxn(m.t)
+			m.t = nil
+			m.pc = csIdle
 		}
-		if ce.cfg.ServerOpCPU > 0 {
-			p.Acquire(ce.cpu, 0)
-			p.Sleep(ce.cfg.ServerOpCPU)
-			ce.cpu.Release()
-		}
-		t := sub.T
-		ce.env.Go(fmt.Sprintf("ce-txn-%d", t.ID), func(tp *sim.Proc) {
-			ce.runTxn(tp, t)
-		})
 	}
 }
 
-// runTxn executes one transaction at the server: EDF admission to a
-// thread slot, strict 2PL lock acquisition in access order (wait-for
+func (ce *Centralized) spawnTxn(t *txn.Transaction) {
+	var x *ceTxnMachine
+	if n := len(ce.txnFree); n > 0 {
+		x = ce.txnFree[n-1]
+		ce.txnFree[n-1] = nil
+		ce.txnFree = ce.txnFree[:n-1]
+	} else {
+		x = &ceTxnMachine{}
+	}
+	*x = ceTxnMachine{
+		ce: ce, t: t,
+		frames: x.frames[:0], lockReqs: x.lockReqs[:0],
+	}
+	ce.env.Spawn(&x.task, x)
+}
+
+// ceTxnMachine executes one transaction at the server: EDF admission to
+// a thread slot, strict 2PL lock acquisition in access order (wait-for
 // graph refusal aborts), page reads through the buffer pool, the
-// prescribed processing delay, updates, release, and the result message.
-func (ce *Centralized) runTxn(p *sim.Proc, t *txn.Transaction) {
-	finish := func(committed bool) {
-		if committed {
-			t.Status = txn.StatusCommitted
-		} else if t.Status != txn.StatusAborted {
-			t.Status = txn.StatusMissed
+// prescribed processing delay, updates, release, and the result
+// message. Each state mirrors one stretch of the earlier blocking
+// thread between two park points; the deferred releases become the
+// explicit unwind in the same LIFO order.
+type ceTxnMachine struct {
+	task sim.Task
+	ce   *Centralized
+	t    *txn.Transaction
+	pc   uint8
+
+	prio        float64
+	slotHeld    bool
+	locksOwned  bool
+	lockIdx     int
+	lockStarted bool
+	lockOp      lockmgr.LockOp
+	lockReqs    []lockmgr.Request
+	opIdx       int
+	frames      []*pagefile.Frame
+	get         pagefile.GetOp
+	force       wal.ForceOp
+}
+
+const (
+	xsBegin uint8 = iota
+	xsSlotWait
+	xsSlot
+	xsLock
+	xsMat
+	xsCPUWait
+	xsCPUBusy
+	xsCPUDone
+	xsPage
+	xsPostMat
+	xsRan
+	xsForce
+	xsDone
+)
+
+func (m *ceTxnMachine) Resume() {
+	for m.pc != xsDone {
+		if m.step() {
+			return
 		}
-		t.Finished = p.Now()
-		t.ExecSite = netsim.ServerSite
-		ce.net.Send(netsim.Message{
-			Kind: netsim.KindUserResult, From: netsim.ServerSite, To: t.Origin,
-			Size: netsim.ResultBytes,
-			Payload: proto.UserResult{
-				Txn: t.ID, Committed: committed,
-			},
-		}, ce.terminals[int(t.Origin)-1].inbox)
 	}
+	m.task.Detach()
+	ce := m.ce
+	clear(m.frames)
+	ce.txnFree = append(ce.txnFree, m)
+}
 
-	prio := t.Deadline.Seconds()
-	if ce.cfg.Scheduling == config.SchedFCFS {
-		prio = t.Arrival.Seconds()
+func (m *ceTxnMachine) step() bool {
+	ce, t := m.ce, m.t
+	switch m.pc {
+	case xsBegin:
+		m.prio = t.Deadline.Seconds()
+		if ce.cfg.Scheduling == config.SchedFCFS {
+			m.prio = t.Arrival.Seconds()
+		}
+		slack := t.Deadline - m.task.Now()
+		if slack <= 0 {
+			m.finish(false)
+			return false
+		}
+		if m.task.AcquireTimeout(ce.slots, m.prio, slack) == sim.AcquireGranted {
+			m.pc = xsSlot
+			return false
+		}
+		m.pc = xsSlotWait
+		return true
+	case xsSlotWait:
+		if m.task.ResTimedOut() {
+			m.finish(false)
+			return false
+		}
+		m.pc = xsSlot
+	case xsSlot:
+		m.slotHeld = true
+		if m.task.Now() > t.Deadline {
+			m.finish(false)
+			return false
+		}
+		t.Status = txn.StatusRunning
+		m.locksOwned = true
+		m.pc = xsLock
+	case xsLock:
+		return m.stepLock()
+	case xsMat:
+		return m.stepMat()
+	case xsCPUWait:
+		if m.task.ResTimedOut() {
+			m.bail()
+			return false
+		}
+		m.pc = xsCPUBusy
+	case xsCPUBusy:
+		m.pc = xsCPUDone
+		m.task.Sleep(ce.cfg.ServerOpCPU)
+		return true
+	case xsCPUDone:
+		ce.cpu.Release()
+		m.get.Init(ce.pool, pagefile.PageID(t.Ops[m.opIdx].Obj))
+		m.pc = xsPage
+	case xsPage:
+		done, err := m.get.Step(&m.task)
+		if !done {
+			return true
+		}
+		if err != nil {
+			panic(fmt.Sprintf("rtdbs: centralized read %d: %v", t.Ops[m.opIdx].Obj, err))
+		}
+		m.frames = append(m.frames, m.get.Frame())
+		m.opIdx++
+		m.pc = xsMat
+	case xsPostMat:
+		if m.task.Now() > t.Deadline {
+			m.bail()
+			return false
+		}
+		m.pc = xsRan
+		m.task.Sleep(t.Length)
+		return true
+	case xsRan:
+		var lastLSN int64
+		for i, op := range t.Ops {
+			dirty := op.Write
+			if dirty {
+				ce.versions[op.Obj]++
+				binary.LittleEndian.PutUint64(m.frames[i].Data, uint64(ce.versions[op.Obj]))
+				if ce.log != nil {
+					lastLSN = ce.log.Append(int64(t.ID), op.Obj, ce.versions[op.Obj])
+				}
+			}
+			ce.pool.Unpin(m.frames[i], dirty)
+		}
+		if ce.log != nil && lastLSN > 0 {
+			m.force.Init(ce.log, int64(t.ID), lastLSN)
+			m.pc = xsForce
+			return false
+		}
+		m.finish(m.task.Now() <= t.Deadline)
+	case xsForce:
+		if !m.force.Step(&m.task) {
+			return true
+		}
+		m.finish(m.task.Now() <= t.Deadline)
 	}
-	slack := t.Deadline - p.Now()
-	if slack <= 0 || !p.AcquireTimeout(ce.slots, prio, slack) {
-		finish(false)
-		return
-	}
-	defer ce.slots.Release()
-	if p.Now() > t.Deadline {
-		finish(false)
-		return
-	}
-	t.Status = txn.StatusRunning
+	return false
+}
 
+func (m *ceTxnMachine) stepLock() bool {
+	ce, t := m.ce, m.t
 	owner := lockmgr.OwnerID(t.ID)
-	defer ce.locks.ReleaseAll(owner)
-	for _, op := range t.Ops {
-		err := ce.locks.LockWait(p, &lockmgr.Request{
-			Obj: op.Obj, Owner: owner, Mode: op.Mode(), Deadline: t.Deadline,
-		})
+	for m.lockIdx < len(t.Ops) {
+		var done bool
+		var err error
+		if !m.lockStarted {
+			op := t.Ops[m.lockIdx]
+			m.lockStarted = true
+			if cap(m.lockReqs) < len(t.Ops) {
+				m.lockReqs = make([]lockmgr.Request, len(t.Ops))
+			} else {
+				m.lockReqs = m.lockReqs[:len(t.Ops)]
+			}
+			req := &m.lockReqs[m.lockIdx]
+			*req = lockmgr.Request{Obj: op.Obj, Owner: owner, Mode: op.Mode(), Deadline: t.Deadline}
+			done, err = m.lockOp.Start(ce.locks, &m.task, req)
+		} else {
+			done, err = m.lockOp.Step(&m.task)
+		}
+		if !done {
+			return true
+		}
+		m.lockStarted = false
 		if err != nil {
 			if errors.Is(err, lockmgr.ErrDeadlock) {
 				t.Status = txn.StatusAborted
 			}
-			finish(false)
-			return
+			m.finish(false)
+			return false
 		}
+		m.lockIdx++
 	}
-
 	// Materialize the pages (buffer hits are free; misses queue on the
 	// disk). Every object access additionally costs ServerOpCPU on the
 	// server's one CPU — in the centralized system all of every client's
 	// low-level database work lands here, which is what saturates the
 	// server as clients are added (Figures 3–5).
-	frames := make([]*pagefile.Frame, 0, len(t.Ops))
-	bail := func() {
-		for _, f := range frames {
-			ce.pool.Unpin(f, false)
-		}
-		finish(false)
+	if cap(m.frames) < len(t.Ops) {
+		m.frames = make([]*pagefile.Frame, 0, len(t.Ops))
+	} else {
+		m.frames = m.frames[:0]
 	}
-	for _, op := range t.Ops {
-		if p.Now() > t.Deadline {
-			// EDF discipline: a late transaction is abandoned rather
-			// than allowed to keep consuming the CPU and disk.
-			bail()
-			return
-		}
-		if ce.cfg.ServerOpCPU > 0 {
-			if !p.AcquireTimeout(ce.cpu, prio, t.Deadline-p.Now()) {
-				bail()
-				return
-			}
-			p.Sleep(ce.cfg.ServerOpCPU)
-			ce.cpu.Release()
-		}
-		f, err := ce.pool.Get(p, pagefile.PageID(op.Obj))
-		if err != nil {
-			panic(fmt.Sprintf("rtdbs: centralized read %d: %v", op.Obj, err))
-		}
-		frames = append(frames, f)
+	m.opIdx = 0
+	m.pc = xsMat
+	return false
+}
+
+func (m *ceTxnMachine) stepMat() bool {
+	ce, t := m.ce, m.t
+	if m.opIdx >= len(t.Ops) {
+		m.pc = xsPostMat
+		return false
 	}
-	if p.Now() > t.Deadline {
-		bail()
-		return
+	if m.task.Now() > t.Deadline {
+		// EDF discipline: a late transaction is abandoned rather than
+		// allowed to keep consuming the CPU and disk.
+		m.bail()
+		return false
 	}
-	p.Sleep(t.Length)
-	var lastLSN int64
-	for i, op := range t.Ops {
-		dirty := op.Write
-		if dirty {
-			ce.versions[op.Obj]++
-			binary.LittleEndian.PutUint64(frames[i].Data, uint64(ce.versions[op.Obj]))
-			if ce.log != nil {
-				lastLSN = ce.log.Append(int64(t.ID), op.Obj, ce.versions[op.Obj])
-			}
+	if ce.cfg.ServerOpCPU > 0 {
+		switch m.task.AcquireTimeout(ce.cpu, m.prio, t.Deadline-m.task.Now()) {
+		case sim.AcquireGranted:
+			m.pc = xsCPUBusy
+			return false
+		case sim.AcquireTimedOut:
+			m.bail()
+			return false
+		default:
+			m.pc = xsCPUWait
+			return true
 		}
-		ce.pool.Unpin(frames[i], dirty)
 	}
-	if ce.log != nil && lastLSN > 0 {
-		ce.log.ForceTo(p, int64(t.ID), lastLSN)
+	m.get.Init(ce.pool, pagefile.PageID(t.Ops[m.opIdx].Obj))
+	m.pc = xsPage
+	return false
+}
+
+// bail abandons a transaction mid-materialization: unpin what was
+// gathered and fail.
+func (m *ceTxnMachine) bail() {
+	for _, f := range m.frames {
+		m.ce.pool.Unpin(f, false)
 	}
-	finish(p.Now() <= t.Deadline)
+	clear(m.frames)
+	m.frames = m.frames[:0]
+	m.finish(false)
+}
+
+// finish reports the outcome to the terminal, then unwinds the held
+// locks and thread slot in the blocking thread's defer (LIFO) order.
+func (m *ceTxnMachine) finish(committed bool) {
+	ce, t := m.ce, m.t
+	if committed {
+		t.Status = txn.StatusCommitted
+	} else if t.Status != txn.StatusAborted {
+		t.Status = txn.StatusMissed
+	}
+	t.Finished = m.task.Now()
+	t.ExecSite = netsim.ServerSite
+	ce.net.Send(netsim.Message{
+		Kind: netsim.KindUserResult, From: netsim.ServerSite, To: t.Origin,
+		Size: netsim.ResultBytes,
+		Payload: proto.UserResult{
+			Txn: t.ID, Committed: committed,
+		},
+	}, ce.terminals[int(t.Origin)-1].inbox)
+	if m.locksOwned {
+		ce.locks.ReleaseAll(lockmgr.OwnerID(t.ID))
+		m.locksOwned = false
+	}
+	if m.slotHeld {
+		ce.slots.Release()
+		m.slotHeld = false
+	}
+	m.pc = xsDone
 }
 
 // Run executes the full experiment.

@@ -60,10 +60,7 @@ func Compile(s *Scenario) (*Compiled, error) {
 	if len(s.Classes) == 0 {
 		return nil, s.errf(s.NameLine, "scenario", "needs at least one clients stanza")
 	}
-	total := 0
-	for _, cl := range s.Classes {
-		total += int(cl.Count)
-	}
+	total := s.Population()
 
 	var cfg config.Config
 	if system == SystemCE || system == SystemCEOCC {

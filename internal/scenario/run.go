@@ -256,6 +256,26 @@ func formatGot(v float64) string {
 	return fmt.Sprintf("%.4f", v)
 }
 
+// ScaleFloor is the population at or above which a scenario belongs to
+// the scale tier: its golden is pinned in the corpus like the rest, but
+// running it takes minutes and tens of gigabytes, so everyday corpus
+// runs (go test, CI, rtbench -scenario-dir) skip it unless explicitly
+// asked for.
+const ScaleFloor = 100_000
+
+// SplitScale partitions scenarios into the everyday corpus and the
+// scale tier, preserving input order within each batch.
+func SplitScale(scens []*Scenario) (everyday, scale []*Scenario) {
+	for _, s := range scens {
+		if s.Population() >= ScaleFloor {
+			scale = append(scale, s)
+		} else {
+			everyday = append(everyday, s)
+		}
+	}
+	return everyday, scale
+}
+
 // LoadDir loads every .rts file directly under dir, sorted by name.
 func LoadDir(dir string) ([]*Scenario, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.rts"))

@@ -144,6 +144,16 @@ type Scenario struct {
 	ExpectLine int
 }
 
+// Population is the total client count across every clients stanza —
+// what the compiled Config.NumClients will be.
+func (s *Scenario) Population() int {
+	total := 0
+	for _, cl := range s.Classes {
+		total += int(cl.Count)
+	}
+	return total
+}
+
 // posError is a diagnostic tied to a file position and stanza.
 func (s *Scenario) errf(line int, stanza, format string, args ...any) error {
 	return fmt.Errorf("%s:%d: %s: %s", s.File, line, stanza, fmt.Sprintf(format, args...))

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -16,27 +15,61 @@ import (
 )
 
 // ship reads the object through the buffer pool (charging disk time on a
-// miss) and sends it to the client. It runs in its own process so that
-// grants triggered inside another client's connection handler do not
-// stall that handler.
+// miss) and sends it to the client. The read runs in its own spawned
+// machine so that grants triggered inside another client's connection
+// handler do not stall that handler.
 func (s *Server) ship(obj lockmgr.ObjectID, to netsim.SiteID, mode lockmgr.Mode, id txn.ID, fwd *forward.List) {
 	s.GrantsShipped++
 	s.tr.Point(id, netsim.ServerSite, trace.EvObjectShipped, obj, int64(to), 0, s.env.Now())
-	version := s.versions[obj]
+	var m *shipMachine
+	if n := len(s.shipFree); n > 0 {
+		m = s.shipFree[n-1]
+		s.shipFree = s.shipFree[:n-1]
+	} else {
+		m = &shipMachine{s: s}
+	}
+	m.obj, m.to, m.mode, m.id, m.fwd = obj, to, mode, id, fwd
+	m.version = s.versions[obj]
 	// The epoch snapshot is taken now, synchronously with the lock
 	// registration this ship delivers; a release processed while the
 	// page is being read makes the grant provably stale at the client.
-	epoch := s.epochOf(obj, to)
-	s.env.Go(fmt.Sprintf("ship-%d", obj), func(p *sim.Proc) {
-		f, err := s.pool.Get(p, pagefile.PageID(obj))
-		if err != nil {
-			panic(fmt.Sprintf("server: reading object %d: %v", obj, err))
-		}
-		s.pool.Unpin(f, false)
-		s.send(to, netsim.KindObjectShip, netsim.ObjectBytes, proto.ObjGrant{
-			Obj: obj, Mode: mode, Version: version, Txn: id, Epoch: epoch, Fwd: fwd,
-		})
+	m.epoch = s.epochOf(obj, to)
+	m.get.Init(s.pool, pagefile.PageID(obj))
+	s.env.Spawn(&m.task, m)
+}
+
+// shipMachine is one ship's asynchronous half: read the page through
+// the pool, unpin, send the grant, then detach and return itself to the
+// server's free list so steady-state ships allocate nothing.
+type shipMachine struct {
+	task    sim.Task
+	s       *Server
+	get     pagefile.GetOp
+	obj     lockmgr.ObjectID
+	to      netsim.SiteID
+	mode    lockmgr.Mode
+	id      txn.ID
+	fwd     *forward.List
+	version int64
+	epoch   int64
+}
+
+func (m *shipMachine) Resume() {
+	done, err := m.get.Step(&m.task)
+	if !done {
+		return
+	}
+	if err != nil {
+		panic(fmt.Sprintf("server: reading object %d: %v", m.obj, err))
+	}
+	s := m.s
+	s.pool.Unpin(m.get.Frame(), false)
+	s.send(m.to, netsim.KindObjectShip, netsim.ObjectBytes, proto.ObjGrant{
+		Obj: m.obj, Mode: m.mode, Version: m.version, Txn: m.id, Epoch: m.epoch, Fwd: m.fwd,
 	})
+	m.task.Detach()
+	m.fwd = nil
+	s.shipFree = append(s.shipFree, m)
 }
 
 // epochOf returns the release epoch last reported by client for obj.
@@ -399,16 +432,6 @@ func (s *Server) tryDispatch(obj lockmgr.ObjectID) {
 	s.ForwardEntriesSent += int64(chain.Len() + 1)
 	s.inflight[obj] = chain
 	s.ship(obj, first.Client, first.Mode, first.Txn, chain.Clone())
-}
-
-// writePage installs the returned object's new contents: the page body
-// encodes the version so end-to-end consistency can be audited.
-func (s *Server) writePage(p *sim.Proc, obj lockmgr.ObjectID, version int64) {
-	buf := make([]byte, pagefile.PageSize)
-	binary.LittleEndian.PutUint64(buf, uint64(version))
-	if err := s.pool.Put(p, pagefile.PageID(obj), buf); err != nil {
-		panic(fmt.Sprintf("server: writing object %d: %v", obj, err))
-	}
 }
 
 // AuditLocks verifies the global lock table invariants.

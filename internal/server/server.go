@@ -7,6 +7,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"time"
@@ -53,6 +54,9 @@ type Server struct {
 	collector *forward.Collector
 	sealed    map[lockmgr.ObjectID]*forward.List
 	inflight  map[lockmgr.ObjectID]*forward.List
+
+	// shipFree recycles completed ship machines.
+	shipFree []*shipMachine
 
 	// tr is the per-run transaction tracer (nil when tracing is off).
 	tr *trace.Tracer
@@ -106,6 +110,7 @@ func New(env *sim.Env, cfg config.Config, net *netsim.Network) *Server {
 		sealed:   make(map[lockmgr.ObjectID]*forward.List),
 		inflight: make(map[lockmgr.ObjectID]*forward.List),
 	}
+	s.locks.Reserve(cfg.DBSize)
 	s.faulty = cfg.Faults.Enabled()
 	if cfg.UseForwardLists {
 		s.collector = forward.NewCollector(env, cfg.CollectionWindow, s.onSeal)
@@ -182,50 +187,114 @@ func (s *Server) Attach(id netsim.SiteID, inbox, out *sim.Mailbox[netsim.Message
 	s.conns[id] = &conn{id: id, inbox: inbox, out: out}
 }
 
-// Start spawns one handler process per attached connection.
+// Start spawns one event-driven handler per attached connection.
 func (s *Server) Start() {
 	for id := netsim.SiteID(1); int(id) <= len(s.conns); id++ {
 		c, ok := s.conns[id]
 		if !ok {
 			continue
 		}
-		s.env.Go(fmt.Sprintf("server-conn-%d", id), func(p *sim.Proc) { s.serve(p, c) })
+		m := &connMachine{s: s, c: c}
+		s.env.Spawn(&m.task, m)
 	}
 }
 
-func (s *Server) serve(p *sim.Proc, c *conn) {
+// connMachine is a connection handler as a state machine: one per
+// attached client, looping receive → CPU charge → dispatch. The only
+// payload that parks mid-handle is an ObjReturn carrying data (the page
+// install goes through the pool), so the machine keeps the pending
+// return across resumes.
+type connMachine struct {
+	task sim.Task
+	s    *Server
+	c    *conn
+	pc   uint8
+	msg  netsim.Message
+	ret  proto.ObjReturn
+	put  pagefile.PutOp
+	page []byte // reused install buffer
+}
+
+const (
+	csRecv uint8 = iota
+	csCPUSleep
+	csHandle
+	csPut
+)
+
+func (m *connMachine) Resume() {
+	s := m.s
 	for {
-		msg := c.inbox.Get(p)
-		s.chargeCPU(p)
-		switch pl := msg.Payload.(type) {
-		case proto.ObjRequest:
-			s.noteLoad(pl.Load)
-			s.handleFirm(p, pl.Client, pl.Txn, pl.Obj, pl.Mode, pl.Deadline)
-		case proto.ProbeRequest:
-			s.noteLoad(pl.Load)
-			s.handleProbe(pl)
-		case proto.CommitRequest:
-			s.noteLoad(pl.Load)
-			s.handleCommitRequest(p, pl)
-		case proto.ObjReturn:
-			s.noteLoad(pl.Load)
-			s.handleReturn(p, pl)
-		case proto.LoadQuery:
-			s.noteLoad(pl.Load)
-			s.handleLoadQuery(pl)
-		default:
-			panic(fmt.Sprintf("server: unexpected payload %T", msg.Payload))
+		switch m.pc {
+		case csRecv:
+			msg, ok := m.c.inbox.Recv(&m.task)
+			if !ok {
+				return
+			}
+			m.msg = msg
+			if s.cfg.ServerOpCPU <= 0 {
+				m.pc = csHandle
+				continue
+			}
+			m.pc = csCPUSleep
+			if !m.task.Acquire(s.cpu, 0) {
+				return
+			}
+		case csCPUSleep:
+			m.pc = csHandle
+			m.task.Sleep(s.cfg.ServerOpCPU)
+			return
+		case csHandle:
+			if s.cfg.ServerOpCPU > 0 {
+				s.cpu.Release()
+			}
+			m.pc = csRecv
+			switch pl := m.msg.Payload.(type) {
+			case proto.ObjRequest:
+				s.noteLoad(pl.Load)
+				s.handleFirm(pl.Client, pl.Txn, pl.Obj, pl.Mode, pl.Deadline)
+			case proto.ProbeRequest:
+				s.noteLoad(pl.Load)
+				s.handleProbe(pl)
+			case proto.CommitRequest:
+				s.noteLoad(pl.Load)
+				s.handleCommitRequest(pl)
+			case proto.ObjReturn:
+				s.noteLoad(pl.Load)
+				if s.returnNeedsWrite(pl) {
+					// The page body encodes the version so end-to-end
+					// consistency can be audited.
+					if m.page == nil {
+						m.page = make([]byte, pagefile.PageSize)
+					}
+					binary.LittleEndian.PutUint64(m.page, uint64(s.versions[pl.Obj]))
+					m.ret = pl
+					m.put.Init(s.pool, pagefile.PageID(pl.Obj), m.page)
+					m.pc = csPut
+					continue
+				}
+				s.finishReturn(pl)
+			case proto.LoadQuery:
+				s.noteLoad(pl.Load)
+				s.handleLoadQuery(pl)
+			default:
+				panic(fmt.Sprintf("server: unexpected payload %T", m.msg.Payload))
+			}
+			m.msg = netsim.Message{}
+		case csPut:
+			done, err := m.put.Step(&m.task)
+			if !done {
+				return
+			}
+			if err != nil {
+				panic(fmt.Sprintf("server: writing object %d: %v", m.ret.Obj, err))
+			}
+			m.pc = csRecv
+			s.finishReturn(m.ret)
+			m.ret = proto.ObjReturn{}
+			m.msg = netsim.Message{}
 		}
 	}
-}
-
-func (s *Server) chargeCPU(p *sim.Proc) {
-	if s.cfg.ServerOpCPU <= 0 {
-		return
-	}
-	p.Acquire(s.cpu, 0)
-	p.Sleep(s.cfg.ServerOpCPU)
-	s.cpu.Release()
 }
 
 func (s *Server) noteLoad(l proto.LoadReport) {
@@ -322,16 +391,16 @@ func (s *Server) dataCounts(objs []lockmgr.ObjectID, conflicts []proto.ObjConfli
 // handleCommitRequest is the "process locally, ship ASAP" follow-up: all
 // the transaction's outstanding objects become firm requests in one
 // message.
-func (s *Server) handleCommitRequest(p *sim.Proc, cr proto.CommitRequest) {
+func (s *Server) handleCommitRequest(cr proto.CommitRequest) {
 	for i, obj := range cr.Objs {
-		s.handleFirm(p, cr.Client, cr.Txn, obj, cr.Modes[i], cr.Deadline)
+		s.handleFirm(cr.Client, cr.Txn, obj, cr.Modes[i], cr.Deadline)
 	}
 }
 
 // handleFirm serves one firm object request: grant and ship, queue with
 // callbacks (basic client-server), or join the object's forward list
 // (load sharing).
-func (s *Server) handleFirm(p *sim.Proc, client netsim.SiteID, id txn.ID, obj lockmgr.ObjectID, mode lockmgr.Mode, deadline time.Duration) {
+func (s *Server) handleFirm(client netsim.SiteID, id txn.ID, obj lockmgr.ObjectID, mode lockmgr.Mode, deadline time.Duration) {
 	now := s.env.Now()
 	if deadline < now {
 		// The paper's object request scheduling: the server unilaterally
@@ -393,19 +462,28 @@ func (s *Server) dupFirm(client netsim.SiteID, id txn.ID, obj lockmgr.ObjectID, 
 	return false
 }
 
-// handleReturn processes a recall answer, a voluntary dirty eviction, or
-// the final hop of a migration.
-func (s *Server) handleReturn(p *sim.Proc, ret proto.ObjReturn) {
-	obj := ret.Obj
-	if k := (epochKey{obj: obj, client: ret.Client}); ret.Epoch > s.epochs[k] {
+// returnNeedsWrite applies the bookkeeping that precedes a return's page
+// install — the release-epoch and version high-water marks — and reports
+// whether the return carries data that must be written through the pool
+// before finishReturn runs.
+func (s *Server) returnNeedsWrite(ret proto.ObjReturn) bool {
+	if k := (epochKey{obj: ret.Obj, client: ret.Client}); ret.Epoch > s.epochs[k] {
 		s.epochs[k] = ret.Epoch
 	}
-	if ret.HasData {
-		if ret.Version > s.versions[obj] {
-			s.versions[obj] = ret.Version
-		}
-		s.writePage(p, obj, s.versions[obj])
+	if !ret.HasData {
+		return false
 	}
+	if ret.Version > s.versions[ret.Obj] {
+		s.versions[ret.Obj] = ret.Version
+	}
+	return true
+}
+
+// finishReturn processes a recall answer, a voluntary dirty eviction, or
+// the final hop of a migration, after any carried data has been
+// installed.
+func (s *Server) finishReturn(ret proto.ObjReturn) {
+	obj := ret.Obj
 	if ret.UpdateOnly {
 		// Write-through push: data only, the client keeps its lock.
 		return

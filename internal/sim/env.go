@@ -12,6 +12,14 @@
 // Run. Processes block with Proc.Sleep, Signal waits, Resource acquisition,
 // or Mailbox receives; they never block on raw Go channels themselves.
 //
+// Model code that needs to scale to very large populations uses state
+// machines instead of processes: a Machine parks on the same primitives
+// (timer, Signal, Resource, Mailbox) through an embedded Task and is
+// resumed by a direct method call from the event loop, with no
+// goroutine or channel handoff. Processes and machines share the same
+// wait queues and event ordering, so they interoperate freely and a
+// model can migrate one endpoint at a time.
+//
 // The kernel is built for a steady state that allocates nothing: event
 // records are pooled and recycled through a free list, the queue is a
 // monomorphic 4-ary heap (see heap.go), the dominant event shapes
@@ -36,6 +44,11 @@ type Env struct {
 	free   []int32    // recycled pool indices
 	seq    int64
 
+	// genFloor is the starting generation for records appended after a
+	// pool trim; it stays ahead of every Timer handle issued for a
+	// trimmed index so regrown records can never alias a stale handle.
+	genFloor uint32
+
 	// procs is the live-process registry in spawn order (nil holes mark
 	// exited processes); Close walks it in order so teardown
 	// diagnostics are reproducible. freeProcs parks goroutines of
@@ -44,6 +57,11 @@ type Env struct {
 	live      int
 	freeProcs []*Proc
 	closed    bool
+
+	// tasks is the live state-machine registry in spawn order (nil
+	// holes mark detached machines), the machine counterpart of procs.
+	tasks     []*Task
+	liveTasks int
 
 	// stepCount counts executed events, for introspection and tests.
 	stepCount int64
@@ -70,6 +88,10 @@ func (e *Env) Steps() int64 { return e.stepCount }
 // processes.
 func (e *Env) Procs() int { return e.live }
 
+// Machines returns the number of live (spawned or adopted and not yet
+// detached) state machines.
+func (e *Env) Machines() int { return e.liveTasks }
+
 // SetStepHook installs fn to run after every executed event, or removes
 // the hook when fn is nil. The invariant monitor uses it to re-check
 // model invariants continuously; the hook must not schedule events or
@@ -93,9 +115,10 @@ type Timer struct {
 }
 
 // Cancel prevents the timer's event from firing. Canceling an already
-// fired or already canceled timer is a no-op.
+// fired or already canceled timer is a no-op. (The index bound check
+// covers handles whose record was trimmed by the pool-shrink pass.)
 func (t Timer) Cancel() {
-	if t.env == nil {
+	if t.env == nil || int(t.idx) >= len(t.env.pool) {
 		return
 	}
 	rec := &t.env.pool[t.idx]
@@ -106,7 +129,7 @@ func (t Timer) Cancel() {
 
 // Stopped reports whether the timer was canceled or has fired.
 func (t Timer) Stopped() bool {
-	if t.env == nil {
+	if t.env == nil || int(t.idx) >= len(t.env.pool) {
 		return true
 	}
 	rec := &t.env.pool[t.idx]
@@ -162,19 +185,19 @@ func (e *Env) AtHook(t time.Duration, h EventHook) Timer {
 	return Timer{env: e, idx: idx, gen: e.pool[idx].gen}
 }
 
-// scheduleDispatch queues a closure-free resume of p at absolute time
-// t. It is the fast path under Sleep, Signal wakeups, and Resource
-// grants.
-func (e *Env) scheduleDispatch(t time.Duration, p *Proc) {
-	idx := e.post(t, evDispatch)
-	e.pool[idx].p = p
+// scheduleResume queues a closure-free resume of tk at absolute time
+// t. It is the fast path under Sleep, Signal wakeups, Resource grants,
+// and machine spawns.
+func (e *Env) scheduleResume(t time.Duration, tk *Task) {
+	idx := e.post(t, evResume)
+	e.pool[idx].task = tk
 }
 
-// scheduleTimeout queues a closure-free timeout event for p (kind
+// scheduleTimeout queues a closure-free timeout event for tk (kind
 // evSignalTimeout or evResTimeout) and returns its cancellation handle.
-func (e *Env) scheduleTimeout(t time.Duration, kind eventKind, p *Proc) Timer {
+func (e *Env) scheduleTimeout(t time.Duration, kind eventKind, tk *Task) Timer {
 	idx := e.post(t, kind)
-	e.pool[idx].p = p
+	e.pool[idx].task = tk
 	return Timer{env: e, idx: idx, gen: e.pool[idx].gen}
 }
 
@@ -193,30 +216,30 @@ func (e *Env) Step() bool {
 		// Copy the payload out and recycle before running it: the
 		// handler may schedule new events into the reused slot.
 		kind := rec.kind
-		fn, p, hook := rec.fn, rec.p, rec.hook
+		fn, tk, hook := rec.fn, rec.task, rec.hook
 		e.recycle(ent.idx)
 		switch kind {
-		case evDispatch:
-			e.dispatch(p)
+		case evResume:
+			tk.m.Resume()
 		case evFunc:
 			fn()
 		case evHook:
 			hook.RunEvent()
 		case evSignalTimeout:
-			w := &p.wait
+			w := &tk.wait
 			w.timedOut = true
 			if w.s != nil {
 				w.s.unlink(w)
 			}
-			e.dispatch(p)
+			tk.m.Resume()
 		case evResTimeout:
-			w := &p.rwait
+			w := &tk.rwait
 			w.timedOut = true
 			if w.r != nil {
 				w.r.waiters.remove(w)
 				w.r = nil
 			}
-			e.dispatch(p)
+			tk.m.Resume()
 		}
 		if e.stepHook != nil {
 			e.stepHook()
@@ -255,13 +278,17 @@ func (e *Env) RunAll() {
 	}
 }
 
-// Close terminates every live process, in spawn order, so teardown
-// diagnostics are reproducible. Each blocked process is resumed with a
-// stop notice, unwinds via panic(errStopped) recovered by the kernel,
-// and its goroutine exits; parked (reusable) goroutines are reaped too.
-// Close must be called from the driving goroutine (never from inside a
-// process). Closing an already closed environment is a no-op; after
-// Close the environment must not be used otherwise.
+// Close terminates every live process and then every live state
+// machine, each in spawn order, so teardown diagnostics are
+// reproducible. Each blocked process is resumed with a stop notice,
+// unwinds via panic(errStopped) recovered by the kernel, and its
+// goroutine exits; parked (reusable) goroutines are reaped too. Parked
+// machines are unlinked from their wait queues, pending timeout timers
+// are canceled, and machines implementing MachineCloser get their
+// MachineClose hook. Close must be called from the driving goroutine
+// (never from inside a process or machine). Closing an already closed
+// environment is a no-op; after Close the environment must not be used
+// otherwise.
 func (e *Env) Close() {
 	if e.closed {
 		return
@@ -287,6 +314,20 @@ func (e *Env) Close() {
 		<-p.h
 	}
 	e.freeProcs = e.freeProcs[:0]
+	for i := 0; i < len(e.tasks); i++ {
+		t := e.tasks[i]
+		if t == nil {
+			continue
+		}
+		t.cancelWaits()
+		if c, ok := t.m.(MachineCloser); ok {
+			c.MachineClose()
+		}
+		t.m = nil
+		t.slot = -1
+	}
+	e.tasks = e.tasks[:0]
+	e.liveTasks = 0
 }
 
 // register adds p to the spawn-order registry.

@@ -64,6 +64,21 @@ func (m *Mailbox[T]) TryGet() (T, bool) {
 	return v, true
 }
 
+// Recv removes and returns the head item for a state machine. When the
+// mailbox is empty it parks the task on the mailbox's signal and
+// reports ok=false: the machine must return from Resume, and the next
+// Put resumes it. A resumed machine must call Recv again in a drain
+// loop — one wakeup can cover several buffered items, matching the
+// re-check loop inside the process-side Get.
+func (m *Mailbox[T]) Recv(t *Task) (T, bool) {
+	if v, ok := m.TryGet(); ok {
+		return v, true
+	}
+	t.Wait(&m.sig)
+	var zero T
+	return zero, false
+}
+
 // Get blocks until an item is available and returns it.
 func (m *Mailbox[T]) Get(p *Proc) T {
 	for {

@@ -36,12 +36,19 @@ type Proc struct {
 	stopping bool
 	stop     bool
 
-	// wait and rwait are this process's intrusive wait records for
-	// Signal and Resource queues. A blocked process sits in at most
-	// one queue, so embedding the records makes waiting allocation
-	// free.
-	wait  signalWait
-	rwait resWait
+	// task carries the process's intrusive wait records for Signal and
+	// Resource queues (a blocked process sits in at most one queue, so
+	// embedding them makes waiting allocation free) and makes the
+	// process a resumable kernel task like any state machine: wakeups
+	// land on the task and Resume performs the goroutine handoff.
+	task Task
+}
+
+// Resume implements Machine for processes: hand the execution token to
+// the process goroutine and wait for it to block again or exit.
+func (p *Proc) Resume() {
+	p.h <- struct{}{}
+	<-p.h
 }
 
 // Go spawns a new process running fn. The process starts at the current
@@ -61,8 +68,11 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		e.freeProcs = e.freeProcs[:n-1]
 	} else {
 		p = &Proc{env: e, h: make(chan struct{})}
-		p.wait.p = p
-		p.rwait.p = p
+		p.task.env = e
+		p.task.m = p
+		p.task.slot = -1
+		p.task.wait.t = &p.task
+		p.task.rwait.t = &p.task
 		go p.loop()
 	}
 	p.name = name
@@ -70,7 +80,7 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	p.stopping = false
 	p.stop = false
 	e.register(p)
-	e.scheduleDispatch(e.now, p)
+	e.scheduleResume(e.now, &p.task)
 	return p
 }
 
@@ -116,12 +126,6 @@ func (p *Proc) run() (r any) {
 	return nil
 }
 
-// dispatch hands control to p until it blocks again or exits.
-func (e *Env) dispatch(p *Proc) {
-	p.h <- struct{}{}
-	<-p.h
-}
-
 // block yields control to the kernel and waits to be resumed. It panics
 // with errStopped when the environment is shutting down.
 func (p *Proc) block() {
@@ -151,7 +155,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.env.scheduleDispatch(p.env.now+d, p)
+	p.env.scheduleResume(p.env.now+d, &p.task)
 	p.block()
 }
 
@@ -161,7 +165,7 @@ func (p *Proc) SleepUntil(t time.Duration) {
 	if t < p.env.now {
 		t = p.env.now
 	}
-	p.env.scheduleDispatch(t, p)
+	p.env.scheduleResume(t, &p.task)
 	p.block()
 }
 

@@ -71,7 +71,7 @@ func (p *Proc) Acquire(r *Resource, priority float64) {
 		r.grant()
 		return
 	}
-	w := &p.rwait
+	w := &p.task.rwait
 	w.priority = priority
 	w.timedOut = false
 	w.hasTimer = false
@@ -91,10 +91,10 @@ func (p *Proc) AcquireTimeout(r *Resource, priority float64, d time.Duration) bo
 	if d <= 0 {
 		return false
 	}
-	w := &p.rwait
+	w := &p.task.rwait
 	w.priority = priority
 	w.timedOut = false
-	w.timer = r.env.scheduleTimeout(r.env.now+d, evResTimeout, p)
+	w.timer = r.env.scheduleTimeout(r.env.now+d, evResTimeout, &p.task)
 	w.hasTimer = true
 	w.r = r
 	r.push(w)
@@ -122,7 +122,7 @@ func (r *Resource) grantNext() {
 		}
 		w.r = nil
 		r.grant()
-		r.env.scheduleDispatch(r.env.now, w.p)
+		r.env.scheduleResume(r.env.now, w.t)
 	}
 }
 
@@ -132,10 +132,11 @@ func (r *Resource) push(w *resWait) {
 	r.waiters.push(w)
 }
 
-// resWait is a process's intrusive resource-queue node. Every Proc
-// embeds exactly one: a blocked process waits on at most one resource.
+// resWait is a task's intrusive resource-queue node. Every Task embeds
+// exactly one: a blocked task waits on at most one resource. Processes
+// and state machines share the queue through their tasks.
 type resWait struct {
-	p        *Proc
+	t        *Task
 	r        *Resource // owning resource while queued, nil otherwise
 	priority float64
 	seq      int64

@@ -10,19 +10,20 @@ import "time"
 // As with condition variables, a wakeup is a hint: callers should re-check
 // their predicate in a loop (or use WaitFor).
 //
-// The waiter queue is an intrusive doubly-linked list of per-process
-// wait records (Proc.wait), so enqueueing is allocation free and
-// removal — on wake or timeout — is O(1).
+// The waiter queue is an intrusive doubly-linked list of per-task
+// wait records (Task.wait), so enqueueing is allocation free and
+// removal — on wake or timeout — is O(1). Processes and state machines
+// share the queue: a wakeup resumes either kind through its task.
 type Signal struct {
 	env        *Env
 	head, tail *signalWait
 	n          int
 }
 
-// signalWait is a process's intrusive signal-queue node. Every Proc
-// embeds exactly one: a blocked process waits on at most one signal.
+// signalWait is a task's intrusive signal-queue node. Every Task
+// embeds exactly one: a blocked task waits on at most one signal.
 type signalWait struct {
-	p          *Proc
+	t          *Task
 	prev, next *signalWait
 	s          *Signal // owning signal while queued, nil otherwise
 	timedOut   bool
@@ -35,7 +36,7 @@ func NewSignal(env *Env) *Signal { return &Signal{env: env} }
 
 // Wait blocks the process until the signal is fired or broadcast.
 func (p *Proc) Wait(s *Signal) {
-	w := &p.wait
+	w := &p.task.wait
 	w.timedOut = false
 	w.hasTimer = false
 	s.push(w)
@@ -48,9 +49,9 @@ func (p *Proc) WaitTimeout(s *Signal, d time.Duration) bool {
 	if d <= 0 {
 		return false
 	}
-	w := &p.wait
+	w := &p.task.wait
 	w.timedOut = false
-	w.timer = s.env.scheduleTimeout(s.env.now+d, evSignalTimeout, p)
+	w.timer = s.env.scheduleTimeout(s.env.now+d, evSignalTimeout, &p.task)
 	w.hasTimer = true
 	s.push(w)
 	p.block()
@@ -110,7 +111,7 @@ func (s *Signal) wake(w *signalWait) {
 		w.timer.Cancel()
 		w.hasTimer = false
 	}
-	s.env.scheduleDispatch(s.env.now, w.p)
+	s.env.scheduleResume(s.env.now, w.t)
 }
 
 func (s *Signal) push(w *signalWait) {

@@ -79,6 +79,73 @@ func (l *Log) Len() int { return len(l.records) }
 // mutate).
 func (l *Log) Records() []Record { return l.records }
 
+// ForceOp is the state-machine counterpart of ForceTo: a resumable
+// force-to-LSN for Machine callers, mirroring the blocking loop —
+// piggyback wait, device acquire, force time, group-commit accounting —
+// park point for park point.
+type ForceOp struct {
+	l      *Log
+	txnID  int64
+	lsn    int64
+	target int64
+	pc     uint8
+}
+
+const (
+	fcCheck uint8 = iota
+	fcAcquired
+	fcLanded
+)
+
+// Init arms the op to make every record up to lsn durable.
+func (o *ForceOp) Init(l *Log, txnID, lsn int64) {
+	o.l, o.txnID, o.lsn, o.pc = l, txnID, lsn, fcCheck
+}
+
+// Step advances the force; false means the task parked and Step must
+// run again on the next resume.
+func (o *ForceOp) Step(t *sim.Task) bool {
+	l := o.l
+	for {
+		switch o.pc {
+		case fcCheck:
+			if l.durable >= o.lsn {
+				return true
+			}
+			if l.forcing {
+				// Someone is at the device; wait for that force to land
+				// and re-check (it may already cover us).
+				l.pendingTxns[o.txnID] = true
+				t.Wait(l.forceEnd)
+				return false
+			}
+			l.forcing = true
+			o.target = int64(len(l.records)) // everything appended so far
+			o.pc = fcAcquired
+			if !t.Acquire(l.disk, 0) {
+				return false
+			}
+		case fcAcquired:
+			o.pc = fcLanded
+			t.Sleep(l.force)
+			return false
+		default: // fcLanded
+			l.disk.Release()
+			if o.target > l.durable {
+				l.durable = o.target
+			}
+			l.forcing = false
+			l.Forces++
+			if len(l.pendingTxns) > 0 {
+				l.GroupCommits++
+				l.pendingTxns = make(map[int64]bool)
+			}
+			l.forceEnd.Broadcast()
+			o.pc = fcCheck
+		}
+	}
+}
+
 // ForceTo blocks until every record up to lsn is durable. Concurrent
 // callers piggyback on the in-progress force when it will cover them, or
 // join the next one (group commit).

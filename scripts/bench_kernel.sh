@@ -6,16 +6,28 @@
 #
 # The label defaults to "current". Use distinct labels (e.g. "pre-pr",
 # "post-pr") to keep before/after snapshots side by side; re-running with
-# the same label replaces that snapshot. The macro benchmark
-# (BenchmarkFigure3) runs a full scaled experiment and takes a few
-# seconds; the micro benchmarks are fast.
+# the same label replaces that snapshot. The macro benchmarks
+# (BenchmarkFigure3 and BenchmarkScaleSmoke) run full simulations and
+# take a few seconds each; the micro benchmarks are fast.
+#
+# BenchmarkScaleSmoke reports steps/sec and heap high-water (heap-MB,
+# B/client) alongside ns/op, so kernel-throughput and memory-per-client
+# regressions land in BENCH_kernel.json with everything else. Set
+# BENCH_SCALE=1 to also run BenchmarkScale100x, the million-client run —
+# minutes of wall clock and tens of GB of heap, so it is opt-in.
 set -eu
 cd "$(dirname "$0")/.."
 
 label="${1:-current}"
 
+scale='BenchmarkScaleSmoke$'
+if [ "${BENCH_SCALE:-}" = 1 ]; then
+	scale='BenchmarkScaleSmoke$|BenchmarkScale100x$'
+fi
+
 {
 	go test -run '^$' -bench . -benchtime 100000x -benchmem \
 		./internal/sim/... ./internal/netsim/...
 	go test -run '^$' -bench 'BenchmarkFigure3$' -benchtime 1x -benchmem .
+	go test -run '^$' -bench "$scale" -benchtime 1x -benchmem -timeout 60m .
 } | go run ./cmd/benchjson -into BENCH_kernel.json -label "$label"
