@@ -12,13 +12,14 @@ race:
 	$(GO) test -short -race ./...
 
 # fuzz-smoke gives each fuzz target a short randomized budget on top of
-# its committed corpus (CI runs the same quartet).
+# its committed corpus (CI runs the same quintet).
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -fuzz FuzzLockTable -fuzztime $(FUZZTIME) ./internal/lockmgr/
 	$(GO) test -fuzz FuzzForwardList -fuzztime $(FUZZTIME) ./internal/forward/
 	$(GO) test -fuzz FuzzFaultSchedule -fuzztime $(FUZZTIME) ./internal/netsim/
 	$(GO) test -fuzz FuzzScenarioParse -fuzztime $(FUZZTIME) ./internal/scenario/
+	$(GO) test -fuzz FuzzBatchSchedule -fuzztime $(FUZZTIME) ./internal/batch/
 
 # scenarios runs the committed .rts corpus and fails on any expect
 # violation; update-scenarios reruns it and rewrites the goldens. Both
@@ -34,7 +35,8 @@ update-scenarios-scale:
 	$(GO) test ./internal/scenario -run TestCorpusScale -update -timeout 60m
 
 # bench-kernel records the kernel benchmark suite (micro benchmarks plus
-# the BenchmarkFigure3 and BenchmarkScaleSmoke macro runs) into
+# the BenchmarkFigure3, BenchmarkFigure3Batched and BenchmarkScaleSmoke
+# macro runs) into
 # BENCH_kernel.json under LABEL; BENCH_SCALE=1 adds the million-client
 # BenchmarkScale100x (minutes, tens of GB).
 LABEL ?= current

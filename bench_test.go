@@ -31,6 +31,27 @@ func BenchmarkFigure3(b *testing.B) {
 	benchFigure(b, "Figure 3", 0.01)
 }
 
+// BenchmarkFigure3Batched runs the Figure 3 workload with a 250 ms
+// server batch window, putting the batching layer's hot path (window
+// timers, flush ordering, coalesced ships/recalls, grouped disk reads,
+// widened group commit) under the same regression watch as the
+// unbatched figure. Recorded in BENCH_kernel.json next to
+// BenchmarkFigure3 so benchjson -diff warns on either regressing.
+func BenchmarkFigure3Batched(b *testing.B) {
+	opts := benchOpts
+	opts.BatchWindow = 250 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		f, err := experiment.RunFigure("Figure 3 (batched)", 0.01, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := f.Points[len(f.Points)-1]
+			b.ReportMetric(last.CS, "CS-at-max-clients-%")
+		}
+	}
+}
+
 // BenchmarkFigure4 regenerates Figure 4 (5% updates).
 func BenchmarkFigure4(b *testing.B) {
 	benchFigure(b, "Figure 4", 0.05)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // diffLabels compares one label's records against a baseline label in
@@ -13,10 +14,12 @@ import (
 // rest of the metrics ride along in the JSON), but the warn check can
 // target any metric.
 //
-// When warnBench is non-empty and that benchmark's ns/op regressed by
-// more than warnOver percent, a GitHub-annotation-style warning line is
-// written and the function reports true. The caller decides what to do
-// with that — CI treats it as informational (non-blocking).
+// When warnBench is non-empty (a comma-separated list of benchmark
+// names) and any listed benchmark's ns/op regressed by more than
+// warnOver percent, a GitHub-annotation-style warning line is written
+// per regressed benchmark and the function reports true. The caller
+// decides what to do with that — CI treats it as informational
+// (non-blocking).
 func diffLabels(f File, baseline, label, warnBench string, warnOver float64, out io.Writer) (warned bool, err error) {
 	base := make(map[string]Record)
 	cur := make(map[string]Record)
@@ -57,18 +60,21 @@ func diffLabels(f File, baseline, label, warnBench string, warnOver float64, out
 	}
 
 	if warnBench != "" {
-		b, okB := base[warnBench]
-		c, okC := cur[warnBench]
-		if !okB || !okC {
-			return false, fmt.Errorf("warn benchmark %q missing from baseline %q or label %q", warnBench, baseline, label)
-		}
-		bn, cn := b.Metrics["ns/op"], c.Metrics["ns/op"]
-		if bn > 0 {
-			delta := (cn - bn) / bn * 100
-			if delta > warnOver {
-				fmt.Fprintf(out, "::warning title=%s regression::%s ns/op regressed %.1f%% vs %q (%.0f -> %.0f), over the %.0f%% budget\n",
-					warnBench, warnBench, delta, baseline, bn, cn, warnOver)
-				warned = true
+		for _, name := range strings.Split(warnBench, ",") {
+			name = strings.TrimSpace(name)
+			b, okB := base[name]
+			c, okC := cur[name]
+			if !okB || !okC {
+				return false, fmt.Errorf("warn benchmark %q missing from baseline %q or label %q", name, baseline, label)
+			}
+			bn, cn := b.Metrics["ns/op"], c.Metrics["ns/op"]
+			if bn > 0 {
+				delta := (cn - bn) / bn * 100
+				if delta > warnOver {
+					fmt.Fprintf(out, "::warning title=%s regression::%s ns/op regressed %.1f%% vs %q (%.0f -> %.0f), over the %.0f%% budget\n",
+						name, name, delta, baseline, bn, cn, warnOver)
+					warned = true
+				}
 			}
 		}
 	}

@@ -47,6 +47,20 @@ func TestDiffLabelsTableAndWarning(t *testing.T) {
 	if strings.Contains(out.String(), "::warning") {
 		t.Errorf("no annotation expected:\n%s", out.String())
 	}
+
+	// A comma-separated warn list checks every named benchmark; only the
+	// regressed one annotates.
+	out.Reset()
+	warned, err = diffLabels(f, "base", "ci", "BenchmarkMachineSleep,BenchmarkFigure3", 15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warned {
+		t.Error("regressed benchmark in the warn list should warn")
+	}
+	if got := strings.Count(out.String(), "::warning"); got != 1 {
+		t.Errorf("want exactly one annotation, got %d:\n%s", got, out.String())
+	}
 }
 
 func TestDiffLabelsErrors(t *testing.T) {

@@ -18,10 +18,11 @@
 //
 //	go run ./cmd/benchjson -into BENCH_kernel.json \
 //	    -diff post-pr -label ci \
-//	    -warn-bench BenchmarkFigure3 -warn-over 15
+//	    -warn-bench BenchmarkFigure3,BenchmarkFigure3Batched -warn-over 15
 //
-// prints a per-benchmark ns/op delta table and, when the named
-// benchmark regressed past the budget, a `::warning` annotation line.
+// prints a per-benchmark ns/op delta table and, when a named benchmark
+// (comma-separated list) regressed past the budget, a `::warning`
+// annotation line per regression.
 // The exit code stays 0 either way — the diff is informational.
 package main
 
@@ -56,7 +57,7 @@ func main() {
 	into := flag.String("into", "BENCH_kernel.json", "JSON file to merge records into")
 	label := flag.String("label", "current", "label for this snapshot (e.g. pre-pr, post-pr)")
 	diffBase := flag.String("diff", "", "compare -label's records in -into against this baseline label instead of reading stdin")
-	warnBench := flag.String("warn-bench", "", "with -diff, warn when this benchmark's ns/op regresses more than -warn-over percent")
+	warnBench := flag.String("warn-bench", "", "with -diff, warn when any of these benchmarks' (comma-separated) ns/op regresses more than -warn-over percent")
 	warnOver := flag.Float64("warn-over", 15, "with -diff and -warn-bench, the regression budget in percent")
 	flag.Parse()
 	if *diffBase != "" {

@@ -97,6 +97,26 @@ func TestGoldenTraceSummary(t *testing.T) {
 	checkGolden(t, "fig5_trace_summary_csv.golden", csv.String())
 }
 
+// TestGoldenBatchSweep locks down the batch-window sweep table and CSV:
+// the unbatched window-0 baseline row and the windowed rows, replicated
+// and run on the parallel worker pool. Any drift in how the batching
+// layer perturbs the simulation — or in how the sweep aggregates the
+// miss census and the server's batch counters — shows up as a diff
+// here.
+func TestGoldenBatchSweep(t *testing.T) {
+	var text strings.Builder
+	if err := runExperiments(params{exp: "batch-sweep", ablateN: 6, ablateU: 0.2}, goldenOpts, &text); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "batch_sweep.golden", text.String())
+
+	var csv strings.Builder
+	if err := runExperiments(params{exp: "batch-sweep", csv: true, ablateN: 6, ablateU: 0.2}, goldenOpts, &csv); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "batch_sweep_csv.golden", csv.String())
+}
+
 // TestGoldenFaultMatrix locks down the fault-injection matrix rendering
 // and its determinism across the worker pool.
 func TestGoldenFaultMatrix(t *testing.T) {

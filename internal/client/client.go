@@ -183,6 +183,10 @@ func New(env *sim.Env, cfg config.Config, id netsim.SiteID, net *netsim.Network,
 	}
 	if cfg.UseLogging {
 		c.log = wal.New(env, c.localDisk, cfg.DiskWrite)
+		// Commit-time forces share the batching layer's window: the
+		// force leader waits it out so concurrent committers join one
+		// disk write (inert at the default window of zero).
+		c.log.SetGroupWindow(cfg.BatchWindow)
 	}
 	return c
 }
@@ -370,12 +374,23 @@ func (c *Client) dispatchMsg(msg netsim.Message) {
 	switch pl := msg.Payload.(type) {
 	case proto.ObjGrant:
 		c.onGrant(pl)
+	case proto.BatchGrant:
+		// A batch-window coalesced ship: apply each member grant in
+		// order, exactly as if it had arrived alone (they share the
+		// message's transit for network attribution).
+		for _, g := range pl.Grants {
+			c.onGrant(g)
+		}
 	case proto.ConflictReply:
 		c.onConflictReply(pl)
 	case proto.DenyReply:
 		c.onDeny(pl)
 	case proto.Recall:
 		c.onRecall(pl)
+	case proto.BatchRecall:
+		for _, r := range pl.Recalls {
+			c.onRecall(r)
+		}
 	case proto.LoadReply:
 		c.onLoadReply(pl)
 	case proto.TxnShip:

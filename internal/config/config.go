@@ -165,6 +165,17 @@ type Config struct {
 
 	// CollectionWindow is the forward-list batching window (LS only).
 	CollectionWindow time.Duration
+	// BatchWindow is the server-side request batching window: incoming
+	// firm requests accumulate for this long on the simulated clock,
+	// then the server grants every mutually compatible lock in one pass
+	// and coalesces the resulting ships and recalls per destination
+	// into single messages. Commit-time log forces are widened by the
+	// same window so concurrent committers share one disk write. Zero
+	// (the default) disables batching entirely and is byte-identical to
+	// a build without the batching layer. Must stay well under
+	// MeanSlack — a window that eats the whole slack budget would deny
+	// every transaction.
+	BatchWindow time.Duration
 	// MaxSubtasks caps decomposition fan-out.
 	MaxSubtasks int
 
@@ -347,6 +358,10 @@ func (c Config) Validate() error {
 		return errors.New("config: ClientExecutors must be positive")
 	case c.CollectionWindow < 0:
 		return errors.New("config: CollectionWindow must be non-negative")
+	case c.BatchWindow < 0:
+		return errors.New("config: BatchWindow must be non-negative")
+	case c.BatchWindow > 0 && c.BatchWindow >= c.MeanSlack:
+		return fmt.Errorf("config: BatchWindow %v must stay below MeanSlack %v", c.BatchWindow, c.MeanSlack)
 	case c.MaxSubtasks < 2:
 		return errors.New("config: MaxSubtasks must be at least 2")
 	case c.Duration <= 0:

@@ -80,6 +80,9 @@ func TestValidateCatchesBadFields(t *testing.T) {
 		func(c *Config) { c.ServerThreads = 0 },
 		func(c *Config) { c.ClientExecutors = 0 },
 		func(c *Config) { c.CollectionWindow = -time.Second },
+		func(c *Config) { c.BatchWindow = -time.Millisecond },
+		func(c *Config) { c.BatchWindow = 24 * time.Hour }, // absurd: >= MeanSlack
+		func(c *Config) { c.BatchWindow = c.MeanSlack },    // window may never eat the whole slack budget
 		func(c *Config) { c.MaxSubtasks = 1 },
 		func(c *Config) { c.Duration = 0 },
 		func(c *Config) { c.Drain = -time.Second },
@@ -91,6 +94,23 @@ func TestValidateCatchesBadFields(t *testing.T) {
 		if err := c.Validate(); err == nil {
 			t.Errorf("case %d: corrupted config passed validation", i)
 		}
+	}
+}
+
+func TestValidateBatchWindow(t *testing.T) {
+	// Any window strictly inside (0, MeanSlack) is valid, including one
+	// just under the slack bound.
+	for _, w := range []time.Duration{time.Millisecond, 250 * time.Millisecond} {
+		c := Default(10, 0.05)
+		c.BatchWindow = w
+		if err := c.Validate(); err != nil {
+			t.Errorf("window %v rejected: %v", w, err)
+		}
+	}
+	c := Default(10, 0.05)
+	c.BatchWindow = c.MeanSlack - time.Nanosecond
+	if err := c.Validate(); err != nil {
+		t.Errorf("window just under MeanSlack rejected: %v", err)
 	}
 }
 

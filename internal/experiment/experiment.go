@@ -44,6 +44,12 @@ type Options struct {
 	// Reps replicates every cell over derived per-replication seeds and
 	// aggregates the results as mean + 95% CI (0 or 1 = single run).
 	Reps int
+	// BatchWindow sets Config.BatchWindow on every client-server cell:
+	// the server collects firm requests for this long and resolves each
+	// batch in one pass (0 = unbatched, byte-identical behavior). The
+	// centralized system has no server request path, so its cells are
+	// unaffected.
+	BatchWindow time.Duration
 	// CheckInvariants attaches the continuous invariant monitor to every
 	// cell of the fault studies (it re-audits the model after each
 	// kernel event, so it is meant for the test tier, not full-scale
@@ -77,6 +83,7 @@ func (o Options) normalize() Options {
 func (o Options) csConfig(n int, update float64, rep int) config.Config {
 	cfg := config.Default(n, update).Scale(o.Scale)
 	cfg.Seed = o.cellSeed(n, update, rep)
+	cfg.BatchWindow = o.BatchWindow
 	return cfg
 }
 

@@ -247,6 +247,44 @@ func TestTableCSVHeaders(t *testing.T) {
 	}
 }
 
+func TestBatchSweepRuns(t *testing.T) {
+	windows := []time.Duration{0, 100 * time.Millisecond}
+	bs, err := RunBatchSweep(windows, 6, 0.20, Options{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs.Rows) != 2 {
+		t.Fatalf("rows = %d", len(bs.Rows))
+	}
+	if bs.Rows[0].Window != 0 || bs.Rows[0].Flushes != 0 || bs.Rows[0].Batched != 0 {
+		t.Fatalf("unbatched baseline recorded flushes: %+v", bs.Rows[0])
+	}
+	if bs.Rows[1].Flushes == 0 {
+		t.Fatalf("windowed row recorded no flushes: %+v", bs.Rows[1])
+	}
+	for _, r := range bs.Rows {
+		if r.Success < 0 || r.Success > 100 {
+			t.Fatalf("success out of range: %+v", r)
+		}
+		if r.LockWaitShare < 0 || r.LockWaitShare > 1 {
+			t.Fatalf("lock-wait share out of range: %+v", r)
+		}
+	}
+	var sb strings.Builder
+	bs.Render(&sb)
+	if !strings.Contains(sb.String(), "Batch-window sweep") || !strings.Contains(sb.String(), "lock-wait") {
+		t.Fatalf("render:\n%s", sb.String())
+	}
+	sb.Reset()
+	bs.CSV(&sb)
+	if !strings.HasPrefix(sb.String(), "window_ms,success") {
+		t.Fatalf("csv:\n%s", sb.String())
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 3 {
+		t.Fatalf("csv lines = %d", got)
+	}
+}
+
 func TestOutageStudyRuns(t *testing.T) {
 	os, err := RunOutageStudy(6, 0.20, Options{Scale: 0.05, Seed: 1})
 	if err != nil {

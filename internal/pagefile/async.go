@@ -270,3 +270,49 @@ func (o *PutOp) Step(t *sim.Task) (bool, error) {
 		}
 	}
 }
+
+// MultiGetOp pins a whole batch of pages through the pool in sequence,
+// unpinning each frame as soon as its read lands. It is the read half
+// of a batched object ship (Config.BatchWindow > 0): one machine walks
+// every page a destination's coalesced grants need, so requests for the
+// same page in one batch share a single disk read — the first pin
+// faults the page in, later pins hit the frame (or park on its loading
+// signal), and the pool's LRU keeps it resident across the walk.
+type MultiGetOp struct {
+	bp    *BufferPool
+	pages []PageID
+	idx   int
+	inGet bool
+	get   GetOp
+}
+
+// Init arms the op to pin each page of pages from bp, in order. The
+// pages slice is read as the op advances, so it must stay valid until
+// Step reports done.
+func (o *MultiGetOp) Init(bp *BufferPool, pages []PageID) {
+	o.bp, o.pages, o.idx, o.inGet = bp, pages, 0, false
+}
+
+// Step advances the walk; false means the task parked and Step must run
+// again on the next resume. When it reports done every page has been
+// read through the pool (and unpinned again).
+func (o *MultiGetOp) Step(t *sim.Task) (bool, error) {
+	for o.idx < len(o.pages) {
+		if !o.inGet {
+			o.get.Init(o.bp, o.pages[o.idx])
+			o.inGet = true
+		}
+		done, err := o.get.Step(t)
+		if !done {
+			return false, nil
+		}
+		if err != nil {
+			return true, err
+		}
+		o.bp.Unpin(o.get.Frame(), false)
+		o.inGet = false
+		o.idx++
+	}
+	o.pages = nil
+	return true, nil
+}

@@ -97,6 +97,15 @@ type ObjGrant struct {
 	Fwd *forward.List
 }
 
+// BatchGrant carries every grant the server coalesced for one
+// destination at a batch-window close (Config.BatchWindow > 0): one
+// KindObjectShip message, sized as the sum of its member grants, in
+// place of len(Grants) separate ships. The client applies each member
+// exactly as if it had arrived alone, in order.
+type BatchGrant struct {
+	Grants []ObjGrant
+}
+
 // ObjConflict reports an object's conflicting holders (or, for an object
 // mid-migration, the last client on its forward list — the paper's
 // location-reporting rule).
@@ -154,6 +163,13 @@ type Recall struct {
 	Obj               lockmgr.ObjectID
 	DowngradeToShared bool
 	HolderMode        lockmgr.Mode
+}
+
+// BatchRecall coalesces the callbacks issued to one holder at a
+// batch-window close (Config.BatchWindow > 0) into one KindRecall
+// message sized as the sum of its members.
+type BatchRecall struct {
+	Recalls []Recall
 }
 
 // ObjReturn answers a recall (or voluntarily returns a dirty eviction).

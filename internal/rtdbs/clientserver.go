@@ -205,6 +205,7 @@ func (c *Cluster) monitor() (*invariant.Monitor, *invariant.Committed) {
 	checks := []invariant.Check{
 		{Name: "lock-table", Fn: c.server.AuditLocks},
 		{Name: "forward-lists", Fn: c.server.AuditForward},
+		{Name: "batch-conservation", Fn: c.server.AuditBatch},
 		{Name: "dirty-implies-exclusive", Fn: c.auditDirty},
 		{Name: "request-conservation", Fn: func() error {
 			for _, cl := range c.clients {
@@ -291,6 +292,8 @@ func (c *Cluster) collect() *Result {
 		MigrationsStarted:   c.server.MigrationsStarted,
 		DeniesExpired:       c.server.DeniesExpired,
 		DeniesDeadlock:      c.server.DeniesDeadlock,
+		BatchFlushes:        c.server.Batcher().Flushes,
+		BatchedRequests:     c.server.Batcher().Batched,
 		Elapsed:             now,
 	}
 	res.Faults = c.net.Faults()

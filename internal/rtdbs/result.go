@@ -43,6 +43,12 @@ type Result struct {
 	DeniesExpired     int64
 	DeniesDeadlock    int64
 
+	// BatchFlushes counts server batch-window closes and
+	// BatchedRequests the requests that shared a window with at least
+	// one other request; both are zero when Config.BatchWindow is 0.
+	BatchFlushes    int64
+	BatchedRequests int64
+
 	// Faults holds the injected-fault counters (zero-valued when fault
 	// injection is off); Retries counts client request retransmissions.
 	Faults  netsim.FaultStats

@@ -247,6 +247,8 @@ func (s *Scenario) applyConfig(cfg *config.Config, set Setting) error {
 		cfg.ServerOpCPU, err = s.wantDur(st, set)
 	case "collection-window":
 		cfg.CollectionWindow, err = s.wantDur(st, set)
+	case "batch-window":
+		cfg.BatchWindow, err = s.wantDur(st, set)
 	case "max-subtasks":
 		cfg.MaxSubtasks, err = s.wantInt(st, set)
 	case "retry-timeout":

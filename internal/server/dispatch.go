@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"siteselect/internal/batch"
 	"siteselect/internal/forward"
 	"siteselect/internal/lockmgr"
 	"siteselect/internal/netsim"
@@ -14,13 +15,41 @@ import (
 	"siteselect/internal/txn"
 )
 
+// shipIntent is one decided grant: everything the asynchronous half of
+// a ship needs, snapshotted at decision time. The version and epoch are
+// captured synchronously with the lock registration the ship delivers —
+// a release processed while the page is being read makes the grant
+// provably stale at the client.
+type shipIntent struct {
+	obj     lockmgr.ObjectID
+	to      netsim.SiteID
+	mode    lockmgr.Mode
+	id      txn.ID
+	fwd     *forward.List
+	version int64
+	epoch   int64
+}
+
 // ship reads the object through the buffer pool (charging disk time on a
 // miss) and sends it to the client. The read runs in its own spawned
 // machine so that grants triggered inside another client's connection
-// handler do not stall that handler.
+// handler do not stall that handler. During a batch-window flush the
+// intent is deferred instead and endFlush coalesces every grant bound
+// for the same destination into a single batched ship.
 func (s *Server) ship(obj lockmgr.ObjectID, to netsim.SiteID, mode lockmgr.Mode, id txn.ID, fwd *forward.List) {
 	s.GrantsShipped++
 	s.tr.Point(id, netsim.ServerSite, trace.EvObjectShipped, obj, int64(to), 0, s.env.Now())
+	in := shipIntent{obj: obj, to: to, mode: mode, id: id, fwd: fwd,
+		version: s.versions[obj], epoch: s.epochOf(obj, to)}
+	if s.batching {
+		s.shipIntents = append(s.shipIntents, in)
+		return
+	}
+	s.shipNow(in)
+}
+
+// shipNow spawns the asynchronous half of one unbatched ship.
+func (s *Server) shipNow(in shipIntent) {
 	var m *shipMachine
 	if n := len(s.shipFree); n > 0 {
 		m = s.shipFree[n-1]
@@ -28,13 +57,10 @@ func (s *Server) ship(obj lockmgr.ObjectID, to netsim.SiteID, mode lockmgr.Mode,
 	} else {
 		m = &shipMachine{s: s}
 	}
-	m.obj, m.to, m.mode, m.id, m.fwd = obj, to, mode, id, fwd
-	m.version = s.versions[obj]
-	// The epoch snapshot is taken now, synchronously with the lock
-	// registration this ship delivers; a release processed while the
-	// page is being read makes the grant provably stale at the client.
-	m.epoch = s.epochOf(obj, to)
-	m.get.Init(s.pool, pagefile.PageID(obj))
+	m.obj, m.to, m.mode, m.id, m.fwd = in.obj, in.to, in.mode, in.id, in.fwd
+	m.version = in.version
+	m.epoch = in.epoch
+	m.get.Init(s.pool, pagefile.PageID(in.obj))
 	s.env.Spawn(&m.task, m)
 }
 
@@ -315,11 +341,138 @@ func (s *Server) recall(obj lockmgr.ObjectID, holder netsim.SiteID, downgrade bo
 	m[holder] = true
 	s.RecallsSent++
 	s.tr.Point(forTxn, netsim.ServerSite, trace.EvRecall, obj, int64(holder), 0, s.env.Now())
-	s.send(holder, netsim.KindRecall, netsim.ControlBytes, proto.Recall{
+	r := proto.Recall{
 		Obj:               obj,
 		DowngradeToShared: downgrade,
 		HolderMode:        s.locks.HolderMode(obj, lockmgr.OwnerID(holder)),
-	})
+	}
+	if s.batching {
+		// Defer the send; endFlush coalesces every callback bound for
+		// the same holder into one message. The holder-mode snapshot
+		// above is already taken, synchronously with the decision.
+		s.recallIntents = append(s.recallIntents, recallIntent{holder: holder, recall: r})
+		return
+	}
+	s.send(holder, netsim.KindRecall, netsim.ControlBytes, r)
+}
+
+// recallIntent is one decided callback deferred during a window flush.
+type recallIntent struct {
+	holder netsim.SiteID
+	recall proto.Recall
+}
+
+// beginFlush enters deferral mode for the duration of a batch-window
+// flush: ship and recall buffer intents instead of sending.
+func (s *Server) beginFlush(int) { s.batching = true }
+
+// endFlush leaves deferral mode and sends the flush's coalesced ships
+// and recalls, grouped per destination in first-decision order.
+func (s *Server) endFlush() {
+	s.batching = false
+	s.flushShips()
+	s.flushRecalls()
+}
+
+// flushShips groups the deferred ship intents per destination: a lone
+// grant takes the ordinary ship machine; two or more bound for the same
+// client ride one batched machine that walks every page through the
+// pool (requests for the same page share the read) and sends a single
+// BatchGrant message.
+func (s *Server) flushShips() {
+	intents := s.shipIntents
+	if len(intents) == 0 {
+		return
+	}
+	s.shipIntents = nil
+	var order []netsim.SiteID
+	byDest := make(map[netsim.SiteID][]shipIntent)
+	for _, in := range intents {
+		if _, ok := byDest[in.to]; !ok {
+			order = append(order, in.to)
+		}
+		byDest[in.to] = append(byDest[in.to], in)
+	}
+	for _, to := range order {
+		group := byDest[to]
+		if len(group) == 1 {
+			s.shipNow(group[0])
+			continue
+		}
+		var m *batchShipMachine
+		if n := len(s.batchShipFree); n > 0 {
+			m = s.batchShipFree[n-1]
+			s.batchShipFree = s.batchShipFree[:n-1]
+		} else {
+			m = &batchShipMachine{s: s}
+		}
+		m.to = to
+		m.intents = group
+		pages := make([]pagefile.PageID, len(group))
+		for i, in := range group {
+			pages[i] = pagefile.PageID(in.obj)
+		}
+		m.get.Init(s.pool, pages)
+		s.env.Spawn(&m.task, m)
+	}
+}
+
+// flushRecalls sends the deferred callbacks, one message per holder.
+func (s *Server) flushRecalls() {
+	intents := s.recallIntents
+	if len(intents) == 0 {
+		return
+	}
+	s.recallIntents = nil
+	var order []netsim.SiteID
+	byHolder := make(map[netsim.SiteID][]proto.Recall)
+	for _, in := range intents {
+		if _, ok := byHolder[in.holder]; !ok {
+			order = append(order, in.holder)
+		}
+		byHolder[in.holder] = append(byHolder[in.holder], in.recall)
+	}
+	for _, h := range order {
+		rs := byHolder[h]
+		if len(rs) == 1 {
+			s.send(h, netsim.KindRecall, netsim.ControlBytes, rs[0])
+			continue
+		}
+		s.send(h, netsim.KindRecall, len(rs)*netsim.ControlBytes, proto.BatchRecall{Recalls: rs})
+	}
+}
+
+// batchShipMachine is the asynchronous half of a coalesced ship: read
+// every page of the batch through the pool in sequence, then deliver
+// all the grants in one message.
+type batchShipMachine struct {
+	task    sim.Task
+	s       *Server
+	get     pagefile.MultiGetOp
+	to      netsim.SiteID
+	intents []shipIntent
+}
+
+func (m *batchShipMachine) Resume() {
+	done, err := m.get.Step(&m.task)
+	if !done {
+		return
+	}
+	if err != nil {
+		panic(fmt.Sprintf("server: reading batched ships for site %d: %v", m.to, err))
+	}
+	s := m.s
+	grants := make([]proto.ObjGrant, len(m.intents))
+	for i, in := range m.intents {
+		grants[i] = proto.ObjGrant{
+			Obj: in.obj, Mode: in.mode, Version: in.version,
+			Txn: in.id, Epoch: in.epoch, Fwd: in.fwd,
+		}
+	}
+	s.send(m.to, netsim.KindObjectShip, len(grants)*netsim.ObjectBytes, proto.BatchGrant{Grants: grants})
+	m.task.Detach()
+	m.intents = nil
+	s.batchShipFree = append(s.batchShipFree, m)
 }
 
 // onSeal receives a sealed forward list from the collector: merge it
@@ -436,6 +589,15 @@ func (s *Server) tryDispatch(obj lockmgr.ObjectID) {
 
 // AuditLocks verifies the global lock table invariants.
 func (s *Server) AuditLocks() error { return s.locks.Audit() }
+
+// AuditBatch verifies request conservation through the batching layer:
+// every firm request that entered a batch window is either still parked
+// in the open window or left it as exactly one grant, queue entry,
+// forward-list join, or deny.
+func (s *Server) AuditBatch() error { return s.batcher.Audit() }
+
+// Batcher exposes the batch scheduler for metrics and audits.
+func (s *Server) Batcher() *batch.Scheduler { return s.batcher }
 
 // AuditForward verifies the structural invariants of every forward list
 // the server tracks — still collecting, sealed, and in flight.

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"siteselect/internal/batch"
 	"siteselect/internal/config"
 	"siteselect/internal/forward"
 	"siteselect/internal/lockmgr"
@@ -55,8 +56,23 @@ type Server struct {
 	sealed    map[lockmgr.ObjectID]*forward.List
 	inflight  map[lockmgr.ObjectID]*forward.List
 
+	// batcher routes every firm request through the batch-window layer.
+	// With BatchWindow == 0 it degenerates to a synchronous inline call
+	// of serveFirm (no scheduling, no buffering — byte-identical to the
+	// unbatched server); with a positive window requests park until the
+	// window closes and the whole batch resolves in one pass.
+	batcher *batch.Scheduler
+	// batching is true while a window flush is resolving its batch:
+	// ship and recall defer into the intent buffers below instead of
+	// sending immediately, and endFlush coalesces them per destination.
+	batching      bool
+	shipIntents   []shipIntent
+	recallIntents []recallIntent
+
 	// shipFree recycles completed ship machines.
 	shipFree []*shipMachine
+	// batchShipFree recycles completed batched-ship machines.
+	batchShipFree []*batchShipMachine
 
 	// tr is the per-run transaction tracer (nil when tracing is off).
 	tr *trace.Tracer
@@ -114,6 +130,11 @@ func New(env *sim.Env, cfg config.Config, net *netsim.Network) *Server {
 	s.faulty = cfg.Faults.Enabled()
 	if cfg.UseForwardLists {
 		s.collector = forward.NewCollector(env, cfg.CollectionWindow, s.onSeal)
+	}
+	s.batcher = batch.NewScheduler(env, cfg.BatchWindow, s.serveFirm)
+	if cfg.BatchWindow > 0 {
+		s.batcher.BeginFlush = s.beginFlush
+		s.batcher.EndFlush = s.endFlush
 	}
 	return s
 }
@@ -397,42 +418,64 @@ func (s *Server) handleCommitRequest(cr proto.CommitRequest) {
 	}
 }
 
-// handleFirm serves one firm object request: grant and ship, queue with
-// callbacks (basic client-server), or join the object's forward list
-// (load sharing).
+// handleFirm routes one firm object request through the batching layer:
+// with BatchWindow == 0 the request is served inline before handleFirm
+// returns (exactly the unbatched server); with a positive window it
+// parks until the window closes and serveFirm runs on the whole batch.
 func (s *Server) handleFirm(client netsim.SiteID, id txn.ID, obj lockmgr.ObjectID, mode lockmgr.Mode, deadline time.Duration) {
+	if s.faulty && s.batcher.Window() > 0 && s.batcher.Pending(client, id, obj) {
+		// A retransmit of a request already parked in the open window:
+		// the original will be answered when the window closes, so the
+		// copy must not enter the window a second time.
+		return
+	}
+	s.batcher.Add(batch.Request{Client: client, Txn: id, Obj: obj, Mode: mode, Deadline: deadline})
+}
+
+// serveFirm serves one firm object request: grant and ship, queue with
+// callbacks (basic client-server), or join the object's forward list
+// (load sharing). It is the batch scheduler's sink — during a window
+// flush the ships and recalls it triggers are deferred and coalesced
+// per destination (see beginFlush/endFlush).
+func (s *Server) serveFirm(r batch.Request) batch.Outcome {
 	now := s.env.Now()
-	if deadline < now {
+	if wait := now - r.Enqueued; wait > 0 {
+		s.tr.AddBatchWait(r.Txn, r.Obj, wait, now)
+	}
+	if r.Deadline < now {
 		// The paper's object request scheduling: the server unilaterally
 		// refuses to ship to transactions that already missed.
 		s.DeniesExpired++
-		s.send(client, netsim.KindLockReply, netsim.ControlBytes,
-			proto.DenyReply{Txn: id, Obj: obj, Reason: proto.DenyExpired})
-		return
+		s.send(r.Client, netsim.KindLockReply, netsim.ControlBytes,
+			proto.DenyReply{Txn: r.Txn, Obj: r.Obj, Reason: proto.DenyExpired})
+		return batch.OutDeniedExpired
 	}
-	if s.faulty && s.dupFirm(client, id, obj, mode) {
-		return
+	if s.faulty && s.dupFirm(r.Client, r.Txn, r.Obj, r.Mode) {
+		return batch.OutDupServed
 	}
-	if s.collector != nil && s.groupable(obj, client, mode) {
-		s.tr.Point(id, netsim.ServerSite, trace.EvListJoined, obj, 0, 0, now)
-		s.collector.Add(obj, forward.Entry{Client: client, Mode: mode, Deadline: deadline, Txn: id})
-		s.recallForMigration(obj)
-		s.tryDispatch(obj) // the object may already be free
-		return
+	if s.collector != nil && s.groupable(r.Obj, r.Client, r.Mode) {
+		s.tr.Point(r.Txn, netsim.ServerSite, trace.EvListJoined, r.Obj, 0, 0, now)
+		s.collector.Add(r.Obj, forward.Entry{Client: r.Client, Mode: r.Mode, Deadline: r.Deadline, Txn: r.Txn})
+		s.recallForMigration(r.Obj)
+		s.tryDispatch(r.Obj) // the object may already be free
+		return batch.OutListed
 	}
 	outcome, _ := s.locks.Lock(&lockmgr.Request{
-		Obj: obj, Owner: lockmgr.OwnerID(client),
-		Mode: mode, Deadline: deadline, Tag: id,
+		Obj: r.Obj, Owner: lockmgr.OwnerID(r.Client),
+		Mode: r.Mode, Deadline: r.Deadline, Tag: r.Txn,
 	})
 	switch outcome {
 	case lockmgr.Granted:
-		s.ship(obj, client, mode, id, nil)
+		s.ship(r.Obj, r.Client, r.Mode, r.Txn, nil)
+		return batch.OutGranted
 	case lockmgr.Queued:
-		s.recallForQueueHead(obj)
-	case lockmgr.Deadlock:
+		s.recallForQueueHead(r.Obj)
+		return batch.OutQueued
+	default: // lockmgr.Deadlock
 		s.DeniesDeadlock++
-		s.send(client, netsim.KindLockReply, netsim.ControlBytes,
-			proto.DenyReply{Txn: id, Obj: obj, Reason: proto.DenyDeadlock})
+		s.send(r.Client, netsim.KindLockReply, netsim.ControlBytes,
+			proto.DenyReply{Txn: r.Txn, Obj: r.Obj, Reason: proto.DenyDeadlock})
+		return batch.OutDeniedDeadlock
 	}
 }
 

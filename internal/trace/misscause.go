@@ -93,6 +93,12 @@ func (tr *Tracer) WriteAttribution(w io.Writer, warmup time.Duration, max int) e
 				parts = append(parts, fmt.Sprintf("%s=%v", c, tt.Buckets[c].Round(time.Microsecond)))
 			}
 		}
+		if tt.BatchWait > 0 {
+			// Itemized sub-bucket of lock-wait/network (see
+			// TxnTrace.BatchWait); shown only when batching is on so
+			// window-0 reports stay byte-identical.
+			parts = append(parts, fmt.Sprintf("batch-wait=%v", tt.BatchWait.Round(time.Microsecond)))
+		}
 		if _, err := fmt.Fprintf(w, "%-8d %-6d %12v %12v  %-9s  %s\n",
 			tt.ID, tt.Origin, tt.Deadline-tt.Arrival, tt.Elapsed(),
 			tt.DominantCause(), strings.Join(parts, " ")); err != nil {

@@ -125,6 +125,10 @@ const (
 	EvPhase
 	// EvFinished records the terminal state: A encodes txn.Status.
 	EvFinished
+	// EvBatchWindow records a request leaving the server's batch window
+	// (Config.BatchWindow > 0): A is the wait in nanoseconds. The wait
+	// accumulates into the trace's BatchWait sub-bucket.
+	EvBatchWindow
 )
 
 var eventNames = map[EventType]string{
@@ -147,6 +151,7 @@ var eventNames = map[EventType]string{
 	EvRetry:         "retry",
 	EvPhase:         "phase",
 	EvFinished:      "finished",
+	EvBatchWindow:   "batch-window",
 }
 
 // String returns the event type's name.
@@ -190,6 +195,15 @@ type TxnTrace struct {
 	// Buckets is the slack attribution: disjoint shares of
 	// [Arrival, Finished] per component, summing to Finished−Arrival.
 	Buckets [NumComponents]time.Duration
+	// BatchWait is a sub-bucket, not a seventh component: the share of
+	// the transaction's lifetime its requests spent parked in the
+	// server's batch window (Config.BatchWindow > 0). From the client's
+	// point of view that time is spent waiting on the grant, so it is
+	// already tiled into the lock-wait (or network) bucket by the
+	// closing-interval attribution — BatchWait only itemizes it. It is
+	// therefore excluded from the sum-to-elapsed identity, and is
+	// always zero when batching is off.
+	BatchWait time.Duration
 	// Events is the timeline in emission order.
 	Events []Event
 
@@ -373,6 +387,16 @@ func (tr *Tracer) Finish(t *txn.Transaction, site netsim.SiteID, now time.Durati
 func (tr *Tracer) Point(id txn.ID, site netsim.SiteID, typ EventType, obj lockmgr.ObjectID, a, b int64, now time.Duration) {
 	if tt := tr.get(id); tt != nil {
 		tt.Events = append(tt.Events, Event{T: now, Type: typ, Site: site, Obj: obj, A: a, B: b})
+	}
+}
+
+// AddBatchWait charges d to the transaction's batch-wait sub-bucket and
+// records the window-exit event: one request of id sat in the server's
+// batch window for d before being served.
+func (tr *Tracer) AddBatchWait(id txn.ID, obj lockmgr.ObjectID, d, now time.Duration) {
+	if tt := tr.get(id); tt != nil {
+		tt.BatchWait += d
+		tt.Events = append(tt.Events, Event{T: now, Type: EvBatchWindow, Site: netsim.ServerSite, Obj: obj, A: int64(d)})
 	}
 }
 

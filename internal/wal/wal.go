@@ -34,6 +34,7 @@ type Log struct {
 	env      *sim.Env
 	disk     *sim.Resource
 	force    time.Duration
+	window   time.Duration
 	records  []Record
 	durable  int64 // highest LSN on disk
 	forcing  bool
@@ -60,6 +61,15 @@ func New(env *sim.Env, disk *sim.Resource, forceTime time.Duration) *Log {
 		pendingTxns: make(map[int64]bool),
 	}
 }
+
+// SetGroupWindow widens group commit: the first committer to reach an
+// idle device (the force leader) waits window before computing the
+// force target, so every commit landing within the window shares the
+// single disk write instead of only those that happened to collide with
+// an in-progress force. Zero (the default) preserves the original
+// collide-only group commit exactly — the leader never sleeps and no
+// event is scheduled. Wired from Config.BatchWindow.
+func (l *Log) SetGroupWindow(window time.Duration) { l.window = window }
 
 // Append adds a record to the in-memory log tail and returns its LSN.
 func (l *Log) Append(txnID int64, obj lockmgr.ObjectID, version int64) int64 {
@@ -93,6 +103,7 @@ type ForceOp struct {
 
 const (
 	fcCheck uint8 = iota
+	fcWindow
 	fcAcquired
 	fcLanded
 )
@@ -120,7 +131,21 @@ func (o *ForceOp) Step(t *sim.Task) bool {
 				return false
 			}
 			l.forcing = true
+			if l.window > 0 {
+				// Group-commit window: hold the leader role (forcing is
+				// set, so later committers park on forceEnd) and let
+				// appends accumulate before fixing the force target.
+				o.pc = fcWindow
+				t.Sleep(l.window)
+				return false
+			}
 			o.target = int64(len(l.records)) // everything appended so far
+			o.pc = fcAcquired
+			if !t.Acquire(l.disk, 0) {
+				return false
+			}
+		case fcWindow:
+			o.target = int64(len(l.records)) // everything appended in the window too
 			o.pc = fcAcquired
 			if !t.Acquire(l.disk, 0) {
 				return false
@@ -159,6 +184,11 @@ func (l *Log) ForceTo(p *sim.Proc, txnID int64, lsn int64) {
 			continue
 		}
 		l.forcing = true
+		if l.window > 0 {
+			// Group-commit window (see SetGroupWindow): accumulate
+			// appends before fixing the force target.
+			p.Sleep(l.window)
+		}
 		target := int64(len(l.records)) // everything appended so far
 		p.Acquire(l.disk, 0)
 		p.Sleep(l.force)

@@ -7,8 +7,9 @@
 # The label defaults to "current". Use distinct labels (e.g. "pre-pr",
 # "post-pr") to keep before/after snapshots side by side; re-running with
 # the same label replaces that snapshot. The macro benchmarks
-# (BenchmarkFigure3 and BenchmarkScaleSmoke) run full simulations and
-# take a few seconds each; the micro benchmarks are fast.
+# (BenchmarkFigure3, its batched variant, and BenchmarkScaleSmoke) run
+# full simulations and take a few seconds each; the micro benchmarks
+# are fast.
 #
 # BenchmarkScaleSmoke reports steps/sec and heap high-water (heap-MB,
 # B/client) alongside ns/op, so kernel-throughput and memory-per-client
@@ -28,6 +29,6 @@ fi
 {
 	go test -run '^$' -bench . -benchtime 100000x -benchmem \
 		./internal/sim/... ./internal/netsim/...
-	go test -run '^$' -bench 'BenchmarkFigure3$' -benchtime 1x -benchmem .
+	go test -run '^$' -bench 'BenchmarkFigure3$|BenchmarkFigure3Batched$' -benchtime 1x -benchmem .
 	go test -run '^$' -bench "$scale" -benchtime 1x -benchmem -timeout 60m .
 } | go run ./cmd/benchjson -into BENCH_kernel.json -label "$label"
