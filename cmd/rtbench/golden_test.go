@@ -117,6 +117,27 @@ func TestGoldenBatchSweep(t *testing.T) {
 	checkGolden(t, "batch_sweep_csv.golden", csv.String())
 }
 
+// TestGoldenShardSweep locks down the topology study at ten times the
+// paper's largest client population: the static-vs-adaptive placement
+// table across shard counts and its CSV. Beyond formatting, this pins
+// the sharded server tier end to end — the block-cyclic partition, the
+// heat-driven replica install/shed cycle, and the claim the table
+// exists to make: adaptive replication beats static placement on a
+// drifting hot spot at every multi-shard point.
+func TestGoldenShardSweep(t *testing.T) {
+	var text strings.Builder
+	if err := runExperiments(params{exp: "shard-sweep", ablateN: 400, ablateU: 0}, goldenOpts, &text); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "shard_sweep.golden", text.String())
+
+	var csv strings.Builder
+	if err := runExperiments(params{exp: "shard-sweep", csv: true, ablateN: 400, ablateU: 0}, goldenOpts, &csv); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "shard_sweep_csv.golden", csv.String())
+}
+
 // TestGoldenFaultMatrix locks down the fault-injection matrix rendering
 // and its determinism across the worker pool.
 func TestGoldenFaultMatrix(t *testing.T) {

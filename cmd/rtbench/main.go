@@ -7,8 +7,8 @@
 //
 // Experiment ids: fig3 fig4 fig5 (the paper's figures), table2 table3
 // table4, protocol (Figures 1–2), patterns, occ, speculation, outage,
-// faults, batch-sweep, sensitivity, policies, ablate-heuristics, ablate-window,
-// ablate-downgrade, ablate-writethrough, ablate-logging, or all.
+// faults, batch-sweep, shard-sweep, sensitivity, policies, ablate-heuristics,
+// ablate-window, ablate-downgrade, ablate-writethrough, ablate-logging, or all.
 //
 // -scale shrinks the virtual run length (1 = the full 30-minute runs);
 // the shapes survive scaling but small counters get noisier.
@@ -65,7 +65,7 @@ type params struct {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig3, fig4, fig5, table2, table3, table4, protocol, patterns, occ, speculation, outage, faults, batch-sweep, sensitivity, policies, ablate-heuristics, ablate-window, ablate-downgrade, ablate-writethrough, ablate-logging, all)")
+		exp      = flag.String("exp", "all", "experiment id (fig3, fig4, fig5, table2, table3, table4, protocol, patterns, occ, speculation, outage, faults, batch-sweep, shard-sweep, sensitivity, policies, ablate-heuristics, ablate-window, ablate-downgrade, ablate-writethrough, ablate-logging, all)")
 		scale    = flag.Float64("scale", 1.0, "run-length scale factor in (0,1]")
 		seed     = flag.Int64("seed", 1, "master random seed (per-cell seeds are derived from it)")
 		clients  = flag.String("clients", "", "comma-separated client sweep for figures (default 20,40,60,80,100)")
@@ -305,6 +305,19 @@ func runExperiments(p params, opts experiment.Options, out io.Writer) error {
 			bs.CSV(out)
 		} else {
 			bs.Render(out)
+		}
+		fmt.Fprintln(out)
+	}
+	if all || p.exp == "shard-sweep" {
+		ran = true
+		ss, err := experiment.RunShardSweep(nil, p.ablateN, p.ablateU, opts)
+		if err != nil {
+			return err
+		}
+		if p.csv {
+			ss.CSV(out)
+		} else {
+			ss.Render(out)
 		}
 		fmt.Fprintln(out)
 	}

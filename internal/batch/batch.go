@@ -63,12 +63,16 @@ const (
 	OutQueued
 	// OutDeniedDeadlock: refused by deadlock avoidance.
 	OutDeniedDeadlock
+	// OutForwarded: re-routed to the object's home shard — a request
+	// reached a shard that no longer (or never) served the object
+	// (multi-server topologies only; the home shard resolves it).
+	OutForwarded
 
 	numOutcomes
 )
 
 var outcomeNames = [numOutcomes]string{
-	"denied-expired", "dup-served", "listed", "granted", "queued", "denied-deadlock",
+	"denied-expired", "dup-served", "listed", "granted", "queued", "denied-deadlock", "forwarded",
 }
 
 // String names the outcome for audit reports.
@@ -93,8 +97,13 @@ type Scheduler struct {
 	EndFlush   func()
 
 	pending []Request
-	open    bool
-	seq     uint64
+	// parked indexes the open window's requests by identity so the
+	// retransmission guard (Pending) is O(1) instead of a scan of the
+	// window — under lossy runs with wide windows every retransmit
+	// probes here.
+	parked map[requestKey]int
+	open   bool
+	seq    uint64
 
 	// Conservation counters (see Audit).
 	Entered  int64
@@ -131,10 +140,21 @@ func (s *Scheduler) Add(r Request) {
 	r.seq = s.seq
 	s.seq++
 	s.pending = append(s.pending, r)
+	if s.parked == nil {
+		s.parked = make(map[requestKey]int)
+	}
+	s.parked[requestKey{r.Client, r.Txn, r.Obj}]++
 	if !s.open {
 		s.open = true
 		s.env.Schedule(s.window, s.flush)
 	}
+}
+
+// requestKey is the identity the retransmission guard matches on.
+type requestKey struct {
+	client netsim.SiteID
+	txn    txn.ID
+	obj    lockmgr.ObjectID
 }
 
 // Pending reports whether an identical request (same client,
@@ -143,13 +163,7 @@ func (s *Scheduler) Add(r Request) {
 // the original will be answered when the window closes, so the
 // retransmit is dropped instead of entering the window twice.
 func (s *Scheduler) Pending(client netsim.SiteID, id txn.ID, obj lockmgr.ObjectID) bool {
-	for i := range s.pending {
-		r := &s.pending[i]
-		if r.Client == client && r.Txn == id && r.Obj == obj {
-			return true
-		}
-	}
-	return false
+	return s.parked[requestKey{client, id, obj}] > 0
 }
 
 // flush closes the window: the batch is resolved through the sink in
@@ -160,6 +174,7 @@ func (s *Scheduler) flush() {
 	s.open = false
 	batch := s.pending
 	s.pending = nil
+	clear(s.parked)
 	s.Flushes++
 	if len(batch) > 1 {
 		s.Batched += int64(len(batch))

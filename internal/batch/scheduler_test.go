@@ -138,3 +138,58 @@ func TestOutcomeStrings(t *testing.T) {
 		t.Fatalf("out-of-range outcome prints %q", got)
 	}
 }
+
+// TestPendingRetransmitWhileParked drives the retransmission guard
+// through a full window lifecycle: a request is Pending from the moment
+// it parks until its window flushes, an identically keyed retransmit is
+// detectable (and, as the server uses it, suppressed) while parked, and
+// the guard resets when the window closes so a genuinely new request
+// with the same key enters the next window.
+func TestPendingRetransmitWhileParked(t *testing.T) {
+	env := sim.NewEnv()
+	var served []txn.ID
+	var s *Scheduler
+	s = NewScheduler(env, 50*time.Millisecond, func(r Request) Outcome {
+		served = append(served, r.Txn)
+		return OutGranted
+	})
+
+	env.Schedule(0, func() { s.Add(req(1, 7, 3, time.Second)) })
+	// A retransmit lands mid-window: the guard must see the parked
+	// original, and the server-side pattern (drop when Pending) must
+	// keep the window at one copy.
+	env.Schedule(20*time.Millisecond, func() {
+		if !s.Pending(1, 7, 3) {
+			t.Error("original not pending at 20ms (retransmit would enter the window twice)")
+		}
+		if s.Pending(1, 7, 4) || s.Pending(2, 7, 3) || s.Pending(1, 8, 3) {
+			t.Error("Pending matched on a partial key")
+		}
+		if s.Pending(1, 7, 3) {
+			return // retransmit suppressed, as the server does
+		}
+		s.Add(req(1, 7, 3, time.Second))
+	})
+	// After the flush at 50ms the window is empty again; the same key
+	// must not read as parked, and a fresh request re-enters cleanly.
+	env.Schedule(60*time.Millisecond, func() {
+		if s.Pending(1, 7, 3) {
+			t.Error("request still pending after its window flushed")
+		}
+		s.Add(req(1, 7, 3, time.Second))
+		if !s.Pending(1, 7, 3) {
+			t.Error("re-added request not pending in the second window")
+		}
+	})
+	env.RunAll()
+
+	if len(served) != 2 || served[0] != 7 || served[1] != 7 {
+		t.Fatalf("served %v, want the original and the second-window copy only", served)
+	}
+	if s.PendingLen() != 0 || s.Pending(1, 7, 3) {
+		t.Fatal("guard state left behind after the final flush")
+	}
+	if err := s.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"siteselect/internal/netsim"
 	"siteselect/internal/proto"
 	"siteselect/internal/sched"
+	"siteselect/internal/shardmap"
 	"siteselect/internal/sim"
 	"siteselect/internal/trace"
 	"siteselect/internal/txn"
@@ -42,6 +43,18 @@ type Client struct {
 	inbox    *sim.Mailbox[netsim.Message]
 	serverIn *sim.Mailbox[netsim.Message]
 	peers    map[netsim.SiteID]*sim.Mailbox[netsim.Message]
+
+	// topo and shardIns route server traffic per shard in multi-server
+	// topologies: shardIns[k] is this client's connection queue at shard
+	// k, with shardIns[0] == serverIn. multiShard is set by SetShards;
+	// while false (the default, and always at Servers <= 1), every
+	// request goes to netsim.ServerSite exactly as before. curFrom is
+	// the sender of the message the dispatcher is currently handling —
+	// the shard a grant's epoch belongs to and a recall is answered at.
+	topo       *shardmap.Map
+	shardIns   []*sim.Mailbox[netsim.Message]
+	multiShard bool
+	curFrom    netsim.SiteID
 
 	objects    *cache.Cache
 	localDisk  *sim.Resource
@@ -76,13 +89,15 @@ type Client struct {
 	// indexes them by object for grant routing.
 	pending map[txn.ID]*pendingTxn
 	waiters map[lockmgr.ObjectID][]*pendingTxn
-	// deferred holds recalls that arrived while the object was pinned.
-	deferred map[lockmgr.ObjectID]proto.Recall
-	// epochs counts this client's releases per object. Every return
-	// carries the current epoch and every grant the server sends echoes
-	// the epoch it last saw; a mismatch identifies a grant that crossed
-	// a release on the wire and must be dropped.
-	epochs map[lockmgr.ObjectID]int64
+	// deferred holds recalls that arrived while the object was pinned,
+	// with the shard that issued each.
+	deferred map[lockmgr.ObjectID]deferredRecall
+	// epochs counts this client's releases per object and granting
+	// shard. Every return carries the current epoch and every grant the
+	// shard sends echoes the epoch it last saw; a mismatch identifies a
+	// grant that crossed a release on the wire and must be dropped. At a
+	// single server the site key is always netsim.ServerSite.
+	epochs map[epochChan]int64
 	// migrations maps objects to their remaining forward lists; every
 	// migrating object is pinned until forwarded, and forwarded as soon
 	// as only the migration pin remains.
@@ -138,6 +153,14 @@ type pendingTxn struct {
 	denied      proto.DenyReason
 	loadReply   *proto.LoadReply
 	wantLoad    bool
+	// Multi-shard reply assembly (nil/0 at a single server): each shard
+	// answers for its slice of a split exchange, keyed by sender.
+	// Conflict replies merge as they arrive (mergeConflict); load
+	// replies complete once loadWant shards have answered
+	// (mergeLoadReplies).
+	confFrom map[netsim.SiteID]proto.ConflictReply
+	loadFrom map[netsim.SiteID]*proto.LoadReply
+	loadWant int
 	// netAccum accumulates the measured wire transit of the current
 	// request/reply exchange (uplink sends plus satisfying replies);
 	// awaitReply splits each wait interval into network and lock-wait
@@ -168,11 +191,13 @@ func New(env *sim.Env, cfg config.Config, id netsim.SiteID, net *netsim.Network,
 		loadShare:  loadShare,
 		pending:    make(map[txn.ID]*pendingTxn),
 		waiters:    make(map[lockmgr.ObjectID][]*pendingTxn),
-		deferred:   make(map[lockmgr.ObjectID]proto.Recall),
-		epochs:     make(map[lockmgr.ObjectID]int64),
+		deferred:   make(map[lockmgr.ObjectID]deferredRecall),
+		epochs:     make(map[epochChan]int64),
 		migrations: make(map[lockmgr.ObjectID]*forward.List),
 		shipWaits:  make(map[shipKey]*shipWait),
 	}
+	c.topo = shardmap.New(cfg.Sharding)
+	c.shardIns = []*sim.Mailbox[netsim.Message]{serverIn}
 	c.faulty = cfg.Faults.Enabled()
 	c.rto = cfg.EffectiveRetryTimeout()
 	if cfg.ClientExecutors > 1 {
@@ -371,6 +396,7 @@ func (d *dispMachine) Resume() {
 
 func (c *Client) dispatchMsg(msg netsim.Message) {
 	c.curTransit = msg.DeliveredAt - msg.SentAt
+	c.curFrom = msg.From
 	switch pl := msg.Payload.(type) {
 	case proto.ObjGrant:
 		c.onGrant(pl)
@@ -417,12 +443,13 @@ func (c *Client) loadReport() proto.LoadReport {
 // should be recorded.
 func (c *Client) measuring() bool { return c.env.Now() >= c.cfg.Warmup }
 
-// toServer and toPeer send one message and return its wire transit for
-// network attribution.
-func (c *Client) toServer(kind netsim.Kind, size int, payload any) time.Duration {
+// toSite and toPeer send one message and return its wire transit for
+// network attribution. toSite targets a shard site (always
+// netsim.ServerSite in single-server topologies).
+func (c *Client) toSite(site netsim.SiteID, kind netsim.Kind, size int, payload any) time.Duration {
 	return c.net.Send(netsim.Message{
-		Kind: kind, From: c.id, To: netsim.ServerSite, Size: size, Payload: payload,
-	}, c.serverIn)
+		Kind: kind, From: c.id, To: site, Size: size, Payload: payload,
+	}, c.shardIns[shardmap.ShardIndex(site)])
 }
 
 func (c *Client) toPeer(to netsim.SiteID, kind netsim.Kind, size int, payload any) time.Duration {

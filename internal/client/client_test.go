@@ -158,8 +158,8 @@ func TestClientRecallOfMissingEntryAnswersNotCached(t *testing.T) {
 	if !ret.NotCached {
 		t.Fatalf("return = %+v", ret)
 	}
-	if r.cl.epochs[77] != 1 || ret.Epoch != 1 {
-		t.Fatalf("release epoch not bumped: local=%d sent=%d", r.cl.epochs[77], ret.Epoch)
+	if r.cl.epochOf(77, netsim.ServerSite) != 1 || ret.Epoch != 1 {
+		t.Fatalf("release epoch not bumped: local=%d sent=%d", r.cl.epochOf(77, netsim.ServerSite), ret.Epoch)
 	}
 }
 

@@ -891,9 +891,10 @@ func (m *txnMachine) stepCommit() {
 				// now (keeping the exclusive lock) instead of holding a
 				// dirty copy until a callback.
 				e.Dirty = false
-				c.toServer(netsim.KindObjectReturn, netsim.ObjectBytes, proto.ObjReturn{
+				home := c.homeSite(op.Obj)
+				c.toSite(home, netsim.KindObjectReturn, netsim.ObjectBytes, proto.ObjReturn{
 					Client: c.id, Obj: op.Obj, HasData: true, Version: e.Version,
-					UpdateOnly: true, Epoch: c.epochs[op.Obj], Load: c.loadReport(),
+					UpdateOnly: true, Epoch: c.epochOf(op.Obj, home), Load: c.loadReport(),
 				})
 			}
 		}
@@ -1064,12 +1065,18 @@ func (m *txnMachine) awaitCond() bool {
 	}
 }
 
-// resend (re)transmits the current exchange's request.
+// resend (re)transmits the current exchange's request. Multi-server
+// topologies split multi-object exchanges per shard (resendSharded);
+// the single-server path below is untouched.
 func (m *txnMachine) resend(attempt int) {
 	c, t, pt := m.c, m.t, m.pt
+	if c.multiShard {
+		m.resendSharded(attempt)
+		return
+	}
 	switch m.sendKind {
 	case skLoad:
-		pt.netAccum += c.toServer(netsim.KindLoadQuery, netsim.ControlBytes, proto.LoadQuery{
+		pt.netAccum += c.toSite(netsim.ServerSite, netsim.KindLoadQuery, netsim.ControlBytes, proto.LoadQuery{
 			Client:   c.id,
 			Txn:      t.ID,
 			Objs:     t.Objects(),
@@ -1079,7 +1086,7 @@ func (m *txnMachine) resend(attempt int) {
 			Load:     c.loadReport(),
 		})
 	case skProbe:
-		pt.netAccum += c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ProbeRequest{
+		pt.netAccum += c.toSite(netsim.ServerSite, netsim.KindObjectRequest, netsim.ControlBytes, proto.ProbeRequest{
 			Client:   c.id,
 			Txn:      t.ID,
 			Objs:     m.objs,
@@ -1089,7 +1096,7 @@ func (m *txnMachine) resend(attempt int) {
 			Load:     c.loadReport(),
 		})
 	case skCommit:
-		pt.netAccum += c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.CommitRequest{
+		pt.netAccum += c.toSite(netsim.ServerSite, netsim.KindObjectRequest, netsim.ControlBytes, proto.CommitRequest{
 			Client:   c.id,
 			Txn:      t.ID,
 			Deadline: t.Deadline,
@@ -1099,7 +1106,7 @@ func (m *txnMachine) resend(attempt int) {
 			Load:     c.loadReport(),
 		})
 	default: // skSeq
-		pt.netAccum += c.toServer(netsim.KindObjectRequest, netsim.ControlBytes, proto.ObjRequest{
+		pt.netAccum += c.toSite(netsim.ServerSite, netsim.KindObjectRequest, netsim.ControlBytes, proto.ObjRequest{
 			Client:   c.id,
 			Txn:      t.ID,
 			Obj:      m.curObj,

@@ -14,7 +14,7 @@ import (
 // onGrant handles an arriving object, whether shipped by the server or
 // forwarded by a peer along a forward list.
 func (c *Client) onGrant(g proto.ObjGrant) {
-	if g.Epoch != c.epochs[g.Obj] {
+	if g.Epoch != c.epochOf(g.Obj, c.grantSource(g.Obj)) {
 		// The grant was sent before the server processed one of our
 		// releases: the registration it delivers no longer exists and
 		// the copy must not be cached or served.
@@ -83,10 +83,10 @@ func (c *Client) onGrant(g proto.ObjGrant) {
 		// immediately if the grant satisfied nobody (its transaction is
 		// dead), otherwise when that transaction's pins drop
 		// (afterRelease).
-		if r, ok := c.deferred[g.Obj]; ok && len(satisfied) == 0 {
+		if d, ok := c.deferred[g.Obj]; ok && len(satisfied) == 0 {
 			if e := c.objects.Peek(g.Obj); e != nil && !e.Pinned() {
 				delete(c.deferred, g.Obj)
-				c.answerRecall(e, r)
+				c.answerRecall(e, d.r, d.from)
 			}
 		}
 		return
@@ -119,10 +119,11 @@ func (c *Client) hopStaleMigration(g proto.ObjGrant) {
 	for {
 		next, ok, _ := l.PopLive(now)
 		if !ok {
-			c.toServer(netsim.KindObjectReturn, netsim.ObjectBytes, proto.ObjReturn{
+			home := c.homeSite(g.Obj)
+			c.toSite(home, netsim.KindObjectReturn, netsim.ObjectBytes, proto.ObjReturn{
 				Client: c.id, Obj: g.Obj, HasData: true, Version: g.Version,
 				Migration: true, RetainedSL: l.Retained,
-				Epoch: c.epochs[g.Obj], Load: c.loadReport(),
+				Epoch: c.epochOf(g.Obj, home), Load: c.loadReport(),
 			})
 			return
 		}
@@ -149,9 +150,10 @@ func (c *Client) hopReadRun(g proto.ObjGrant) {
 			// Last member: acknowledge the run so the server can let
 			// writers at the object again (the forward list's final
 			// return — the +1 of the 2n+1 message count).
-			c.toServer(netsim.KindObjectReturn, netsim.ControlBytes, proto.ObjReturn{
+			home := c.homeSite(g.Obj)
+			c.toSite(home, netsim.KindObjectReturn, netsim.ControlBytes, proto.ObjReturn{
 				Client: c.id, Obj: g.Obj, RunComplete: true,
-				Epoch: c.epochs[g.Obj], Load: c.loadReport(),
+				Epoch: c.epochOf(g.Obj, home), Load: c.loadReport(),
 			})
 			return
 		}
@@ -175,10 +177,14 @@ func (c *Client) onConflictReply(r proto.ConflictReply) {
 	if !ok {
 		return
 	}
-	pt.gotConflict = true
-	pt.conflicts = r.Conflicts
-	pt.loads = r.Loads
-	pt.dataCounts = r.DataCounts
+	if c.multiShard {
+		c.mergeConflict(pt, r)
+	} else {
+		pt.gotConflict = true
+		pt.conflicts = r.Conflicts
+		pt.loads = r.Loads
+		pt.dataCounts = r.DataCounts
+	}
 	pt.netAccum += c.curTransit
 	pt.sig.Broadcast()
 }
@@ -199,6 +205,19 @@ func (c *Client) onLoadReply(r proto.LoadReply) {
 	if !ok || !pt.wantLoad {
 		return
 	}
+	if c.multiShard {
+		if pt.loadFrom == nil {
+			pt.loadFrom = make(map[netsim.SiteID]*proto.LoadReply)
+		}
+		reply := r
+		pt.loadFrom[c.curFrom] = &reply
+		pt.netAccum += c.curTransit
+		if len(pt.loadFrom) >= pt.loadWant {
+			c.mergeLoadReplies(pt, r.Txn)
+			pt.sig.Broadcast()
+		}
+		return
+	}
 	reply := r
 	pt.loadReply = &reply
 	pt.netAccum += c.curTransit
@@ -214,6 +233,7 @@ func (c *Client) onLoadReply(r proto.LoadReply) {
 // waiting for that grant finishes. Everything else is answered
 // immediately.
 func (c *Client) onRecall(r proto.Recall) {
+	from := c.curFrom
 	e := c.objects.Peek(r.Obj)
 	wanted := len(c.waiters[r.Obj]) > 0
 	if e == nil {
@@ -222,27 +242,29 @@ func (c *Client) onRecall(r proto.Recall) {
 			// its grant is in flight. Defer until our transaction is
 			// done with it.
 			c.m.RecallsDeferred++
-			c.deferred[r.Obj] = r
+			c.deferred[r.Obj] = deferredRecall{r: r, from: from}
 			return
 		}
 		// Silently evicted earlier: release the lock. Bumping the epoch
 		// revokes any stray grant already on the wire.
-		c.epochs[r.Obj]++
-		c.toServer(netsim.KindObjectReturn, netsim.ControlBytes, proto.ObjReturn{
-			Client: c.id, Obj: r.Obj, NotCached: true, Epoch: c.epochs[r.Obj],
+		epoch := c.bumpEpoch(r.Obj, from)
+		c.toSite(from, netsim.KindObjectReturn, netsim.ControlBytes, proto.ObjReturn{
+			Client: c.id, Obj: r.Obj, NotCached: true, Epoch: epoch,
 			Load: c.loadReport(),
 		})
 		return
 	}
 	if e.Pinned() || (r.HolderMode != 0 && r.HolderMode != e.Mode) {
 		c.m.RecallsDeferred++
-		c.deferred[r.Obj] = r
+		c.deferred[r.Obj] = deferredRecall{r: r, from: from}
 		return
 	}
-	c.answerRecall(e, r)
+	c.answerRecall(e, r, from)
 }
 
-func (c *Client) answerRecall(e *cache.Entry, r proto.Recall) {
+// answerRecall answers a callback issued by the shard at from (always
+// netsim.ServerSite in single-server topologies).
+func (c *Client) answerRecall(e *cache.Entry, r proto.Recall, from netsim.SiteID) {
 	if r.DowngradeToShared && e.Mode == lockmgr.ModeExclusive && c.cfg.UseDowngrade {
 		hadData := e.Dirty
 		e.Mode = lockmgr.ModeShared
@@ -251,23 +273,23 @@ func (c *Client) answerRecall(e *cache.Entry, r proto.Recall) {
 		if hadData {
 			size = netsim.ObjectBytes
 		}
-		c.toServer(netsim.KindObjectReturn, size, proto.ObjReturn{
+		c.toSite(from, netsim.KindObjectReturn, size, proto.ObjReturn{
 			Client: c.id, Obj: e.Obj, HasData: hadData, Version: e.Version,
-			Downgraded: true, Epoch: c.epochs[e.Obj], Load: c.loadReport(),
+			Downgraded: true, Epoch: c.epochOf(e.Obj, from), Load: c.loadReport(),
 		})
 		return
 	}
 	c.objects.Remove(e.Obj)
 	// Any grant already on the wire refers to the registration this
 	// answer renounces; the epoch bump revokes it.
-	c.epochs[e.Obj]++
+	epoch := c.bumpEpoch(e.Obj, from)
 	size := netsim.ControlBytes
 	if e.Dirty {
 		size = netsim.ObjectBytes
 	}
-	c.toServer(netsim.KindObjectReturn, size, proto.ObjReturn{
+	c.toSite(from, netsim.KindObjectReturn, size, proto.ObjReturn{
 		Client: c.id, Obj: e.Obj, HasData: e.Dirty, Version: e.Version,
-		Epoch: c.epochs[e.Obj], Load: c.loadReport(),
+		Epoch: epoch, Load: c.loadReport(),
 	})
 }
 
@@ -304,7 +326,7 @@ func (c *Client) returnEvicted(evicted []*cache.Entry) {
 		if mig := c.migrations[e.Obj]; mig != nil {
 			panic(fmt.Sprintf("client %d: migrating object %d evicted", c.id, e.Obj))
 		}
-		_, hadRecall := c.deferred[e.Obj]
+		d, hadRecall := c.deferred[e.Obj]
 		delete(c.deferred, e.Obj)
 		if !hadRecall && !e.Dirty && e.Mode == lockmgr.ModeShared {
 			continue // lazy release: a later recall gets NotCached
@@ -313,10 +335,17 @@ func (c *Client) returnEvicted(evicted []*cache.Entry) {
 		if e.Dirty {
 			size = netsim.ObjectBytes
 		}
-		c.epochs[e.Obj]++ // this return releases the registration
-		c.toServer(netsim.KindObjectReturn, size, proto.ObjReturn{
+		// A recall names the shard holding our registration; without one
+		// the copy is dirty or exclusive, which only the home shard
+		// grants.
+		dest := c.homeSite(e.Obj)
+		if hadRecall {
+			dest = d.from
+		}
+		epoch := c.bumpEpoch(e.Obj, dest) // this return releases the registration
+		c.toSite(dest, netsim.KindObjectReturn, size, proto.ObjReturn{
 			Client: c.id, Obj: e.Obj, HasData: e.Dirty, Version: e.Version,
-			Epoch: c.epochs[e.Obj], Load: c.loadReport(),
+			Epoch: epoch, Load: c.loadReport(),
 		})
 	}
 }
@@ -335,21 +364,21 @@ func (c *Client) afterRelease(ops []txn.Op, id txn.ID) {
 			}
 			continue
 		}
-		if r, ok := c.deferred[op.Obj]; ok {
+		if d, ok := c.deferred[op.Obj]; ok {
 			e := c.objects.Peek(op.Obj)
 			switch {
 			case e == nil:
 				// The grant the recall referred to never materialized
 				// (or the copy is gone): release the lock outright.
 				delete(c.deferred, op.Obj)
-				c.epochs[op.Obj]++
-				c.toServer(netsim.KindObjectReturn, netsim.ControlBytes, proto.ObjReturn{
-					Client: c.id, Obj: op.Obj, NotCached: true, Epoch: c.epochs[op.Obj],
+				epoch := c.bumpEpoch(op.Obj, d.from)
+				c.toSite(d.from, netsim.KindObjectReturn, netsim.ControlBytes, proto.ObjReturn{
+					Client: c.id, Obj: op.Obj, NotCached: true, Epoch: epoch,
 					Load: c.loadReport(),
 				})
 			case !e.Pinned():
 				delete(c.deferred, op.Obj)
-				c.answerRecall(e, r)
+				c.answerRecall(e, d.r, d.from)
 			}
 		}
 	}
@@ -409,7 +438,7 @@ func (c *Client) forwardMigration(obj lockmgr.ObjectID) {
 		}
 
 		delete(c.migrations, obj)
-		_, hadRecall := c.deferred[obj]
+		d, hadRecall := c.deferred[obj]
 		delete(c.deferred, obj)
 		c.objects.Unpin(e)
 		version := e.Version
@@ -434,18 +463,19 @@ func (c *Client) forwardMigration(obj lockmgr.ObjectID) {
 				Epoch: next.Epoch, Fwd: l,
 			})
 		} else {
-			c.toServer(netsim.KindObjectReturn, netsim.ObjectBytes, proto.ObjReturn{
+			home := c.homeSite(obj)
+			c.toSite(home, netsim.KindObjectReturn, netsim.ObjectBytes, proto.ObjReturn{
 				Client: c.id, Obj: obj, HasData: true, Version: version,
 				Migration: true, RetainedSL: l.Retained,
-				Epoch: c.epochs[obj], Load: c.loadReport(),
+				Epoch: c.epochOf(obj, home), Load: c.loadReport(),
 			})
 		}
 		if hadRecall {
 			// The recall that arrived mid-migration is answered with a
 			// release: the object has moved on.
-			c.epochs[obj]++
-			c.toServer(netsim.KindObjectReturn, netsim.ControlBytes, proto.ObjReturn{
-				Client: c.id, Obj: obj, NotCached: true, Epoch: c.epochs[obj],
+			epoch := c.bumpEpoch(obj, d.from)
+			c.toSite(d.from, netsim.KindObjectReturn, netsim.ControlBytes, proto.ObjReturn{
+				Client: c.id, Obj: obj, NotCached: true, Epoch: epoch,
 				Load: c.loadReport(),
 			})
 		}

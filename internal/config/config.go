@@ -223,6 +223,13 @@ type Config struct {
 	// byte-identical to a build without the fault layer.
 	Faults FaultSpec
 
+	// Sharding describes the server tier topology: how many server
+	// shards partition the object space and how read replicas are
+	// provisioned (see Topology). The zero value is the paper's single
+	// server, which leaves every simulation byte-identical to a build
+	// without the sharding layer.
+	Sharding Topology
+
 	// RetryTimeout is the base client retransmission timeout for
 	// request–reply messages, doubled on each successive retry of the
 	// same request and always bounded by the transaction deadline. It
@@ -388,8 +395,13 @@ func (c Config) Validate() error {
 		return errors.New("config: Faults.PartitionDuration must be non-negative")
 	case c.RetryTimeout < 0:
 		return errors.New("config: RetryTimeout must be non-negative")
+	case c.Faults.PartitionShard < 0 || c.Faults.PartitionShard >= c.Sharding.NumServers():
+		return fmt.Errorf("config: Faults.PartitionShard %d out of [0,%d)", c.Faults.PartitionShard, c.Sharding.NumServers())
 	case c.ZipfTheta < 0:
 		return fmt.Errorf("config: ZipfTheta %v must be non-negative", c.ZipfTheta)
+	}
+	if err := c.Sharding.validate(c.DBSize); err != nil {
+		return err
 	}
 	if c.Workload != nil {
 		return c.validateWorkload()
@@ -420,6 +432,11 @@ type FaultSpec struct {
 	PartitionSite     int
 	PartitionAt       time.Duration
 	PartitionDuration time.Duration
+	// PartitionShard (0 = none; 1..M-1 = that server shard) cuts a
+	// server shard off the LAN over the same [PartitionAt,
+	// PartitionAt+PartitionDuration) window. Shard 0 is addressed by
+	// PartitionSite = 0, matching the single-server grammar.
+	PartitionShard int
 }
 
 // Enabled reports whether any fault is configured.

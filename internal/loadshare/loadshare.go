@@ -148,23 +148,32 @@ func ChooseSite(p Params) Decision {
 	}
 	sort.Slice(holders, func(i, j int) bool { return holders[i] < holders[j] })
 	for _, h := range holders {
+		if h <= netsim.ServerSite {
+			// Server shards (site ids <= 0) can appear among reported
+			// holders when an object has a read replica out; they are
+			// lock holders, not execution sites, and never ship targets.
+			continue
+		}
 		if seen[h] {
 			continue
 		}
 		seen[h] = true
 		load, known := p.Loads[h]
 		wait := time.Duration(0)
+		atl := p.OriginATL
 		if known && load.Valid {
-			atl := load.ATL
-			if atl <= 0 {
-				atl = p.OriginATL
+			if load.ATL > 0 {
+				atl = load.ATL
 			}
 			wait = time.Duration(load.QueueLen) * atl / time.Duration(execs)
-			// A shipped transaction joins the back of the candidate's
-			// queue: H1 with one extra waiter.
-			if p.Now+wait+atl > p.Deadline {
-				continue
-			}
+		}
+		// A shipped transaction joins the back of the candidate's
+		// queue: H1 with one extra waiter. With no (valid) load report
+		// the site is assumed idle but must still fit one execution at
+		// the origin's observed ATL before the deadline — an unknown
+		// load is not a license to skip feasibility.
+		if p.Now+wait+atl > p.Deadline {
+			continue
 		}
 		cands = append(cands, cand{
 			site:      h,
@@ -208,16 +217,28 @@ func ChooseSite(p Params) Decision {
 }
 
 // GroupByLocation builds the decomposition partition of Section 3.2:
-// each access is grouped by the site that solely caches its object
-// (reported in locations), with unlocated accesses grouped at the
-// origin. The returned function maps an op index to a group key usable
-// with txn.Transaction.Decompose, and the site map translates group keys
+// each access is grouped by the client site that solely caches its
+// object (reported in locations), with unlocated accesses grouped at
+// the origin. Server shards among the holders (site ids <= 0, from read
+// replicas) are not candidate executors and are ignored, so a
+// replicated object still groups at its sole client holder; an object
+// held by several clients falls back to the origin. The returned
+// function maps an op index to a group key usable with
+// txn.Transaction.Decompose, and the site map translates group keys
 // back to execution sites.
 func GroupByLocation(origin netsim.SiteID, objs []lockmgr.ObjectID, locations []proto.ObjConflict) (partOf func(int) int, siteOf map[int]netsim.SiteID) {
 	where := make(map[lockmgr.ObjectID]netsim.SiteID, len(locations))
 	for _, loc := range locations {
-		if len(loc.Holders) == 1 {
-			where[loc.Obj] = loc.Holders[0]
+		sole := netsim.SiteID(0)
+		clients := 0
+		for _, h := range loc.Holders {
+			if h > netsim.ServerSite {
+				clients++
+				sole = h
+			}
+		}
+		if clients == 1 {
+			where[loc.Obj] = sole
 		}
 	}
 	siteOf = make(map[int]netsim.SiteID)

@@ -169,6 +169,54 @@ func TestGroupByLocationMultiHolderGoesToOrigin(t *testing.T) {
 	}
 }
 
+func TestGroupByLocationIgnoresShardHolders(t *testing.T) {
+	// A replicated object reports its replica shard (site id <= 0)
+	// among the holders. Shards are not execution sites: a sole client
+	// holder still claims the group, and an object held only by shards
+	// falls back to the origin.
+	objs := []lockmgr.ObjectID{10, 11}
+	locations := []proto.ObjConflict{
+		conflict(10, 5, -1), // client 5 plus replica shard 1
+		conflict(11, -1),    // replica shard only
+	}
+	partOf, siteOf := GroupByLocation(1, objs, locations)
+	if siteOf[partOf(0)] != 5 {
+		t.Fatalf("replicated object grouped at %d, want sole client holder 5", siteOf[partOf(0)])
+	}
+	if siteOf[partOf(1)] != 1 {
+		t.Fatalf("shard-only object grouped at %d, want origin", siteOf[partOf(1)])
+	}
+}
+
+func TestGroupByLocationMultiClientWithShardGoesToOrigin(t *testing.T) {
+	// Several client holders plus a shard: still ambiguous, still the
+	// origin's group.
+	objs := []lockmgr.ObjectID{10}
+	locations := []proto.ObjConflict{conflict(10, 5, 6, -2)}
+	partOf, siteOf := GroupByLocation(1, objs, locations)
+	if siteOf[partOf(0)] != 1 {
+		t.Fatal("multi-client replicated object should group at origin")
+	}
+}
+
+func TestChooseSiteNeverShipsToShard(t *testing.T) {
+	// A replica shard among the conflict holders would rank first on
+	// the conflict count; it must be excluded from the candidate set.
+	d := ChooseSite(Params{
+		Origin:   1,
+		Deadline: time.Hour,
+		Conflicts: []proto.ObjConflict{
+			conflict(10, -1),
+			conflict(11, -1),
+		},
+		OriginQueueLen: 3,
+		OriginATL:      time.Second,
+	})
+	if d.Ship || d.Target != 1 {
+		t.Fatalf("decision = %+v, want origin (shards are not execution sites)", d)
+	}
+}
+
 func TestChooseSiteDataCountsOverride(t *testing.T) {
 	// The server's whole-access-set counts outrank location-derived
 	// tallies when larger.
@@ -227,5 +275,42 @@ func TestChooseSiteExecutorsScaleWait(t *testing.T) {
 	base.Executors = 8
 	if d := ChooseSite(base); !d.Ship {
 		t.Fatalf("parallel site should be feasible: %+v", d)
+	}
+}
+
+// A candidate whose load report is missing or stale (Valid false) must
+// still clear H1 — with OriginATL substituted for its unknown ATL and an
+// empty queue assumed — before it may compete. Without the substitute
+// check, an unknown-load site skips the feasibility filter entirely,
+// enters with wait = 0, and beats the origin on every queueing-delay
+// tie even when the deadline leaves no room to execute there at all.
+func TestChooseSiteUnknownLoadStillH1Filtered(t *testing.T) {
+	base := Params{
+		Origin: 1,
+		Now:    0,
+		// One ATL from now already overruns the deadline: no remote
+		// site can serve this transaction in time.
+		Deadline:  5 * time.Second,
+		Conflicts: []proto.ObjConflict{conflict(1, 2)},
+		OriginATL: 10 * time.Second,
+	}
+	cases := map[string]map[netsim.SiteID]proto.LoadReport{
+		"missing report": {},
+		"stale report":   {2: {Client: 2, QueueLen: 0, ATL: 10 * time.Second, Valid: false}},
+	}
+	for name, loads := range cases {
+		p := base
+		p.Loads = loads
+		if d := ChooseSite(p); d.Ship {
+			t.Errorf("%s: decision = %+v, want origin (site 2 cannot meet the deadline)", name, d)
+		}
+	}
+	// A generous deadline keeps the unknown-load candidate eligible:
+	// the substitute check must not turn "unknown" into "infeasible".
+	p := base
+	p.Loads = map[netsim.SiteID]proto.LoadReport{}
+	p.Deadline = time.Hour
+	if d := ChooseSite(p); !d.Ship || d.Target != 2 {
+		t.Errorf("generous deadline: decision = %+v, want ship to 2", d)
 	}
 }

@@ -172,6 +172,17 @@ type BatchRecall struct {
 	Recalls []Recall
 }
 
+// ReplicaInstall ships a read replica of an object from its home shard
+// to another server shard (multi-server topologies only). The receiving
+// shard serves shared-mode requests for Obj at Version until the home
+// shard recalls the replica (a writer arrived) or the replica shard
+// sheds it for coldness. Carried on KindObjectShip: it is an object
+// transfer, just shard-to-shard.
+type ReplicaInstall struct {
+	Obj     lockmgr.ObjectID
+	Version int64
+}
+
 // ObjReturn answers a recall (or voluntarily returns a dirty eviction).
 type ObjReturn struct {
 	Client netsim.SiteID

@@ -2,6 +2,7 @@ package rtdbs
 
 import (
 	"fmt"
+	"sort"
 
 	"siteselect/internal/client"
 	"siteselect/internal/config"
@@ -11,15 +12,18 @@ import (
 	"siteselect/internal/netsim"
 	"siteselect/internal/rng"
 	"siteselect/internal/server"
+	"siteselect/internal/shardmap"
 	"siteselect/internal/sim"
 	"siteselect/internal/trace"
 	"siteselect/internal/txn"
 )
 
-// Cluster is a client-server system: one server, N client sites, a
-// shared LAN. With loadShare false it is the basic CS-RTDBS
-// (object-shipping with callback locking); with loadShare true it is the
-// LS-CS-RTDBS running the Section 4 algorithm.
+// Cluster is a client-server system: one or more server shards
+// (config.Topology), N client sites, a shared LAN. With loadShare false
+// it is the basic CS-RTDBS (object-shipping with callback locking);
+// with loadShare true it is the LS-CS-RTDBS running the Section 4
+// algorithm. servers[0] is shard 0 at netsim.ServerSite; server aliases
+// it for the single-server accessors.
 type Cluster struct {
 	cfg       config.Config
 	loadShare bool
@@ -27,7 +31,9 @@ type Cluster struct {
 	env     *sim.Env
 	net     *netsim.Network
 	m       *metrics.Collector
+	topo    *shardmap.Map
 	server  *server.Server
+	servers []*server.Server
 	clients []*client.Client
 	tr      *trace.Tracer
 }
@@ -62,13 +68,31 @@ func newCluster(cfg config.Config, loadShare bool) (*Cluster, error) {
 	if cfg.Faults.Enabled() {
 		net.SetFaults(faultConfig(cfg))
 	}
+	topo := shardmap.New(cfg.Sharding)
 	c := &Cluster{
 		cfg:       cfg,
 		loadShare: loadShare,
 		env:       env,
 		net:       net,
 		m:         &metrics.Collector{},
-		server:    server.New(env, cfg, net),
+		topo:      topo,
+	}
+	nShards := topo.Servers()
+	for k := 0; k < nShards; k++ {
+		c.servers = append(c.servers, server.NewShard(env, cfg, net, k, topo))
+	}
+	c.server = c.servers[0]
+	if topo.Multi() {
+		// Shard-to-shard mailboxes: every shard gets one peer inbox and
+		// every other shard a route to it (replica installs, drains, and
+		// forwarded firm requests).
+		for k, sv := range c.servers {
+			in := sim.NewMailbox[netsim.Message](env)
+			sv.SetPeerInbox(in)
+			for _, other := range c.servers {
+				other.AttachPeer(k, in)
+			}
+		}
 	}
 	root := rng.NewStream(cfg.Seed)
 	var nextID txn.ID
@@ -78,25 +102,55 @@ func newCluster(cfg config.Config, loadShare bool) (*Cluster, error) {
 	for i := 1; i <= cfg.NumClients; i++ {
 		id := netsim.SiteID(i)
 		inbox := sim.NewMailbox[netsim.Message](env)
-		serverIn := sim.NewMailbox[netsim.Message](env)
-		c.server.Attach(id, serverIn, inbox)
+		shardIns := make([]*sim.Mailbox[netsim.Message], nShards)
+		for k, sv := range c.servers {
+			shardIns[k] = sim.NewMailbox[netsim.Message](env)
+			sv.Attach(id, shardIns[k], inbox)
+		}
 		inboxes[id] = inbox
 
 		gen := newGenerator(root, cfg, i, newID)
-		c.clients = append(c.clients, client.New(
-			env, cfg, id, net, c.m, inbox, serverIn, gen, loadShare))
+		cl := client.New(env, cfg, id, net, c.m, inbox, shardIns[0], gen, loadShare)
+		if topo.Multi() {
+			cl.SetShards(topo, shardIns)
+		}
+		c.clients = append(c.clients, cl)
 	}
 	for _, cl := range c.clients {
 		cl.SetPeers(inboxes)
 	}
+	c.seedReplicas()
 	if cfg.Trace {
 		c.tr = trace.New()
-		c.server.SetTracer(c.tr)
+		for _, sv := range c.servers {
+			sv.SetTracer(c.tr)
+		}
 		for _, cl := range c.clients {
 			cl.SetTracer(c.tr)
 		}
 	}
 	return c, nil
+}
+
+// seedReplicas installs the topology's static replica placements
+// (Topology.Replicas) before the run starts, in object order for
+// determinism. Placements the home shard cannot honour are skipped —
+// validation already bounds them, so the only skip reason here is a
+// duplicate.
+func (c *Cluster) seedReplicas() {
+	if !c.topo.Multi() || len(c.cfg.Sharding.Replicas) == 0 {
+		return
+	}
+	objs := make([]int, 0, len(c.cfg.Sharding.Replicas))
+	for obj := range c.cfg.Sharding.Replicas {
+		objs = append(objs, obj)
+	}
+	sort.Ints(objs)
+	for _, obj := range objs {
+		target := c.cfg.Sharding.Replicas[obj]
+		home := c.topo.HomeShard(lockmgr.ObjectID(obj))
+		c.servers[home].SeedReplica(lockmgr.ObjectID(obj), c.servers[target])
+	}
 }
 
 // faultSeedCoord is the coordinate separating the fault lottery stream
@@ -118,11 +172,21 @@ func faultConfig(cfg config.Config) netsim.FaultConfig {
 		Horizon:      cfg.Duration,
 	}
 	if cfg.Faults.PartitionDuration > 0 {
-		fc.Partitions = []netsim.Partition{{
-			Site:  netsim.SiteID(cfg.Faults.PartitionSite),
+		window := netsim.Partition{
 			Start: cfg.Faults.PartitionAt,
 			End:   cfg.Faults.PartitionAt + cfg.Faults.PartitionDuration,
-		}}
+		}
+		if cfg.Faults.PartitionShard > 0 {
+			// Server-shard partition: the shard's site id is negative;
+			// every message to or from it drops for the window, and the
+			// clients' retransmission machinery rides it out. It replaces
+			// the PartitionSite partition — the zero-valued PartitionSite
+			// would otherwise partition shard 0 too.
+			window.Site = shardmap.ShardSite(cfg.Faults.PartitionShard)
+		} else {
+			window.Site = netsim.SiteID(cfg.Faults.PartitionSite)
+		}
+		fc.Partitions = []netsim.Partition{window}
 	}
 	return fc
 }
@@ -130,8 +194,17 @@ func faultConfig(cfg config.Config) netsim.FaultConfig {
 // Env exposes the simulation environment (tests drive it directly).
 func (c *Cluster) Env() *sim.Env { return c.env }
 
-// Server exposes the server actor.
+// Server exposes the server actor for shard 0 (the only shard in
+// single-server topologies).
 func (c *Cluster) Server() *server.Server { return c.server }
+
+// Servers exposes every server shard.
+func (c *Cluster) Servers() []*server.Server { return c.servers }
+
+// home returns the server shard authoritative for obj.
+func (c *Cluster) home(obj lockmgr.ObjectID) *server.Server {
+	return c.servers[c.topo.HomeShard(obj)]
+}
 
 // Net exposes the simulated LAN (e.g. to install a message trace before
 // Start).
@@ -148,7 +221,9 @@ func (c *Cluster) Tracer() *trace.Tracer { return c.tr }
 
 // Start spawns all actors without running the clock (tests use this).
 func (c *Cluster) Start() {
-	c.server.Start()
+	for _, sv := range c.servers {
+		sv.Start()
+	}
 	for _, cl := range c.clients {
 		cl.Start()
 	}
@@ -202,10 +277,20 @@ func (c *Cluster) monitor() (*invariant.Monitor, *invariant.Committed) {
 		}
 	}
 	grace := c.cfg.MeanSlack + 2*c.cfg.EffectiveRetryTimeout()
+	eachServer := func(fn func(*server.Server) error) func() error {
+		return func() error {
+			for _, sv := range c.servers {
+				if err := fn(sv); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
 	checks := []invariant.Check{
-		{Name: "lock-table", Fn: c.server.AuditLocks},
-		{Name: "forward-lists", Fn: c.server.AuditForward},
-		{Name: "batch-conservation", Fn: c.server.AuditBatch},
+		{Name: "lock-table", Fn: eachServer((*server.Server).AuditLocks)},
+		{Name: "forward-lists", Fn: eachServer((*server.Server).AuditForward)},
+		{Name: "batch-conservation", Fn: eachServer((*server.Server).AuditBatch)},
 		{Name: "dirty-implies-exclusive", Fn: c.auditDirty},
 		{Name: "request-conservation", Fn: func() error {
 			for _, cl := range c.clients {
@@ -241,9 +326,14 @@ func (c *Cluster) auditDirty() error {
 }
 
 // bestVersion returns the highest version of obj any surviving copy
-// carries — the server's page or a client's cached copy.
+// carries — a server shard's page or a client's cached copy.
 func (c *Cluster) bestVersion(obj lockmgr.ObjectID) int64 {
-	best := c.server.Version(obj)
+	best := c.home(obj).Version(obj)
+	for _, sv := range c.servers {
+		if v := sv.Version(obj); v > best {
+			best = v
+		}
+	}
 	for _, cl := range c.clients {
 		if e := cl.Cache().Peek(obj); e != nil && e.Version > best {
 			best = e.Version
@@ -285,16 +375,29 @@ func (c *Cluster) collect() *Result {
 		TotalBytes:          c.net.TotalBytes(),
 		NetUtilization:      c.net.Utilization(),
 		ServerBufferHitRate: c.server.Pool().HitRate(),
-		ServerDiskReads:     c.server.Disk().Reads,
-		ServerDiskWrites:    c.server.Disk().Writes,
-		RecallsSent:         c.server.RecallsSent,
-		GrantsShipped:       c.server.GrantsShipped,
-		MigrationsStarted:   c.server.MigrationsStarted,
-		DeniesExpired:       c.server.DeniesExpired,
-		DeniesDeadlock:      c.server.DeniesDeadlock,
-		BatchFlushes:        c.server.Batcher().Flushes,
-		BatchedRequests:     c.server.Batcher().Batched,
 		Elapsed:             now,
+	}
+	if len(c.servers) > 1 {
+		// Hit rates average across shards; everything else sums.
+		var hit float64
+		for _, sv := range c.servers {
+			hit += sv.Pool().HitRate()
+		}
+		res.ServerBufferHitRate = hit / float64(len(c.servers))
+	}
+	for _, sv := range c.servers {
+		res.ServerDiskReads += sv.Disk().Reads
+		res.ServerDiskWrites += sv.Disk().Writes
+		res.RecallsSent += sv.RecallsSent
+		res.GrantsShipped += sv.GrantsShipped
+		res.MigrationsStarted += sv.MigrationsStarted
+		res.DeniesExpired += sv.DeniesExpired
+		res.DeniesDeadlock += sv.DeniesDeadlock
+		res.BatchFlushes += sv.Batcher().Flushes
+		res.BatchedRequests += sv.Batcher().Batched
+		res.ReplicasInstalled += sv.ReplicasInstalled
+		res.ReplicasShed += sv.ReplicasShed
+		res.RequestsForwarded += sv.RequestsForwarded
 	}
 	res.Faults = c.net.Faults()
 	if c.tr != nil {
@@ -319,31 +422,34 @@ func (c *Cluster) collect() *Result {
 // matches the server's (a stale clean copy would mean a reader could
 // observe a value some committed writer already replaced).
 func (c *Cluster) Audit() error {
-	if err := c.server.AuditLocks(); err != nil {
-		return err
+	for _, sv := range c.servers {
+		if err := sv.AuditLocks(); err != nil {
+			return err
+		}
 	}
 	for _, cl := range c.clients {
 		for _, e := range cl.Cache().Entries() {
 			if cl.HasDeferredRecall(e.Obj) {
 				continue // a pending callback makes any state transitional
 			}
+			home := c.home(e.Obj)
 			if e.Dirty {
 				if e.Mode != lockmgr.ModeExclusive {
 					return fmt.Errorf("rtdbs: client %d caches dirty object %d with %v",
 						cl.ID(), e.Obj, e.Mode)
 				}
-				if e.Version <= c.server.Version(e.Obj) {
+				if e.Version <= home.Version(e.Obj) {
 					return fmt.Errorf("rtdbs: client %d's dirty object %d at version %d not ahead of server's %d",
-						cl.ID(), e.Obj, e.Version, c.server.Version(e.Obj))
+						cl.ID(), e.Obj, e.Version, home.Version(e.Obj))
 				}
 				continue
 			}
-			if e.Version > c.server.Version(e.Obj) && c.server.Migrating(e.Obj) {
+			if e.Version > home.Version(e.Obj) && home.Migrating(e.Obj) {
 				continue // retained copy ahead of a still-travelling chain
 			}
-			if e.Version != c.server.Version(e.Obj) {
+			if e.Version != home.Version(e.Obj) {
 				return fmt.Errorf("rtdbs: client %d caches stale clean object %d (version %d, server %d)",
-					cl.ID(), e.Obj, e.Version, c.server.Version(e.Obj))
+					cl.ID(), e.Obj, e.Version, home.Version(e.Obj))
 			}
 		}
 	}

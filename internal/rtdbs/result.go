@@ -49,6 +49,14 @@ type Result struct {
 	BatchFlushes    int64
 	BatchedRequests int64
 
+	// Sharding counters, summed over server shards (all zero at a
+	// single server): read replicas installed and shed by the adaptive
+	// replication layer, and firm requests a shard re-routed to the
+	// object's home shard.
+	ReplicasInstalled int64
+	ReplicasShed      int64
+	RequestsForwarded int64
+
 	// Faults holds the injected-fault counters (zero-valued when fault
 	// injection is off); Retries counts client request retransmissions.
 	Faults  netsim.FaultStats

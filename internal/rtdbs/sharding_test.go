@@ -1,0 +1,133 @@
+package rtdbs
+
+import (
+	"testing"
+	"time"
+
+	"siteselect/internal/config"
+)
+
+// shardedConfig is a small multi-shard cluster with the invariant
+// monitor on.
+func shardedConfig(n, servers int, update float64) config.Config {
+	cfg := config.Default(n, update)
+	cfg.Duration = 3 * time.Minute
+	cfg.Drain = 40 * time.Second
+	cfg.Warmup = 10 * time.Second
+	cfg.CheckInvariants = true
+	cfg.Sharding.Servers = servers
+	return cfg
+}
+
+// TestShardedRunBothSystems runs CS and LS clusters against a 4-shard
+// server under the continuous invariant monitor: every shard's lock
+// table, forward lists, and batch accounting must stay consistent, no
+// committed update may be lost, and work must actually commit.
+func TestShardedRunBothSystems(t *testing.T) {
+	for _, sys := range []string{"cs", "ls"} {
+		t.Run(sys, func(t *testing.T) {
+			cfg := shardedConfig(6, 4, 0.2)
+			var (
+				c   *Cluster
+				err error
+			)
+			if sys == "cs" {
+				c, err = NewClientServer(cfg)
+			} else {
+				c, err = NewLoadSharing(cfg)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Run()
+			if err != nil {
+				t.Fatalf("sharded run failed audit: %v", err)
+			}
+			if res.M.Committed == 0 {
+				t.Fatal("nothing committed on a 4-shard server")
+			}
+			t.Logf("%s: success=%.1f%% committed=%d forwarded=%d",
+				sys, res.SuccessRate(), res.M.Committed, res.RequestsForwarded)
+		})
+	}
+}
+
+// TestShardedAdaptiveReplication drives a read-heavy workload at a
+// 2-shard server with adaptive replication on: hot objects must gain
+// read replicas, and the cold-shed heartbeat must reclaim at least some
+// of them over a long run.
+func TestShardedAdaptiveReplication(t *testing.T) {
+	cfg := shardedConfig(10, 2, 0.2)
+	cfg.Duration = 5 * time.Minute
+	cfg.ZipfTheta = 1.1 // concentrate accesses on a few hot objects
+	cfg.Sharding.ReplicateHot = 2
+	cfg.Sharding.HeatWindow = time.Minute
+	cfg.Sharding.ShedBelow = 1
+	c, err := NewLoadSharing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("adaptive run failed audit: %v", err)
+	}
+	if res.ReplicasInstalled == 0 {
+		t.Fatal("no replica installed under a hot read-mostly workload")
+	}
+	if res.ReplicasShed == 0 {
+		t.Fatal("no replica shed over a long run with ShedBelow set")
+	}
+	t.Logf("installed=%d shed=%d forwarded=%d success=%.1f%%",
+		res.ReplicasInstalled, res.ReplicasShed, res.RequestsForwarded, res.SuccessRate())
+}
+
+// TestShardedStaticReplicas pins static replica placements and verifies
+// they are seeded before the run and visible in the counters.
+func TestShardedStaticReplicas(t *testing.T) {
+	cfg := shardedConfig(4, 2, 0.1)
+	// Objects homed on shard 0 (even ids), replicated on shard 1.
+	cfg.Sharding.Replicas = map[int]int{0: 1, 2: 1, 4: 1}
+	c, err := NewClientServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("static-replica run failed audit: %v", err)
+	}
+	if res.ReplicasInstalled != 3 {
+		t.Fatalf("ReplicasInstalled = %d, want 3 static seeds", res.ReplicasInstalled)
+	}
+	if res.M.Committed == 0 {
+		t.Fatal("nothing committed with static replicas")
+	}
+}
+
+// TestShardedPartitionSurvived cuts shard 1 off the LAN for a window
+// longer than any transaction's slack: requests routed there must be
+// retried or expire cleanly while the rest of the cluster keeps
+// committing, and the run must pass every audit.
+func TestShardedPartitionSurvived(t *testing.T) {
+	cfg := shardedConfig(4, 4, 0.1)
+	cfg.Faults = config.FaultSpec{
+		PartitionShard:    1,
+		PartitionAt:       60 * time.Second,
+		PartitionDuration: 20 * time.Second,
+	}
+	c, err := NewClientServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("shard-partition run failed audit: %v", err)
+	}
+	if res.M.Committed == 0 {
+		t.Fatal("nothing committed around a shard partition")
+	}
+	if res.Faults.PartitionDrops == 0 {
+		t.Fatal("shard partition dropped no messages")
+	}
+	t.Logf("success=%.1f%% partitionDrops=%d retries=%d",
+		res.SuccessRate(), res.Faults.PartitionDrops, res.Retries)
+}

@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"strconv"
+	"strings"
 	"time"
 
 	"siteselect/internal/config"
@@ -99,6 +101,14 @@ func Compile(s *Scenario) (*Compiled, error) {
 	if s.Faults != nil {
 		for _, set := range s.Faults.Settings {
 			if err := s.applyFault(&cfg.Faults, set); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if s.Replication != nil {
+		for _, set := range s.Replication.Settings {
+			if err := s.applyReplication(&cfg.Sharding, set); err != nil {
 				return nil, err
 			}
 		}
@@ -263,6 +273,10 @@ func (s *Scenario) applyConfig(cfg *config.Config, set Setting) error {
 		cfg.WriteThrough, err = s.wantBool(st, set)
 	case "speculation":
 		cfg.UseSpeculation, err = s.wantBool(st, set)
+	case "servers":
+		cfg.Sharding.Servers, err = s.wantInt(st, set)
+	case "shard-block":
+		cfg.Sharding.Block, err = s.wantInt(st, set)
 	default:
 		err = s.errf(set.Line, st, "unknown config key %q", set.Key)
 	}
@@ -435,6 +449,8 @@ func (s *Scenario) applyFault(f *config.FaultSpec, set Setting) error {
 		f.SpikeLatency, err = s.wantDur(st, set)
 	case "partition-site":
 		f.PartitionSite, err = s.wantInt(st, set)
+	case "partition-shard":
+		f.PartitionShard, err = s.wantInt(st, set)
 	case "partition-at":
 		f.PartitionAt, err = s.wantDur(st, set)
 	case "partition-duration":
@@ -445,12 +461,58 @@ func (s *Scenario) applyFault(f *config.FaultSpec, set Setting) error {
 	return err
 }
 
+// applyReplication lowers one replication-block setting onto the
+// sharding topology. The block tunes adaptive replication (hot, window,
+// shed-below) and pins static placements (replica OBJ:SHARD, repeatable).
+func (s *Scenario) applyReplication(t *config.Topology, set Setting) error {
+	const st = "replication"
+	var err error
+	switch set.Key {
+	case "hot":
+		t.ReplicateHot, err = s.wantInt(st, set)
+	case "window":
+		t.HeatWindow, err = s.wantDur(st, set)
+	case "shed-below":
+		t.ShedBelow, err = s.wantInt(st, set)
+	case "replica":
+		obj, shard, ok := splitReplica(set.Val)
+		if !ok {
+			return s.errf(set.Line, st, "replica wants OBJ:SHARD (two non-negative integers), got %q", set.Val)
+		}
+		if t.Replicas == nil {
+			t.Replicas = make(map[int]int)
+		}
+		t.Replicas[obj] = shard
+	default:
+		err = s.errf(set.Line, st, "unknown replication key %q", set.Key)
+	}
+	return err
+}
+
+// splitReplica parses a "OBJ:SHARD" placement value.
+func splitReplica(v Value) (obj, shard int, ok bool) {
+	if v.Kind != ValWord {
+		return 0, 0, false
+	}
+	a, b, found := strings.Cut(v.Word, ":")
+	if !found {
+		return 0, 0, false
+	}
+	o, err1 := strconv.Atoi(a)
+	sh, err2 := strconv.Atoi(b)
+	if err1 != nil || err2 != nil || o < 0 || sh < 0 {
+		return 0, 0, false
+	}
+	return o, sh, true
+}
+
 // scalarMetrics are the argument-less expect metrics.
 var scalarMetrics = map[string]bool{
 	"success_rate": true, "cache_hit_rate": true,
 	"submitted": true, "committed": true, "missed": true, "aborted": true,
 	"total_messages": true, "total_bytes": true, "net_utilization": true,
 	"retries": true, "forward_hops": true, "exec_spread": true,
+	"replicas_installed": true, "replicas_shed": true, "requests_forwarded": true,
 }
 
 // messageKinds are the valid "messages KIND" arguments, matching

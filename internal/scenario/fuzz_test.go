@@ -22,6 +22,7 @@ func clearLines(s *Scenario) {
 	}
 	clearBlock(s.Config)
 	clearBlock(s.Faults)
+	clearBlock(s.Replication)
 	for ci := range s.Classes {
 		cl := &s.Classes[ci]
 		cl.Line = 0

@@ -115,12 +115,14 @@ func (p *parser) scenario() (*Scenario, error) {
 			err = p.clients(s, ln)
 		case "faults":
 			err = p.block(ln, "faults", &s.Faults)
+		case "replication":
+			err = p.block(ln, "replication", &s.Replication)
 		case "expect":
 			err = p.expect(s, ln)
 		case "}":
 			err = p.errf(ln.num, "scenario", "unmatched closing brace")
 		default:
-			err = p.errf(ln.num, "scenario", "unknown directive %q (want system, seed, config, clients, faults, or expect)", ln.toks[0])
+			err = p.errf(ln.num, "scenario", "unknown directive %q (want system, seed, config, clients, faults, replication, or expect)", ln.toks[0])
 		}
 		if err != nil {
 			return nil, err

@@ -6,8 +6,8 @@ import (
 )
 
 // Format renders the scenario in canonical form: fixed stanza order
-// (scenario, system, seed, config, clients, faults, expect), two-space
-// indent per block level. Parsing the output yields an AST identical to
+// (scenario, system, seed, config, clients, faults, replication,
+// expect), two-space indent per block level. Parsing the output yields an AST identical to
 // s up to line numbers — the round-trip FuzzScenarioParse checks.
 func Format(s *Scenario) string {
 	var b strings.Builder
@@ -44,6 +44,9 @@ func Format(s *Scenario) string {
 	}
 	if s.Faults != nil {
 		formatBlock(&b, "faults", s.Faults, "")
+	}
+	if s.Replication != nil {
+		formatBlock(&b, "replication", s.Replication, "")
 	}
 	if s.HasExpect {
 		b.WriteString("expect {\n")

@@ -113,6 +113,12 @@ func metricValue(res *rtdbs.Result, ex ExpectStanza) float64 {
 		return float64(res.ForwardHops)
 	case "exec_spread":
 		return res.ExecSpread()
+	case "replicas_installed":
+		return float64(res.ReplicasInstalled)
+	case "replicas_shed":
+		return float64(res.ReplicasShed)
+	case "requests_forwarded":
+		return float64(res.RequestsForwarded)
 	case "messages":
 		for k := range res.Messages {
 			if k.String() == ex.Arg {
@@ -199,6 +205,11 @@ func (r *Report) Format() string {
 	fmt.Fprintf(&b, "retries %d\n", res.Retries)
 	fmt.Fprintf(&b, "forward_hops %d\n", res.ForwardHops)
 	fmt.Fprintf(&b, "exec_spread %.4f\n", res.ExecSpread())
+	if res.Config.Sharding.Enabled() {
+		fmt.Fprintf(&b, "sharding servers %d replicas-installed %d replicas-shed %d forwarded %d\n",
+			res.Config.Sharding.NumServers(), res.ReplicasInstalled,
+			res.ReplicasShed, res.RequestsForwarded)
+	}
 	if res.Faults != (netsim.FaultStats{}) {
 		fmt.Fprintf(&b, "faults dropped %d duplicated %d spiked %d retransmits %d partition-drops %d\n",
 			res.Faults.Dropped, res.Faults.Duplicated, res.Faults.Spiked,

@@ -138,7 +138,10 @@ type Scenario struct {
 	Config  *Block
 	Classes []ClientsStanza
 	Faults  *Block
-	Expects []ExpectStanza
+	// Replication configures the sharded server's replica placement
+	// (nil when the block is absent).
+	Replication *Block
+	Expects     []ExpectStanza
 	// HasExpect distinguishes an empty expect block from none.
 	HasExpect  bool
 	ExpectLine int

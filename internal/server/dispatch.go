@@ -38,7 +38,7 @@ type shipIntent struct {
 // for the same destination into a single batched ship.
 func (s *Server) ship(obj lockmgr.ObjectID, to netsim.SiteID, mode lockmgr.Mode, id txn.ID, fwd *forward.List) {
 	s.GrantsShipped++
-	s.tr.Point(id, netsim.ServerSite, trace.EvObjectShipped, obj, int64(to), 0, s.env.Now())
+	s.tr.Point(id, s.site, trace.EvObjectShipped, obj, int64(to), 0, s.env.Now())
 	in := shipIntent{obj: obj, to: to, mode: mode, id: id, fwd: fwd,
 		version: s.versions[obj], epoch: s.epochOf(obj, to)}
 	if s.batching {
@@ -109,7 +109,9 @@ func (s *Server) epochOf(obj lockmgr.ObjectID, client netsim.SiteID) int64 {
 // which may cascade into further grants.
 func (s *Server) shipGrants(grants []*lockmgr.Request) {
 	for _, g := range grants {
-		if g.Owner == MigrationOwner {
+		if g.Owner == MigrationOwner || isReplicaOwner(g.Owner) {
+			// Replica pseudo-requests are only ever registered on a free
+			// object, so they never queue; the guard is defensive.
 			continue
 		}
 		if g.Deadline < s.env.Now() {
@@ -163,7 +165,7 @@ func (s *Server) conflictHolders(obj lockmgr.ObjectID, client netsim.SiteID, mod
 	out := make([]netsim.SiteID, 0, len(hs))
 	for _, h := range hs {
 		if h != MigrationOwner {
-			out = append(out, netsim.SiteID(h))
+			out = append(out, siteFor(h))
 		}
 	}
 	if len(out) == 0 {
@@ -173,12 +175,12 @@ func (s *Server) conflictHolders(obj lockmgr.ObjectID, client netsim.SiteID, mod
 			// holders (whoever the queued writer waits on), or the
 			// queued requester itself when the object is bare.
 			for _, h := range s.locks.SortedHolders(obj) {
-				if h != MigrationOwner && netsim.SiteID(h) != client {
-					out = append(out, netsim.SiteID(h))
+				if h != MigrationOwner && siteFor(h) != client {
+					out = append(out, siteFor(h))
 				}
 			}
 			if len(out) == 0 && w.Owner != MigrationOwner {
-				out = append(out, netsim.SiteID(w.Owner))
+				out = append(out, siteFor(w.Owner))
 			}
 		}
 	}
@@ -216,10 +218,10 @@ func (s *Server) holdersFor(obj lockmgr.ObjectID, asker netsim.SiteID) []netsim.
 	}
 	var out []netsim.SiteID
 	for _, h := range s.locks.SortedHolders(obj) {
-		if h == MigrationOwner || netsim.SiteID(h) == asker {
+		if h == MigrationOwner || siteFor(h) == asker {
 			continue
 		}
-		out = append(out, netsim.SiteID(h))
+		out = append(out, siteFor(h))
 	}
 	return out
 }
@@ -263,7 +265,7 @@ func (s *Server) recallForQueueHead(obj lockmgr.ObjectID) {
 		if h == MigrationOwner {
 			continue
 		}
-		s.recall(obj, netsim.SiteID(h), downgrade, forTxn)
+		s.recall(obj, siteFor(h), downgrade, forTxn)
 	}
 }
 
@@ -294,7 +296,7 @@ func (s *Server) headEntry(obj lockmgr.ObjectID) (forward.Entry, bool) {
 // requester itself conflicts with the head entry's mode.
 func (s *Server) blockedForHead(obj lockmgr.ObjectID, head forward.Entry) bool {
 	for _, h := range s.locks.SortedHolders(obj) {
-		if h == MigrationOwner || netsim.SiteID(h) == head.Client {
+		if h == MigrationOwner || siteFor(h) == head.Client {
 			continue
 		}
 		if !lockmgr.Compatible(head.Mode, s.locks.HolderMode(obj, h)) {
@@ -316,13 +318,13 @@ func (s *Server) recallForMigration(obj lockmgr.ObjectID) {
 	}
 	downgrade := head.Mode == lockmgr.ModeShared && s.cfg.UseDowngrade
 	for _, h := range s.locks.SortedHolders(obj) {
-		if h == MigrationOwner || netsim.SiteID(h) == head.Client {
+		if h == MigrationOwner || siteFor(h) == head.Client {
 			continue
 		}
 		if lockmgr.Compatible(head.Mode, s.locks.HolderMode(obj, h)) {
 			continue // compatible with the head; deeper entries recall later
 		}
-		s.recall(obj, netsim.SiteID(h), downgrade, head.Txn)
+		s.recall(obj, siteFor(h), downgrade, head.Txn)
 	}
 }
 
@@ -340,11 +342,11 @@ func (s *Server) recall(obj lockmgr.ObjectID, holder netsim.SiteID, downgrade bo
 	}
 	m[holder] = true
 	s.RecallsSent++
-	s.tr.Point(forTxn, netsim.ServerSite, trace.EvRecall, obj, int64(holder), 0, s.env.Now())
+	s.tr.Point(forTxn, s.site, trace.EvRecall, obj, int64(holder), 0, s.env.Now())
 	r := proto.Recall{
 		Obj:               obj,
 		DowngradeToShared: downgrade,
-		HolderMode:        s.locks.HolderMode(obj, lockmgr.OwnerID(holder)),
+		HolderMode:        s.locks.HolderMode(obj, ownerFor(holder)),
 	}
 	if s.batching {
 		// Defer the send; endFlush coalesces every callback bound for

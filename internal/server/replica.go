@@ -1,0 +1,300 @@
+package server
+
+import (
+	"time"
+
+	"siteselect/internal/batch"
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/netsim"
+	"siteselect/internal/proto"
+	"siteselect/internal/shardmap"
+)
+
+// Adaptive replication (multi-server topologies only).
+//
+// A home shard counts shared-mode grants per object over the topology's
+// HeatWindow; an object that crosses ReplicateHot gains a read replica
+// on another shard. The replica registers in the home shard's lock
+// table as a shared-mode pseudo-owner, so coherence needs no new
+// machinery: a writer's firm request finds the pseudo-owner among the
+// conflicting holders and the ordinary callback path recalls it — the
+// replica shard withdraws its topology registration (new reads route
+// home again), recalls its own client holders through the ordinary
+// client recall path, and returns the object to the home shard once
+// drained, which releases the pseudo-owner and lets the writer proceed.
+// The replica's copy can never go stale while registered, because no
+// exclusive lock can be granted at the home shard before that drain
+// completes.
+//
+// Cold replicas shed themselves: each adaptive install schedules a
+// HeatWindow heartbeat, and a window with fewer than ShedBelow reads
+// starts a lame-duck drain — the topology registration is withdrawn so
+// new reads route home, but existing client holders are NOT recalled
+// (nobody is waiting on a cold shed, and a recall stampede would cost
+// one recall/return round-trip per holder). The object goes home once
+// the holders drain naturally; a writer arriving mid-drain upgrades it
+// to a forced drain. Static placements (Topology.Replicas) get no
+// heartbeat — only a writer removes them.
+
+// replicaOwnerBase anchors the pseudo-owner IDs under which replica
+// shards register in a home shard's lock table. Shard k registers as
+// replicaOwnerBase-k — far from MigrationOwner (-1) and from client
+// owners (positive), so the existing pseudo-owner filters cannot
+// confuse them.
+const replicaOwnerBase lockmgr.OwnerID = -1000
+
+// replicaOwner returns the lock-table pseudo-owner of shard k.
+func replicaOwner(k int) lockmgr.OwnerID { return replicaOwnerBase - lockmgr.OwnerID(k) }
+
+// isReplicaOwner reports whether o is a replica pseudo-owner.
+func isReplicaOwner(o lockmgr.OwnerID) bool { return o <= replicaOwnerBase }
+
+// ownerFor maps a network site to its lock-table owner: clients own
+// under their site ID, replica shards under their pseudo-owner.
+func ownerFor(site netsim.SiteID) lockmgr.OwnerID {
+	if shardmap.IsShardSite(site) {
+		return replicaOwner(shardmap.ShardIndex(site))
+	}
+	return lockmgr.OwnerID(site)
+}
+
+// siteFor is ownerFor's inverse: the network site a lock-table owner
+// answers at.
+func siteFor(o lockmgr.OwnerID) netsim.SiteID {
+	if isReplicaOwner(o) {
+		return shardmap.ShardSite(int(replicaOwnerBase - o))
+	}
+	return netsim.SiteID(o)
+}
+
+// heatWindow is one object's access count over the current window.
+type heatWindow struct {
+	start time.Duration
+	n     int
+}
+
+// servesObj reports whether this shard is authoritative for a request:
+// the home shard always is; a replica shard only for shared-mode
+// requests of objects it currently replicates.
+func (s *Server) servesObj(obj lockmgr.ObjectID, mode lockmgr.Mode) bool {
+	if s.topo.HomeShard(obj) == s.shard {
+		return true
+	}
+	return mode == lockmgr.ModeShared && s.replicated[obj]
+}
+
+// routeFirm re-routes a firm request that reached a shard which cannot
+// serve it authoritatively (the object's replica was recalled or shed
+// after the client routed here) to the object's home shard.
+func (s *Server) routeFirm(r batch.Request) (batch.Outcome, bool) {
+	if s.servesObj(r.Obj, r.Mode) {
+		return 0, false
+	}
+	s.RequestsForwarded++
+	s.send(shardmap.ShardSite(s.topo.HomeShard(r.Obj)), netsim.KindObjectRequest, netsim.ControlBytes,
+		proto.ObjRequest{Client: r.Client, Txn: r.Txn, Obj: r.Obj, Mode: r.Mode, Deadline: r.Deadline})
+	return batch.OutForwarded, true
+}
+
+// noteServe observes one granted request (multi-server topologies
+// only). At the home shard it feeds the heat window that triggers
+// adaptive replication; at a replica shard it feeds the cold-shed
+// counter, and a grant that raced a forced drain is recalled
+// immediately (a writer is waiting; a grant racing a lame-duck drain
+// just joins the holders and drains naturally).
+func (s *Server) noteServe(obj lockmgr.ObjectID, mode lockmgr.Mode, client netsim.SiteID) {
+	if s.topo.HomeShard(obj) != s.shard {
+		s.repHeat[obj]++
+		if s.shedding[obj] {
+			s.recall(obj, client, false, 0)
+		}
+		return
+	}
+	if !s.adaptive || mode != lockmgr.ModeShared {
+		return
+	}
+	now := s.env.Now()
+	w := s.heat[obj]
+	if w == nil {
+		w = &heatWindow{start: now}
+		s.heat[obj] = w
+	} else if now-w.start > s.cfg.Sharding.HeatWindow {
+		w.start, w.n = now, 0
+	}
+	w.n++
+	if w.n >= s.cfg.Sharding.ReplicateHot {
+		s.maybeReplicate(obj)
+	}
+}
+
+// maybeReplicate provisions a read replica of a hot object if the
+// object is quiescent: no replica already out, no forward list forming
+// or in flight, no queued writers, and no holder conflicting with a
+// shared registration. A hot object that is not quiescent stays hot and
+// is retried on its next access.
+func (s *Server) maybeReplicate(obj lockmgr.ObjectID) {
+	if s.replicaOut[obj] {
+		return
+	}
+	if _, ok := s.topo.Replica(obj); ok {
+		return
+	}
+	if s.inflight[obj] != nil || s.sealed[obj] != nil {
+		return
+	}
+	if s.collector != nil && s.collector.Pending(obj) != nil {
+		return
+	}
+	if s.locks.QueueLen(obj) > 0 {
+		return
+	}
+	target := s.replicaTarget(obj)
+	owner := replicaOwner(target)
+	if len(s.locks.ConflictingHolders(obj, owner, lockmgr.ModeShared)) > 0 {
+		return
+	}
+	if outcome, _ := s.locks.Lock(&lockmgr.Request{
+		Obj: obj, Owner: owner, Mode: lockmgr.ModeShared, Deadline: s.env.Now(),
+	}); outcome != lockmgr.Granted {
+		panic("server: replica registration failed on quiescent object")
+	}
+	delete(s.heat, obj)
+	s.replicaOut[obj] = true
+	s.ReplicasInstalled++
+	s.send(shardmap.ShardSite(target), netsim.KindObjectShip, netsim.ObjectBytes,
+		proto.ReplicaInstall{Obj: obj, Version: s.versions[obj]})
+}
+
+// replicaTarget picks the shard hosting obj's replica: the static
+// placement map when it names one, otherwise the home shard's
+// neighbour.
+func (s *Server) replicaTarget(obj lockmgr.ObjectID) int {
+	if k, ok := s.cfg.Sharding.Replicas[int(obj)]; ok && k != s.shard {
+		return k
+	}
+	return (s.shard + 1) % s.topo.Servers()
+}
+
+// installReplica activates a replica shipped by the home shard: this
+// shard now serves shared-mode requests for obj at version, and a
+// heartbeat watches for the replica running cold.
+func (s *Server) installReplica(obj lockmgr.ObjectID, version int64) {
+	s.replicated[obj] = true
+	delete(s.shedding, obj)
+	s.versions[obj] = version
+	s.repHeat[obj] = 0
+	s.topo.SetReplica(obj, s.site)
+	s.repGen[obj]++
+	s.scheduleHeatCheck(obj, s.repGen[obj])
+}
+
+// SeedReplica installs a static replica of obj on shard r before the
+// run starts (Topology.Replicas). It reports false when the placement
+// is inapplicable (wrong home, replica already out, or the object is
+// not free for a shared registration). Static replicas get no cold
+// heartbeat — only a writer's recall removes them.
+func (s *Server) SeedReplica(obj lockmgr.ObjectID, r *Server) bool {
+	if s.topo.HomeShard(obj) != s.shard || r.shard == s.shard || s.replicaOut[obj] {
+		return false
+	}
+	if _, ok := s.topo.Replica(obj); ok {
+		return false
+	}
+	owner := replicaOwner(r.shard)
+	if len(s.locks.ConflictingHolders(obj, owner, lockmgr.ModeShared)) > 0 {
+		return false
+	}
+	if outcome, _ := s.locks.Lock(&lockmgr.Request{
+		Obj: obj, Owner: owner, Mode: lockmgr.ModeShared, Deadline: s.env.Now(),
+	}); outcome != lockmgr.Granted {
+		return false
+	}
+	s.replicaOut[obj] = true
+	s.ReplicasInstalled++
+	r.replicated[obj] = true
+	r.versions[obj] = s.versions[obj]
+	s.topo.SetReplica(obj, r.site)
+	return true
+}
+
+// scheduleHeatCheck arms one HeatWindow heartbeat for a replicated
+// object; gen invalidates the timer if the replica is shed and
+// reinstalled before it fires.
+func (s *Server) scheduleHeatCheck(obj lockmgr.ObjectID, gen int) {
+	s.env.Schedule(s.cfg.Sharding.HeatWindow, func() { s.checkReplicaHeat(obj, gen) })
+}
+
+// checkReplicaHeat sheds a replica whose last window ran cold, or
+// re-arms the heartbeat.
+func (s *Server) checkReplicaHeat(obj lockmgr.ObjectID, gen int) {
+	_, draining := s.shedding[obj]
+	if gen != s.repGen[obj] || !s.replicated[obj] || draining {
+		return
+	}
+	if s.repHeat[obj] < s.cfg.Sharding.EffectiveShedBelow() {
+		s.shedReplica(obj, false)
+		return
+	}
+	s.repHeat[obj] = 0
+	s.scheduleHeatCheck(obj, gen)
+}
+
+// shedReplica starts draining a replica back to its home shard: the
+// topology registration is withdrawn first (new reads route home), and
+// the object returns home once the last client holder releases. A
+// forced drain (a writer is waiting at the home shard) recalls every
+// holder; a cold, lame-duck shed lets them drain naturally — in the
+// shedding map, presence means "draining", the value means "forced".
+func (s *Server) shedReplica(obj lockmgr.ObjectID, force bool) {
+	if !s.replicated[obj] {
+		return
+	}
+	if forced, draining := s.shedding[obj]; draining {
+		if force && !forced {
+			// A writer's recall caught a lame-duck drain in progress:
+			// upgrade it so the writer is not stuck behind slow evictions.
+			s.shedding[obj] = true
+			s.recallReplicaHolders(obj)
+		}
+		return
+	}
+	s.shedding[obj] = force
+	s.ReplicasShed++
+	if site, ok := s.topo.Replica(obj); ok && site == s.site {
+		s.topo.ClearReplica(obj)
+	}
+	if force {
+		s.recallReplicaHolders(obj)
+	}
+	s.finishShedIfDrained(obj)
+}
+
+// recallReplicaHolders recalls every client holding the replica's
+// object — the forced-drain path only.
+func (s *Server) recallReplicaHolders(obj lockmgr.ObjectID) {
+	for _, h := range s.locks.SortedHolders(obj) {
+		if h > 0 {
+			s.recall(obj, netsim.SiteID(h), false, 0)
+		}
+	}
+}
+
+// finishShedIfDrained completes a drain once no client holds the
+// replica any more: the replica state is dropped and the object is
+// returned to its home shard, whose release of the pseudo-owner
+// unblocks any waiting writer.
+func (s *Server) finishShedIfDrained(obj lockmgr.ObjectID) {
+	if _, draining := s.shedding[obj]; !draining {
+		return
+	}
+	for _, h := range s.locks.SortedHolders(obj) {
+		if h > 0 {
+			return
+		}
+	}
+	delete(s.shedding, obj)
+	delete(s.replicated, obj)
+	delete(s.repHeat, obj)
+	s.send(shardmap.ShardSite(s.topo.HomeShard(obj)), netsim.KindObjectReturn, netsim.ControlBytes,
+		proto.ObjReturn{Client: s.site, Obj: obj})
+}

@@ -19,6 +19,7 @@ import (
 	"siteselect/internal/netsim"
 	"siteselect/internal/pagefile"
 	"siteselect/internal/proto"
+	"siteselect/internal/shardmap"
 	"siteselect/internal/sim"
 	"siteselect/internal/trace"
 	"siteselect/internal/txn"
@@ -29,11 +30,46 @@ import (
 // which list client currently has it, only that it is checked out.
 const MigrationOwner lockmgr.OwnerID = -1
 
-// Server is the database server actor.
+// Server is one database server shard. In the paper's topology there is
+// exactly one (shard 0, site netsim.ServerSite); multi-server
+// configurations partition the object space over M shards, each with
+// its own lock table, pagefile, buffer pool, and batch scheduler, at
+// sites 0, -1, … -(M-1).
 type Server struct {
 	env *sim.Env
 	cfg config.Config
 	net *netsim.Network
+
+	// shard is this server's index in the topology; site is its network
+	// address (shardmap.ShardSite(shard)); topo is the cluster-shared
+	// routing map. multi is true only in multi-server topologies — every
+	// sharding code path is gated on it so the single-server simulation
+	// is byte-identical to a build without the sharding layer.
+	shard    int
+	site     netsim.SiteID
+	topo     *shardmap.Map
+	multi    bool
+	adaptive bool
+
+	// Shard-to-shard transport: peerIn is this shard's inbox for
+	// messages from other shards, peerOut addresses each shard's inbox.
+	// Both are nil in single-server topologies.
+	peerIn  *sim.Mailbox[netsim.Message]
+	peerOut []*sim.Mailbox[netsim.Message]
+
+	// Replica state. At a home shard: heat tracks per-object shared
+	// access counts over the topology's HeatWindow and replicaOut marks
+	// objects whose replica is currently provisioned elsewhere. At a
+	// replica shard: replicated marks the objects served here, repHeat
+	// counts their window accesses (for cold shedding), shedding marks
+	// replicas draining back to their home, and repGen invalidates
+	// stale heat-check timers across shed/reinstall cycles.
+	heat       map[lockmgr.ObjectID]*heatWindow
+	replicaOut map[lockmgr.ObjectID]bool
+	replicated map[lockmgr.ObjectID]bool
+	repHeat    map[lockmgr.ObjectID]int
+	shedding   map[lockmgr.ObjectID]bool
+	repGen     map[lockmgr.ObjectID]int
 
 	locks    *lockmgr.Table
 	disk     *pagefile.Disk
@@ -91,6 +127,9 @@ type Server struct {
 	ForwardEntriesSent int64
 	DeniesExpired      int64
 	DeniesDeadlock     int64
+	ReplicasInstalled  int64
+	ReplicasShed       int64
+	RequestsForwarded  int64
 }
 
 type epochKey struct {
@@ -104,8 +143,17 @@ type conn struct {
 	out   *sim.Mailbox[netsim.Message] // the client's inbox
 }
 
-// New returns a server on env. Call Attach for every client, then Start.
+// New returns the single server of the paper's topology. Call Attach
+// for every client, then Start.
 func New(env *sim.Env, cfg config.Config, net *netsim.Network) *Server {
+	return NewShard(env, cfg, net, 0, shardmap.New(cfg.Sharding))
+}
+
+// NewShard returns server shard `shard` of a (possibly multi-server)
+// topology sharing the runtime map topo. Call Attach for every client
+// — and, in multi-server topologies, SetPeerInbox/AttachPeer for the
+// shard-to-shard transport — then Start.
+func NewShard(env *sim.Env, cfg config.Config, net *netsim.Network, shard int, topo *shardmap.Map) *Server {
 	disk := pagefile.NewDisk(env, cfg.DBSize, pagefile.DiskConfig{
 		ReadTime:  cfg.DiskRead,
 		WriteTime: cfg.DiskWrite,
@@ -114,6 +162,11 @@ func New(env *sim.Env, cfg config.Config, net *netsim.Network) *Server {
 		env:      env,
 		cfg:      cfg,
 		net:      net,
+		shard:    shard,
+		site:     shardmap.ShardSite(shard),
+		topo:     topo,
+		multi:    topo.Multi(),
+		adaptive: cfg.Sharding.Adaptive(),
 		locks:    lockmgr.NewTable(),
 		disk:     disk,
 		pool:     pagefile.NewBufferPool(env, disk, cfg.ServerMemory),
@@ -125,6 +178,14 @@ func New(env *sim.Env, cfg config.Config, net *netsim.Network) *Server {
 		epochs:   make(map[epochKey]int64),
 		sealed:   make(map[lockmgr.ObjectID]*forward.List),
 		inflight: make(map[lockmgr.ObjectID]*forward.List),
+	}
+	if s.multi {
+		s.heat = make(map[lockmgr.ObjectID]*heatWindow)
+		s.replicaOut = make(map[lockmgr.ObjectID]bool)
+		s.replicated = make(map[lockmgr.ObjectID]bool)
+		s.repHeat = make(map[lockmgr.ObjectID]int)
+		s.shedding = make(map[lockmgr.ObjectID]bool)
+		s.repGen = make(map[lockmgr.ObjectID]int)
 	}
 	s.locks.Reserve(cfg.DBSize)
 	s.faulty = cfg.Faults.Enabled()
@@ -153,12 +214,12 @@ func (s *Server) SetTracer(tr *trace.Tracer) {
 				return
 			}
 			now := s.env.Now()
-			tr.Point(id, netsim.ServerSite, trace.EvLockRequested, req.Obj, int64(req.Mode), int64(out), now)
+			tr.Point(id, s.site, trace.EvLockRequested, req.Obj, int64(req.Mode), int64(out), now)
 			switch out {
 			case lockmgr.Queued:
-				tr.Point(id, netsim.ServerSite, trace.EvLockBlocked, req.Obj, int64(len(blockers)), 0, now)
+				tr.Point(id, s.site, trace.EvLockBlocked, req.Obj, int64(len(blockers)), 0, now)
 			case lockmgr.Deadlock:
-				tr.Point(id, netsim.ServerSite, trace.EvLockDenied, req.Obj, int64(proto.DenyDeadlock), 0, now)
+				tr.Point(id, s.site, trace.EvLockDenied, req.Obj, int64(proto.DenyDeadlock), 0, now)
 			}
 		},
 		Granted: func(req *lockmgr.Request) {
@@ -166,14 +227,14 @@ func (s *Server) SetTracer(tr *trace.Tracer) {
 			if !ok || req.Owner == MigrationOwner {
 				return
 			}
-			tr.Point(id, netsim.ServerSite, trace.EvLockGranted, req.Obj, 0, 0, s.env.Now())
+			tr.Point(id, s.site, trace.EvLockGranted, req.Obj, 0, 0, s.env.Now())
 		},
 	})
 	if s.collector != nil {
 		s.collector.TraceSeal = func(l *forward.List) {
 			now := s.env.Now()
 			for _, e := range l.Entries {
-				tr.Point(e.Txn, netsim.ServerSite, trace.EvListSealed, l.Obj, int64(l.Len()), 0, now)
+				tr.Point(e.Txn, s.site, trace.EvListSealed, l.Obj, int64(l.Len()), 0, now)
 			}
 		}
 	}
@@ -208,7 +269,20 @@ func (s *Server) Attach(id netsim.SiteID, inbox, out *sim.Mailbox[netsim.Message
 	s.conns[id] = &conn{id: id, inbox: inbox, out: out}
 }
 
-// Start spawns one event-driven handler per attached connection.
+// SetPeerInbox installs this shard's inbox for shard-to-shard messages
+// (multi-server topologies only); Start spawns a handler for it.
+func (s *Server) SetPeerInbox(in *sim.Mailbox[netsim.Message]) { s.peerIn = in }
+
+// AttachPeer wires the outbound route to shard k's peer inbox.
+func (s *Server) AttachPeer(k int, in *sim.Mailbox[netsim.Message]) {
+	if s.peerOut == nil {
+		s.peerOut = make([]*sim.Mailbox[netsim.Message], s.topo.Servers())
+	}
+	s.peerOut[k] = in
+}
+
+// Start spawns one event-driven handler per attached connection, plus
+// one for the shard-to-shard inbox when peered.
 func (s *Server) Start() {
 	for id := netsim.SiteID(1); int(id) <= len(s.conns); id++ {
 		c, ok := s.conns[id]
@@ -216,6 +290,10 @@ func (s *Server) Start() {
 			continue
 		}
 		m := &connMachine{s: s, c: c}
+		s.env.Spawn(&m.task, m)
+	}
+	if s.peerIn != nil {
+		m := &connMachine{s: s, c: &conn{id: s.site, inbox: s.peerIn}}
 		s.env.Spawn(&m.task, m)
 	}
 }
@@ -298,6 +376,18 @@ func (m *connMachine) Resume() {
 			case proto.LoadQuery:
 				s.noteLoad(pl.Load)
 				s.handleLoadQuery(pl)
+			case proto.ReplicaInstall:
+				// Shard-to-shard only: the home shard provisions a read
+				// replica here.
+				s.installReplica(pl.Obj, pl.Version)
+			case proto.Recall:
+				// Shard-to-shard only: the home shard recalls a replica
+				// served here (a writer arrived) — a forced drain.
+				s.shedReplica(pl.Obj, true)
+			case proto.BatchRecall:
+				for _, r := range pl.Recalls {
+					s.shedReplica(r.Obj, true)
+				}
 			default:
 				panic(fmt.Sprintf("server: unexpected payload %T", m.msg.Payload))
 			}
@@ -325,17 +415,27 @@ func (s *Server) noteLoad(l proto.LoadReport) {
 }
 
 func (s *Server) send(to netsim.SiteID, kind netsim.Kind, size int, payload any) {
-	c, ok := s.conns[to]
-	if !ok {
-		panic(fmt.Sprintf("server: send to unattached site %d", to))
+	var dest *sim.Mailbox[netsim.Message]
+	if shardmap.IsShardSite(to) {
+		k := shardmap.ShardIndex(to)
+		if s.peerOut == nil || k >= len(s.peerOut) || s.peerOut[k] == nil {
+			panic(fmt.Sprintf("server: shard %d send to unattached shard %d", s.shard, k))
+		}
+		dest = s.peerOut[k]
+	} else {
+		c, ok := s.conns[to]
+		if !ok {
+			panic(fmt.Sprintf("server: send to unattached site %d", to))
+		}
+		dest = c.out
 	}
 	s.net.Send(netsim.Message{
 		Kind:    kind,
-		From:    netsim.ServerSite,
+		From:    s.site,
 		To:      to,
 		Size:    size,
 		Payload: payload,
-	}, c.out)
+	}, dest)
 }
 
 // handleProbe implements the all-or-nothing tentative round of the
@@ -351,6 +451,15 @@ func (s *Server) handleProbe(req proto.ProbeRequest) {
 	}
 	var conflicts []proto.ObjConflict
 	for i, obj := range req.Objs {
+		if s.multi && !s.servesObj(obj, req.Modes[i]) {
+			// The object moved off this shard (its replica was recalled
+			// or shed after the client routed here). A probe is
+			// all-or-nothing and cannot span shards, so report a
+			// degenerate "busy" conflict; the client's stay-local
+			// fallback re-routes the firm requests freshly.
+			conflicts = append(conflicts, proto.ObjConflict{Obj: obj, Holders: []netsim.SiteID{req.Client}})
+			continue
+		}
 		if hs := s.conflictHolders(obj, req.Client, req.Modes[i]); len(hs) > 0 {
 			conflicts = append(conflicts, proto.ObjConflict{Obj: obj, Holders: hs})
 		}
@@ -365,6 +474,9 @@ func (s *Server) handleProbe(req proto.ProbeRequest) {
 				panic("server: conflict-free probe request not granted")
 			}
 			s.ship(obj, req.Client, req.Modes[i], req.Txn, nil)
+			if s.multi {
+				s.noteServe(obj, req.Modes[i], req.Client)
+			}
 		}
 		return
 	}
@@ -392,7 +504,7 @@ func (s *Server) dataCounts(objs []lockmgr.ObjectID, conflicts []proto.ObjConfli
 			if h == MigrationOwner {
 				continue
 			}
-			if site := netsim.SiteID(h); sites[site] {
+			if site := siteFor(h); sites[site] {
 				counts[site]++
 			}
 		}
@@ -450,11 +562,16 @@ func (s *Server) serveFirm(r batch.Request) batch.Outcome {
 			proto.DenyReply{Txn: r.Txn, Obj: r.Obj, Reason: proto.DenyExpired})
 		return batch.OutDeniedExpired
 	}
+	if s.multi {
+		if out, rerouted := s.routeFirm(r); rerouted {
+			return out
+		}
+	}
 	if s.faulty && s.dupFirm(r.Client, r.Txn, r.Obj, r.Mode) {
 		return batch.OutDupServed
 	}
 	if s.collector != nil && s.groupable(r.Obj, r.Client, r.Mode) {
-		s.tr.Point(r.Txn, netsim.ServerSite, trace.EvListJoined, r.Obj, 0, 0, now)
+		s.tr.Point(r.Txn, s.site, trace.EvListJoined, r.Obj, 0, 0, now)
 		s.collector.Add(r.Obj, forward.Entry{Client: r.Client, Mode: r.Mode, Deadline: r.Deadline, Txn: r.Txn})
 		s.recallForMigration(r.Obj)
 		s.tryDispatch(r.Obj) // the object may already be free
@@ -467,6 +584,9 @@ func (s *Server) serveFirm(r batch.Request) batch.Outcome {
 	switch outcome {
 	case lockmgr.Granted:
 		s.ship(r.Obj, r.Client, r.Mode, r.Txn, nil)
+		if s.multi {
+			s.noteServe(r.Obj, r.Mode, r.Client)
+		}
 		return batch.OutGranted
 	case lockmgr.Queued:
 		s.recallForQueueHead(r.Obj)
@@ -572,14 +692,23 @@ func (s *Server) finishReturn(ret proto.ObjReturn) {
 	}
 	var grants []*lockmgr.Request
 	if ret.Downgraded {
-		grants = s.locks.Downgrade(obj, lockmgr.OwnerID(ret.Client))
+		grants = s.locks.Downgrade(obj, ownerFor(ret.Client))
 	} else {
-		grants = s.locks.Release(obj, lockmgr.OwnerID(ret.Client))
+		grants = s.locks.Release(obj, ownerFor(ret.Client))
+	}
+	if s.multi && shardmap.IsShardSite(ret.Client) {
+		// A replica shard finished draining: the object may be
+		// re-provisioned when it runs hot again.
+		delete(s.replicaOut, obj)
 	}
 	s.shipGrants(grants)
 	// Still blocked? Chase the remaining holders.
 	s.recallForQueueHead(obj)
 	s.tryDispatch(obj)
+	if s.multi && len(s.shedding) > 0 {
+		// A client release at a replica shard may complete a drain.
+		s.finishShedIfDrained(obj)
+	}
 }
 
 func (s *Server) handleLoadQuery(q proto.LoadQuery) {

@@ -1,0 +1,68 @@
+package shardmap
+
+import (
+	"testing"
+
+	"siteselect/internal/config"
+	"siteselect/internal/lockmgr"
+	"siteselect/internal/netsim"
+)
+
+func TestShardSites(t *testing.T) {
+	if ShardSite(0) != netsim.ServerSite {
+		t.Fatalf("ShardSite(0) = %d, want ServerSite", ShardSite(0))
+	}
+	for k := 0; k < 5; k++ {
+		s := ShardSite(k)
+		if !IsShardSite(s) {
+			t.Fatalf("IsShardSite(%d) = false for shard %d", s, k)
+		}
+		if got := ShardIndex(s); got != k {
+			t.Fatalf("ShardIndex(ShardSite(%d)) = %d", k, got)
+		}
+	}
+	if IsShardSite(1) {
+		t.Fatal("client site 1 must not be a shard site")
+	}
+}
+
+func TestSingleShardRouting(t *testing.T) {
+	m := New(config.Topology{})
+	if m.Servers() != 1 || m.Multi() {
+		t.Fatalf("single topology: Servers=%d Multi=%v", m.Servers(), m.Multi())
+	}
+	for obj := lockmgr.ObjectID(0); obj < 20; obj++ {
+		if m.HomeSite(obj) != netsim.ServerSite {
+			t.Fatalf("HomeSite(%d) = %d, want ServerSite", obj, m.HomeSite(obj))
+		}
+		if m.RouteSite(obj, true) != netsim.ServerSite {
+			t.Fatalf("RouteSite(%d) shifted off the single server", obj)
+		}
+	}
+}
+
+func TestReplicaRouting(t *testing.T) {
+	m := New(config.Topology{Servers: 4})
+	obj := lockmgr.ObjectID(5)
+	home := m.HomeSite(obj)
+	if home != ShardSite(1) {
+		t.Fatalf("HomeSite(5) = %d, want shard 1 (5 mod 4)", home)
+	}
+	if got := m.RouteSite(obj, true); got != home {
+		t.Fatalf("RouteSite without replica = %d, want home %d", got, home)
+	}
+	m.SetReplica(obj, ShardSite(3))
+	if got := m.RouteSite(obj, true); got != ShardSite(3) {
+		t.Fatalf("shared RouteSite with replica = %d, want shard 3", got)
+	}
+	if got := m.RouteSite(obj, false); got != home {
+		t.Fatalf("exclusive RouteSite must ignore the replica, got %d", got)
+	}
+	if n := m.ReplicaCount(); n != 1 {
+		t.Fatalf("ReplicaCount = %d, want 1", n)
+	}
+	m.ClearReplica(obj)
+	if got := m.RouteSite(obj, true); got != home {
+		t.Fatalf("RouteSite after ClearReplica = %d, want home %d", got, home)
+	}
+}
