@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz-smoke bench-kernel figures scenarios update-scenarios update-scenarios-scale
+.PHONY: build test race fuzz-smoke bench-kernel bench-mem figures scenarios update-scenarios update-scenarios-scale
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,16 @@ update-scenarios-scale:
 LABEL ?= current
 bench-kernel:
 	sh scripts/bench_kernel.sh $(LABEL)
+
+# bench-mem is the allocation-hunting loop: the two macro benchmarks
+# with -benchmem, recorded under LABEL. Besides ns/op, B/op and
+# allocs/op this captures the GC metrics the scale harness reports
+# (heap-MB high water, B/client, gc-pause-ms, gc-cycles), so a
+# benchjson -diff against post-pr shows memory regressions directly.
+# See EXPERIMENTS.md, "Hunting allocations".
+bench-mem:
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure3$$|BenchmarkScaleSmoke$$' -benchtime 1x -benchmem . | \
+		$(GO) run ./cmd/benchjson -into BENCH_kernel.json -label $(LABEL)
 
 figures:
 	$(GO) run ./cmd/rtbench -exp all

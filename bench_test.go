@@ -360,7 +360,8 @@ func benchScale(b *testing.B, clients int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		var ms runtime.MemStats
+		var ms, ms0 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
 		var heapHW uint64
 		var sinceSample int
 		c.Env().SetStepHook(func() {
@@ -389,6 +390,8 @@ func benchScale(b *testing.B, clients int) {
 		b.ReportMetric(float64(steps)/elapsed.Seconds(), "steps/sec")
 		b.ReportMetric(float64(heapHW)/(1<<20), "heap-MB")
 		b.ReportMetric(float64(heapHW)/float64(clients), "B/client")
+		b.ReportMetric(float64(ms.PauseTotalNs-ms0.PauseTotalNs)/1e6, "gc-pause-ms")
+		b.ReportMetric(float64(ms.NumGC-ms0.NumGC), "gc-cycles")
 		b.ReportMetric(float64(res.M.Submitted), "txns")
 	}
 }

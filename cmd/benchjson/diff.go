@@ -7,19 +7,44 @@ import (
 	"strings"
 )
 
+// higherIsBetter reports whether a metric improves upward. Rates like
+// steps/sec regress by decreasing; everything else recorded here
+// (ns/op, B/op, allocs/op, heap-MB, B/client, result percentages)
+// regresses by increasing.
+func higherIsBetter(metric string) bool { return strings.HasSuffix(metric, "/sec") }
+
+// metricDelta formats the percent delta of one metric shared by both
+// records, or "-" when either side lacks it or the baseline is zero
+// with nothing to compare against.
+func metricDelta(b, c Record, metric string) string {
+	bv, okB := b.Metrics[metric]
+	cv, okC := c.Metrics[metric]
+	if !okB || !okC {
+		return "-"
+	}
+	if bv == 0 {
+		if cv == 0 {
+			return "0%"
+		}
+		return fmt.Sprintf("+%g", cv)
+	}
+	return fmt.Sprintf("%+.1f%%", (cv-bv)/bv*100)
+}
+
 // diffLabels compares one label's records against a baseline label in
 // the same file and renders a delta table for every benchmark present
-// under both. For each metric the two records share, the delta is
-// (current-baseline)/baseline; only ns/op is shown in the table (the
-// rest of the metrics ride along in the JSON), but the warn check can
-// target any metric.
+// under both: ns/op in full, with B/op and allocs/op deltas alongside
+// when recorded (-benchmem runs).
 //
 // When warnBench is non-empty (a comma-separated list of benchmark
-// names) and any listed benchmark's ns/op regressed by more than
-// warnOver percent, a GitHub-annotation-style warning line is written
-// per regressed benchmark and the function reports true. The caller
-// decides what to do with that — CI treats it as informational
-// (non-blocking).
+// names), every metric the two records share is checked, not just
+// ns/op: B/op, allocs/op, and custom metrics such as heap-MB, B/client
+// and steps/sec (whose regressions are decreases) all annotate when
+// they regress by more than warnOver percent. A metric pinned at zero
+// in the baseline (the zero-alloc kernel benches) warns on any growth.
+// Warning lines are GitHub-annotation-style and the function reports
+// true; the caller decides what to do with that — CI treats it as
+// informational (non-blocking).
 func diffLabels(f File, baseline, label, warnBench string, warnOver float64, out io.Writer) (warned bool, err error) {
 	base := make(map[string]Record)
 	cur := make(map[string]Record)
@@ -49,14 +74,17 @@ func diffLabels(f File, baseline, label, warnBench string, warnOver float64, out
 	}
 	sort.Strings(names)
 
-	fmt.Fprintf(out, "%-40s %15s %15s %8s\n", "benchmark", baseline+" ns/op", label+" ns/op", "delta")
+	fmt.Fprintf(out, "%-40s %15s %15s %8s %9s %11s\n",
+		"benchmark", baseline+" ns/op", label+" ns/op", "delta", "B/op", "allocs/op")
 	for _, name := range names {
-		b, c := base[name].Metrics["ns/op"], cur[name].Metrics["ns/op"]
-		if b == 0 {
+		b, c := base[name], cur[name]
+		bn, cn := b.Metrics["ns/op"], c.Metrics["ns/op"]
+		if bn == 0 {
 			continue
 		}
-		delta := (c - b) / b * 100
-		fmt.Fprintf(out, "%-40s %15.0f %15.0f %+7.1f%%\n", name, b, c, delta)
+		delta := (cn - bn) / bn * 100
+		fmt.Fprintf(out, "%-40s %15.0f %15.0f %+7.1f%% %9s %11s\n",
+			name, bn, cn, delta, metricDelta(b, c, "B/op"), metricDelta(b, c, "allocs/op"))
 	}
 
 	if warnBench != "" {
@@ -67,12 +95,33 @@ func diffLabels(f File, baseline, label, warnBench string, warnOver float64, out
 			if !okB || !okC {
 				return false, fmt.Errorf("warn benchmark %q missing from baseline %q or label %q", name, baseline, label)
 			}
-			bn, cn := b.Metrics["ns/op"], c.Metrics["ns/op"]
-			if bn > 0 {
-				delta := (cn - bn) / bn * 100
-				if delta > warnOver {
-					fmt.Fprintf(out, "::warning title=%s regression::%s ns/op regressed %.1f%% vs %q (%.0f -> %.0f), over the %.0f%% budget\n",
-						name, name, delta, baseline, bn, cn, warnOver)
+			metrics := make([]string, 0, len(c.Metrics))
+			for metric := range c.Metrics {
+				if _, ok := b.Metrics[metric]; ok {
+					metrics = append(metrics, metric)
+				}
+			}
+			sort.Strings(metrics)
+			for _, metric := range metrics {
+				bv, cv := b.Metrics[metric], c.Metrics[metric]
+				if bv == 0 {
+					// Zero baselines (the alloc-pinned kernel benches)
+					// regress by growing at all; rates can't start at 0.
+					if cv > 0 && !higherIsBetter(metric) {
+						fmt.Fprintf(out, "::warning title=%s regression::%s %s grew from a zero baseline %q to %g\n",
+							name, name, metric, baseline, cv)
+						warned = true
+					}
+					continue
+				}
+				delta := (cv - bv) / bv * 100
+				reg := delta
+				if higherIsBetter(metric) {
+					reg = -delta
+				}
+				if reg > warnOver {
+					fmt.Fprintf(out, "::warning title=%s regression::%s %s regressed %.1f%% vs %q (%g -> %g), over the %.0f%% budget\n",
+						name, name, metric, reg, baseline, bv, cv, warnOver)
 					warned = true
 				}
 			}

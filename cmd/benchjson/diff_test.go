@@ -63,6 +63,74 @@ func TestDiffLabelsTableAndWarning(t *testing.T) {
 	}
 }
 
+func recm(label, name string, metrics map[string]float64) Record {
+	return Record{Label: label, Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestDiffLabelsMemoryAndCustomMetrics(t *testing.T) {
+	f := File{Records: []Record{
+		recm("base", "BenchmarkScaleSmoke", map[string]float64{
+			"ns/op": 1000, "B/op": 1 << 20, "allocs/op": 1000,
+			"steps/sec": 500000, "B/client": 16000, "heap-MB": 100,
+		}),
+		recm("ci", "BenchmarkScaleSmoke", map[string]float64{
+			"ns/op": 1010, "B/op": 1 << 21, "allocs/op": 1010,
+			"steps/sec": 300000, "B/client": 16100, "heap-MB": 101,
+		}),
+		recm("base", "BenchmarkMachineSleep", map[string]float64{
+			"ns/op": 20, "B/op": 0, "allocs/op": 0,
+		}),
+		recm("ci", "BenchmarkMachineSleep", map[string]float64{
+			"ns/op": 21, "B/op": 16, "allocs/op": 1,
+		}),
+	}}
+
+	// B/op doubled and steps/sec dropped 40%: both annotate even though
+	// ns/op moved only 1%.
+	var out strings.Builder
+	warned, err := diffLabels(f, "base", "ci", "BenchmarkScaleSmoke", 15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warned {
+		t.Error("memory and throughput regressions should warn")
+	}
+	s := out.String()
+	for _, want := range []string{
+		"BenchmarkScaleSmoke B/op regressed 100.0%",
+		"BenchmarkScaleSmoke steps/sec regressed 40.0%",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// B/client and heap-MB moved under 1% — inside the budget, silent.
+	for _, reject := range []string{"B/client regressed", "heap-MB regressed", "ns/op regressed"} {
+		if strings.Contains(s, reject) {
+			t.Errorf("output should not contain %q:\n%s", reject, s)
+		}
+	}
+	// The table carries the B/op and allocs/op deltas.
+	for _, want := range []string{"+100.0%", "+1.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing delta %q:\n%s", want, s)
+		}
+	}
+
+	// A zero-alloc benchmark that starts allocating warns on any growth.
+	out.Reset()
+	warned, err = diffLabels(f, "base", "ci", "BenchmarkMachineSleep", 15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warned {
+		t.Error("allocs growing from a zero baseline should warn")
+	}
+	if !strings.Contains(out.String(), "allocs/op grew from a zero baseline") {
+		t.Errorf("missing zero-baseline annotation:\n%s", out.String())
+	}
+}
+
 func TestDiffLabelsErrors(t *testing.T) {
 	f := File{Records: []Record{rec("base", "BenchmarkFigure3", 1000)}}
 	if _, err := diffLabels(f, "base", "ci", "", 15, &strings.Builder{}); err == nil {

@@ -107,6 +107,11 @@ type Cache struct {
 	MemoryHits int64
 	DiskHits   int64
 	Misses     int64
+
+	// free recycles evicted entries. Eviction and removal results are
+	// handed to the caller first (locks must be returned to the server),
+	// so entries re-enter the pool only via an explicit Recycle call.
+	free []*Entry
 }
 
 // New returns a cache with the given per-tier capacities (in objects).
@@ -175,7 +180,14 @@ func (c *Cache) Insert(obj lockmgr.ObjectID, mode lockmgr.Mode, dirty bool, vers
 		c.touch(e)
 		return nil
 	}
-	e := &Entry{Obj: obj, Mode: mode, Dirty: dirty, Version: version, tier: TierMemory}
+	var e *Entry
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free = c.free[:n-1]
+		*e = Entry{Obj: obj, Mode: mode, Dirty: dirty, Version: version, tier: TierMemory}
+	} else {
+		e = &Entry{Obj: obj, Mode: mode, Dirty: dirty, Version: version, tier: TierMemory}
+	}
 	c.entries[obj] = e
 	c.memCount++
 	c.memLRU.pushFront(e)
@@ -214,6 +226,20 @@ func (c *Cache) Remove(obj lockmgr.ObjectID) *Entry {
 	}
 	c.drop(e)
 	return e
+}
+
+// Recycle returns an evicted or removed entry to the cache's free pool.
+// Call it only after the entry has been fully processed and no other
+// reference to it remains; a still-cached entry panics.
+func (c *Cache) Recycle(e *Entry) {
+	if e == nil {
+		return
+	}
+	if e.tier != TierNone {
+		panic("cache: Recycle of live entry")
+	}
+	*e = Entry{}
+	c.free = append(c.free, e)
 }
 
 // Entries returns all cached entries in unspecified order. Callers that

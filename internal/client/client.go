@@ -16,7 +16,6 @@ import (
 
 	"siteselect/internal/cache"
 	"siteselect/internal/config"
-	"siteselect/internal/forward"
 	"siteselect/internal/lockmgr"
 	"siteselect/internal/metrics"
 	"siteselect/internal/netsim"
@@ -85,28 +84,38 @@ type Client struct {
 	tr         *trace.Tracer
 	curTransit time.Duration
 
-	// pending tracks transactions waiting for object replies; waiters
-	// indexes them by object for grant routing.
-	pending map[txn.ID]*pendingTxn
-	waiters map[lockmgr.ObjectID][]*pendingTxn
+	// pending tracks transactions waiting for object replies (a handful
+	// at most — executor slots plus queries); waiters indexes their
+	// outstanding objects in registration order for grant routing. Both
+	// are dense scan-addressed slices, and ptFree recycles pendingTxn
+	// records (signal and slice capacities included) so a steady-state
+	// request round performs no map operations and no allocation.
+	pending []*pendingTxn
+	ptFree  []*pendingTxn
+	waiters []waiterEntry
 	// deferred holds recalls that arrived while the object was pinned,
 	// with the shard that issued each.
-	deferred map[lockmgr.ObjectID]deferredRecall
+	deferred []deferredEntry
 	// epochs counts this client's releases per object and granting
-	// shard. Every return carries the current epoch and every grant the
-	// shard sends echoes the epoch it last saw; a mismatch identifies a
-	// grant that crossed a release on the wire and must be dropped. At a
-	// single server the site key is always netsim.ServerSite.
-	epochs map[epochChan]int64
+	// shard, sorted by (object, site). Every return carries the current
+	// epoch and every grant the shard sends echoes the epoch it last
+	// saw; a mismatch identifies a grant that crossed a release on the
+	// wire and must be dropped. At a single server the site key is
+	// always netsim.ServerSite.
+	epochs []epochEntry
 	// migrations maps objects to their remaining forward lists; every
 	// migrating object is pinned until forwarded, and forwarded as soon
 	// as only the migration pin remains.
-	migrations map[lockmgr.ObjectID]*forward.List
+	migrations []migrationEntry
 	// shipWaits collects results of shipped transactions and subtasks.
-	shipWaits map[shipKey]*shipWait
+	shipWaits []shipWaitEntry
 	// txnFree recycles finished transaction machines so steady-state
 	// submission allocates nothing but the transaction itself.
 	txnFree []*txnMachine
+	// h2Loads/h2Counts are reusable scratch for loadshare.Params maps;
+	// missing holds probe-wait per-site data counts between uses.
+	h2Loads  map[netsim.SiteID]proto.LoadReport
+	h2Counts map[netsim.SiteID]int
 
 	// outageEnd is set while the client is partitioned (fault
 	// injection): the dispatcher holds all message processing until it
@@ -141,9 +150,11 @@ type shipWait struct {
 }
 
 type pendingTxn struct {
-	t    *txn.Transaction
-	want map[lockmgr.ObjectID]lockmgr.Mode
-	sent map[lockmgr.ObjectID]time.Duration
+	t *txn.Transaction
+	// waits is the outstanding object-request set: object, requested
+	// mode, and send time in one dense record (the former want and sent
+	// maps, which were always written in pairs).
+	waits []objWait
 
 	sig         *sim.Signal
 	gotConflict bool
@@ -151,21 +162,35 @@ type pendingTxn struct {
 	loads       []proto.LoadReport
 	dataCounts  []proto.SiteCount
 	denied      proto.DenyReason
-	loadReply   *proto.LoadReply
+	loadReply   proto.LoadReply
+	hasLoad     bool
 	wantLoad    bool
-	// Multi-shard reply assembly (nil/0 at a single server): each shard
-	// answers for its slice of a split exchange, keyed by sender.
-	// Conflict replies merge as they arrive (mergeConflict); load
-	// replies complete once loadWant shards have answered
-	// (mergeLoadReplies).
-	confFrom map[netsim.SiteID]proto.ConflictReply
-	loadFrom map[netsim.SiteID]*proto.LoadReply
+	// Multi-shard reply assembly (empty/0 at a single server): each
+	// shard answers for its slice of a split exchange, recorded in
+	// arrival order with the sender alongside. Conflict replies merge as
+	// they arrive (mergeConflict); load replies complete once loadWant
+	// shards have answered (mergeLoadReplies). Duplicate senders (fault
+	// retransmissions) are detected by scanning the recorded senders.
+	confFrom []shardConflict
+	loadFrom []shardLoad
 	loadWant int
 	// netAccum accumulates the measured wire transit of the current
 	// request/reply exchange (uplink sends plus satisfying replies);
 	// awaitReply splits each wait interval into network and lock-wait
 	// attribution with it.
 	netAccum time.Duration
+}
+
+// shardConflict is one shard's conflict reply in a split probe.
+type shardConflict struct {
+	from  netsim.SiteID
+	reply proto.ConflictReply
+}
+
+// shardLoad is one shard's load reply in a split load query.
+type shardLoad struct {
+	from  netsim.SiteID
+	reply proto.LoadReply
 }
 
 // New returns a client site. inbox is this client's message queue;
@@ -175,26 +200,20 @@ func New(env *sim.Env, cfg config.Config, id netsim.SiteID, net *netsim.Network,
 	m *metrics.Collector, inbox, serverIn *sim.Mailbox[netsim.Message],
 	gen txn.Source, loadShare bool) *Client {
 	c := &Client{
-		env:        env,
-		cfg:        cfg,
-		id:         id,
-		net:        net,
-		m:          m,
-		inbox:      inbox,
-		serverIn:   serverIn,
-		peers:      make(map[netsim.SiteID]*sim.Mailbox[netsim.Message]),
-		objects:    cache.New(cfg.ClientMemory, cfg.ClientDisk),
-		localDisk:  sim.NewResource(env, 1),
-		slots:      sim.NewResource(env, cfg.ClientExecutors),
-		atl:        &sched.ATL{Default: cfg.MeanLength},
-		gen:        gen,
-		loadShare:  loadShare,
-		pending:    make(map[txn.ID]*pendingTxn),
-		waiters:    make(map[lockmgr.ObjectID][]*pendingTxn),
-		deferred:   make(map[lockmgr.ObjectID]deferredRecall),
-		epochs:     make(map[epochChan]int64),
-		migrations: make(map[lockmgr.ObjectID]*forward.List),
-		shipWaits:  make(map[shipKey]*shipWait),
+		env:       env,
+		cfg:       cfg,
+		id:        id,
+		net:       net,
+		m:         m,
+		inbox:     inbox,
+		serverIn:  serverIn,
+		peers:     make(map[netsim.SiteID]*sim.Mailbox[netsim.Message]),
+		objects:   cache.New(cfg.ClientMemory, cfg.ClientDisk),
+		localDisk: sim.NewResource(env, 1),
+		slots:     sim.NewResource(env, cfg.ClientExecutors),
+		atl:       &sched.ATL{Default: cfg.MeanLength},
+		gen:       gen,
+		loadShare: loadShare,
 	}
 	c.topo = shardmap.New(cfg.Sharding)
 	c.shardIns = []*sim.Mailbox[netsim.Message]{serverIn}
@@ -225,8 +244,7 @@ func (c *Client) Cache() *cache.Cache { return c.objects }
 // HasDeferredRecall reports whether a recall for obj is waiting for a
 // local transaction to finish (a transitional state audits must allow).
 func (c *Client) HasDeferredRecall(obj lockmgr.ObjectID) bool {
-	_, ok := c.deferred[obj]
-	return ok
+	return c.findDeferred(obj) >= 0
 }
 
 // Log exposes the client's write-ahead log (nil unless UseLogging).
@@ -246,13 +264,13 @@ func (c *Client) SetTracer(tr *trace.Tracer) { c.tr = tr }
 // abandoned by the deadline timeout.
 func (c *Client) AuditPending(grace time.Duration) error {
 	now := c.env.Now()
-	for id, pt := range c.pending {
-		if len(pt.want) == 0 && !pt.wantLoad {
+	for _, pt := range c.pending {
+		if len(pt.waits) == 0 && !pt.wantLoad {
 			continue
 		}
 		if now > pt.t.Deadline+grace {
 			return fmt.Errorf("client %d: txn %d still waiting %v past its deadline",
-				c.id, id, now-pt.t.Deadline)
+				c.id, pt.t.ID, now-pt.t.Deadline)
 		}
 	}
 	return nil
@@ -313,7 +331,7 @@ func (c *Client) beginOutage() {
 		// Dropping a copy without telling the server is the lazy-release
 		// path the protocol already supports: a later recall gets a
 		// NotCached answer, and in-flight grants redeliver current data.
-		c.objects.Remove(e.Obj)
+		c.objects.Recycle(c.objects.Remove(e.Obj))
 	}
 }
 

@@ -199,7 +199,7 @@ func TestClientRecallDeferredWhilePinned(t *testing.T) {
 	if len(msgs) != 0 {
 		t.Fatalf("pinned recall answered immediately: %+v", msgs)
 	}
-	if _, ok := r.cl.deferred[5]; !ok {
+	if !r.cl.HasDeferredRecall(5) {
 		t.Fatal("recall not deferred")
 	}
 	// Unpin and run afterRelease as commit would.

@@ -82,7 +82,8 @@ type txnMachine struct {
 	lockStarted  bool
 	lockOp       lockmgr.LockOp
 	entries      []*cache.Entry
-	spec         map[lockmgr.ObjectID]int64
+	spec         []specEntry
+	specOn       bool
 	specFraction float64
 	specStart    time.Duration
 	lastLSN      int64
@@ -186,14 +187,14 @@ func (m *txnMachine) Resume() {
 	m.c.recycleTxn(m)
 }
 
-// recycleTxn clears a finished machine's pointer-bearing slices (so the
-// backing arrays don't pin transactions and cache entries) and returns
-// it to the free list. The remaining fields are overwritten wholesale
-// by the next spawnTxn.
+// recycleTxn clears a finished machine's pointer-bearing slices — to
+// full capacity, since mid-run truncations leave stale pointers beyond
+// the length — and returns it to the free list. The remaining fields
+// are overwritten wholesale by the next spawnTxn.
 func (c *Client) recycleTxn(m *txnMachine) {
-	clear(m.subs)
-	clear(m.results)
-	clear(m.entries)
+	clear(m.subs[:cap(m.subs)])
+	clear(m.results[:cap(m.results)])
+	clear(m.entries[:cap(m.entries)])
 	c.txnFree = append(c.txnFree, m)
 }
 
@@ -224,9 +225,15 @@ func (m *txnMachine) step() bool {
 		}
 		m.pt.wantLoad = false
 		var reply *proto.LoadReply
+		var replyBuf proto.LoadReply
 		if ok {
-			reply = m.pt.loadReply
+			// Copy the reply out before recycling the pending record; the
+			// consumer runs synchronously in this step.
+			replyBuf = m.pt.loadReply
+			reply = &replyBuf
 		}
+		c.releasePending(m.pt)
+		m.pt = nil
 		if !m.tryDecompose(reply) {
 			m.pc = tsH1
 		}
@@ -236,7 +243,15 @@ func (m *txnMachine) step() bool {
 			return true
 		}
 		m.pt.wantLoad = false
-		if ok && m.shipAfterQuery(m.pt.loadReply) {
+		var reply *proto.LoadReply
+		var replyBuf proto.LoadReply
+		if ok {
+			replyBuf = m.pt.loadReply
+			reply = &replyBuf
+		}
+		c.releasePending(m.pt)
+		m.pt = nil
+		if reply != nil && m.shipAfterQuery(reply) {
 			m.pc = tsDone
 			return false
 		}
@@ -259,7 +274,7 @@ func (m *txnMachine) step() bool {
 	case tsLock:
 		return m.stepLock()
 	case tsMatBegin:
-		m.spec, m.specFraction = c.speculationCandidates(m.ops)
+		m.spec, m.specOn, m.specFraction = c.speculationCandidates(m.ops, m.spec[:0])
 		m.specStart = m.task.Now()
 		m.attempt = 0
 		m.missing = m.missing[:0]
@@ -307,7 +322,8 @@ func (m *txnMachine) step() bool {
 		for _, e := range m.entries {
 			c.objects.Unpin(e)
 		}
-		m.entries = nil
+		clear(m.entries)
+		m.entries = m.entries[:0]
 		now := m.task.Now()
 		c.atl.Observe(now - m.start)
 		if m.owns {
@@ -324,7 +340,8 @@ func (m *txnMachine) beginLoadQuery(next uint8) {
 	pt := m.c.ensurePending(m.t)
 	m.pt = pt
 	pt.wantLoad = true
-	pt.loadReply = nil
+	pt.hasLoad = false
+	pt.loadReply = proto.LoadReply{}
 	pt.netAccum = 0
 	m.sendKind = skLoad
 	m.resend(0)
@@ -362,12 +379,16 @@ func (m *txnMachine) shipAfterQuery(reply *proto.LoadReply) bool {
 		return false
 	}
 	now := m.task.Now()
+	loads, _ := c.h2Scratch()
+	for _, l := range reply.Loads {
+		loads[l.Client] = l
+	}
 	params := loadshare.Params{
 		Origin:         c.id,
 		Now:            now,
 		Deadline:       t.Deadline,
 		Locations:      reply.Locations,
-		Loads:          loadsBySite(reply.Loads),
+		Loads:          loads,
 		OriginQueueLen: c.slots.QueueLen(),
 		OriginATL:      c.atl.Mean(),
 		Executors:      c.cfg.ClientExecutors,
@@ -410,7 +431,11 @@ func (m *txnMachine) tryDecompose(reply *proto.LoadReply) bool {
 	c.m.DecomposedTxns++
 	c.tr.Point(t.ID, c.id, trace.EvDecomposed, 0, int64(len(subs)), 0, m.task.Now())
 	m.subs = subs
-	m.results = make([]*shipWait, len(subs))
+	if cap(m.results) >= len(subs) {
+		m.results = m.results[:len(subs)]
+	} else {
+		m.results = make([]*shipWait, len(subs))
+	}
 	for i, sub := range subs {
 		c.m.SubtasksRun++
 		w := &shipWait{sig: sim.NewSignal(c.env)}
@@ -421,7 +446,7 @@ func (m *txnMachine) tryDecompose(reply *proto.LoadReply) bool {
 			c.spawnTxn(t, sub, enLocalSub, w)
 			continue
 		}
-		c.shipWaits[shipKey{id: t.ID, sub: sub.Index}] = w
+		c.addShipWait(shipKey{id: t.ID, sub: sub.Index}, w)
 		c.toPeer(target, netsim.KindTxnShip, netsim.TxnShipBytes, proto.TxnShip{
 			T: t, Sub: sub, ReplyTo: c.id, Load: c.loadReport(),
 		})
@@ -452,7 +477,7 @@ func (m *txnMachine) stepFanout() bool {
 	now := m.task.Now()
 	c.tr.Mark(t.ID, c.id, trace.CompFanout, now)
 	for _, sub := range m.subs {
-		delete(c.shipWaits, shipKey{id: t.ID, sub: sub.Index})
+		c.deleteShipWait(shipKey{id: t.ID, sub: sub.Index})
 	}
 	committed := now <= t.Deadline
 	for _, w := range m.results {
@@ -636,8 +661,7 @@ func (m *txnMachine) stepDiskCharge() bool {
 func (m *txnMachine) stepScanDone() bool {
 	c, t := m.c, m.t
 	if len(m.missing) == 0 {
-		if entries, ok := c.pinAll(m.ops); ok {
-			m.entries = entries
+		if c.pinAll(m.ops, &m.entries) {
 			m.pc = tsMaterialized
 			return false
 		}
@@ -687,9 +711,8 @@ func (m *txnMachine) beginFetch() {
 	for _, op := range m.missing {
 		m.objs = append(m.objs, op.Obj)
 		m.modes = append(m.modes, op.Mode())
-		pt.want[op.Obj] = op.Mode()
-		pt.sent[op.Obj] = now
-		c.waiters[op.Obj] = append(c.waiters[op.Obj], pt)
+		pt.addWait(op.Obj, op.Mode(), now)
+		c.addWaiter(op.Obj, pt)
 	}
 	pt.netAccum = 0
 	m.sendKind = skProbe
@@ -737,7 +760,10 @@ func (m *txnMachine) stepProbeWait() bool {
 	// should run (H2), then either ship it or commit to local
 	// processing.
 	pt.gotConflict = false
-	dataCounts := make(map[netsim.SiteID]int, len(pt.dataCounts))
+	loads, dataCounts := c.h2Scratch()
+	for _, l := range pt.loads {
+		loads[l.Client] = l
+	}
 	for _, dc := range pt.dataCounts {
 		dataCounts[dc.Site] = dc.Count
 	}
@@ -747,7 +773,7 @@ func (m *txnMachine) stepProbeWait() bool {
 		Now:                now,
 		Deadline:           t.Deadline,
 		Conflicts:          pt.conflicts,
-		Loads:              loadsBySite(pt.loads),
+		Loads:              loads,
 		OriginQueueLen:     c.slots.QueueLen(),
 		OriginATL:          c.atl.Mean(),
 		Executors:          c.cfg.ClientExecutors,
@@ -770,13 +796,13 @@ func (m *txnMachine) stepProbeWait() bool {
 		return false
 	}
 	// Stay local: one commit message asks for everything outstanding.
-	// The tentative round granted nothing, so pt.want and the waiter
+	// The tentative round granted nothing, so pt.waits and the waiter
 	// index still hold every missing object — no re-registration. The
 	// response clock restarts here: the probe was site-selection
 	// control traffic, and this is the firm object request Table 3
 	// measures.
-	for _, op := range m.missing {
-		pt.sent[op.Obj] = now
+	for i := range pt.waits {
+		pt.waits[i].sent = now
 	}
 	pt.netAccum = 0
 	m.sendKind = skCommit
@@ -800,9 +826,8 @@ func (m *txnMachine) stepSeqSend() bool {
 	op := m.missing[m.seqIdx]
 	pt := m.pt
 	m.curObj, m.curMode = op.Obj, op.Mode()
-	pt.want[m.curObj] = m.curMode
-	pt.sent[m.curObj] = m.task.Now()
-	c.waiters[m.curObj] = append(c.waiters[m.curObj], pt)
+	pt.addWait(m.curObj, m.curMode, m.task.Now())
+	c.addWaiter(m.curObj, pt)
 	pt.netAccum = 0
 	m.sendKind = skSeq
 	m.resend(0)
@@ -815,6 +840,7 @@ func (m *txnMachine) stepSeqSend() bool {
 // unregister the outstanding waits and fail the execution.
 func (m *txnMachine) fetchFail() {
 	m.c.releasePending(m.pt)
+	m.pt = nil
 	m.execDone(false)
 }
 
@@ -825,6 +851,7 @@ func (m *txnMachine) fetchFail() {
 func (m *txnMachine) fetchOK() {
 	c, t := m.c, m.t
 	c.releasePending(m.pt)
+	m.pt = nil
 	if t.Shipped && m.origin {
 		m.unwind()
 		m.reportResult(false)
@@ -844,12 +871,13 @@ func (m *txnMachine) stepMaterialized() bool {
 		for _, e := range m.entries {
 			c.objects.Unpin(e)
 		}
-		m.entries = nil
+		clear(m.entries)
+		m.entries = m.entries[:0]
 		m.execDone(false)
 		return false
 	}
 	length := m.length
-	if m.spec != nil {
+	if m.specOn {
 		c.m.SpeculativeRuns++
 		if c.speculationValid(m.spec) {
 			c.m.SpeculationHits++
@@ -886,7 +914,7 @@ func (m *txnMachine) stepCommit() {
 			if c.log != nil {
 				m.lastLSN = c.log.Append(int64(t.ID), op.Obj, e.Version)
 			}
-			if c.cfg.WriteThrough && c.migrations[op.Obj] == nil {
+			if c.cfg.WriteThrough && c.migrationOf(op.Obj) == nil {
 				// Write-through ablation: push the update to the server
 				// now (keeping the exclusive lock) instead of holding a
 				// dirty copy until a callback.
@@ -1054,14 +1082,13 @@ func (m *txnMachine) awaitCond() bool {
 	pt := m.pt
 	switch m.sendKind {
 	case skLoad:
-		return pt.loadReply != nil
+		return pt.hasLoad
 	case skProbe:
-		return len(pt.want) == 0 || pt.denied != 0 || pt.gotConflict
+		return len(pt.waits) == 0 || pt.denied != 0 || pt.gotConflict
 	case skCommit:
-		return len(pt.want) == 0 || pt.denied != 0
+		return len(pt.waits) == 0 || pt.denied != 0
 	default: // skSeq
-		_, waiting := pt.want[m.curObj]
-		return !waiting || pt.denied != 0
+		return pt.findWait(m.curObj) < 0 || pt.denied != 0
 	}
 }
 
@@ -1118,14 +1145,6 @@ func (m *txnMachine) resend(attempt int) {
 	}
 }
 
-func loadsBySite(loads []proto.LoadReport) map[netsim.SiteID]proto.LoadReport {
-	m := make(map[netsim.SiteID]proto.LoadReport, len(loads))
-	for _, l := range loads {
-		m[l.Client] = l
-	}
-	return m
-}
-
 // shipTxn sends a whole transaction to target for execution. It does
 // not block: the target becomes the single writer of the transaction's
 // status, and the TxnResult message back to the origin is informational
@@ -1152,19 +1171,26 @@ func (c *Client) finishParent(t *txn.Transaction, committed bool) {
 	c.tr.Finish(t, c.id, c.env.Now())
 }
 
+// specEntry records one version a speculative computation is based on.
+type specEntry struct {
+	obj lockmgr.ObjectID
+	ver int64
+}
+
 // speculationCandidates decides what part of a transaction can start
 // computing before its locks arrive: any access whose data is already in
 // the cache (even in a weaker lock mode) can be processed speculatively
-// while the misses and upgrades are in flight. It returns the versions
-// the speculative computation is based on and the fraction of the
-// access set they cover. A nil map means speculation does not apply —
-// disabled, nothing missing (no wait to overlap), or nothing present
-// (no data to compute against).
-func (c *Client) speculationCandidates(ops []txn.Op) (map[lockmgr.ObjectID]int64, float64) {
+// while the misses and upgrades are in flight. It appends the versions
+// the speculative computation is based on to buf (machine-owned
+// scratch) and returns them, whether speculation applies, and the
+// fraction of the access set they cover. Speculation does not apply
+// when disabled, nothing is missing (no wait to overlap), or nothing is
+// present (no data to compute against).
+func (c *Client) speculationCandidates(ops []txn.Op, buf []specEntry) ([]specEntry, bool, float64) {
 	if !c.loadShare || !c.cfg.UseSpeculation {
-		return nil, 0
+		return buf, false, 0
 	}
-	present := make(map[lockmgr.ObjectID]int64, len(ops))
+	present := buf
 	missing := 0
 	for _, op := range ops {
 		e := c.objects.Peek(op.Obj)
@@ -1172,24 +1198,24 @@ func (c *Client) speculationCandidates(ops []txn.Op) (map[lockmgr.ObjectID]int64
 		case e == nil:
 			missing++
 		case modeSufficient(e.Mode, op.Mode()):
-			present[op.Obj] = e.Version
+			present = append(present, specEntry{obj: op.Obj, ver: e.Version})
 		default:
 			missing++ // upgrade in flight, but the data is at hand
-			present[op.Obj] = e.Version
+			present = append(present, specEntry{obj: op.Obj, ver: e.Version})
 		}
 	}
 	if missing == 0 || len(present) == 0 {
-		return nil, 0
+		return present, false, 0
 	}
-	return present, float64(len(present)) / float64(len(ops))
+	return present, true, float64(len(present)) / float64(len(ops))
 }
 
 // speculationValid checks, after materialization, that every version the
 // speculative computation was based on is still the current one.
-func (c *Client) speculationValid(spec map[lockmgr.ObjectID]int64) bool {
-	for obj, v := range spec {
-		e := c.objects.Peek(obj)
-		if e == nil || e.Version != v {
+func (c *Client) speculationValid(spec []specEntry) bool {
+	for _, s := range spec {
+		e := c.objects.Peek(s.obj)
+		if e == nil || e.Version != s.ver {
 			return false
 		}
 	}
@@ -1207,62 +1233,59 @@ func (c *Client) priorityOf(t *txn.Transaction) float64 {
 }
 
 // pinAll pins the whole access set atomically (no blocking between
-// checks). It fails if any object lost presence or mode.
-func (c *Client) pinAll(ops []txn.Op) ([]*cache.Entry, bool) {
-	entries := make([]*cache.Entry, 0, len(ops))
+// checks) into *buf, machine-owned scratch. It fails — leaving *buf
+// empty and scrubbed — if any object lost presence or mode.
+func (c *Client) pinAll(ops []txn.Op, buf *[]*cache.Entry) bool {
+	entries := (*buf)[:0]
 	for _, op := range ops {
 		e := c.objects.Peek(op.Obj)
 		if e == nil || !modeSufficient(e.Mode, op.Mode()) {
 			for _, pinned := range entries {
 				c.objects.Unpin(pinned)
 			}
-			return nil, false
+			clear(entries)
+			*buf = entries[:0]
+			return false
 		}
 		c.objects.Pin(e)
 		entries = append(entries, e)
 	}
-	return entries, true
+	*buf = entries
+	return true
 }
 
 func modeSufficient(have, need lockmgr.Mode) bool {
 	return have == lockmgr.ModeExclusive || need == lockmgr.ModeShared && have == lockmgr.ModeShared
 }
 
+// ensurePending returns the transaction's pending record, reviving a
+// recycled one (signal and slice capacities intact) when none exists.
 func (c *Client) ensurePending(t *txn.Transaction) *pendingTxn {
-	pt, ok := c.pending[t.ID]
-	if !ok {
-		pt = &pendingTxn{
-			t:    t,
-			want: make(map[lockmgr.ObjectID]lockmgr.Mode),
-			sent: make(map[lockmgr.ObjectID]time.Duration),
-			sig:  sim.NewSignal(c.env),
-		}
-		c.pending[t.ID] = pt
+	if pt := c.findPending(t.ID); pt != nil {
+		return pt
 	}
+	var pt *pendingTxn
+	if n := len(c.ptFree); n > 0 {
+		pt = c.ptFree[n-1]
+		c.ptFree[n-1] = nil
+		c.ptFree = c.ptFree[:n-1]
+	} else {
+		pt = &pendingTxn{sig: sim.NewSignal(c.env)}
+	}
+	pt.t = t
+	c.pending = append(c.pending, pt)
 	return pt
 }
 
-// releasePending unregisters the transaction's outstanding waits.
+// releasePending unregisters the transaction's outstanding waits and,
+// unless a load query is still in flight, recycles the record.
 func (c *Client) releasePending(pt *pendingTxn) {
-	for obj := range pt.want {
-		c.dropWaiter(obj, pt)
-		delete(pt.want, obj)
+	for i := range pt.waits {
+		c.dropWaiter(pt.waits[i].obj, pt)
 	}
+	pt.waits = pt.waits[:0]
 	if !pt.wantLoad {
-		delete(c.pending, pt.t.ID)
-	}
-}
-
-func (c *Client) dropWaiter(obj lockmgr.ObjectID, pt *pendingTxn) {
-	ws := c.waiters[obj]
-	for i, w := range ws {
-		if w == pt {
-			c.waiters[obj] = append(ws[:i], ws[i+1:]...)
-			break
-		}
-	}
-	if len(c.waiters[obj]) == 0 {
-		delete(c.waiters, obj)
+		c.removePending(pt)
 	}
 }
 

@@ -55,26 +55,37 @@ func (c *Client) onGrant(g proto.ObjGrant) {
 	if g.Fwd != nil && !g.Fwd.ReadRun {
 		// Migration hop: hold the object pinned until this site's turn
 		// is over, then pass it on.
-		c.migrations[g.Obj] = g.Fwd
+		c.setMigration(g.Obj, g.Fwd)
 		c.objects.Pin(c.objects.Peek(g.Obj))
 	}
 
+	// Wake every waiter the grant satisfies, in registration order.
+	// Broadcast only schedules the wakeups (sim.Signal defers them to
+	// the event queue), so scanning the index in place with shift
+	// removal visits exactly the sequence the old defensive copy did —
+	// no registration can appear or vanish mid-scan.
 	now := c.env.Now()
-	var satisfied []txn.ID
-	ws := append([]*pendingTxn(nil), c.waiters[g.Obj]...)
-	for _, pt := range ws {
-		need, wants := pt.want[g.Obj]
-		if !wants || !modeSufficient(g.Mode, need) {
+	satisfied := 0
+	for i := 0; i < len(c.waiters); {
+		if c.waiters[i].obj != g.Obj {
+			i++
 			continue
 		}
-		delete(pt.want, g.Obj)
-		c.dropWaiter(g.Obj, pt)
-		if sent, ok := pt.sent[g.Obj]; ok && c.measuring() {
+		pt := c.waiters[i].pt
+		j := pt.findWait(g.Obj)
+		if j < 0 || !modeSufficient(g.Mode, pt.waits[j].mode) {
+			i++
+			continue
+		}
+		need, sent := pt.waits[j].mode, pt.waits[j].sent
+		pt.removeWait(j)
+		c.removeWaiterAt(i) // the next entry shifts into i
+		if c.measuring() {
 			c.m.RecordResponse(need, now-sent)
 		}
 		pt.netAccum += c.curTransit
 		c.tr.Point(pt.t.ID, c.id, trace.EvLockGranted, g.Obj, 0, 0, now)
-		satisfied = append(satisfied, pt.t.ID)
+		satisfied++
 		pt.sig.Broadcast()
 	}
 	if g.Fwd == nil {
@@ -83,10 +94,9 @@ func (c *Client) onGrant(g proto.ObjGrant) {
 		// immediately if the grant satisfied nobody (its transaction is
 		// dead), otherwise when that transaction's pins drop
 		// (afterRelease).
-		if d, ok := c.deferred[g.Obj]; ok && len(satisfied) == 0 {
-			if e := c.objects.Peek(g.Obj); e != nil && !e.Pinned() {
-				delete(c.deferred, g.Obj)
-				c.answerRecall(e, d.r, d.from)
+		if satisfied == 0 {
+			if d, ok := c.takeDeferredIfUnpinned(g.Obj); ok {
+				c.answerRecall(c.objects.Peek(g.Obj), d.r, d.from)
 			}
 		}
 		return
@@ -102,9 +112,20 @@ func (c *Client) onGrant(g proto.ObjGrant) {
 	// satisfies; the hop continues when that transaction's pins drop
 	// (afterRelease). With no claimant (the destined transaction is
 	// dead), keep the migration moving now.
-	if len(satisfied) == 0 {
+	if satisfied == 0 {
 		c.forwardMigration(g.Obj)
 	}
+}
+
+// takeDeferredIfUnpinned removes and returns obj's deferred recall only
+// when a cached, unpinned copy exists to answer it with.
+func (c *Client) takeDeferredIfUnpinned(obj lockmgr.ObjectID) (deferredRecall, bool) {
+	if i := c.findDeferred(obj); i >= 0 {
+		if e := c.objects.Peek(obj); e != nil && !e.Pinned() {
+			return c.takeDeferred(obj)
+		}
+	}
+	return deferredRecall{}, false
 }
 
 // hopStaleMigration keeps an exclusive migration chain alive when this
@@ -173,8 +194,8 @@ func (c *Client) hopReadRun(g proto.ObjGrant) {
 }
 
 func (c *Client) onConflictReply(r proto.ConflictReply) {
-	pt, ok := c.pending[r.Txn]
-	if !ok {
+	pt := c.findPending(r.Txn)
+	if pt == nil {
 		return
 	}
 	if c.multiShard {
@@ -190,8 +211,8 @@ func (c *Client) onConflictReply(r proto.ConflictReply) {
 }
 
 func (c *Client) onDeny(d proto.DenyReply) {
-	pt, ok := c.pending[d.Txn]
-	if !ok {
+	pt := c.findPending(d.Txn)
+	if pt == nil {
 		return
 	}
 	pt.denied = d.Reason
@@ -201,16 +222,23 @@ func (c *Client) onDeny(d proto.DenyReply) {
 }
 
 func (c *Client) onLoadReply(r proto.LoadReply) {
-	pt, ok := c.pending[r.Txn]
-	if !ok || !pt.wantLoad {
+	pt := c.findPending(r.Txn)
+	if pt == nil || !pt.wantLoad {
 		return
 	}
 	if c.multiShard {
-		if pt.loadFrom == nil {
-			pt.loadFrom = make(map[netsim.SiteID]*proto.LoadReply)
+		dup := false
+		for i := range pt.loadFrom {
+			if pt.loadFrom[i].from == c.curFrom {
+				// Duplicate shard answer (fault retransmission): replace.
+				pt.loadFrom[i].reply = r
+				dup = true
+				break
+			}
 		}
-		reply := r
-		pt.loadFrom[c.curFrom] = &reply
+		if !dup {
+			pt.loadFrom = append(pt.loadFrom, shardLoad{from: c.curFrom, reply: r})
+		}
 		pt.netAccum += c.curTransit
 		if len(pt.loadFrom) >= pt.loadWant {
 			c.mergeLoadReplies(pt, r.Txn)
@@ -218,8 +246,8 @@ func (c *Client) onLoadReply(r proto.LoadReply) {
 		}
 		return
 	}
-	reply := r
-	pt.loadReply = &reply
+	pt.loadReply = r
+	pt.hasLoad = true
 	pt.netAccum += c.curTransit
 	pt.sig.Broadcast()
 }
@@ -235,14 +263,14 @@ func (c *Client) onLoadReply(r proto.LoadReply) {
 func (c *Client) onRecall(r proto.Recall) {
 	from := c.curFrom
 	e := c.objects.Peek(r.Obj)
-	wanted := len(c.waiters[r.Obj]) > 0
+	wanted := c.hasWaiter(r.Obj)
 	if e == nil {
 		if wanted && r.HolderMode != 0 {
 			// The server believes we hold a lock we have not seen yet:
 			// its grant is in flight. Defer until our transaction is
 			// done with it.
 			c.m.RecallsDeferred++
-			c.deferred[r.Obj] = deferredRecall{r: r, from: from}
+			c.setDeferred(r.Obj, deferredRecall{r: r, from: from})
 			return
 		}
 		// Silently evicted earlier: release the lock. Bumping the epoch
@@ -256,7 +284,7 @@ func (c *Client) onRecall(r proto.Recall) {
 	}
 	if e.Pinned() || (r.HolderMode != 0 && r.HolderMode != e.Mode) {
 		c.m.RecallsDeferred++
-		c.deferred[r.Obj] = deferredRecall{r: r, from: from}
+		c.setDeferred(r.Obj, deferredRecall{r: r, from: from})
 		return
 	}
 	c.answerRecall(e, r, from)
@@ -291,6 +319,7 @@ func (c *Client) answerRecall(e *cache.Entry, r proto.Recall, from netsim.SiteID
 		Client: c.id, Obj: e.Obj, HasData: e.Dirty, Version: e.Version,
 		Epoch: epoch, Load: c.loadReport(),
 	})
+	c.objects.Recycle(e)
 }
 
 // onTxnShip executes a transaction or subtask shipped to this site.
@@ -308,8 +337,8 @@ func (c *Client) onTxnResult(r proto.TxnResult) {
 	if r.IsSub {
 		key.sub = r.SubIndex
 	}
-	w, ok := c.shipWaits[key]
-	if !ok {
+	w := c.shipWaitFor(key)
+	if w == nil {
 		return
 	}
 	w.done = true
@@ -323,12 +352,12 @@ func (c *Client) onTxnResult(r proto.TxnResult) {
 // answer).
 func (c *Client) returnEvicted(evicted []*cache.Entry) {
 	for _, e := range evicted {
-		if mig := c.migrations[e.Obj]; mig != nil {
+		if mig := c.migrationOf(e.Obj); mig != nil {
 			panic(fmt.Sprintf("client %d: migrating object %d evicted", c.id, e.Obj))
 		}
-		d, hadRecall := c.deferred[e.Obj]
-		delete(c.deferred, e.Obj)
+		d, hadRecall := c.takeDeferred(e.Obj)
 		if !hadRecall && !e.Dirty && e.Mode == lockmgr.ModeShared {
+			c.objects.Recycle(e)
 			continue // lazy release: a later recall gets NotCached
 		}
 		size := netsim.ControlBytes
@@ -347,6 +376,7 @@ func (c *Client) returnEvicted(evicted []*cache.Entry) {
 			Client: c.id, Obj: e.Obj, HasData: e.Dirty, Version: e.Version,
 			Epoch: epoch, Load: c.loadReport(),
 		})
+		c.objects.Recycle(e)
 	}
 }
 
@@ -355,7 +385,7 @@ func (c *Client) returnEvicted(evicted []*cache.Entry) {
 // while the objects were pinned.
 func (c *Client) afterRelease(ops []txn.Op, id txn.ID) {
 	for _, op := range ops {
-		if c.migrations[op.Obj] != nil {
+		if c.migrationOf(op.Obj) != nil {
 			e := c.objects.Peek(op.Obj)
 			if e != nil && e.Pins() == 1 {
 				// Only the migration pin remains: this site's turn is
@@ -364,20 +394,21 @@ func (c *Client) afterRelease(ops []txn.Op, id txn.ID) {
 			}
 			continue
 		}
-		if d, ok := c.deferred[op.Obj]; ok {
+		if i := c.findDeferred(op.Obj); i >= 0 {
+			d := c.deferred[i].d
 			e := c.objects.Peek(op.Obj)
 			switch {
 			case e == nil:
 				// The grant the recall referred to never materialized
 				// (or the copy is gone): release the lock outright.
-				delete(c.deferred, op.Obj)
+				c.takeDeferred(op.Obj)
 				epoch := c.bumpEpoch(op.Obj, d.from)
 				c.toSite(d.from, netsim.KindObjectReturn, netsim.ControlBytes, proto.ObjReturn{
 					Client: c.id, Obj: op.Obj, NotCached: true, Epoch: epoch,
 					Load: c.loadReport(),
 				})
 			case !e.Pinned():
-				delete(c.deferred, op.Obj)
+				c.takeDeferred(op.Obj)
 				c.answerRecall(e, d.r, d.from)
 			}
 		}
@@ -389,7 +420,7 @@ func (c *Client) afterRelease(ops []txn.Op, id txn.ID) {
 // served in place (the object never leaves); otherwise the object hops
 // to the next client, or returns to the server after the last entry.
 func (c *Client) forwardMigration(obj lockmgr.ObjectID) {
-	l := c.migrations[obj]
+	l := c.migrationOf(obj)
 	if l == nil {
 		return
 	}
@@ -415,16 +446,24 @@ func (c *Client) forwardMigration(obj lockmgr.ObjectID) {
 			if next.Mode == lockmgr.ModeExclusive {
 				e.Mode = lockmgr.ModeExclusive
 			}
+			// Same deferred-wakeup argument as the onGrant scan: in-place
+			// shift removal visits the registration order unperturbed.
 			satisfied := false
-			ws := append([]*pendingTxn(nil), c.waiters[obj]...)
-			for _, pt := range ws {
-				need, wants := pt.want[obj]
-				if !wants || !modeSufficient(e.Mode, need) {
+			for i := 0; i < len(c.waiters); {
+				if c.waiters[i].obj != obj {
+					i++
 					continue
 				}
-				delete(pt.want, obj)
-				c.dropWaiter(obj, pt)
-				if sent, okSent := pt.sent[obj]; okSent && c.measuring() {
+				pt := c.waiters[i].pt
+				j := pt.findWait(obj)
+				if j < 0 || !modeSufficient(e.Mode, pt.waits[j].mode) {
+					i++
+					continue
+				}
+				need, sent := pt.waits[j].mode, pt.waits[j].sent
+				pt.removeWait(j)
+				c.removeWaiterAt(i)
+				if c.measuring() {
 					c.m.RecordResponse(need, now-sent)
 				}
 				c.tr.Point(pt.t.ID, c.id, trace.EvLockGranted, obj, 0, 0, now)
@@ -437,9 +476,8 @@ func (c *Client) forwardMigration(obj lockmgr.ObjectID) {
 			continue // entry's transaction is gone; try the next one
 		}
 
-		delete(c.migrations, obj)
-		d, hadRecall := c.deferred[obj]
-		delete(c.deferred, obj)
+		c.deleteMigration(obj)
+		d, hadRecall := c.takeDeferred(obj)
 		c.objects.Unpin(e)
 		version := e.Version
 
@@ -453,7 +491,7 @@ func (c *Client) forwardMigration(obj lockmgr.ObjectID) {
 			e.Dirty = false
 			l.Retained = append(l.Retained, c.id)
 		} else {
-			c.objects.Remove(obj)
+			c.objects.Recycle(c.objects.Remove(obj))
 		}
 		if ok {
 			c.ForwardHops++

@@ -1,7 +1,7 @@
 package client
 
 import (
-	"sort"
+	"slices"
 
 	"siteselect/internal/lockmgr"
 	"siteselect/internal/netsim"
@@ -21,15 +21,6 @@ import (
 // answer returns there. All of it is gated on multiShard: at a single
 // server every site below is netsim.ServerSite and every code path
 // collapses to the exact single-server behavior the golden corpus pins.
-
-// epochChan identifies one release-epoch counter. The epoch protocol
-// runs independently per (object, granting shard): each shard keeps its
-// own registration for this client, so a release sent to one shard must
-// not revoke grants in flight from another.
-type epochChan struct {
-	obj  lockmgr.ObjectID
-	site netsim.SiteID
-}
 
 // deferredRecall is a parked recall plus the shard that issued it — the
 // site the eventual answer must be sent to.
@@ -79,15 +70,27 @@ func (c *Client) grantSource(obj lockmgr.ObjectID) netsim.SiteID {
 }
 
 // epochOf and bumpEpoch access the release-epoch counter shared with
-// one shard for one object.
+// one shard for one object. The epoch protocol runs independently per
+// (object, granting shard): each shard keeps its own registration for
+// this client, so a release sent to one shard must not revoke grants in
+// flight from another.
 func (c *Client) epochOf(obj lockmgr.ObjectID, site netsim.SiteID) int64 {
-	return c.epochs[epochChan{obj, site}]
+	if i, ok := c.epochIdx(obj, site); ok {
+		return c.epochs[i].n
+	}
+	return 0
 }
 
 func (c *Client) bumpEpoch(obj lockmgr.ObjectID, site netsim.SiteID) int64 {
-	k := epochChan{obj, site}
-	c.epochs[k]++
-	return c.epochs[k]
+	i, ok := c.epochIdx(obj, site)
+	if ok {
+		c.epochs[i].n++
+		return c.epochs[i].n
+	}
+	c.epochs = append(c.epochs, epochEntry{})
+	copy(c.epochs[i+1:], c.epochs[i:])
+	c.epochs[i] = epochEntry{obj: obj, site: site, n: 1}
+	return 1
 }
 
 // shardGroup is one shard's slice of a multi-object request.
@@ -104,7 +107,9 @@ type shardGroup struct {
 // keep, when non-nil, drops entries it rejects.
 func (c *Client) groupByShard(objs []lockmgr.ObjectID, modes []lockmgr.Mode,
 	byHome bool, keep func(lockmgr.ObjectID) bool) []shardGroup {
-	bySite := make(map[netsim.SiteID]int)
+	// The groups (and their object vectors) escape into message
+	// payloads, so they are freshly allocated; only the site lookup is
+	// dense — a scan over at most Servers() groups beats a map here.
 	var groups []shardGroup
 	for i, obj := range objs {
 		if keep != nil && !keep(obj) {
@@ -114,10 +119,15 @@ func (c *Client) groupByShard(objs []lockmgr.ObjectID, modes []lockmgr.Mode,
 		if !byHome {
 			site = c.routeSite(obj, modes[i])
 		}
-		gi, ok := bySite[site]
-		if !ok {
+		gi := -1
+		for k := range groups {
+			if groups[k].site == site {
+				gi = k
+				break
+			}
+		}
+		if gi < 0 {
 			gi = len(groups)
-			bySite[site] = gi
 			groups = append(groups, shardGroup{site: site})
 		}
 		groups[gi].objs = append(groups[gi].objs, obj)
@@ -133,13 +143,13 @@ func (c *Client) groupByShard(objs []lockmgr.ObjectID, modes []lockmgr.Mode,
 func (m *txnMachine) resendSharded(attempt int) {
 	c, t, pt := m.c, m.t, m.pt
 	stillWanted := func(obj lockmgr.ObjectID) bool {
-		_, ok := pt.want[obj]
-		return ok
+		return pt.findWait(obj) >= 0
 	}
 	switch m.sendKind {
 	case skLoad:
 		if attempt == 0 {
-			pt.loadFrom = nil
+			clear(pt.loadFrom)
+			pt.loadFrom = pt.loadFrom[:0]
 		}
 		groups := c.groupByShard(t.Objects(), t.Modes(), true, nil)
 		pt.loadWant = len(groups)
@@ -156,7 +166,8 @@ func (m *txnMachine) resendSharded(attempt int) {
 		}
 	case skProbe:
 		if attempt == 0 {
-			pt.confFrom = nil
+			clear(pt.confFrom)
+			pt.confFrom = pt.confFrom[:0]
 		}
 		for _, g := range c.groupByShard(m.objs, m.modes, false, stillWanted) {
 			pt.netAccum += c.toSite(g.site, netsim.KindObjectRequest, netsim.ControlBytes, proto.ProbeRequest{
@@ -204,38 +215,66 @@ func (m *txnMachine) resendSharded(attempt int) {
 // far, a deliberate heuristic — waiting for every shard would trade
 // deadline slack for information the decision may not need.
 func (c *Client) mergeConflict(pt *pendingTxn, r proto.ConflictReply) {
-	if pt.confFrom == nil {
-		pt.confFrom = make(map[netsim.SiteID]proto.ConflictReply)
+	replaced := false
+	for i := range pt.confFrom {
+		if pt.confFrom[i].from == c.curFrom {
+			pt.confFrom[i].reply = r
+			replaced = true
+			break
+		}
 	}
-	pt.confFrom[c.curFrom] = r
+	if !replaced {
+		pt.confFrom = append(pt.confFrom, shardConflict{from: c.curFrom, reply: r})
+	}
 	pt.gotConflict = true
-	pt.conflicts, pt.loads, pt.dataCounts = nil, nil, nil
-	seenLoad := make(map[netsim.SiteID]bool)
-	counts := make(map[netsim.SiteID]int)
+	// In multi-shard mode these vectors are only ever written by this
+	// merge, so their capacity is reusable scratch (the single-server
+	// path aliases message payloads instead and never reaches here).
+	pt.conflicts = pt.conflicts[:0]
+	pt.loads = pt.loads[:0]
+	pt.dataCounts = pt.dataCounts[:0]
 	for k := 0; k < c.topo.Servers(); k++ {
-		rep, ok := pt.confFrom[shardmap.ShardSite(k)]
-		if !ok {
+		site := shardmap.ShardSite(k)
+		var rep *proto.ConflictReply
+		for i := range pt.confFrom {
+			if pt.confFrom[i].from == site {
+				rep = &pt.confFrom[i].reply
+				break
+			}
+		}
+		if rep == nil {
 			continue
 		}
 		pt.conflicts = append(pt.conflicts, rep.Conflicts...)
 		for _, l := range rep.Loads {
-			if !seenLoad[l.Client] {
-				seenLoad[l.Client] = true
+			dup := false
+			for _, have := range pt.loads {
+				if have.Client == l.Client {
+					dup = true
+					break
+				}
+			}
+			if !dup {
 				pt.loads = append(pt.loads, l)
 			}
 		}
 		for _, dc := range rep.DataCounts {
-			counts[dc.Site] += dc.Count
+			found := false
+			for i := range pt.dataCounts {
+				if pt.dataCounts[i].Site == dc.Site {
+					pt.dataCounts[i].Count += dc.Count
+					found = true
+					break
+				}
+			}
+			if !found {
+				pt.dataCounts = append(pt.dataCounts, proto.SiteCount{Site: dc.Site, Count: dc.Count})
+			}
 		}
 	}
-	sites := make([]netsim.SiteID, 0, len(counts))
-	for s := range counts {
-		sites = append(sites, s)
-	}
-	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
-	for _, s := range sites {
-		pt.dataCounts = append(pt.dataCounts, proto.SiteCount{Site: s, Count: counts[s]})
-	}
+	slices.SortFunc(pt.dataCounts, func(a, b proto.SiteCount) int {
+		return int(a.Site) - int(b.Site)
+	})
 }
 
 // mergeLoadReplies assembles the merged LoadReply once every queried
@@ -243,19 +282,32 @@ func (c *Client) mergeConflict(pt *pendingTxn, r proto.ConflictReply) {
 // reporting site (first wins).
 func (c *Client) mergeLoadReplies(pt *pendingTxn, id txn.ID) {
 	merged := proto.LoadReply{Txn: id}
-	seen := make(map[netsim.SiteID]bool)
 	for k := 0; k < c.topo.Servers(); k++ {
-		rep, ok := pt.loadFrom[shardmap.ShardSite(k)]
-		if !ok {
+		site := shardmap.ShardSite(k)
+		var rep *proto.LoadReply
+		for i := range pt.loadFrom {
+			if pt.loadFrom[i].from == site {
+				rep = &pt.loadFrom[i].reply
+				break
+			}
+		}
+		if rep == nil {
 			continue
 		}
 		merged.Locations = append(merged.Locations, rep.Locations...)
 		for _, l := range rep.Loads {
-			if !seen[l.Client] {
-				seen[l.Client] = true
+			dup := false
+			for _, have := range merged.Loads {
+				if have.Client == l.Client {
+					dup = true
+					break
+				}
+			}
+			if !dup {
 				merged.Loads = append(merged.Loads, l)
 			}
 		}
 	}
-	pt.loadReply = &merged
+	pt.loadReply = merged
+	pt.hasLoad = true
 }

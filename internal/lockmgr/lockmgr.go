@@ -121,6 +121,19 @@ type Table struct {
 	// transaction pays two allocations here.
 	objsFree   [][]ObjectID
 	countsFree [][]objCount
+	// waitsFree recycles the per-owner wait-edge maps for the same
+	// reason; edge rebuilds clear and refill instead of reallocating.
+	waitsFree []map[OwnerID]int
+
+	// confBuf is the shared conflict-scan buffer: conflict queries
+	// return slices of it, valid only until the next table call.
+	confBuf []OwnerID
+	// ddSeen/ddGen/ddStack are deadlock-detection scratch: visited
+	// owners are generation-stamped instead of collected in a per-call
+	// set, and neighbour sorting runs in segments of one shared stack.
+	ddSeen  map[OwnerID]int64
+	ddGen   int64
+	ddStack []OwnerID
 
 	// DeadlocksRefused counts requests refused by cycle detection.
 	DeadlocksRefused int64
@@ -301,28 +314,40 @@ func (t *Table) delHolder(obj ObjectID, e *entry, owner OwnerID) bool {
 	return true
 }
 
-// conflicts returns the holders of e that conflict with owner acquiring
-// mode, sorted for determinism (the holder slice is kept sorted). A
-// holder never conflicts with itself; an owner holding SL and
-// requesting EL conflicts with every other holder.
-func (e *entry) conflicts(owner OwnerID, mode Mode) []OwnerID {
-	var out []OwnerID
+// conflictsInto appends the holders of e that conflict with owner
+// acquiring mode, sorted for determinism (the holder slice is kept
+// sorted). A holder never conflicts with itself; an owner holding SL
+// and requesting EL conflicts with every other holder.
+func (e *entry) conflictsInto(owner OwnerID, mode Mode, buf []OwnerID) []OwnerID {
 	for _, h := range e.holders {
 		if h.owner == owner {
 			continue
 		}
 		if !Compatible(mode, h.mode) {
-			out = append(out, h.owner)
+			buf = append(buf, h.owner)
 		}
 	}
-	return out
+	return buf
+}
+
+// conflictCount counts the holders that would conflict, without
+// materializing them.
+func (e *entry) conflictCount(owner OwnerID, mode Mode) int {
+	n := 0
+	for _, h := range e.holders {
+		if h.owner != owner && !Compatible(mode, h.mode) {
+			n++
+		}
+	}
+	return n
 }
 
 // Lock requests obj in mode for owner. Re-entrant requests at the same or
 // weaker mode are granted immediately. On conflict the request is queued
 // in deadline order unless that would create a wait-for cycle, in which
 // case it is refused with Deadlock. The returned slice lists the
-// conflicting holders (for callbacks / H2) whenever the outcome is Queued.
+// conflicting holders (for callbacks / H2) whenever the outcome is Queued;
+// it is table-owned scratch, valid only until the next table call.
 func (t *Table) Lock(req *Request) (Outcome, []OwnerID) {
 	if req.Mode != ModeShared && req.Mode != ModeExclusive {
 		panic(fmt.Sprintf("lockmgr: invalid mode %d", req.Mode))
@@ -332,7 +357,8 @@ func (t *Table) Lock(req *Request) (Outcome, []OwnerID) {
 		req.granted = true
 		return t.requested(req, Granted, nil)
 	}
-	conf := e.conflicts(req.Owner, req.Mode)
+	conf := e.conflictsInto(req.Owner, req.Mode, t.confBuf[:0])
+	t.confBuf = conf
 	isUpgrade := e.holderMode(req.Owner) != 0
 	// Upgrades bypass the queue-behind rule: an SL holder upgrading to
 	// EL only needs the other holders gone, and making it queue behind
@@ -507,7 +533,7 @@ func (t *Table) admit(obj ObjectID, e *entry) []*Request {
 	var grants []*Request
 	for len(e.queue) > 0 {
 		req := e.queue[0]
-		if len(e.conflicts(req.Owner, req.Mode)) > 0 {
+		if e.conflictCount(req.Owner, req.Mode) > 0 {
 			break
 		}
 		e.queue = e.queue[1:]
@@ -601,10 +627,12 @@ func (t *Table) QueueLen(obj ObjectID) int {
 }
 
 // ConflictingHolders returns the holders that would conflict with owner
-// acquiring obj in mode right now.
+// acquiring obj in mode right now. The returned slice is table-owned
+// scratch, valid only until the next table call.
 func (t *Table) ConflictingHolders(obj ObjectID, owner OwnerID, mode Mode) []OwnerID {
 	if e := t.lookup(obj); e != nil {
-		return e.conflicts(owner, mode)
+		t.confBuf = e.conflictsInto(owner, mode, t.confBuf[:0])
+		return t.confBuf
 	}
 	return nil
 }
@@ -614,52 +642,83 @@ func (t *Table) ConflictingHolders(obj ObjectID, owner OwnerID, mode Mode) []Own
 func (t *Table) ConflictCount(owner OwnerID, objs []ObjectID, modes []Mode) int {
 	n := 0
 	for i, obj := range objs {
-		if len(t.ConflictingHolders(obj, owner, modes[i])) > 0 {
+		if e := t.lookup(obj); e != nil && e.conflictCount(owner, modes[i]) > 0 {
 			n++
 		}
 	}
 	return n
 }
 
+// HolderCount returns the number of holders of obj; HolderAt returns
+// the i'th holder in ascending owner order. Together they expose the
+// holder set without allocating (SortedHolders copies).
+func (t *Table) HolderCount(obj ObjectID) int {
+	if e := t.lookup(obj); e != nil {
+		return len(e.holders)
+	}
+	return 0
+}
+
+// HolderAt returns the i'th holder of obj and its mode, in ascending
+// owner order.
+func (t *Table) HolderAt(obj ObjectID, i int) (OwnerID, Mode) {
+	e := t.lookup(obj)
+	return e.holders[i].owner, e.holders[i].mode
+}
+
 // wouldDeadlock reports whether adding edges owner→each holder closes a
 // cycle, i.e. whether owner is reachable from any holder.
 func (t *Table) wouldDeadlock(owner OwnerID, holders []OwnerID) bool {
-	seen := map[OwnerID]bool{}
-	var reach func(from OwnerID) bool
-	reach = func(from OwnerID) bool {
-		if from == owner {
-			return true
-		}
-		if seen[from] {
-			return false
-		}
-		seen[from] = true
-		next := make([]OwnerID, 0, len(t.waits[from]))
-		for to, n := range t.waits[from] {
-			if n > 0 {
-				next = append(next, to)
-			}
-		}
-		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
-		for _, to := range next {
-			if reach(to) {
-				return true
-			}
-		}
-		return false
+	if t.ddSeen == nil {
+		t.ddSeen = make(map[OwnerID]int64)
 	}
+	t.ddGen++
 	for _, h := range holders {
-		if reach(h) {
+		if t.ddReach(h, owner) {
 			return true
 		}
 	}
 	return false
 }
 
+// ddReach is wouldDeadlock's depth-first search. Each level collects
+// and sorts its live neighbours in a segment of the shared ddStack
+// (indexed, not sliced — deeper levels may grow the backing array) so
+// the visit order matches the old per-call sorted-slice implementation.
+func (t *Table) ddReach(from, owner OwnerID) bool {
+	if from == owner {
+		return true
+	}
+	if t.ddSeen[from] == t.ddGen {
+		return false
+	}
+	t.ddSeen[from] = t.ddGen
+	base := len(t.ddStack)
+	for to, n := range t.waits[from] {
+		if n > 0 {
+			t.ddStack = append(t.ddStack, to)
+		}
+	}
+	slices.Sort(t.ddStack[base:])
+	for i := base; i < len(t.ddStack); i++ {
+		if t.ddReach(t.ddStack[i], owner) {
+			t.ddStack = t.ddStack[:base]
+			return true
+		}
+	}
+	t.ddStack = t.ddStack[:base]
+	return false
+}
+
 func (t *Table) addEdge(from, to OwnerID) {
 	m, ok := t.waits[from]
 	if !ok {
-		m = make(map[OwnerID]int)
+		if n := len(t.waitsFree); n > 0 {
+			m = t.waitsFree[n-1]
+			t.waitsFree = t.waitsFree[:n-1]
+		} else {
+			m = make(map[OwnerID]int)
+		}
 		t.waits[from] = m
 	}
 	m[to]++
@@ -674,10 +733,18 @@ func (t *Table) addEdge(from, to OwnerID) {
 func (t *Table) dropEdgesFrom(owner OwnerID, obj ObjectID) {
 	counts := t.waiting[owner]
 	if len(counts) == 0 {
-		delete(t.waits, owner)
+		t.retireWaits(owner)
 		return
 	}
-	m := make(map[OwnerID]int)
+	m, ok := t.waits[owner]
+	if ok {
+		clear(m)
+	} else if n := len(t.waitsFree); n > 0 {
+		m = t.waitsFree[n-1]
+		t.waitsFree = t.waitsFree[:n-1]
+	} else {
+		m = make(map[OwnerID]int)
+	}
 	for _, c := range counts {
 		e := t.lookup(c.obj)
 		if e == nil {
@@ -687,15 +754,27 @@ func (t *Table) dropEdgesFrom(owner OwnerID, obj ObjectID) {
 			if q.Owner != owner {
 				continue
 			}
-			for _, h := range e.conflicts(owner, q.Mode) {
-				m[h]++
+			for _, h := range e.holders {
+				if h.owner != owner && !Compatible(q.Mode, h.mode) {
+					m[h.owner]++
+				}
 			}
 		}
 	}
 	if len(m) == 0 {
 		delete(t.waits, owner)
+		t.waitsFree = append(t.waitsFree, m)
 	} else {
 		t.waits[owner] = m
+	}
+}
+
+// retireWaits drops owner's wait-edge map and recycles it.
+func (t *Table) retireWaits(owner OwnerID) {
+	if m, ok := t.waits[owner]; ok {
+		delete(t.waits, owner)
+		clear(m)
+		t.waitsFree = append(t.waitsFree, m)
 	}
 }
 

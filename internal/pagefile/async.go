@@ -87,14 +87,8 @@ const (
 // allocateTask is allocate for machine callers; identical decisions and
 // counter order, with the blocking write-back handed to io.
 func (bp *BufferPool) allocateTask(t *sim.Task, io *ioOp, id PageID) (*Frame, allocAction) {
-	if len(bp.frames) < bp.cap {
-		f := &Frame{
-			id:      id,
-			Data:    make([]byte, PageSize),
-			pins:    1,
-			loading: true,
-			loaded:  sim.NewSignal(bp.env),
-		}
+	if bp.allocated < bp.cap {
+		f := bp.newFrame(id)
 		bp.frames[id] = f
 		return f, allocReady
 	}

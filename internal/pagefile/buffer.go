@@ -38,6 +38,14 @@ type BufferPool struct {
 	disk   *Disk
 	cap    int
 	frames map[PageID]*Frame
+	// slab and arena back the pool's frames: all Frame structs and all
+	// page bytes live in two contiguous allocations carved out on first
+	// use, instead of one struct + one 2 KB Data slice per frame. The
+	// pool's working set stays cache-adjacent and the GC sees two
+	// objects where it saw 2·capacity.
+	slab      []Frame
+	arena     []byte
+	allocated int
 	// lruFront/lruBack hold unpinned frames; front = most recent.
 	lruFront, lruBack *Frame
 	free              *sim.Signal
@@ -66,6 +74,25 @@ func NewBufferPool(env *sim.Env, disk *Disk, capacity int) *BufferPool {
 
 // Capacity returns the number of frames.
 func (bp *BufferPool) Capacity() int { return bp.cap }
+
+// newFrame carves the next frame slot (and its page bytes) out of the
+// pool's slab, pinned and loading. Callers must have checked
+// bp.allocated < bp.cap.
+func (bp *BufferPool) newFrame(id PageID) *Frame {
+	if bp.slab == nil {
+		bp.slab = make([]Frame, bp.cap)
+		bp.arena = make([]byte, bp.cap*PageSize)
+	}
+	f := &bp.slab[bp.allocated]
+	off := bp.allocated * PageSize
+	f.Data = bp.arena[off : off+PageSize : off+PageSize]
+	bp.allocated++
+	f.id = id
+	f.pins = 1
+	f.loading = true
+	f.loaded = sim.NewSignal(bp.env)
+	return f
+}
 
 // Resident returns the number of pages currently buffered.
 func (bp *BufferPool) Resident() int { return len(bp.frames) }
@@ -148,14 +175,8 @@ func (bp *BufferPool) Get(p *sim.Proc, id PageID) (*Frame, error) {
 // loading frame, or nil if the caller must retry because it blocked and
 // the world changed.
 func (bp *BufferPool) allocate(p *sim.Proc, id PageID) (*Frame, error) {
-	if len(bp.frames) < bp.cap {
-		f := &Frame{
-			id:      id,
-			Data:    make([]byte, PageSize),
-			pins:    1,
-			loading: true,
-			loaded:  sim.NewSignal(bp.env),
-		}
+	if bp.allocated < bp.cap {
+		f := bp.newFrame(id)
 		bp.frames[id] = f
 		return f, nil
 	}

@@ -13,8 +13,9 @@ type AccessGen interface {
 // Uniform draws objects uniformly over the database — no locality at
 // all, the worst case for client caching.
 type Uniform struct {
-	dbSize int
-	stream *Stream
+	dbSize  int
+	stream  *Stream
+	scratch dedup
 }
 
 // NewUniform returns a uniform access generator.
@@ -29,7 +30,7 @@ func NewUniform(stream *Stream, dbSize int) *Uniform {
 func (g *Uniform) Next() int { return g.stream.Intn(g.dbSize) }
 
 // NextSet returns n distinct uniform ids.
-func (g *Uniform) NextSet(n int) []int { return distinct(g, g.dbSize, n) }
+func (g *Uniform) NextSet(n int) []int { return g.scratch.distinct(g, g.dbSize, n) }
 
 // HotCold sends a fixed fraction of accesses to a globally shared hot
 // set at the front of the object space (the classic "hot spot" model —
@@ -39,6 +40,7 @@ type HotCold struct {
 	hotSize int
 	hotFrac float64
 	stream  *Stream
+	scratch dedup
 }
 
 // NewHotCold returns a hot/cold generator: hotFrac of accesses hit the
@@ -59,24 +61,68 @@ func (g *HotCold) Next() int {
 }
 
 // NextSet returns n distinct ids.
-func (g *HotCold) NextSet(n int) []int { return distinct(g, g.dbSize, n) }
+func (g *HotCold) NextSet(n int) []int { return g.scratch.distinct(g, g.dbSize, n) }
+
+// dedup is the reusable scratch behind NextSet: a result buffer plus,
+// for large draws only, an epoch-stamped membership array. Access sets
+// are small (Poisson around the configured mean), so membership is a
+// linear scan over the accumulated ids up to smallDedup and the stamp
+// array never materializes on the hot path — NextSet allocates nothing
+// in steady state. The returned slice is owned by the generator and
+// valid until its next NextSet call.
+type dedup struct {
+	out   []int
+	stamp []uint32
+	epoch uint32
+}
+
+// smallDedup is the set size below which duplicate checks linear-scan
+// the output instead of touching the stamp array.
+const smallDedup = 64
 
 // distinct draws from gen until n distinct ids accumulate (clamped to
-// the object space).
-func distinct(gen interface{ Next() int }, dbSize, n int) []int {
+// the object space). The accept/reject decisions match the original
+// map-based implementation exactly, so draw sequences are unchanged.
+func (d *dedup) distinct(gen interface{ Next() int }, dbSize, n int) []int {
 	if n > dbSize {
 		n = dbSize
 	}
-	seen := make(map[int]struct{}, n)
-	out := make([]int, 0, n)
+	if cap(d.out) < n {
+		d.out = make([]int, 0, n)
+	}
+	out := d.out[:0]
+	if n <= smallDedup {
+	small:
+		for len(out) < n {
+			id := gen.Next()
+			for _, v := range out {
+				if v == id {
+					continue small
+				}
+			}
+			out = append(out, id)
+		}
+		d.out = out
+		return out
+	}
+	if len(d.stamp) < dbSize {
+		d.stamp = make([]uint32, dbSize)
+		d.epoch = 0
+	}
+	d.epoch++
+	if d.epoch == 0 {
+		clear(d.stamp)
+		d.epoch = 1
+	}
 	for len(out) < n {
 		id := gen.Next()
-		if _, dup := seen[id]; dup {
+		if d.stamp[id] == d.epoch {
 			continue
 		}
-		seen[id] = struct{}{}
+		d.stamp[id] = d.epoch
 		out = append(out, id)
 	}
+	d.out = out
 	return out
 }
 
@@ -97,6 +143,7 @@ type LocalizedRW struct {
 	localFrac  float64
 	stream     *Stream
 	zipf       *Zipf
+	scratch    dedup
 }
 
 // LocalizedRWConfig configures a per-client access generator.
@@ -181,10 +228,23 @@ func (g *LocalizedRW) Next() int {
 
 // NextSet returns n distinct object ids. When n exceeds the database size
 // it is clamped.
-func (g *LocalizedRW) NextSet(n int) []int { return distinct(g, g.dbSize, n) }
+func (g *LocalizedRW) NextSet(n int) []int { return g.scratch.distinct(g, g.dbSize, n) }
 
 var (
 	_ AccessGen = (*LocalizedRW)(nil)
 	_ AccessGen = (*Uniform)(nil)
 	_ AccessGen = (*HotCold)(nil)
 )
+
+// ParkStreams releases the generator's stream state while the owning
+// client idles (rng.Stream.Park; draw sequences unaffected).
+func (g *Uniform) ParkStreams(maxReplay uint64) { g.stream.ParkBelow(maxReplay) }
+
+// ParkStreams releases the generator's stream state while the owning
+// client idles.
+func (g *HotCold) ParkStreams(maxReplay uint64) { g.stream.ParkBelow(maxReplay) }
+
+// ParkStreams releases the generator's stream state while the owning
+// client idles. The Zipf sampler shares the same stream, so one park
+// covers both.
+func (g *LocalizedRW) ParkStreams(maxReplay uint64) { g.stream.ParkBelow(maxReplay) }

@@ -23,7 +23,8 @@ type Skewed struct {
 	stream *Stream
 	zipf   *Zipf
 
-	base int // current hot-window base object id
+	base    int // current hot-window base object id
+	scratch dedup
 }
 
 // SkewedConfig parameterizes a Skewed generator.
@@ -93,6 +94,10 @@ func (g *Skewed) Next() int {
 }
 
 // NextSet returns n distinct object ids.
-func (g *Skewed) NextSet(n int) []int { return distinct(g, g.dbSize, n) }
+func (g *Skewed) NextSet(n int) []int { return g.scratch.distinct(g, g.dbSize, n) }
 
 var _ AccessGen = (*Skewed)(nil)
+
+// ParkStreams releases the generator's stream state while the owning
+// client idles (the Zipf sampler shares the same stream).
+func (g *Skewed) ParkStreams(maxReplay uint64) { g.stream.ParkBelow(maxReplay) }

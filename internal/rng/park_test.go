@@ -1,0 +1,175 @@
+package rng
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParkReplayIdentical: a stream parked and resumed at arbitrary
+// points must produce exactly the sequence an never-parked twin does —
+// across every variate kind the simulator draws.
+func TestParkReplayIdentical(t *testing.T) {
+	draw := func(s *Stream, i int) any {
+		switch i % 5 {
+		case 0:
+			return s.Float64()
+		case 1:
+			return s.Intn(1000)
+		case 2:
+			return s.Exp(3 * time.Second)
+		case 3:
+			return s.Poisson(4.5)
+		default:
+			return s.Perm(5)[0]
+		}
+	}
+	ref := NewStream(42)
+	var want []any
+	for i := 0; i < 500; i++ {
+		want = append(want, draw(ref, i))
+	}
+
+	parked := NewStream(42)
+	for i := 0; i < 500; i++ {
+		if i%7 == 3 {
+			parked.Park()
+			if !parked.Parked() {
+				t.Fatal("Park did not release state")
+			}
+		}
+		if got := draw(parked, i); got != want[i] {
+			t.Fatalf("draw %d: parked stream produced %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+// TestParkDerive: Derive consumes one parent draw; parking around it
+// must not change the derived stream's identity.
+func TestParkDerive(t *testing.T) {
+	a := NewStream(7)
+	da := a.Derive(3)
+
+	b := NewStream(7)
+	b.Park()
+	db := b.Derive(3)
+
+	for i := 0; i < 100; i++ {
+		if x, y := da.Float64(), db.Float64(); x != y {
+			t.Fatalf("derived draw %d diverged: %v vs %v", i, x, y)
+		}
+	}
+}
+
+// TestParkZipf: the theta>1 path hands the stream's rand.Rand to
+// math/rand's Zipf; parking underneath it must stay transparent.
+func TestParkZipf(t *testing.T) {
+	a := NewZipf(NewStream(9), 1.2, 5000)
+	b := NewZipf(NewStream(9), 1.2, 5000)
+	bs := b.stream
+	for i := 0; i < 300; i++ {
+		if i%11 == 5 {
+			bs.Park()
+		}
+		if x, y := a.Rank(), b.Rank(); x != y {
+			t.Fatalf("zipf rank %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// TestNewStreamLazy: constructing a stream must not materialize the
+// big generator state — unused streams stay at their 16-byte identity.
+func TestNewStreamLazy(t *testing.T) {
+	s := NewStream(1)
+	if !s.Parked() {
+		t.Fatal("fresh stream materialized state before first draw")
+	}
+	s.Float64()
+	if s.Parked() {
+		t.Fatal("draw did not materialize state")
+	}
+	if s.Draws() != 1 {
+		t.Fatalf("Draws() = %d, want 1", s.Draws())
+	}
+}
+
+// TestParkBelowBudget: park/wake churn is self-limiting — once a
+// stream's cumulative replay work (draws plus a per-wake reseed
+// charge) exceeds the budget, ParkBelow refuses and the stream stays
+// resident. Draw sequences are unaffected either way.
+func TestParkBelowBudget(t *testing.T) {
+	s := NewStream(11)
+	cycles := 0
+	for i := 0; i < replayBudget; i++ {
+		s.Float64() // wake (replays) and advance
+		s.ParkBelow(1 << 20)
+		if !s.Parked() {
+			break
+		}
+		cycles++
+	}
+	if s.Parked() {
+		t.Fatal("replay budget never tripped under sustained park/wake churn")
+	}
+	if cycles < 2 {
+		t.Fatalf("budget tripped after %d cycles; the first parks should be allowed", cycles)
+	}
+	// An explicit Park is still honored — the budget only gates the
+	// advisory ParkBelow.
+	s.Park()
+	if !s.Parked() {
+		t.Fatal("explicit Park must still release state")
+	}
+}
+
+// TestNextSetZeroAlloc pins the access-set hot path at zero
+// allocations: the seen-set and result buffer are generator-owned
+// scratch, not per-draw garbage.
+func TestNextSetZeroAlloc(t *testing.T) {
+	gens := map[string]AccessGen{
+		"localized": NewLocalizedRW(NewStream(3), LocalizedRWConfig{
+			DBSize: 2000, ClientIndex: 1, NumClients: 8, RegionSize: 200,
+			LocalFraction: 0.75, ZipfTheta: 0.9,
+		}),
+		"uniform": NewUniform(NewStream(4), 2000),
+		"hotcold": NewHotCold(NewStream(5), 2000, 100, 0.8),
+		"skewed": NewSkewed(NewStream(6), SkewedConfig{
+			DBSize: 2000, ZipfTheta: 0.9, HotSize: 100, HotFraction: 0.5,
+		}),
+	}
+	for name, g := range gens {
+		g.NextSet(8) // warm the scratch and materialize the stream
+		if n := testing.AllocsPerRun(200, func() { g.NextSet(8) }); n != 0 {
+			t.Errorf("%s: NextSet allocates %v per run, want 0", name, n)
+		}
+	}
+}
+
+// TestNextSetLargeDraw exercises the epoch-stamped path (> smallDedup)
+// and its epoch-wrap reset.
+func TestNextSetLargeDraw(t *testing.T) {
+	g := NewUniform(NewStream(8), 500)
+	for round := 0; round < 3; round++ {
+		ids := g.NextSet(smallDedup + 40)
+		if len(ids) != smallDedup+40 {
+			t.Fatalf("round %d: got %d ids", round, len(ids))
+		}
+		seen := map[int]bool{}
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("round %d: duplicate id %d", round, id)
+			}
+			seen[id] = true
+		}
+	}
+	// Force the epoch counter to wrap and make sure stale stamps are
+	// cleared rather than misread as current.
+	g.scratch.epoch = ^uint32(0)
+	ids := g.NextSet(smallDedup + 1)
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatal("duplicate id after epoch wrap")
+		}
+		seen[id] = true
+	}
+}

@@ -2,7 +2,7 @@ package server
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"siteselect/internal/batch"
 	"siteselect/internal/forward"
@@ -121,10 +121,12 @@ func (s *Server) shipGrants(grants []*lockmgr.Request) {
 			s.DeniesExpired++
 			expired, _ := g.Tag.(txn.ID)
 			s.recall(g.Obj, netsim.SiteID(g.Owner), false, expired)
+			s.freeReq(g)
 			continue
 		}
 		id, _ := g.Tag.(txn.ID)
 		s.ship(g.Obj, netsim.SiteID(g.Owner), g.Mode, id, nil)
+		s.freeReq(g)
 	}
 }
 
@@ -174,7 +176,8 @@ func (s *Server) conflictHolders(obj lockmgr.ObjectID, client netsim.SiteID, mod
 			// request is queued: still a conflict. Report the current
 			// holders (whoever the queued writer waits on), or the
 			// queued requester itself when the object is bare.
-			for _, h := range s.locks.SortedHolders(obj) {
+			for i, n := 0, s.locks.HolderCount(obj); i < n; i++ {
+				h, _ := s.locks.HolderAt(obj, i)
 				if h != MigrationOwner && siteFor(h) != client {
 					out = append(out, siteFor(h))
 				}
@@ -217,7 +220,8 @@ func (s *Server) holdersFor(obj lockmgr.ObjectID, asker netsim.SiteID) []netsim.
 		}
 	}
 	var out []netsim.SiteID
-	for _, h := range s.locks.SortedHolders(obj) {
+	for i, n := 0, s.locks.HolderCount(obj); i < n; i++ {
+		h, _ := s.locks.HolderAt(obj, i)
 		if h == MigrationOwner || siteFor(h) == asker {
 			continue
 		}
@@ -227,19 +231,20 @@ func (s *Server) holdersFor(obj lockmgr.ObjectID, asker netsim.SiteID) []netsim.
 }
 
 // loadsFor collects the known load reports of every site mentioned in
-// conflicts, sorted by site for determinism.
+// conflicts, sorted by site for determinism. The site set is gathered
+// in reusable scratch (conflict fan-outs are small, so a linear dedup
+// beats a per-call map); only the report slice escapes into the reply.
 func (s *Server) loadsFor(conflicts []proto.ObjConflict) []proto.LoadReport {
-	seen := map[netsim.SiteID]bool{}
-	var sites []netsim.SiteID
+	sites := s.siteScratch[:0]
 	for _, c := range conflicts {
 		for _, h := range c.Holders {
-			if !seen[h] {
-				seen[h] = true
+			if !slices.Contains(sites, h) {
 				sites = append(sites, h)
 			}
 		}
 	}
-	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	slices.Sort(sites)
+	s.siteScratch = sites
 	out := make([]proto.LoadReport, 0, len(sites))
 	for _, site := range sites {
 		if l, ok := s.loads[site]; ok && l.Valid {
@@ -295,11 +300,12 @@ func (s *Server) headEntry(obj lockmgr.ObjectID) (forward.Entry, bool) {
 // blockedForHead reports whether any holder other than the head
 // requester itself conflicts with the head entry's mode.
 func (s *Server) blockedForHead(obj lockmgr.ObjectID, head forward.Entry) bool {
-	for _, h := range s.locks.SortedHolders(obj) {
+	for i, n := 0, s.locks.HolderCount(obj); i < n; i++ {
+		h, mode := s.locks.HolderAt(obj, i)
 		if h == MigrationOwner || siteFor(h) == head.Client {
 			continue
 		}
-		if !lockmgr.Compatible(head.Mode, s.locks.HolderMode(obj, h)) {
+		if !lockmgr.Compatible(head.Mode, mode) {
 			return true
 		}
 	}
@@ -317,11 +323,12 @@ func (s *Server) recallForMigration(obj lockmgr.ObjectID) {
 		return
 	}
 	downgrade := head.Mode == lockmgr.ModeShared && s.cfg.UseDowngrade
-	for _, h := range s.locks.SortedHolders(obj) {
+	for i, n := 0, s.locks.HolderCount(obj); i < n; i++ {
+		h, mode := s.locks.HolderAt(obj, i)
 		if h == MigrationOwner || siteFor(h) == head.Client {
 			continue
 		}
-		if lockmgr.Compatible(head.Mode, s.locks.HolderMode(obj, h)) {
+		if lockmgr.Compatible(head.Mode, mode) {
 			continue // compatible with the head; deeper entries recall later
 		}
 		s.recall(obj, siteFor(h), downgrade, head.Txn)
@@ -332,15 +339,17 @@ func (s *Server) recallForMigration(obj lockmgr.ObjectID) {
 // transaction the callback serves (zero when none, e.g. stray-copy
 // invalidation), recorded on its trace.
 func (s *Server) recall(obj lockmgr.ObjectID, holder netsim.SiteID, downgrade bool, forTxn txn.ID) {
-	m, ok := s.recalls[obj]
-	if !ok {
-		m = make(map[netsim.SiteID]bool)
-		s.recalls[obj] = m
-	}
-	if m[holder] {
+	set := s.recalls[obj]
+	if slices.Contains(set, holder) {
 		return
 	}
-	m[holder] = true
+	if set == nil {
+		if n := len(s.recallSetFree); n > 0 {
+			set = s.recallSetFree[n-1]
+			s.recallSetFree = s.recallSetFree[:n-1]
+		}
+	}
+	s.recalls[obj] = append(set, holder)
 	s.RecallsSent++
 	s.tr.Point(forTxn, s.site, trace.EvRecall, obj, int64(holder), 0, s.env.Now())
 	r := proto.Recall{
@@ -386,37 +395,56 @@ func (s *Server) flushShips() {
 	if len(intents) == 0 {
 		return
 	}
-	s.shipIntents = nil
-	var order []netsim.SiteID
-	byDest := make(map[netsim.SiteID][]shipIntent)
-	for _, in := range intents {
-		if _, ok := byDest[in.to]; !ok {
-			order = append(order, in.to)
-		}
-		byDest[in.to] = append(byDest[in.to], in)
+	// Group by destination in first-decision order with a mark pass over
+	// the intent buffer: the fan-out per flush is small, so the
+	// quadratic scan stays cheap and no per-flush map is built. Each
+	// multi-grant group is copied into the batch machine's own buffer
+	// (it must outlive the flush — the machine parks on page reads), so
+	// the intent buffer itself is reusable.
+	mark := s.flushMark[:0]
+	for range intents {
+		mark = append(mark, false)
 	}
-	for _, to := range order {
-		group := byDest[to]
-		if len(group) == 1 {
-			s.shipNow(group[0])
+	for i := range intents {
+		if mark[i] {
+			continue
+		}
+		to := intents[i].to
+		n := 1
+		for j := i + 1; j < len(intents); j++ {
+			if intents[j].to == to {
+				n++
+			}
+		}
+		if n == 1 {
+			s.shipNow(intents[i])
 			continue
 		}
 		var m *batchShipMachine
-		if n := len(s.batchShipFree); n > 0 {
-			m = s.batchShipFree[n-1]
-			s.batchShipFree = s.batchShipFree[:n-1]
+		if k := len(s.batchShipFree); k > 0 {
+			m = s.batchShipFree[k-1]
+			s.batchShipFree = s.batchShipFree[:k-1]
 		} else {
 			m = &batchShipMachine{s: s}
 		}
 		m.to = to
-		m.intents = group
-		pages := make([]pagefile.PageID, len(group))
-		for i, in := range group {
-			pages[i] = pagefile.PageID(in.obj)
+		m.intents = append(m.intents[:0], intents[i])
+		for j := i + 1; j < len(intents); j++ {
+			if intents[j].to == to {
+				m.intents = append(m.intents, intents[j])
+				mark[j] = true
+			}
 		}
-		m.get.Init(s.pool, pages)
+		m.pages = m.pages[:0]
+		for _, in := range m.intents {
+			m.pages = append(m.pages, pagefile.PageID(in.obj))
+		}
+		m.get.Init(s.pool, m.pages)
 		s.env.Spawn(&m.task, m)
 	}
+	s.flushMark = mark
+	clear(intents) // drop forward-list pointers before reuse
+	s.shipIntents = intents[:0]
 }
 
 // flushRecalls sends the deferred callbacks, one message per holder.
@@ -425,34 +453,54 @@ func (s *Server) flushRecalls() {
 	if len(intents) == 0 {
 		return
 	}
-	s.recallIntents = nil
-	var order []netsim.SiteID
-	byHolder := make(map[netsim.SiteID][]proto.Recall)
-	for _, in := range intents {
-		if _, ok := byHolder[in.holder]; !ok {
-			order = append(order, in.holder)
-		}
-		byHolder[in.holder] = append(byHolder[in.holder], in.recall)
+	// Same mark-pass grouping as flushShips. A multi-recall group is
+	// allocated fresh — it escapes into the BatchRecall payload — but a
+	// lone recall sends by value and the intent buffer is reused.
+	mark := s.flushMark[:0]
+	for range intents {
+		mark = append(mark, false)
 	}
-	for _, h := range order {
-		rs := byHolder[h]
-		if len(rs) == 1 {
-			s.send(h, netsim.KindRecall, netsim.ControlBytes, rs[0])
+	for i := range intents {
+		if mark[i] {
 			continue
+		}
+		h := intents[i].holder
+		n := 1
+		for j := i + 1; j < len(intents); j++ {
+			if intents[j].holder == h {
+				n++
+			}
+		}
+		if n == 1 {
+			s.send(h, netsim.KindRecall, netsim.ControlBytes, intents[i].recall)
+			continue
+		}
+		rs := make([]proto.Recall, 0, n)
+		rs = append(rs, intents[i].recall)
+		for j := i + 1; j < len(intents); j++ {
+			if intents[j].holder == h {
+				rs = append(rs, intents[j].recall)
+				mark[j] = true
+			}
 		}
 		s.send(h, netsim.KindRecall, len(rs)*netsim.ControlBytes, proto.BatchRecall{Recalls: rs})
 	}
+	s.flushMark = mark
+	s.recallIntents = intents[:0]
 }
 
 // batchShipMachine is the asynchronous half of a coalesced ship: read
 // every page of the batch through the pool in sequence, then deliver
 // all the grants in one message.
 type batchShipMachine struct {
-	task    sim.Task
-	s       *Server
-	get     pagefile.MultiGetOp
-	to      netsim.SiteID
+	task sim.Task
+	s    *Server
+	get  pagefile.MultiGetOp
+	to   netsim.SiteID
+	// intents and pages are machine-owned buffers refilled per batch,
+	// so a recycled machine's flush allocates neither.
 	intents []shipIntent
+	pages   []pagefile.PageID
 }
 
 func (m *batchShipMachine) Resume() {
@@ -473,7 +521,8 @@ func (m *batchShipMachine) Resume() {
 	}
 	s.send(m.to, netsim.KindObjectShip, len(grants)*netsim.ObjectBytes, proto.BatchGrant{Grants: grants})
 	m.task.Detach()
-	m.intents = nil
+	clear(m.intents) // drop forward-list pointers before reuse
+	m.intents = m.intents[:0]
 	s.batchShipFree = append(s.batchShipFree, m)
 }
 
@@ -530,13 +579,14 @@ func (s *Server) tryDispatch(obj lockmgr.ObjectID) {
 		// grant. Either way every recipient becomes an ordinary
 		// registered holder immediately.
 		for _, e := range run {
-			outcome, _ := s.locks.Lock(&lockmgr.Request{
-				Obj: obj, Owner: lockmgr.OwnerID(e.Client),
-				Mode: e.Mode, Deadline: e.Deadline, Tag: e.Txn,
-			})
+			lr := s.newReq()
+			lr.Obj, lr.Owner = obj, lockmgr.OwnerID(e.Client)
+			lr.Mode, lr.Deadline, lr.Tag = e.Mode, e.Deadline, e.Txn
+			outcome, _ := s.locks.Lock(lr)
 			if outcome != lockmgr.Granted {
 				panic("server: free object grant failed at dispatch")
 			}
+			s.freeReq(lr)
 		}
 		if len(run) == 1 {
 			s.ship(obj, run[0].Client, run[0].Mode, run[0].Txn, nil)
@@ -576,13 +626,14 @@ func (s *Server) tryDispatch(obj lockmgr.ObjectID) {
 	// A shared copy cached by the first writer is superseded by the
 	// migration grant it is about to receive.
 	s.locks.Release(obj, lockmgr.OwnerID(first.Client))
-	outcome, _ := s.locks.Lock(&lockmgr.Request{
-		Obj: obj, Owner: MigrationOwner,
-		Mode: lockmgr.ModeExclusive, Deadline: first.Deadline, Tag: first.Txn,
-	})
+	lr := s.newReq()
+	lr.Obj, lr.Owner = obj, MigrationOwner
+	lr.Mode, lr.Deadline, lr.Tag = lockmgr.ModeExclusive, first.Deadline, first.Txn
+	outcome, _ := s.locks.Lock(lr)
 	if outcome != lockmgr.Granted {
 		panic("server: migration lock failed at dispatch")
 	}
+	s.freeReq(lr)
 	s.MigrationsStarted++
 	s.ForwardEntriesSent += int64(chain.Len() + 1)
 	s.inflight[obj] = chain
@@ -616,7 +667,7 @@ func (s *Server) AuditForward() error {
 		for obj := range m {
 			objs = append(objs, obj)
 		}
-		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+		slices.Sort(objs)
 		for _, obj := range objs {
 			if err := m[obj].Wellformed(); err != nil {
 				return err

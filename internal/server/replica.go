@@ -272,8 +272,8 @@ func (s *Server) shedReplica(obj lockmgr.ObjectID, force bool) {
 // recallReplicaHolders recalls every client holding the replica's
 // object — the forced-drain path only.
 func (s *Server) recallReplicaHolders(obj lockmgr.ObjectID) {
-	for _, h := range s.locks.SortedHolders(obj) {
-		if h > 0 {
+	for i, n := 0, s.locks.HolderCount(obj); i < n; i++ {
+		if h, _ := s.locks.HolderAt(obj, i); h > 0 {
 			s.recall(obj, netsim.SiteID(h), false, 0)
 		}
 	}
@@ -287,8 +287,8 @@ func (s *Server) finishShedIfDrained(obj lockmgr.ObjectID) {
 	if _, draining := s.shedding[obj]; !draining {
 		return
 	}
-	for _, h := range s.locks.SortedHolders(obj) {
-		if h > 0 {
+	for i, n := 0, s.locks.HolderCount(obj); i < n; i++ {
+		if h, _ := s.locks.HolderAt(obj, i); h > 0 {
 			return
 		}
 	}

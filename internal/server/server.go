@@ -9,7 +9,7 @@ package server
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"siteselect/internal/batch"
@@ -81,8 +81,11 @@ type Server struct {
 	loads map[netsim.SiteID]proto.LoadReport
 
 	// recalls tracks outstanding callbacks per object so holders are
-	// not recalled twice for the same demand.
-	recalls map[lockmgr.ObjectID]map[netsim.SiteID]bool
+	// not recalled twice for the same demand. Holder sets are tiny
+	// (the readers of one object), so each is a scanned slice recycled
+	// through recallSetFree rather than a map.
+	recalls       map[lockmgr.ObjectID][]netsim.SiteID
+	recallSetFree [][]netsim.SiteID
 	// epochs records, per (object, client), the release epoch last
 	// reported by that client; grants are stamped with it so releases
 	// crossing grants on the wire are detected (see proto.ObjGrant).
@@ -109,6 +112,18 @@ type Server struct {
 	shipFree []*shipMachine
 	// batchShipFree recycles completed batched-ship machines.
 	batchShipFree []*batchShipMachine
+
+	// reqFree recycles lock requests: a request resolved in place
+	// (granted or refused) returns to the pool immediately; a queued one
+	// is table-owned until it surfaces in an admit batch and is shipped.
+	reqFree []*lockmgr.Request
+	// siteScratch, countScratch and flushMark are reusable buffers for
+	// the per-message aggregations (loadsFor, dataCounts, the flush
+	// grouping passes) so steady-state dispatch allocates only the
+	// slices that escape into message payloads.
+	siteScratch  []netsim.SiteID
+	countScratch []proto.SiteCount
+	flushMark    []bool
 
 	// tr is the per-run transaction tracer (nil when tracing is off).
 	tr *trace.Tracer
@@ -174,7 +189,7 @@ func NewShard(env *sim.Env, cfg config.Config, net *netsim.Network, shard int, t
 		cpu:      sim.NewResource(env, 1),
 		conns:    make(map[netsim.SiteID]*conn),
 		loads:    make(map[netsim.SiteID]proto.LoadReport),
-		recalls:  make(map[lockmgr.ObjectID]map[netsim.SiteID]bool),
+		recalls:  make(map[lockmgr.ObjectID][]netsim.SiteID),
 		epochs:   make(map[epochKey]int64),
 		sealed:   make(map[lockmgr.ObjectID]*forward.List),
 		inflight: make(map[lockmgr.ObjectID]*forward.List),
@@ -408,6 +423,24 @@ func (m *connMachine) Resume() {
 	}
 }
 
+// newReq returns a zeroed lock request from the pool. Requests resolved
+// in place (granted, refused, or panicking on a must-grant path) go
+// straight back via freeReq; queued requests stay table-owned and are
+// recycled by shipGrants once they surface as grants.
+func (s *Server) newReq() *lockmgr.Request {
+	if n := len(s.reqFree); n > 0 {
+		r := s.reqFree[n-1]
+		s.reqFree = s.reqFree[:n-1]
+		return r
+	}
+	return &lockmgr.Request{}
+}
+
+func (s *Server) freeReq(r *lockmgr.Request) {
+	*r = lockmgr.Request{}
+	s.reqFree = append(s.reqFree, r)
+}
+
 func (s *Server) noteLoad(l proto.LoadReport) {
 	if l.Valid {
 		s.loads[l.Client] = l
@@ -466,13 +499,14 @@ func (s *Server) handleProbe(req proto.ProbeRequest) {
 	}
 	if len(conflicts) == 0 {
 		for i, obj := range req.Objs {
-			outcome, _ := s.locks.Lock(&lockmgr.Request{
-				Obj: obj, Owner: lockmgr.OwnerID(req.Client),
-				Mode: req.Modes[i], Deadline: req.Deadline, Tag: req.Txn,
-			})
+			lr := s.newReq()
+			lr.Obj, lr.Owner = obj, lockmgr.OwnerID(req.Client)
+			lr.Mode, lr.Deadline, lr.Tag = req.Modes[i], req.Deadline, req.Txn
+			outcome, _ := s.locks.Lock(lr)
 			if outcome != lockmgr.Granted {
 				panic("server: conflict-free probe request not granted")
 			}
+			s.freeReq(lr)
 			s.ship(obj, req.Client, req.Modes[i], req.Txn, nil)
 			if s.multi {
 				s.noteServe(obj, req.Modes[i], req.Client)
@@ -492,31 +526,54 @@ func (s *Server) handleProbe(req proto.ProbeRequest) {
 // probed objects it caches in any mode — the Section 3.1 "significant
 // percentage of the required data" signal for transaction shipping.
 func (s *Server) dataCounts(objs []lockmgr.ObjectID, conflicts []proto.ObjConflict) []proto.SiteCount {
-	sites := map[netsim.SiteID]bool{}
+	// Accumulate in the reusable scratch (candidate sets are tiny, so
+	// linear scans beat maps); only the final slice escapes into the
+	// reply payload.
+	counts := s.countScratch[:0]
 	for _, c := range conflicts {
 		for _, h := range c.Holders {
-			sites[h] = true
+			seen := false
+			for i := range counts {
+				if counts[i].Site == h {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				counts = append(counts, proto.SiteCount{Site: h})
+			}
 		}
 	}
-	counts := make(map[netsim.SiteID]int, len(sites))
 	for _, obj := range objs {
-		for _, h := range s.locks.SortedHolders(obj) {
+		for i, n := 0, s.locks.HolderCount(obj); i < n; i++ {
+			h, _ := s.locks.HolderAt(obj, i)
 			if h == MigrationOwner {
 				continue
 			}
-			if site := siteFor(h); sites[site] {
-				counts[site]++
+			site := siteFor(h)
+			for j := range counts {
+				if counts[j].Site == site {
+					counts[j].Count++
+					break
+				}
 			}
 		}
 	}
-	ordered := make([]netsim.SiteID, 0, len(counts))
-	for site := range counts {
-		ordered = append(ordered, site)
-	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
-	out := make([]proto.SiteCount, 0, len(ordered))
-	for _, site := range ordered {
-		out = append(out, proto.SiteCount{Site: site, Count: counts[site]})
+	s.countScratch = counts
+	slices.SortFunc(counts, func(a, b proto.SiteCount) int {
+		switch {
+		case a.Site < b.Site:
+			return -1
+		case a.Site > b.Site:
+			return 1
+		}
+		return 0
+	})
+	out := make([]proto.SiteCount, 0, len(counts))
+	for _, c := range counts {
+		if c.Count > 0 {
+			out = append(out, c)
+		}
 	}
 	return out
 }
@@ -577,12 +634,13 @@ func (s *Server) serveFirm(r batch.Request) batch.Outcome {
 		s.tryDispatch(r.Obj) // the object may already be free
 		return batch.OutListed
 	}
-	outcome, _ := s.locks.Lock(&lockmgr.Request{
-		Obj: r.Obj, Owner: lockmgr.OwnerID(r.Client),
-		Mode: r.Mode, Deadline: r.Deadline, Tag: r.Txn,
-	})
+	lr := s.newReq()
+	lr.Obj, lr.Owner = r.Obj, lockmgr.OwnerID(r.Client)
+	lr.Mode, lr.Deadline, lr.Tag = r.Mode, r.Deadline, r.Txn
+	outcome, _ := s.locks.Lock(lr)
 	switch outcome {
 	case lockmgr.Granted:
+		s.freeReq(lr)
 		s.ship(r.Obj, r.Client, r.Mode, r.Txn, nil)
 		if s.multi {
 			s.noteServe(r.Obj, r.Mode, r.Client)
@@ -592,6 +650,7 @@ func (s *Server) serveFirm(r batch.Request) batch.Outcome {
 		s.recallForQueueHead(r.Obj)
 		return batch.OutQueued
 	default: // lockmgr.Deadlock
+		s.freeReq(lr)
 		s.DeniesDeadlock++
 		s.send(r.Client, netsim.KindLockReply, netsim.ControlBytes,
 			proto.DenyReply{Txn: r.Txn, Obj: r.Obj, Reason: proto.DenyDeadlock})
@@ -658,10 +717,19 @@ func (s *Server) finishReturn(ret proto.ObjReturn) {
 		s.tryDispatch(obj)
 		return
 	}
-	if m, ok := s.recalls[obj]; ok {
-		delete(m, ret.Client)
-		if len(m) == 0 {
+	if set, ok := s.recalls[obj]; ok {
+		for i, h := range set {
+			if h == ret.Client {
+				set[i] = set[len(set)-1]
+				set = set[:len(set)-1]
+				break
+			}
+		}
+		if len(set) == 0 {
 			delete(s.recalls, obj)
+			s.recallSetFree = append(s.recallSetFree, set)
+		} else {
+			s.recalls[obj] = set
 		}
 	}
 	if ret.Migration {
@@ -679,12 +747,13 @@ func (s *Server) finishReturn(ret proto.ObjReturn) {
 				s.recall(obj, site, false, 0)
 				continue
 			}
-			if outcome, _ := s.locks.Lock(&lockmgr.Request{
-				Obj: obj, Owner: owner,
-				Mode: lockmgr.ModeShared, Deadline: s.env.Now(),
-			}); outcome != lockmgr.Granted {
+			lr := s.newReq()
+			lr.Obj, lr.Owner = obj, owner
+			lr.Mode, lr.Deadline = lockmgr.ModeShared, s.env.Now()
+			if outcome, _ := s.locks.Lock(lr); outcome != lockmgr.Granted {
 				panic("server: retained SL registration failed on free object")
 			}
+			s.freeReq(lr)
 		}
 		s.shipGrants(grants)
 		s.tryDispatch(obj)
